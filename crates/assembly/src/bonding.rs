@@ -1,0 +1,161 @@
+//! C4 bump-bond success modeling.
+//!
+//! Section V-D / VII-B of the paper: chiplets flip-chip bond to a
+//! passive carrier through controlled-collapse (C4) bump bonds. From
+//! silicon-interposer defect rates the paper derives a per-bump success
+//! probability `s_l = 99.999960642 %`, and from the Gold et al.
+//! fabrication details it allocates **25 bump bonds per linked qubit**,
+//! so a link qubit bonds successfully with probability `s_l^25` and a
+//! whole module with `(s_l^25)^L` where `L` counts its linked qubits.
+//! Fig. 8's dashed sensitivity lines amplify the per-bump *failure*
+//! probability 100×.
+
+/// Bump-bond model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BondParams {
+    per_bump_success: f64,
+    bumps_per_link_qubit: u32,
+}
+
+impl BondParams {
+    /// The paper's per-bump success probability.
+    pub const PAPER_PER_BUMP_SUCCESS: f64 = 0.99999960642;
+    /// The paper's bump count per linked qubit.
+    pub const PAPER_BUMPS_PER_LINK_QUBIT: u32 = 25;
+
+    /// The paper's bonding model.
+    pub fn paper() -> BondParams {
+        BondParams {
+            per_bump_success: Self::PAPER_PER_BUMP_SUCCESS,
+            bumps_per_link_qubit: Self::PAPER_BUMPS_PER_LINK_QUBIT,
+        }
+    }
+
+    /// A custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `per_bump_success` is a probability in `[0, 1]`.
+    pub fn new(per_bump_success: f64, bumps_per_link_qubit: u32) -> BondParams {
+        assert!(
+            (0.0..=1.0).contains(&per_bump_success),
+            "per-bump success must be a probability, got {per_bump_success}"
+        );
+        BondParams { per_bump_success, bumps_per_link_qubit }
+    }
+
+    /// The same model with the per-bump *failure* probability multiplied
+    /// by `factor` (Fig. 8's dashed 100× sensitivity variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplified failure probability leaves `[0, 1]`.
+    #[must_use]
+    pub fn with_failure_multiplier(&self, factor: f64) -> BondParams {
+        let failure = (1.0 - self.per_bump_success) * factor;
+        assert!(
+            (0.0..=1.0).contains(&failure),
+            "amplified failure probability {failure} outside [0, 1]"
+        );
+        BondParams { per_bump_success: 1.0 - failure, ..*self }
+    }
+
+    /// Per-bump success probability `s_l`.
+    pub fn per_bump_success(&self) -> f64 {
+        self.per_bump_success
+    }
+
+    /// Bump bonds allocated per linked qubit.
+    pub fn bumps_per_link_qubit(&self) -> u32 {
+        self.bumps_per_link_qubit
+    }
+
+    /// Probability that one link qubit bonds fully: `s_l^25`.
+    pub fn link_qubit_success(&self) -> f64 {
+        self.per_bump_success.powi(self.bumps_per_link_qubit as i32)
+    }
+
+    /// Probability that a module with `link_qubits` linked qubits bonds
+    /// fully: `(s_l^25)^L`.
+    pub fn module_survival(&self, link_qubits: usize) -> f64 {
+        self.link_qubit_success().powi(link_qubits as i32)
+    }
+}
+
+impl Default for BondParams {
+    fn default() -> Self {
+        BondParams::paper()
+    }
+}
+
+impl std::fmt::Display for BondParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "s_l = {:.9}%, {} bumps/link qubit",
+            self.per_bump_success * 100.0,
+            self.bumps_per_link_qubit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let b = BondParams::paper();
+        assert_eq!(b.per_bump_success(), 0.99999960642);
+        assert_eq!(b.bumps_per_link_qubit(), 25);
+        // s^25 is still extremely close to 1.
+        assert!(b.link_qubit_success() > 0.99999);
+        assert!(b.link_qubit_success() < 1.0);
+    }
+
+    #[test]
+    fn module_survival_decays_with_links_but_stays_high() {
+        let b = BondParams::paper();
+        // A 500-qubit MCM has on the order of 100-200 linked qubits;
+        // bonding loss should be a sub-percent effect (the paper finds
+        // assembly/linking "only slightly impact yield").
+        let survival = b.module_survival(200);
+        assert!(survival > 0.995, "survival {survival}");
+        assert!(b.module_survival(400) < b.module_survival(100));
+        assert_eq!(b.module_survival(0), 1.0);
+    }
+
+    #[test]
+    fn hundred_x_failure_still_mild() {
+        let b = BondParams::paper().with_failure_multiplier(100.0);
+        let survival = b.module_survival(200);
+        // 100x failure: noticeable but not catastrophic (Fig. 8 dashed
+        // curves remain well above the monolithic cliff).
+        assert!(survival > 0.75 && survival < 0.95, "survival {survival}");
+    }
+
+    #[test]
+    fn failure_multiplier_composes() {
+        let b = BondParams::paper();
+        let b100 = b.with_failure_multiplier(100.0);
+        let expected = 1.0 - (1.0 - b.per_bump_success()) * 100.0;
+        assert!((b100.per_bump_success() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn absurd_multiplier_rejected() {
+        let _ = BondParams::paper().with_failure_multiplier(1e10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let _ = BondParams::new(1.5, 25);
+    }
+
+    #[test]
+    fn display_shows_bumps() {
+        assert!(BondParams::paper().to_string().contains("25 bumps"));
+    }
+}

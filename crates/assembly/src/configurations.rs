@@ -1,0 +1,101 @@
+//! MCM configuration counting (Fig. 6).
+//!
+//! "When the MCM increases in total number of chiplets selected from the
+//! collision-free yield, the amount of possible system configurations
+//! grows at a factorial rate" (Section V-B). With `Y` distinguishable
+//! collision-free chiplets and an `m×m` module, the number of ordered
+//! placements is `P(Y, m²) = Y!/(Y−m²)!` (left axis of Fig. 6, reported
+//! as `log10`), while the number of complete modules that can be
+//! assembled is `⌊Y / m²⌋` (right axis).
+//!
+//! The paper's Fig. 6 operating point: ~69.4 % yield of 20-qubit
+//! chiplets from a batch of 10⁵ ⇒ 69,421 chiplets.
+
+use chipletqc_math::combinatorics::log10_permutations;
+
+/// The Fig. 6 operating point: collision-free 20-qubit chiplets from a
+/// 10⁵ batch at σ_f = 0.014 GHz.
+pub const PAPER_CHIPLET_COUNT: u64 = 69_421;
+
+/// One row of the Fig. 6 data: square module side, configuration count,
+/// and assembled-module bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigurationRow {
+    /// Module side `m` (an `m×m` MCM).
+    pub side: usize,
+    /// `log10` of the number of possible configurations
+    /// `P(Y, m²)`.
+    pub log10_configurations: f64,
+    /// Upper bound of complete modules, `⌊Y / m²⌋`.
+    pub max_assembled: u64,
+}
+
+/// `log10` of the possible configurations for one `m×m` module from
+/// `yielded` chiplets.
+pub fn log10_configurations(yielded: u64, side: usize) -> f64 {
+    log10_permutations(yielded, (side * side) as u64)
+}
+
+/// Upper bound of complete `m×m` modules assembled from `yielded`
+/// chiplets.
+pub fn max_assembled(yielded: u64, side: usize) -> u64 {
+    yielded / (side * side) as u64
+}
+
+/// The Fig. 6 table for square modules with sides `2..=max_side`.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_assembly::configurations::{fig6_rows, PAPER_CHIPLET_COUNT};
+///
+/// let rows = fig6_rows(PAPER_CHIPLET_COUNT, 6);
+/// assert_eq!(rows.len(), 5);
+/// // 2x2 modules: ~17k assemblable, ~10^19 configurations.
+/// assert_eq!(rows[0].max_assembled, 17_355);
+/// assert!(rows[0].log10_configurations > 19.0);
+/// ```
+pub fn fig6_rows(yielded: u64, max_side: usize) -> Vec<ConfigurationRow> {
+    (2..=max_side)
+        .map(|side| ConfigurationRow {
+            side,
+            log10_configurations: log10_configurations(yielded, side),
+            max_assembled: max_assembled(yielded, side),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_grow_factorially() {
+        let rows = fig6_rows(PAPER_CHIPLET_COUNT, 7);
+        // log10 counts strictly increase, and super-linearly in m^2.
+        for w in rows.windows(2) {
+            assert!(w[1].log10_configurations > w[0].log10_configurations);
+        }
+        // 6x6 needs 36 chiplets: ~10^174 configurations.
+        let six = rows.iter().find(|r| r.side == 6).unwrap();
+        assert!(six.log10_configurations > 170.0 && six.log10_configurations < 180.0);
+    }
+
+    #[test]
+    fn assembled_bound_decreases_with_size() {
+        let rows = fig6_rows(PAPER_CHIPLET_COUNT, 7);
+        for w in rows.windows(2) {
+            assert!(w[1].max_assembled < w[0].max_assembled);
+        }
+        assert_eq!(rows[0].max_assembled, PAPER_CHIPLET_COUNT / 4);
+    }
+
+    #[test]
+    fn tiny_yields() {
+        assert_eq!(max_assembled(3, 2), 0);
+        assert_eq!(log10_configurations(3, 2), f64::NEG_INFINITY);
+        assert_eq!(max_assembled(4, 2), 1);
+        // P(4,4) = 24.
+        assert!((log10_configurations(4, 2) - 24f64.log10()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Known-good-die characterization and binning.
+//!
+//! "We assume use of the industry-standard known good-die (KGD) testing
+//! techniques where individual chips are tested before MCM assembly.
+//! Thus, QC chiplets are sorted in a process similar to speed-binning"
+//! (Section V-B). Characterization assigns each collision-free chiplet
+//! its per-edge CX infidelity from the empirical noise model and ranks
+//! the bin by device-average infidelity, best first — the order the
+//! assembler consumes.
+
+use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::rng::Seed;
+use chipletqc_noise::assign::{EdgeNoise, NoiseModel};
+use chipletqc_topology::device::Device;
+
+/// One KGD-characterized chiplet: its fabricated frequencies, measured
+/// edge noise, and summary average infidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizedChiplet {
+    /// The fabricated frequency assignment (collision-free).
+    pub freqs: Frequencies,
+    /// Measured per-edge CX infidelity.
+    pub noise: EdgeNoise,
+    /// Average infidelity across the chiplet's coupled pairs.
+    pub eavg: f64,
+}
+
+/// A bin of characterized chiplets sorted best-first by `eavg`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgdBin {
+    chiplets: Vec<CharacterizedChiplet>,
+}
+
+impl KgdBin {
+    /// Characterizes a collision-free bin against `model` and sorts it
+    /// best-first.
+    ///
+    /// Chiplet `i` of the bin uses the noise sub-stream
+    /// `seed.split(i)`, so characterization is deterministic and
+    /// independent of bin size.
+    pub fn characterize(
+        chiplet_device: &Device,
+        bin: Vec<Frequencies>,
+        model: &NoiseModel,
+        seed: Seed,
+    ) -> KgdBin {
+        let mut chiplets: Vec<CharacterizedChiplet> = bin
+            .into_iter()
+            .enumerate()
+            .map(|(i, freqs)| {
+                let mut rng = seed.split(i as u64).rng();
+                let noise = model.assign(chiplet_device, &freqs, &mut rng);
+                let eavg = noise.eavg();
+                CharacterizedChiplet { freqs, noise, eavg }
+            })
+            .collect();
+        chiplets.sort_by(|a, b| a.eavg.total_cmp(&b.eavg));
+        KgdBin { chiplets }
+    }
+
+    /// Builds a bin from already-characterized chiplets (sorts them).
+    pub fn from_chiplets(mut chiplets: Vec<CharacterizedChiplet>) -> KgdBin {
+        chiplets.sort_by(|a, b| a.eavg.total_cmp(&b.eavg));
+        KgdBin { chiplets }
+    }
+
+    /// The chiplets, best (lowest `eavg`) first.
+    pub fn chiplets(&self) -> &[CharacterizedChiplet] {
+        &self.chiplets
+    }
+
+    /// Number of chiplets in the bin.
+    pub fn len(&self) -> usize {
+        self.chiplets.len()
+    }
+
+    /// Whether the bin is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chiplets.is_empty()
+    }
+
+    /// The average `eavg` across the bin.
+    pub fn mean_eavg(&self) -> f64 {
+        chipletqc_math::stats::mean(
+            &self.chiplets.iter().map(|c| c.eavg).collect::<Vec<f64>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipletqc_collision::criteria::CollisionParams;
+    use chipletqc_topology::family::ChipletSpec;
+    use chipletqc_yield::fabrication::FabricationParams;
+    use chipletqc_yield::monte_carlo::fabricate_collision_free;
+
+    fn sample_bin(n: usize) -> (Device, Vec<Frequencies>) {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let bin = fabricate_collision_free(
+            &device,
+            &FabricationParams::state_of_the_art(),
+            &CollisionParams::paper(),
+            n,
+            Seed(5),
+        );
+        (device, bin)
+    }
+
+    #[test]
+    fn characterization_sorts_best_first() {
+        let (device, bin) = sample_bin(200);
+        let model = NoiseModel::paper(Seed(1));
+        let kgd = KgdBin::characterize(&device, bin, &model, Seed(2));
+        assert!(kgd.len() > 100);
+        let eavgs: Vec<f64> = kgd.chiplets().iter().map(|c| c.eavg).collect();
+        assert!(eavgs.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+        assert!(kgd.mean_eavg() > eavgs[0]);
+    }
+
+    #[test]
+    fn eavg_matches_noise() {
+        let (device, bin) = sample_bin(50);
+        let model = NoiseModel::paper(Seed(1));
+        let kgd = KgdBin::characterize(&device, bin, &model, Seed(2));
+        for c in kgd.chiplets() {
+            assert_eq!(c.eavg, c.noise.eavg());
+            assert_eq!(c.noise.len(), device.edges().len());
+            assert_eq!(c.freqs.len(), device.num_qubits());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (device, bin) = sample_bin(60);
+        let model = NoiseModel::paper(Seed(1));
+        let a = KgdBin::characterize(&device, bin.clone(), &model, Seed(3));
+        let b = KgdBin::characterize(&device, bin, &model, Seed(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_chiplets_sorts() {
+        let (device, bin) = sample_bin(30);
+        let model = NoiseModel::paper(Seed(1));
+        let kgd = KgdBin::characterize(&device, bin, &model, Seed(4));
+        let mut reversed: Vec<CharacterizedChiplet> = kgd.chiplets().to_vec();
+        reversed.reverse();
+        let rebuilt = KgdBin::from_chiplets(reversed);
+        assert_eq!(rebuilt, kgd);
+    }
+
+    #[test]
+    fn empty_bin() {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let kgd = KgdBin::characterize(&device, vec![], &NoiseModel::paper(Seed(1)), Seed(2));
+        assert!(kgd.is_empty());
+        assert_eq!(kgd.len(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The analytical fabrication-output model (Section V-C, Eq. 1).
+//!
+//! Chiplets exploit the ability to process more devices at once since
+//! their die takes less area on a wafer. For a batch of `B` monolithic
+//! die of `q_m` qubits, the same wafer area yields `B · q_m / q_c`
+//! chiplets of `q_c` qubits, of which a fraction `Y_c` is collision-free,
+//! assembled `k·m` at a time:
+//!
+//! ```text
+//! N = Y_c · (B · q_m / q_c) / (k · m)          (Eq. 1)
+//! ```
+//!
+//! The paper's worked example: `q_m = 100`, `Y_m = 0.11`, `B = 1000`,
+//! `q_c = 10`, `Y_c = 0.85`, 2×5 modules ⇒ `N = 850` MCMs vs. 110
+//! monolithic devices — a ~7.7× gain in manufactured QCs.
+
+/// Inputs to the Eq. 1 output comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputModel {
+    /// Monolithic device size `q_m` (qubits).
+    pub monolithic_qubits: usize,
+    /// Monolithic collision-free yield `Y_m`.
+    pub monolithic_yield: f64,
+    /// Chiplet size `q_c` (qubits).
+    pub chiplet_qubits: usize,
+    /// Chiplet collision-free yield `Y_c`.
+    pub chiplet_yield: f64,
+    /// Chips per module `k·m`.
+    pub chips_per_mcm: usize,
+    /// Monolithic batch size `B`.
+    pub batch: usize,
+}
+
+impl OutputModel {
+    /// The paper's Section V-C example.
+    pub fn paper_example() -> OutputModel {
+        OutputModel {
+            monolithic_qubits: 100,
+            monolithic_yield: 0.11,
+            chiplet_qubits: 10,
+            chiplet_yield: 0.85,
+            chips_per_mcm: 10,
+            batch: 1000,
+        }
+    }
+
+    /// Chiplets fabricable on the monolithic batch's wafer area:
+    /// `B · q_m / q_c`.
+    pub fn chiplet_batch(&self) -> f64 {
+        self.batch as f64 * self.monolithic_qubits as f64 / self.chiplet_qubits as f64
+    }
+
+    /// Upper bound of assembled MCMs, `N` of Eq. 1.
+    pub fn mcm_output(&self) -> f64 {
+        self.chiplet_yield * self.chiplet_batch() / self.chips_per_mcm as f64
+    }
+
+    /// Good monolithic devices from the batch: `Y_m · B`.
+    pub fn monolithic_output(&self) -> f64 {
+        self.monolithic_yield * self.batch as f64
+    }
+
+    /// The output gain `N / (Y_m · B)`; `None` when the monolithic
+    /// output is zero (the gain is unbounded — the paper: "MCM yield
+    /// improvement is infinite when monolithic yields are 0 %").
+    pub fn gain(&self) -> Option<f64> {
+        let mono = self.monolithic_output();
+        (mono > 0.0).then(|| self.mcm_output() / mono)
+    }
+
+    /// Validates that the MCM matches the monolithic qubit capacity
+    /// (`q_c · k·m == q_m`), as in the paper's like-for-like example.
+    pub fn is_capacity_matched(&self) -> bool {
+        self.chiplet_qubits * self.chips_per_mcm == self.monolithic_qubits
+    }
+}
+
+impl std::fmt::Display for OutputModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} MCMs vs {} monolithic ({}q from B={})",
+            self.mcm_output().round(),
+            self.monolithic_output().round(),
+            self.monolithic_qubits,
+            self.batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_numbers() {
+        let m = OutputModel::paper_example();
+        assert!(m.is_capacity_matched());
+        assert_eq!(m.chiplet_batch(), 10_000.0);
+        assert_eq!(m.mcm_output(), 850.0);
+        assert_eq!(m.monolithic_output(), 110.0);
+        let gain = m.gain().unwrap();
+        assert!((gain - 7.7).abs() < 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn zero_monolithic_yield_is_unbounded() {
+        let m = OutputModel { monolithic_yield: 0.0, ..OutputModel::paper_example() };
+        assert_eq!(m.gain(), None);
+        assert!(m.mcm_output() > 0.0);
+    }
+
+    #[test]
+    fn capacity_mismatch_detected() {
+        let m = OutputModel { chips_per_mcm: 9, ..OutputModel::paper_example() };
+        assert!(!m.is_capacity_matched());
+    }
+
+    #[test]
+    fn display_rounds() {
+        let s = OutputModel::paper_example().to_string();
+        assert!(s.contains("850"));
+        assert!(s.contains("110"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! layout strategy, CR-direction enforcement, RZ merging, population
+//! comparison mode, and per-qubit anharmonicity sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chipletqc::lab::{ComparisonMode, Lab, LabConfig};
+use chipletqc::prelude::*;
+use chipletqc_transpile::decompose::merge_rz;
+use chipletqc_transpile::layout::LayoutStrategy;
+use chipletqc_transpile::routing::RoutingParams;
+use chipletqc_yield::monte_carlo::simulate_yield;
+
+fn bench_ablations(c: &mut Criterion) {
+    let device = MonolithicSpec::with_qubits(100).unwrap().build();
+    let circuit = Benchmark::Ghz.for_device_qubits(100, Seed(1));
+
+    // Layout ablation: snake vs trivial. The report prints swap counts
+    // via the fig10 binary; here we time the routing cost.
+    let mut layout = c.benchmark_group("ablation/layout");
+    layout.sample_size(10);
+    for (name, strategy) in
+        [("snake", LayoutStrategy::SnakeOrder), ("trivial", LayoutStrategy::Trivial)]
+    {
+        let t = Transpiler {
+            layout: strategy,
+            routing: RoutingParams::sabre(),
+            enforce_direction: false,
+        };
+        layout.bench_function(name, |b| b.iter(|| t.transpile(&circuit, &device)));
+    }
+    layout.finish();
+
+    // Direction enforcement ablation.
+    let mut direction = c.benchmark_group("ablation/cr_direction");
+    direction.sample_size(10);
+    for (name, enforce) in [("free", false), ("enforced", true)] {
+        let t = Transpiler { enforce_direction: enforce, ..Transpiler::paper() };
+        direction.bench_function(name, |b| b.iter(|| t.transpile(&circuit, &device)));
+    }
+    direction.finish();
+
+    // RZ merging ablation.
+    let compiled = Transpiler::paper().transpile(&circuit, &device);
+    c.bench_function("ablation/merge_rz", |b| b.iter(|| merge_rz(&compiled.physical)));
+
+    // Population comparison-mode ablation.
+    let mut modes = c.benchmark_group("ablation/comparison_mode");
+    modes.sample_size(10);
+    let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 2);
+    for (name, mode) in [
+        ("match_mono", ComparisonMode::MatchMonolithicCount),
+        ("all_assembled", ComparisonMode::AllAssembled),
+    ] {
+        modes.bench_function(name, |b| {
+            let lab = Lab::new(LabConfig {
+                comparison: mode,
+                ..LabConfig::quick().with_batch(200)
+            });
+            lab.compare(&spec); // warm
+            b.iter(|| lab.compare(&spec))
+        });
+    }
+    modes.finish();
+
+    // Noise-aware layout extension (DESIGN.md §9): placement cost and
+    // end-to-end transpile against the default snake layout.
+    let mut aware = c.benchmark_group("ablation/noise_aware_layout");
+    aware.sample_size(10);
+    let mcm = McmSpec::new(ChipletSpec::with_qubits(40).unwrap(), 2, 2).build();
+    let noise = chipletqc_noise::assign::EdgeNoise::from_infidelities(
+        mcm.edges()
+            .iter()
+            .map(|e| if e.kind.is_inter_chip() { 0.075 } else { 0.012 })
+            .collect(),
+    );
+    let ghz = Benchmark::Ghz.for_device_qubits(mcm.num_qubits(), Seed(1));
+    aware.bench_function("place_only", |b| {
+        b.iter(|| chipletqc_transpile::layout::noise_aware_layout(&mcm, &noise, ghz.num_qubits()))
+    });
+    aware.bench_function("transpile_noise_aware", |b| {
+        let t = Transpiler::paper();
+        b.iter(|| {
+            let layout =
+                chipletqc_transpile::layout::noise_aware_layout(&mcm, &noise, ghz.num_qubits());
+            t.transpile_with_layout(&ghz, &mcm, layout)
+        })
+    });
+    aware.bench_function("transpile_default", |b| {
+        let t = Transpiler::paper();
+        b.iter(|| t.transpile(&ghz, &mcm))
+    });
+    aware.finish();
+
+    // Anharmonicity-variation extension: sampling cost with and
+    // without per-qubit alpha.
+    let mut alpha = c.benchmark_group("ablation/alpha_variation");
+    alpha.sample_size(10);
+    let chiplet = ChipletSpec::with_qubits(20).unwrap().build();
+    for (name, sigma_alpha) in [("fixed_alpha", 0.0), ("sampled_alpha", 0.005)] {
+        let fab = FabricationParams::state_of_the_art().with_sigma_alpha(sigma_alpha);
+        alpha.bench_function(name, |b| {
+            b.iter(|| simulate_yield(&chiplet, &fab, &CollisionParams::paper(), 100, Seed(1)))
+        });
+    }
+    alpha.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Fig. 10 kernels: SABRE transpilation of the
+//! benchmark suite and population ESP scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chipletqc::prelude::*;
+use chipletqc_noise::assign::EdgeNoise;
+use chipletqc_transpile::esp::{edge_usage, esp_from_usage, esp_log};
+
+fn bench_applications(c: &mut Criterion) {
+    let device = McmSpec::new(ChipletSpec::with_qubits(40).unwrap(), 2, 2).build();
+    let transpiler = Transpiler::paper();
+
+    let mut group = c.benchmark_group("fig10/transpile_160q");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Ghz, Benchmark::Bv, Benchmark::Qaoa, Benchmark::Primacy] {
+        let circuit = benchmark.for_device_qubits(device.num_qubits(), Seed(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.tag()),
+            &circuit,
+            |b, circuit| b.iter(|| transpiler.transpile(circuit, &device)),
+        );
+    }
+    group.finish();
+
+    let mut scoring = c.benchmark_group("fig10/esp_scoring");
+    let circuit = Benchmark::Adder.for_device_qubits(device.num_qubits(), Seed(1));
+    let compiled = transpiler.transpile(&circuit, &device);
+    let noise = EdgeNoise::from_infidelities(vec![0.012; device.edges().len()]);
+    scoring.bench_function("esp_direct_adder_160q", |b| {
+        b.iter(|| esp_log(&compiled.physical, &device, &noise))
+    });
+    let usage = edge_usage(&compiled.physical, &device);
+    scoring.bench_function("esp_from_usage_adder_160q", |b| {
+        b.iter(|| esp_from_usage(&usage, &noise))
+    });
+    scoring.finish();
+}
+
+criterion_group!(benches, bench_applications);
+criterion_main!(benches);

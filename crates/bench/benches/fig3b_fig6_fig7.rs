@@ -1,0 +1,41 @@
+//! Criterion bench for the data-synthesis kernels behind Figs. 3(b),
+//! 6, and 7: fleet calibration, configuration counting, and the
+//! Washington calibration + empirical model build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chipletqc::prelude::*;
+use chipletqc_assembly::configurations::{fig6_rows, PAPER_CHIPLET_COUNT};
+use chipletqc_noise::detuning_model::EmpiricalDetuningModel;
+use chipletqc_noise::fleet::{synthesize_fleet, FleetParams};
+use chipletqc_noise::washington::paper_calibration;
+
+fn bench_synthesis(c: &mut Criterion) {
+    c.bench_function("fig3b/synthesize_fleet_15_cycles", |b| {
+        b.iter(|| synthesize_fleet(&FleetParams::paper(), Seed(1)))
+    });
+
+    c.bench_function("fig6/configuration_rows", |b| {
+        b.iter(|| fig6_rows(PAPER_CHIPLET_COUNT, 7))
+    });
+
+    c.bench_function("fig7/synthesize_washington", |b| {
+        b.iter(|| paper_calibration(Seed(1)))
+    });
+
+    let calibration = paper_calibration(Seed(1));
+    c.bench_function("fig7/build_empirical_model", |b| {
+        b.iter(|| EmpiricalDetuningModel::from_calibration(&calibration).unwrap())
+    });
+
+    let model = EmpiricalDetuningModel::from_calibration(&calibration).unwrap();
+    c.bench_function("fig7/assign_1000_edges", |b| {
+        b.iter(|| {
+            let mut rng = Seed(2).rng();
+            (0..1000).map(|i| model.sample(0.05 + (i % 5) as f64 * 0.08, &mut rng)).sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

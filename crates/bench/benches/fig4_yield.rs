@@ -1,0 +1,41 @@
+//! Criterion bench for the Fig. 4 kernel: Monte Carlo collision-free
+//! yield, with the analytic estimator as a baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chipletqc::prelude::*;
+use chipletqc_yield::analytic::analytic_yield;
+use chipletqc_yield::monte_carlo::simulate_yield;
+
+fn bench_yield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/monte_carlo_yield");
+    group.sample_size(10);
+    let fab = FabricationParams::state_of_the_art();
+    let params = CollisionParams::paper();
+    for qubits in [20usize, 100, 500] {
+        let device = MonolithicSpec::with_qubits(qubits).unwrap().build();
+        group.bench_with_input(BenchmarkId::new("batch100", qubits), &device, |b, device| {
+            b.iter(|| simulate_yield(device, &fab, &params, 100, Seed(1)))
+        });
+    }
+    group.finish();
+
+    let mut single = c.benchmark_group("fig4/single_device");
+    let device = MonolithicSpec::with_qubits(100).unwrap().build();
+    single.bench_function("fabricate_and_check_100q", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut rng = Seed(i).rng();
+            let freqs = fab.sample(&device, &mut rng);
+            chipletqc_collision::checker::is_collision_free(&device, &freqs, &params)
+        })
+    });
+    single.bench_function("analytic_yield_100q", |b| {
+        b.iter(|| analytic_yield(&device, &fab, &params))
+    });
+    single.finish();
+}
+
+criterion_group!(benches, bench_yield);
+criterion_main!(benches);

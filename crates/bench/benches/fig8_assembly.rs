@@ -1,0 +1,50 @@
+//! Criterion bench for the Fig. 8 kernels: fabrication of the
+//! collision-free bin, KGD characterization, and best-first MCM
+//! assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chipletqc::prelude::*;
+use chipletqc_yield::monte_carlo::fabricate_collision_free;
+
+fn bench_assembly(c: &mut Criterion) {
+    let chiplet = ChipletSpec::with_qubits(20).unwrap();
+    let device = chiplet.build();
+    let fab = FabricationParams::state_of_the_art();
+    let params = CollisionParams::paper();
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+
+    group.bench_function("fabricate_bin_20q_batch200", |b| {
+        b.iter(|| fabricate_collision_free(&device, &fab, &params, 200, Seed(1)))
+    });
+
+    let raw = fabricate_collision_free(&device, &fab, &params, 200, Seed(1));
+    let model = NoiseModel::paper(Seed(2));
+    group.bench_function("kgd_characterize_20q", |b| {
+        b.iter(|| KgdBin::characterize(&device, raw.clone(), &model, Seed(3)))
+    });
+
+    let bin = KgdBin::characterize(&device, raw.clone(), &model, Seed(3));
+    let spec = McmSpec::new(chiplet, 3, 3);
+    group.bench_function("assemble_3x3_of_20q", |b| {
+        b.iter(|| {
+            Assembler::new(AssemblyParams::paper()).assemble(
+                &spec,
+                &bin,
+                model.link_model(),
+                Seed(4),
+            )
+        })
+    });
+
+    group.bench_function("bond_survival_closed_form", |b| {
+        let bond = BondParams::paper();
+        b.iter(|| bond.module_survival(200))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

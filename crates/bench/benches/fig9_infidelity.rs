@@ -1,0 +1,41 @@
+//! Criterion bench for the Fig. 9 kernel: the full population
+//! comparison (fabricate both architectures, characterize, assemble,
+//! compare E_avg) and the incremental cost of a link-ratio sweep with
+//! shared caches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chipletqc::lab::{Lab, LabConfig};
+use chipletqc::prelude::*;
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+
+    let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 2);
+    group.bench_function("cold_compare_2x2_of_10q_batch200", |b| {
+        b.iter(|| {
+            let lab = Lab::new(LabConfig::quick().with_batch(200));
+            lab.compare(&spec)
+        })
+    });
+
+    group.bench_function("warm_compare_2x2_of_10q", |b| {
+        let lab = Lab::new(LabConfig::quick().with_batch(200));
+        lab.compare(&spec); // warm the caches
+        b.iter(|| lab.compare(&spec))
+    });
+
+    group.bench_function("link_ratio_sweep_shares_fabrication", |b| {
+        let lab = Lab::new(LabConfig::quick().with_batch(200));
+        lab.compare(&spec); // warm shared caches
+        b.iter(|| {
+            let sibling = lab.with_link_ratio(2.0);
+            sibling.compare(&spec)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

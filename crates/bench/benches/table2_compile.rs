@@ -1,0 +1,33 @@
+//! Criterion bench for the Table II kernel: benchmark generation and
+//! critical-path analysis (transpilation itself is timed in the
+//! fig10 bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chipletqc::prelude::*;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut gen_group = c.benchmark_group("table2/generate_288q");
+    for benchmark in Benchmark::ALL {
+        gen_group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.tag()),
+            &benchmark,
+            |b, benchmark| b.iter(|| benchmark.for_device_qubits(360, Seed(1))),
+        );
+    }
+    gen_group.finish();
+
+    let mut path_group = c.benchmark_group("table2/critical_path");
+    let circuit = Benchmark::Adder.for_device_qubits(360, Seed(1));
+    path_group.bench_function("adder_288_logical", |b| {
+        b.iter(|| circuit.two_qubit_critical_path())
+    });
+    let primacy = Benchmark::Primacy.for_device_qubits(360, Seed(1));
+    path_group.bench_function("primacy_288_logical", |b| {
+        b.iter(|| primacy.counts())
+    });
+    path_group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 10: per-benchmark fidelity-product ratios across
+//! all systems (a) and square systems (b).
+
+use chipletqc::experiments::fig10::{run, Fig10Config};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 10 - benchmark fidelity: MCM vs monolithic", scale);
+    let config = if scale.is_quick() { Fig10Config::quick() } else { Fig10Config::paper() };
+    let data = run(&config);
+    println!("--- (a) all systems ---");
+    print!("{}", data.render());
+    println!("--- (b) square systems ---");
+    print!("{}", data.squares().render());
+}

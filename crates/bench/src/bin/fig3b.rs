@@ -1,0 +1,15 @@
+//! Regenerates Fig. 3(b): fleet CX-infidelity box plots.
+
+use chipletqc::experiments::fig3b::{run, Fig3bConfig};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 3(b) - CX infidelity across three IBM generations", scale);
+    let data = run(&Fig3bConfig::paper());
+    print!("{}", data.render());
+    println!(
+        "\nmedian increases with size: {} (paper: yes)",
+        data.median_increases_with_size()
+    );
+}

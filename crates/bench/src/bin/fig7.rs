@@ -1,0 +1,11 @@
+//! Regenerates Fig. 7: CX infidelity vs. qubit-qubit detuning.
+
+use chipletqc::experiments::fig7::{run, Fig7Config};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 7 - CX infidelity vs detuning (Washington stand-in)", scale);
+    let data = run(&Fig7Config::paper());
+    print!("{}", data.render());
+}

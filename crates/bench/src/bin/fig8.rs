@@ -1,0 +1,17 @@
+//! Regenerates Fig. 8: monolithic vs. MCM yield and the headline
+//! yield-improvement averages.
+
+use chipletqc::experiments::fig8::{run, Fig8Config};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 8 - yield vs qubits, monolithic vs MCM", scale);
+    let config = if scale.is_quick() { Fig8Config::quick() } else { Fig8Config::paper() };
+    let data = run(&config);
+    print!("{}", data.render());
+    if let Some(cliff) = data.monolithic_cliff() {
+        println!("\nlargest size with nonzero monolithic yield: {cliff} qubits");
+        println!("(paper: monolithic devices >~400 qubits are unfeasible)");
+    }
+}

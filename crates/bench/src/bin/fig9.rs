@@ -1,0 +1,15 @@
+//! Regenerates Fig. 9: E_avg ratio heatmaps across link-error ratios.
+
+use chipletqc::experiments::fig9::{run, Fig9Config};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 9 - Eavg(MCM)/Eavg(mono) heatmaps", scale);
+    let config = if scale.is_quick() { Fig9Config::quick() } else { Fig9Config::paper() };
+    let data = run(&config);
+    print!("{}", data.render());
+    if let Some(best) = data.panels.first().and_then(|p| p.best_ratio()) {
+        println!("best ratio at state-of-the-art links: {best:.3} (paper: 0.815)");
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the abstract's headline numbers from the Fig. 8 and
+//! Fig. 9 datasets (and optionally Fig. 10 at paper scale).
+
+use chipletqc::experiments::headline::Headline;
+use chipletqc::experiments::{fig10, fig8, fig9};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Headline claims (abstract)", scale);
+    let (f8, f9, f10) = if scale.is_quick() {
+        (
+            fig8::run(&fig8::Fig8Config::quick()),
+            fig9::run(&fig9::Fig9Config::quick()),
+            None,
+        )
+    } else {
+        (
+            fig8::run(&fig8::Fig8Config::paper()),
+            fig9::run(&fig9::Fig9Config::paper()),
+            Some(fig10::run(&fig10::Fig10Config::paper())),
+        )
+    };
+    let headline = Headline::from_data(&f8, &f9, f10.as_ref());
+    print!("{}", headline.render());
+}

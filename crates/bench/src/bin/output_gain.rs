@@ -1,0 +1,12 @@
+//! Regenerates the Section V-C / Eq. 1 fabrication-output example.
+
+use chipletqc::experiments::output_gain::{run, OutputGainConfig};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Section V-C / Eq. 1 - fabrication output, MCM vs monolithic", scale);
+    let config =
+        if scale.is_quick() { OutputGainConfig::quick() } else { OutputGainConfig::paper() };
+    print!("{}", run(&config).render());
+}

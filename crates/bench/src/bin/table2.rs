@@ -1,0 +1,11 @@
+//! Regenerates Table II: compiled-benchmark gate composition.
+
+use chipletqc::experiments::table2::{run, Table2Config};
+use chipletqc_bench::{banner, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table II - compiled benchmark details (2x2 systems)", scale);
+    let config = if scale.is_quick() { Table2Config::quick() } else { Table2Config::paper() };
+    print!("{}", run(&config).render());
+}

@@ -1,0 +1,66 @@
+//! Benchmark harness for the `chipletqc` reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **regeneration binaries** (`src/bin/fig*.rs`, `table2.rs`,
+//!   `output_gain.rs`, `headline.rs`, `all_figures.rs`) — print the
+//!   rows/series of every table and figure in the paper's evaluation.
+//!   Each accepts `--quick` for a reduced-scale run; the default is the
+//!   paper-scale configuration. `all_figures` writes everything under
+//!   `target/figures/`.
+//! * **Criterion benches** (`benches/*.rs`) — time the computational
+//!   kernels (Monte Carlo yield, KGD + assembly, population comparison,
+//!   transpilation, ESP scoring) plus the ablation variants DESIGN.md
+//!   calls out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Run scale for regeneration binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced batches/systems; seconds per figure.
+    Quick,
+    /// The paper's batches and system sets.
+    Paper,
+}
+
+impl Scale {
+    /// Parses the scale from process arguments (`--quick`) or the
+    /// `CHIPLETQC_SCALE` environment variable (`quick`/`paper`).
+    pub fn from_env() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            return Scale::Quick;
+        }
+        match std::env::var("CHIPLETQC_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+
+    /// Whether this is the reduced scale.
+    pub fn is_quick(self) -> bool {
+        self == Scale::Quick
+    }
+}
+
+/// Prints a standard header for a regeneration binary.
+pub fn banner(figure: &str, scale: Scale) {
+    println!("chipletqc :: {figure} ({})", if scale.is_quick() { "quick scale" } else { "paper scale" });
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_default_is_paper() {
+        // No --quick in the test harness args; env var may be unset.
+        if std::env::var("CHIPLETQC_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Paper);
+        }
+        assert!(Scale::Quick.is_quick());
+        assert!(!Scale::Paper.is_quick());
+    }
+}

@@ -1,0 +1,187 @@
+//! Cuccaro ripple-carry adder.
+//!
+//! The in-place quantum adder of Cuccaro, Draper, Kutin & Moulton
+//! (quant-ph/0410184), "a critical subroutine in quantum algorithms
+//! such as Shor's quantum factoring" (Section VII-A). Computes
+//! `b ← a + b` on two `k`-bit registers using one carry-in ancilla and
+//! one carry-out qubit: `2k + 2` qubits total.
+//!
+//! The MAJ/UMA ladder uses Toffoli (CCX) gates, emitted here in the
+//! standard 6-CX Clifford+T decomposition so the IR stays within the
+//! workspace gate set.
+
+use chipletqc_circuit::circuit::Circuit;
+use chipletqc_circuit::qubit::Qubit;
+
+use std::f64::consts::FRAC_PI_4;
+
+/// Emits a Toffoli (CCX) with controls `c1`, `c2` and target `t` in the
+/// standard 6-CX, 7-T(+2 H) decomposition.
+pub fn ccx(c: &mut Circuit, c1: Qubit, c2: Qubit, t: Qubit) {
+    let tee = FRAC_PI_4;
+    c.h(t);
+    c.cx(c2, t);
+    c.rz(t, -tee);
+    c.cx(c1, t);
+    c.rz(t, tee);
+    c.cx(c2, t);
+    c.rz(t, -tee);
+    c.cx(c1, t);
+    c.rz(c2, tee);
+    c.rz(t, tee);
+    c.h(t);
+    c.cx(c1, c2);
+    c.rz(c1, tee);
+    c.rz(c2, -tee);
+    c.cx(c1, c2);
+}
+
+/// The MAJ (majority) block of the Cuccaro ladder.
+fn maj(circ: &mut Circuit, c: Qubit, b: Qubit, a: Qubit) {
+    circ.cx(a, b);
+    circ.cx(a, c);
+    ccx(circ, c, b, a);
+}
+
+/// The UMA (un-majority-and-add) block.
+fn uma(circ: &mut Circuit, c: Qubit, b: Qubit, a: Qubit) {
+    ccx(circ, c, b, a);
+    circ.cx(a, c);
+    circ.cx(c, b);
+}
+
+/// Qubit layout of [`adder_circuit`]: how registers map onto the
+/// circuit's qubit indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderLayout {
+    /// Register width `k` (bits per operand).
+    pub bits: usize,
+}
+
+impl AdderLayout {
+    /// The carry-in ancilla (qubit 0).
+    pub fn carry_in(&self) -> Qubit {
+        Qubit(0)
+    }
+
+    /// Bit `i` of operand `b` (the in-place sum register).
+    pub fn b(&self, i: usize) -> Qubit {
+        Qubit((1 + 2 * i) as u32)
+    }
+
+    /// Bit `i` of operand `a`.
+    pub fn a(&self, i: usize) -> Qubit {
+        Qubit((2 + 2 * i) as u32)
+    }
+
+    /// The carry-out qubit (most significant sum bit).
+    pub fn carry_out(&self) -> Qubit {
+        Qubit((1 + 2 * self.bits) as u32)
+    }
+
+    /// Total qubits: `2k + 2`.
+    pub fn num_qubits(&self) -> usize {
+        2 * self.bits + 2
+    }
+}
+
+/// The `k`-bit Cuccaro ripple-carry adder (`2k + 2` qubits), computing
+/// `b ← a + b` with the carry in `carry_out`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_benchmarks::adder::{adder_circuit, AdderLayout};
+///
+/// let c = adder_circuit(4);
+/// assert_eq!(c.num_qubits(), AdderLayout { bits: 4 }.num_qubits());
+/// ```
+pub fn adder_circuit(bits: usize) -> Circuit {
+    assert!(bits > 0, "adder needs at least 1 bit");
+    let layout = AdderLayout { bits };
+    let mut c = Circuit::named(layout.num_qubits(), format!("adder-{bits}bit"));
+    // MAJ ladder up.
+    maj(&mut c, layout.carry_in(), layout.b(0), layout.a(0));
+    for i in 1..bits {
+        maj(&mut c, layout.a(i - 1), layout.b(i), layout.a(i));
+    }
+    // Copy the carry out.
+    c.cx(layout.a(bits - 1), layout.carry_out());
+    // UMA ladder down.
+    for i in (1..bits).rev() {
+        uma(&mut c, layout.a(i - 1), layout.b(i), layout.a(i));
+    }
+    uma(&mut c, layout.carry_in(), layout.b(0), layout.a(0));
+    for i in 0..bits {
+        c.measure(layout.b(i));
+    }
+    c.measure(layout.carry_out());
+    c
+}
+
+/// The largest adder circuit using at most `max_qubits` qubits
+/// (`k = (max_qubits − 2) / 2`), or `None` if even a 1-bit adder does
+/// not fit.
+pub fn largest_adder_within(max_qubits: usize) -> Option<Circuit> {
+    if max_qubits < 4 {
+        return None;
+    }
+    Some(adder_circuit((max_qubits - 2) / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_budget() {
+        for bits in [1, 4, 15] {
+            let c = adder_circuit(bits);
+            assert_eq!(c.num_qubits(), 2 * bits + 2);
+        }
+    }
+
+    #[test]
+    fn gate_counts_scale_linearly() {
+        // Each MAJ/UMA holds one CCX (6 CX) + 2 CX; 2k blocks + 1 CX.
+        let c = adder_circuit(8);
+        assert_eq!(c.count_2q(), 2 * 8 * 8 + 1);
+        let c2 = adder_circuit(16);
+        assert_eq!(c2.count_2q(), 2 * 16 * 8 + 1);
+    }
+
+    #[test]
+    fn layout_is_interleaved() {
+        let l = AdderLayout { bits: 3 };
+        assert_eq!(l.carry_in(), Qubit(0));
+        assert_eq!(l.b(0), Qubit(1));
+        assert_eq!(l.a(0), Qubit(2));
+        assert_eq!(l.b(2), Qubit(5));
+        assert_eq!(l.carry_out(), Qubit(7));
+    }
+
+    #[test]
+    fn largest_within_budget() {
+        assert_eq!(largest_adder_within(32).unwrap().num_qubits(), 32);
+        assert_eq!(largest_adder_within(33).unwrap().num_qubits(), 32);
+        assert!(largest_adder_within(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 bit")]
+    fn rejects_zero_bits() {
+        adder_circuit(0);
+    }
+
+    #[test]
+    fn ccx_emits_six_cx() {
+        let mut c = Circuit::new(3);
+        ccx(&mut c, Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(c.count_2q(), 6);
+        assert_eq!(c.count_1q(), 9); // 2 H + 7 RZ
+    }
+}

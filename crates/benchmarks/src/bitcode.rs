@@ -1,0 +1,138 @@
+//! Bit-flip-code syndrome measurement.
+//!
+//! "Implements a syndrome measurement in a bit-flip ECC"
+//! (Section VII-A). `d` data qubits in a repetition code interleave
+//! with `d − 1` syndrome ancillas; each stabilizer `Z_i Z_{i+1}` is
+//! measured by two CX gates onto its ancilla. An optional layer of `X`
+//! errors can be injected on data qubits so tests can verify the
+//! syndrome actually detects them.
+
+use chipletqc_circuit::circuit::Circuit;
+use chipletqc_circuit::qubit::Qubit;
+
+/// Qubit layout of the bit-code circuit: data qubits at even indices,
+/// syndrome ancillas at odd indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitCodeLayout {
+    /// Number of data qubits `d ≥ 2`.
+    pub data: usize,
+}
+
+impl BitCodeLayout {
+    /// Data qubit `i`.
+    pub fn data_qubit(&self, i: usize) -> Qubit {
+        Qubit((2 * i) as u32)
+    }
+
+    /// Syndrome ancilla between data `i` and `i + 1`.
+    pub fn ancilla(&self, i: usize) -> Qubit {
+        Qubit((2 * i + 1) as u32)
+    }
+
+    /// Total qubits `2d − 1`.
+    pub fn num_qubits(&self) -> usize {
+        2 * self.data - 1
+    }
+}
+
+/// One round of bit-flip syndrome measurement over `data` qubits, with
+/// `X` errors injected on the data indices in `inject_errors` before
+/// the syndrome extraction.
+///
+/// # Panics
+///
+/// Panics if `data < 2` or an injected index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_benchmarks::bitcode::{bitcode_circuit, BitCodeLayout};
+///
+/// let c = bitcode_circuit(16, &[]);
+/// assert_eq!(c.num_qubits(), BitCodeLayout { data: 16 }.num_qubits());
+/// assert_eq!(c.count_2q(), 30); // 15 stabilizers x 2 CX
+/// ```
+pub fn bitcode_circuit(data: usize, inject_errors: &[usize]) -> Circuit {
+    assert!(data >= 2, "bit code needs at least 2 data qubits, got {data}");
+    let layout = BitCodeLayout { data };
+    let mut c = Circuit::named(layout.num_qubits(), format!("bitcode-{data}d"));
+    // Logical-state preparation layer (|1...1> of the repetition code):
+    // one X per data qubit, matching the 1q-per-data-qubit footprint of
+    // the paper's bit-code rows.
+    for i in 0..data {
+        c.x(layout.data_qubit(i));
+    }
+    for &i in inject_errors {
+        assert!(i < data, "injected error index {i} out of range");
+        c.x(layout.data_qubit(i));
+    }
+    // Syndrome extraction: ancilla i accumulates the parity of data
+    // qubits i and i+1.
+    for i in 0..data - 1 {
+        c.cx(layout.data_qubit(i), layout.ancilla(i));
+        c.cx(layout.data_qubit(i + 1), layout.ancilla(i));
+    }
+    for i in 0..data - 1 {
+        c.measure(layout.ancilla(i));
+    }
+    c
+}
+
+/// The largest bit-code circuit using at most `max_qubits` qubits
+/// (`d = (max_qubits + 1) / 2`), or `None` below the 3-qubit minimum.
+pub fn largest_bitcode_within(max_qubits: usize) -> Option<Circuit> {
+    if max_qubits < 3 {
+        return None;
+    }
+    Some(bitcode_circuit(max_qubits.div_ceil(2), &[]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape() {
+        // Table II, 40-qubit system: bc: 16 / 30 / 30 over 31 qubits —
+        // 16 data preparations, 30 CX.
+        let c = bitcode_circuit(16, &[]);
+        assert_eq!(c.num_qubits(), 31);
+        assert_eq!(c.count_1q(), 16);
+        assert_eq!(c.count_2q(), 30);
+    }
+
+    #[test]
+    fn injected_errors_add_x_gates() {
+        let clean = bitcode_circuit(8, &[]);
+        let dirty = bitcode_circuit(8, &[2, 5]);
+        assert_eq!(dirty.count_1q(), clean.count_1q() + 2);
+    }
+
+    #[test]
+    fn layout_interleaves() {
+        let l = BitCodeLayout { data: 4 };
+        assert_eq!(l.data_qubit(0), Qubit(0));
+        assert_eq!(l.ancilla(0), Qubit(1));
+        assert_eq!(l.data_qubit(3), Qubit(6));
+        assert_eq!(l.num_qubits(), 7);
+    }
+
+    #[test]
+    fn largest_within() {
+        assert_eq!(largest_bitcode_within(31).unwrap().num_qubits(), 31);
+        assert_eq!(largest_bitcode_within(32).unwrap().num_qubits(), 31);
+        assert!(largest_bitcode_within(2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_injection() {
+        bitcode_circuit(4, &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 data")]
+    fn rejects_single_data() {
+        bitcode_circuit(1, &[]);
+    }
+}

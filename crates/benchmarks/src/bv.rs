@@ -1,0 +1,113 @@
+//! Bernstein–Vazirani (BV).
+//!
+//! Recovers an `n−1`-bit hidden string `s` with one oracle query: the
+//! oracle computes `s·x` into the phase via CX gates onto an ancilla
+//! prepared in `|−⟩`. Table II's BV rows show exactly `2n` Hadamard
+//! layers' worth of single-qubit gates, so this generator prepares the
+//! ancilla's `|−⟩` with `H · RZ(π)` (a virtual Z) rather than an extra
+//! `X` pulse.
+
+use chipletqc_circuit::circuit::Circuit;
+use chipletqc_circuit::qubit::Qubit;
+
+/// The BV circuit on `n` qubits (`n − 1` data + 1 ancilla) for
+/// `secret`, whose bit `i` controls whether data qubit `i` couples into
+/// the oracle.
+///
+/// Bits beyond `n − 1` are ignored; missing bits read as 0.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (BV needs at least one data qubit and an ancilla).
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_benchmarks::bv::{bv_circuit, all_ones};
+///
+/// let c = bv_circuit(5, &all_ones(4));
+/// assert_eq!(c.count_2q(), 4);
+/// ```
+pub fn bv_circuit(n: usize, secret: &[bool]) -> Circuit {
+    assert!(n >= 2, "BV needs at least 2 qubits, got {n}");
+    let mut c = Circuit::named(n, format!("bv-{n}"));
+    let ancilla = Qubit(n as u32 - 1);
+    // Superposition over data qubits; ancilla to |−⟩.
+    for q in 0..n as u32 {
+        c.h(Qubit(q));
+    }
+    c.rz(ancilla, std::f64::consts::PI);
+    // Oracle: phase kickback per secret bit.
+    for (i, &bit) in secret.iter().take(n - 1).enumerate() {
+        if bit {
+            c.cx(Qubit(i as u32), ancilla);
+        }
+    }
+    // Uncompute the data superposition: data qubits now read `s`.
+    for q in 0..n as u32 {
+        c.h(Qubit(q));
+    }
+    for q in 0..n as u32 - 1 {
+        c.measure(Qubit(q));
+    }
+    c
+}
+
+/// The all-ones secret of `bits` bits — the paper-style worst case that
+/// maximizes oracle CX count.
+pub fn all_ones(bits: usize) -> Vec<bool> {
+    vec![true; bits]
+}
+
+/// A pseudo-random secret derived from a seed (for property tests).
+pub fn seeded_secret(bits: usize, seed: u64) -> Vec<bool> {
+    use rand::Rng;
+    let mut rng = chipletqc_math::rng::Seed(seed).rng();
+    (0..bits).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_match_structure() {
+        let n = 32;
+        let c = bv_circuit(n, &all_ones(n - 1));
+        // 2n Hadamards + 1 virtual Z.
+        assert_eq!(c.count_1q(), 2 * n + 1);
+        assert_eq!(c.count_2q(), n - 1);
+        assert_eq!(c.count_measurements(), n - 1);
+    }
+
+    #[test]
+    fn sparse_secret_fewer_cx() {
+        let mut secret = vec![false; 9];
+        secret[0] = true;
+        secret[4] = true;
+        let c = bv_circuit(10, &secret);
+        assert_eq!(c.count_2q(), 2);
+    }
+
+    #[test]
+    fn oracle_chain_serializes_on_the_ancilla() {
+        let c = bv_circuit(8, &all_ones(7));
+        // All CX share the ancilla, so the 2q critical path equals the
+        // CX count — the structural reason BV routes badly on sparse
+        // topologies.
+        assert_eq!(c.two_qubit_critical_path(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny() {
+        bv_circuit(1, &[]);
+    }
+
+    #[test]
+    fn seeded_secret_deterministic() {
+        assert_eq!(seeded_secret(16, 3), seeded_secret(16, 3));
+        assert_ne!(seeded_secret(16, 3), seeded_secret(16, 4));
+        assert_eq!(seeded_secret(16, 3).len(), 16);
+    }
+}

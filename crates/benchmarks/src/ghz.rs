@@ -1,0 +1,64 @@
+//! Greenberger–Horne–Zeilinger state preparation.
+//!
+//! `H` on qubit 0 followed by a CX chain entangles all `n` qubits into
+//! `(|0…0⟩ + |1…1⟩)/√2` — the canonical large-scale entanglement
+//! benchmark ("required by many complex quantum algorithms and
+//! communication protocols", Section VII-A).
+
+use chipletqc_circuit::circuit::Circuit;
+use chipletqc_circuit::qubit::Qubit;
+
+/// The `n`-qubit GHZ preparation circuit (linear CX chain).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_benchmarks::ghz::ghz_circuit;
+///
+/// let c = ghz_circuit(32);
+/// assert_eq!(c.count_1q(), 1);
+/// assert_eq!(c.count_2q(), 31);
+/// ```
+pub fn ghz_circuit(n: usize) -> Circuit {
+    assert!(n > 0, "GHZ needs at least 1 qubit");
+    let mut c = Circuit::named(n, format!("ghz-{n}"));
+    c.h(Qubit(0));
+    for i in 0..n.saturating_sub(1) {
+        c.cx(Qubit(i as u32), Qubit(i as u32 + 1));
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_one_h_chain_of_cx() {
+        // Table II, 40-qubit system: g: 3 / 31 / 31 — one H (3 basis 1q
+        // gates after decomposition) and a 31-CX chain with critical
+        // path 31.
+        let c = ghz_circuit(32);
+        assert_eq!(c.count_1q(), 1); // becomes 3 after basis decomposition
+        assert_eq!(c.count_2q(), 31);
+        assert_eq!(c.two_qubit_critical_path(), 31);
+    }
+
+    #[test]
+    fn single_qubit_ghz_is_just_h() {
+        let c = ghz_circuit(1);
+        assert_eq!(c.count_2q(), 0);
+        assert_eq!(c.count_1q(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero() {
+        ghz_circuit(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! The seven MICRO'22 evaluation workloads (Section VII-A).
+//!
+//! "The circuits were chosen to adequately cover the application space
+//! of realistic QC workloads. Circuits were designed for 80 % system
+//! qubit utilization to allocate ancilla for compiler mapping and
+//! optimization."
+//!
+//! | module | benchmark | role in the paper |
+//! |---|---|---|
+//! | [`bv`] | Bernstein–Vazirani | hidden-string oracle, long CX fan-in |
+//! | [`qaoa`] | QAOA (p = 1, path graph) | hybrid optimization kernel |
+//! | [`ghz`] | GHZ preparation | large-scale entanglement |
+//! | [`adder`] | Cuccaro ripple-carry adder | arithmetic subroutine of Shor-class algorithms |
+//! | [`primacy`] | quantum-primacy random circuits | supremacy-style random sampling |
+//! | [`bitcode`] | bit-flip-code syndrome measurement | error-correction kernel |
+//! | [`hamiltonian`] | 1-D TFIM Trotter simulation | physical-simulation kernel |
+//!
+//! [`suite`] wraps all seven behind one enum with the 80 %-utilization
+//! sizing rule used throughout the Fig. 10 / Table II reproductions.
+//!
+//! # Example
+//!
+//! ```
+//! use chipletqc_benchmarks::suite::Benchmark;
+//! use chipletqc_math::rng::Seed;
+//!
+//! // A benchmark sized for 80% of a 40-qubit device:
+//! let circuit = Benchmark::Ghz.for_device_qubits(40, Seed(1));
+//! assert_eq!(circuit.num_qubits(), 32);
+//! assert_eq!(circuit.count_2q(), 31); // CX chain
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod bitcode;
+pub mod bv;
+pub mod ghz;
+pub mod hamiltonian;
+pub mod primacy;
+pub mod qaoa;
+pub mod suite;
+
+pub use suite::Benchmark;

@@ -1,0 +1,151 @@
+//! Quantum-primacy random circuits.
+//!
+//! "Generates random quantum circuits similar to those proposed for and
+//! used to demonstrate quantum primacy" (Section VII-A, citing the
+//! Google supremacy experiments). Each cycle applies a random
+//! single-qubit gate from {√X, √Y, √W} to every qubit followed by a
+//! brick-work layer of entangling gates on alternating neighbor pairs,
+//! ending with a final single-qubit layer and measurement.
+
+use rand::Rng;
+
+use chipletqc_circuit::circuit::Circuit;
+use chipletqc_circuit::qubit::Qubit;
+use chipletqc_math::rng::Seed;
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+/// Parameters for random-circuit generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimacyParams {
+    /// Entangling cycles.
+    pub cycles: usize,
+}
+
+impl PrimacyParams {
+    /// The cycle depth used throughout the evaluation (deep enough for
+    /// brick-work layers to entangle across the register, matching the
+    /// supremacy-experiment regime of ~20 cycles).
+    pub fn paper() -> PrimacyParams {
+        PrimacyParams { cycles: 20 }
+    }
+}
+
+impl Default for PrimacyParams {
+    fn default() -> Self {
+        PrimacyParams::paper()
+    }
+}
+
+/// Applies one random element of {√X, √Y, √W} (W = (X+Y)/√2, realized
+/// as RZ(−π/4)·√X·RZ(π/4)).
+fn random_sqrt_gate<R: Rng + ?Sized>(c: &mut Circuit, q: Qubit, rng: &mut R) {
+    match rng.gen_range(0..3u8) {
+        0 => {
+            c.rx(q, FRAC_PI_2);
+        }
+        1 => {
+            c.ry(q, FRAC_PI_2);
+        }
+        _ => {
+            c.rz(q, -FRAC_PI_4);
+            c.rx(q, FRAC_PI_2);
+            c.rz(q, FRAC_PI_4);
+        }
+    }
+}
+
+/// The `n`-qubit random primacy circuit.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `params.cycles == 0`.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_benchmarks::primacy::{primacy_circuit, PrimacyParams};
+/// use chipletqc_math::rng::Seed;
+///
+/// let c = primacy_circuit(16, &PrimacyParams::paper(), Seed(1));
+/// assert!(c.count_2q() > 100);
+/// ```
+pub fn primacy_circuit(n: usize, params: &PrimacyParams, seed: Seed) -> Circuit {
+    assert!(n >= 2, "primacy circuits need at least 2 qubits, got {n}");
+    assert!(params.cycles > 0, "primacy circuits need at least one cycle");
+    let mut rng = seed.rng();
+    let mut c = Circuit::named(n, format!("primacy-{n}-c{}", params.cycles));
+    for cycle in 0..params.cycles {
+        for q in 0..n as u32 {
+            random_sqrt_gate(&mut c, Qubit(q), &mut rng);
+        }
+        // Brick-work entangling layer: offset alternates per cycle.
+        let offset = cycle % 2;
+        let mut i = offset;
+        while i + 1 < n {
+            c.cx(Qubit(i as u32), Qubit(i as u32 + 1));
+            i += 2;
+        }
+    }
+    for q in 0..n as u32 {
+        random_sqrt_gate(&mut c, Qubit(q), &mut rng);
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = primacy_circuit(12, &PrimacyParams::paper(), Seed(5));
+        let b = primacy_circuit(12, &PrimacyParams::paper(), Seed(5));
+        assert_eq!(a, b);
+        let c = primacy_circuit(12, &PrimacyParams::paper(), Seed(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn two_qubit_count_matches_brickwork() {
+        let n = 10;
+        let cycles = 8;
+        let c = primacy_circuit(n, &PrimacyParams { cycles }, Seed(1));
+        // Even cycles: floor(n/2) pairs; odd cycles: floor((n-1)/2).
+        let expected: usize = (0..cycles)
+            .map(|cy| if cy % 2 == 0 { n / 2 } else { (n - 1) / 2 })
+            .sum();
+        assert_eq!(c.count_2q(), expected);
+    }
+
+    #[test]
+    fn critical_path_is_shallow_relative_to_count() {
+        // Brick-work parallelism: the 2q critical path is ~cycles, far
+        // below the total 2q count (the paper's primacy rows show the
+        // same signature: p: 315 gates / 74 critical).
+        let c = primacy_circuit(20, &PrimacyParams::paper(), Seed(2));
+        assert!(c.two_qubit_critical_path() < c.count_2q() / 3);
+        assert!(c.two_qubit_critical_path() >= PrimacyParams::paper().cycles);
+    }
+
+    #[test]
+    fn all_qubits_touched() {
+        let c = primacy_circuit(9, &PrimacyParams::paper(), Seed(3));
+        let mut touched = [false; 9];
+        for g in c.gates() {
+            for q in g.qubits().iter() {
+                touched[q.index()] = true;
+            }
+        }
+        assert!(touched.iter().all(|t| *t));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn rejects_zero_cycles() {
+        primacy_circuit(4, &PrimacyParams { cycles: 0 }, Seed(1));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the benchmark generators.
+
+use proptest::prelude::*;
+
+use chipletqc_benchmarks::suite::Benchmark;
+use chipletqc_circuit::gate::GateQubits;
+use chipletqc_math::rng::Seed;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every benchmark generates a valid circuit at any size in the
+    /// evaluation range, staying within its qubit budget and touching
+    /// a contiguous prefix of qubits.
+    #[test]
+    fn generators_respect_their_budget(n in 6usize..120, pick in 0usize..7, seed in 0u64..50) {
+        let benchmark = Benchmark::ALL[pick];
+        let circuit = benchmark.generate(n, Seed(seed));
+        prop_assert!(circuit.num_qubits() <= n, "{benchmark} overflows");
+        prop_assert!(circuit.num_qubits() + 2 >= n.min(circuit.num_qubits() + 2));
+        prop_assert!(circuit.count_2q() > 0);
+        // All gates address in-range qubits (Circuit validates, but we
+        // double-check the generator didn't under-declare width).
+        let mut touched = vec![false; circuit.num_qubits()];
+        for g in circuit.gates() {
+            match g.qubits() {
+                GateQubits::One(q) => touched[q.index()] = true,
+                GateQubits::Two(a, b) => {
+                    touched[a.index()] = true;
+                    touched[b.index()] = true;
+                }
+            }
+        }
+        let unused = touched.iter().filter(|t| !**t).count();
+        prop_assert!(unused <= 1, "{benchmark}: {unused} unused qubits");
+    }
+
+    /// The 80%-utilization rule never exceeds the device and scales
+    /// monotonically.
+    #[test]
+    fn utilization_rule_is_monotone(q in 10usize..600, pick in 0usize..7) {
+        let benchmark = Benchmark::ALL[pick];
+        let small = benchmark.for_device_qubits(q, Seed(1));
+        let large = benchmark.for_device_qubits(q + 40, Seed(1));
+        prop_assert!(small.num_qubits() <= q.max(4));
+        prop_assert!(large.num_qubits() >= small.num_qubits());
+        prop_assert!(large.count_2q() >= small.count_2q());
+    }
+
+    /// Structured counts: GHZ and BV have exactly linear two-qubit
+    /// counts; TFIM and QAOA (p=1) have n-1 IR two-qubit gates.
+    #[test]
+    fn linear_structure_counts(n in 4usize..200) {
+        let ghz = Benchmark::Ghz.generate(n, Seed(1));
+        prop_assert_eq!(ghz.count_2q(), n - 1);
+        let bv = Benchmark::Bv.generate(n, Seed(1));
+        prop_assert_eq!(bv.count_2q(), n - 1);
+        let tfim = Benchmark::Hamiltonian.generate(n, Seed(1));
+        prop_assert_eq!(tfim.count_2q(), n - 1);
+        let qaoa = Benchmark::Qaoa.generate(n, Seed(1));
+        prop_assert_eq!(qaoa.count_2q(), n - 1);
+    }
+
+    /// Primacy circuits are seed-deterministic and seed-sensitive.
+    #[test]
+    fn primacy_seeding(n in 4usize..40, s in 0u64..100) {
+        let a = Benchmark::Primacy.generate(n, Seed(s));
+        let b = Benchmark::Primacy.generate(n, Seed(s));
+        prop_assert_eq!(&a, &b);
+        let c = Benchmark::Primacy.generate(n, Seed(s + 1));
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Adder qubit budgets: 2k+2 qubits for k >= 1, never exceeding
+    /// the request.
+    #[test]
+    fn adder_budget(n in 4usize..300) {
+        let adder = Benchmark::Adder.generate(n, Seed(1));
+        prop_assert!(adder.num_qubits() <= n);
+        prop_assert!(adder.num_qubits().is_multiple_of(2));
+        prop_assert!(adder.num_qubits() + 2 > n.saturating_sub(1));
+    }
+}

@@ -1,0 +1,294 @@
+//! Circuit construction and gate counting.
+
+use crate::depth;
+use crate::gate::Gate;
+use crate::qubit::Qubit;
+
+/// Gate tallies in the Table II style: single-qubit gates, two-qubit
+/// gates, and the two-qubit critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    /// Single-qubit gates (measurements excluded).
+    pub one_qubit: usize,
+    /// Two-qubit gates.
+    pub two_qubit: usize,
+    /// Longest two-qubit-gate chain through the dependency DAG.
+    pub two_qubit_critical: usize,
+}
+
+impl std::fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} / {} / {}", self.one_qubit, self.two_qubit, self.two_qubit_critical)
+    }
+}
+
+/// An ordered list of gates over `num_qubits` logical qubits.
+///
+/// Builder methods validate qubit indices eagerly (C-VALIDATE), so a
+/// malformed benchmark fails at construction, not deep inside a
+/// transpile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+    name: String,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Circuit {
+        Circuit { num_qubits, gates: Vec::new(), name: String::new() }
+    }
+
+    /// An empty named circuit (names flow into QASM headers and
+    /// reports).
+    pub fn named(num_qubits: usize, name: impl Into<String>) -> Circuit {
+        Circuit { num_qubits, gates: Vec::new(), name: name.into() }
+    }
+
+    /// The circuit name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate list in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends an arbitrary gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches a qubit outside the circuit, or if a
+    /// two-qubit gate repeats a qubit.
+    pub fn push(&mut self, gate: Gate) {
+        let qs = gate.qubits();
+        assert!(
+            qs.max_index() < self.num_qubits,
+            "{} touches qubit outside circuit of {} qubits",
+            gate.name(),
+            self.num_qubits
+        );
+        if let crate::gate::GateQubits::Two(a, b) = qs {
+            assert_ne!(a, b, "{} with repeated qubit {a}", gate.name());
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends RZ(θ).
+    pub fn rz(&mut self, q: Qubit, theta: f64) -> &mut Self {
+        self.push(Gate::Rz { q, theta });
+        self
+    }
+
+    /// Appends √X.
+    pub fn sx(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Sx { q });
+        self
+    }
+
+    /// Appends X.
+    pub fn x(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::X { q });
+        self
+    }
+
+    /// Appends H.
+    pub fn h(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::H { q });
+        self
+    }
+
+    /// Appends RX(θ).
+    pub fn rx(&mut self, q: Qubit, theta: f64) -> &mut Self {
+        self.push(Gate::Rx { q, theta });
+        self
+    }
+
+    /// Appends RY(θ).
+    pub fn ry(&mut self, q: Qubit, theta: f64) -> &mut Self {
+        self.push(Gate::Ry { q, theta });
+        self
+    }
+
+    /// Appends CX.
+    pub fn cx(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.push(Gate::Cx { control, target });
+        self
+    }
+
+    /// Appends SWAP.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Gate::Swap { a, b });
+        self
+    }
+
+    /// Appends RZZ(θ).
+    pub fn rzz(&mut self, a: Qubit, b: Qubit, theta: f64) -> &mut Self {
+        self.push(Gate::Rzz { a, b, theta });
+        self
+    }
+
+    /// Appends a measurement.
+    pub fn measure(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Measure { q });
+        self
+    }
+
+    /// Measures every qubit.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits as u32 {
+            self.push(Gate::Measure { q: Qubit(q) });
+        }
+        self
+    }
+
+    /// Appends all gates of `other` (same qubit space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than this circuit.
+    pub fn append(&mut self, other: &Circuit) {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appending a {}-qubit circuit onto {} qubits",
+            other.num_qubits,
+            self.num_qubits
+        );
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// Total gates (including measurements).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Single-qubit gate count (measurements excluded).
+    pub fn count_1q(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_one_qubit_gate()).count()
+    }
+
+    /// Two-qubit gate count.
+    pub fn count_2q(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Measurement count.
+    pub fn count_measurements(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Measure { .. })).count()
+    }
+
+    /// Full circuit depth (every gate weight 1).
+    pub fn depth(&self) -> usize {
+        depth::depth(self)
+    }
+
+    /// The two-qubit critical path (Table II's third column).
+    pub fn two_qubit_critical_path(&self) -> usize {
+        depth::two_qubit_critical_path(self)
+    }
+
+    /// The Table II tally.
+    pub fn counts(&self) -> GateCounts {
+        GateCounts {
+            one_qubit: self.count_1q(),
+            two_qubit: self.count_2q(),
+            two_qubit_critical: self.two_qubit_critical_path(),
+        }
+    }
+}
+
+impl std::fmt::Display for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} qubits, {} gates (1q/2q/2q-critical = {})",
+            if self.name.is_empty() { "circuit" } else { &self.name },
+            self.num_qubits,
+            self.gates.len(),
+            self.counts()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).cx(Qubit(0), Qubit(1)).measure_all();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.count_1q(), 1);
+        assert_eq!(c.count_2q(), 1);
+        assert_eq!(c.count_measurements(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside circuit")]
+    fn rejects_out_of_range() {
+        Circuit::new(2).h(Qubit(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated qubit")]
+    fn rejects_degenerate_two_qubit() {
+        Circuit::new(2).cx(Qubit(1), Qubit(1));
+    }
+
+    #[test]
+    fn counts_struct() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).cx(Qubit(0), Qubit(1)).cx(Qubit(1), Qubit(2)).rz(Qubit(2), 0.5);
+        let counts = c.counts();
+        assert_eq!(counts.one_qubit, 2);
+        assert_eq!(counts.two_qubit, 2);
+        assert_eq!(counts.two_qubit_critical, 2);
+        assert_eq!(counts.to_string(), "2 / 2 / 2");
+    }
+
+    #[test]
+    fn append_respects_sizes() {
+        let mut big = Circuit::new(4);
+        let mut small = Circuit::new(2);
+        small.cx(Qubit(0), Qubit(1));
+        big.append(&small);
+        assert_eq!(big.count_2q(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "appending")]
+    fn append_rejects_larger() {
+        let mut small = Circuit::new(1);
+        let big = Circuit::new(2);
+        small.append(&big);
+    }
+
+    #[test]
+    fn named_display() {
+        let mut c = Circuit::named(1, "demo");
+        c.x(Qubit(0));
+        assert!(c.to_string().starts_with("demo:"));
+        assert_eq!(c.name(), "demo");
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(5);
+        assert!(c.is_empty());
+        assert_eq!(c.depth(), 0);
+        assert_eq!(c.two_qubit_critical_path(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! ASAP depth and weighted critical paths.
+//!
+//! Gates depend on each other exactly when they share a qubit; the
+//! dependency DAG's longest path under a per-gate weight gives circuit
+//! depth (all weights 1) and the **two-qubit critical path** (weight 1
+//! for two-qubit gates, 0 otherwise) — the quantity Table II reports,
+//! since two-qubit gates dominate both error and duration on transmon
+//! hardware.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Longest path with per-gate weights given by `weight`.
+///
+/// Linear in circuit size: each gate's finish level is
+/// `max(frontier of its qubits) + weight`, and the frontier advances to
+/// that level on all its qubits.
+pub fn weighted_depth(circuit: &Circuit, mut weight: impl FnMut(&Gate) -> usize) -> usize {
+    let mut frontier = vec![0usize; circuit.num_qubits()];
+    let mut best = 0;
+    for gate in circuit.gates() {
+        let w = weight(gate);
+        let level = gate
+            .qubits()
+            .iter()
+            .map(|q| frontier[q.index()])
+            .max()
+            .unwrap_or(0)
+            + w;
+        for q in gate.qubits().iter() {
+            frontier[q.index()] = level;
+        }
+        best = best.max(level);
+    }
+    best
+}
+
+/// Full circuit depth (every gate, including measurement, weight 1).
+pub fn depth(circuit: &Circuit) -> usize {
+    weighted_depth(circuit, |_| 1)
+}
+
+/// The two-qubit critical path: the longest chain of two-qubit gates.
+pub fn two_qubit_critical_path(circuit: &Circuit) -> usize {
+    weighted_depth(circuit, |g| usize::from(g.is_two_qubit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    #[test]
+    fn parallel_gates_share_a_level() {
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(3)); // disjoint: same level
+        assert_eq!(depth(&c), 1);
+        assert_eq!(two_qubit_critical_path(&c), 1);
+    }
+
+    #[test]
+    fn chains_accumulate() {
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(0), Qubit(1));
+        assert_eq!(two_qubit_critical_path(&c), 3);
+    }
+
+    #[test]
+    fn one_qubit_gates_do_not_count_toward_2q_path() {
+        let mut c = Circuit::new(2);
+        for _ in 0..10 {
+            c.h(Qubit(0));
+        }
+        c.cx(Qubit(0), Qubit(1));
+        assert_eq!(depth(&c), 11);
+        assert_eq!(two_qubit_critical_path(&c), 1);
+    }
+
+    #[test]
+    fn one_qubit_gates_still_order_two_qubit_gates() {
+        // CX - H - CX on the same qubit: the H forces sequence but adds
+        // no 2q weight.
+        let mut c = Circuit::new(2);
+        c.cx(Qubit(0), Qubit(1));
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        assert_eq!(two_qubit_critical_path(&c), 2);
+        assert_eq!(depth(&c), 3);
+    }
+
+    #[test]
+    fn ghz_chain_depth_is_linear() {
+        let n = 16;
+        let mut c = Circuit::new(n);
+        c.h(Qubit(0));
+        for i in 0..n - 1 {
+            c.cx(Qubit(i as u32), Qubit(i as u32 + 1));
+        }
+        assert_eq!(two_qubit_critical_path(&c), n - 1);
+    }
+
+    #[test]
+    fn measurement_counts_in_depth_only() {
+        let mut c = Circuit::new(1);
+        c.x(Qubit(0)).measure(Qubit(0));
+        assert_eq!(depth(&c), 2);
+        assert_eq!(two_qubit_critical_path(&c), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The gate set.
+//!
+//! Covers what the paper's benchmarks and the IBM-style basis need:
+//! virtual-Z rotations (`RZ`), the physical `SX`/`X` pulses, the
+//! convenience rotations `H`/`RX`/`RY`, the entangling `CX`, the
+//! routing `SWAP`, the Ising coupling `RZZ` (QAOA and TFIM), and
+//! terminal `Measure`.
+
+use crate::qubit::Qubit;
+
+/// One circuit operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Z-axis rotation by `theta` (virtual on IBM hardware, but counted
+    /// as a 1q gate in Table II-style tallies).
+    Rz {
+        /// Target qubit.
+        q: Qubit,
+        /// Rotation angle (radians).
+        theta: f64,
+    },
+    /// The √X pulse.
+    Sx {
+        /// Target qubit.
+        q: Qubit,
+    },
+    /// The X (π) pulse.
+    X {
+        /// Target qubit.
+        q: Qubit,
+    },
+    /// Hadamard.
+    H {
+        /// Target qubit.
+        q: Qubit,
+    },
+    /// X-axis rotation.
+    Rx {
+        /// Target qubit.
+        q: Qubit,
+        /// Rotation angle (radians).
+        theta: f64,
+    },
+    /// Y-axis rotation.
+    Ry {
+        /// Target qubit.
+        q: Qubit,
+        /// Rotation angle (radians).
+        theta: f64,
+    },
+    /// Controlled-X.
+    Cx {
+        /// Control qubit.
+        control: Qubit,
+        /// Target qubit.
+        target: Qubit,
+    },
+    /// Qubit exchange (decomposes to 3 `CX` on hardware).
+    Swap {
+        /// First qubit.
+        a: Qubit,
+        /// Second qubit.
+        b: Qubit,
+    },
+    /// The two-qubit Ising interaction `exp(-i θ/2 Z⊗Z)`.
+    Rzz {
+        /// First qubit.
+        a: Qubit,
+        /// Second qubit.
+        b: Qubit,
+        /// Rotation angle (radians).
+        theta: f64,
+    },
+    /// Computational-basis measurement.
+    Measure {
+        /// Measured qubit.
+        q: Qubit,
+    },
+}
+
+impl Gate {
+    /// The qubits this gate touches (one or two).
+    pub fn qubits(&self) -> GateQubits {
+        match *self {
+            Gate::Rz { q, .. }
+            | Gate::Sx { q }
+            | Gate::X { q }
+            | Gate::H { q }
+            | Gate::Rx { q, .. }
+            | Gate::Ry { q, .. }
+            | Gate::Measure { q } => GateQubits::One(q),
+            Gate::Cx { control, target } => GateQubits::Two(control, target),
+            Gate::Swap { a, b } | Gate::Rzz { a, b, .. } => GateQubits::Two(a, b),
+        }
+    }
+
+    /// Whether this is a two-qubit operation.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self.qubits(), GateQubits::Two(..))
+    }
+
+    /// Whether this is a single-qubit *gate* (measurement excluded —
+    /// Table II counts gates, not readout).
+    pub fn is_one_qubit_gate(&self) -> bool {
+        !self.is_two_qubit() && !matches!(self, Gate::Measure { .. })
+    }
+
+    /// The lowercase mnemonic (matches the OpenQASM name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::Rz { .. } => "rz",
+            Gate::Sx { .. } => "sx",
+            Gate::X { .. } => "x",
+            Gate::H { .. } => "h",
+            Gate::Rx { .. } => "rx",
+            Gate::Ry { .. } => "ry",
+            Gate::Cx { .. } => "cx",
+            Gate::Swap { .. } => "swap",
+            Gate::Rzz { .. } => "rzz",
+            Gate::Measure { .. } => "measure",
+        }
+    }
+
+    /// Whether the gate is already in the IBM-style physical basis
+    /// {RZ, SX, X, CX} (+ measurement).
+    pub fn is_basis(&self) -> bool {
+        matches!(
+            self,
+            Gate::Rz { .. } | Gate::Sx { .. } | Gate::X { .. } | Gate::Cx { .. } | Gate::Measure { .. }
+        )
+    }
+}
+
+/// The qubits of one gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateQubits {
+    /// A single-qubit operation.
+    One(Qubit),
+    /// A two-qubit operation.
+    Two(Qubit, Qubit),
+}
+
+impl GateQubits {
+    /// Iterator over the qubits.
+    pub fn iter(self) -> impl Iterator<Item = Qubit> {
+        let (first, second) = match self {
+            GateQubits::One(q) => (q, None),
+            GateQubits::Two(a, b) => (a, Some(b)),
+        };
+        std::iter::once(first).chain(second)
+    }
+
+    /// The highest qubit index involved.
+    pub fn max_index(self) -> usize {
+        self.iter().map(Qubit::index).max().expect("at least one qubit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_classification() {
+        assert!(Gate::Cx { control: Qubit(0), target: Qubit(1) }.is_two_qubit());
+        assert!(Gate::Swap { a: Qubit(0), b: Qubit(1) }.is_two_qubit());
+        assert!(Gate::Rzz { a: Qubit(0), b: Qubit(1), theta: 0.3 }.is_two_qubit());
+        assert!(!Gate::H { q: Qubit(0) }.is_two_qubit());
+        assert!(Gate::H { q: Qubit(0) }.is_one_qubit_gate());
+        assert!(!Gate::Measure { q: Qubit(0) }.is_one_qubit_gate());
+    }
+
+    #[test]
+    fn basis_membership() {
+        assert!(Gate::Rz { q: Qubit(0), theta: 1.0 }.is_basis());
+        assert!(Gate::Sx { q: Qubit(0) }.is_basis());
+        assert!(!Gate::H { q: Qubit(0) }.is_basis());
+        assert!(!Gate::Swap { a: Qubit(0), b: Qubit(1) }.is_basis());
+    }
+
+    #[test]
+    fn qubit_iteration() {
+        let g = Gate::Cx { control: Qubit(3), target: Qubit(7) };
+        let qs: Vec<Qubit> = g.qubits().iter().collect();
+        assert_eq!(qs, vec![Qubit(3), Qubit(7)]);
+        assert_eq!(g.qubits().max_index(), 7);
+        let h = Gate::X { q: Qubit(2) };
+        assert_eq!(h.qubits().iter().count(), 1);
+    }
+
+    #[test]
+    fn names_match_qasm() {
+        assert_eq!(Gate::Rz { q: Qubit(0), theta: 0.1 }.name(), "rz");
+        assert_eq!(Gate::Measure { q: Qubit(0) }.name(), "measure");
+    }
+}

@@ -1,0 +1,41 @@
+//! Quantum circuit intermediate representation.
+//!
+//! The program substrate of the `chipletqc` workspace: a lightweight
+//! gate-list IR with the operations the paper's benchmarks need
+//! (single-qubit rotations, `CX`/`SWAP`/`RZZ`, measurement), plus the
+//! structural analyses the evaluation reports (Table II): gate counts by
+//! arity, circuit depth, and the **two-qubit critical path** — the
+//! longest chain of two-qubit gates through the dependency DAG.
+//!
+//! * [`gate`] — the gate set and per-gate queries;
+//! * [`circuit`] — [`circuit::Circuit`]: construction, validation,
+//!   counting;
+//! * [`depth`] — ASAP depth and weighted critical paths;
+//! * [`qasm`] — OpenQASM 2.0 export for interoperability.
+//!
+//! # Example
+//!
+//! ```
+//! use chipletqc_circuit::circuit::Circuit;
+//! use chipletqc_circuit::qubit::Qubit;
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(Qubit(0));
+//! c.cx(Qubit(0), Qubit(1));
+//! c.cx(Qubit(1), Qubit(2));
+//! assert_eq!(c.count_2q(), 2);
+//! assert_eq!(c.two_qubit_critical_path(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod depth;
+pub mod gate;
+pub mod qasm;
+pub mod qubit;
+
+pub use circuit::{Circuit, GateCounts};
+pub use gate::Gate;
+pub use qubit::Qubit;

@@ -1,0 +1,129 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets every benchmark and transpiled circuit in the workspace be
+//! inspected with standard tooling. `RZZ` is emitted via its
+//! `CX·RZ·CX` identity since OpenQASM 2.0's `qelib1` lacks a native
+//! `rzz` only in some dialects — we emit the portable form.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Renders the circuit as an OpenQASM 2.0 program.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_circuit::circuit::Circuit;
+/// use chipletqc_circuit::qubit::Qubit;
+/// use chipletqc_circuit::qasm::to_qasm;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0)).cx(Qubit(0), Qubit(1));
+/// let qasm = to_qasm(&c);
+/// assert!(qasm.contains("OPENQASM 2.0"));
+/// assert!(qasm.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    if !circuit.name().is_empty() {
+        let _ = writeln!(out, "// {}", circuit.name());
+    }
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if circuit.count_measurements() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_qubits());
+    }
+    for gate in circuit.gates() {
+        match *gate {
+            Gate::Rz { q, theta } => {
+                let _ = writeln!(out, "rz({theta}) q[{}];", q.0);
+            }
+            Gate::Sx { q } => {
+                let _ = writeln!(out, "sx q[{}];", q.0);
+            }
+            Gate::X { q } => {
+                let _ = writeln!(out, "x q[{}];", q.0);
+            }
+            Gate::H { q } => {
+                let _ = writeln!(out, "h q[{}];", q.0);
+            }
+            Gate::Rx { q, theta } => {
+                let _ = writeln!(out, "rx({theta}) q[{}];", q.0);
+            }
+            Gate::Ry { q, theta } => {
+                let _ = writeln!(out, "ry({theta}) q[{}];", q.0);
+            }
+            Gate::Cx { control, target } => {
+                let _ = writeln!(out, "cx q[{}],q[{}];", control.0, target.0);
+            }
+            Gate::Swap { a, b } => {
+                let _ = writeln!(out, "swap q[{}],q[{}];", a.0, b.0);
+            }
+            Gate::Rzz { a, b, theta } => {
+                let _ = writeln!(out, "cx q[{}],q[{}];", a.0, b.0);
+                let _ = writeln!(out, "rz({theta}) q[{}];", b.0);
+                let _ = writeln!(out, "cx q[{}],q[{}];", a.0, b.0);
+            }
+            Gate::Measure { q } => {
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", q.0, q.0);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::Qubit;
+
+    #[test]
+    fn header_and_registers() {
+        let mut c = Circuit::named(3, "bv");
+        c.h(Qubit(0)).measure(Qubit(0));
+        let qasm = to_qasm(&c);
+        assert!(qasm.starts_with("OPENQASM 2.0;\n"));
+        assert!(qasm.contains("qreg q[3];"));
+        assert!(qasm.contains("creg c[3];"));
+        assert!(qasm.contains("// bv"));
+        assert!(qasm.contains("measure q[0] -> c[0];"));
+    }
+
+    #[test]
+    fn no_creg_without_measurement() {
+        let mut c = Circuit::new(1);
+        c.x(Qubit(0));
+        assert!(!to_qasm(&c).contains("creg"));
+    }
+
+    #[test]
+    fn rzz_expands_portably() {
+        let mut c = Circuit::new(2);
+        c.rzz(Qubit(0), Qubit(1), 0.5);
+        let qasm = to_qasm(&c);
+        assert_eq!(qasm.matches("cx q[0],q[1];").count(), 2);
+        assert!(qasm.contains("rz(0.5) q[1];"));
+    }
+
+    #[test]
+    fn every_gate_variant_renders() {
+        let mut c = Circuit::new(2);
+        c.rz(Qubit(0), 0.1)
+            .sx(Qubit(0))
+            .x(Qubit(0))
+            .h(Qubit(0))
+            .rx(Qubit(0), 0.2)
+            .ry(Qubit(0), 0.3)
+            .cx(Qubit(0), Qubit(1))
+            .swap(Qubit(0), Qubit(1))
+            .rzz(Qubit(0), Qubit(1), 0.4)
+            .measure(Qubit(1));
+        let qasm = to_qasm(&c);
+        for token in ["rz(0.1)", "sx ", "x ", "h ", "rx(0.2)", "ry(0.3)", "cx ", "swap ", "measure "] {
+            assert!(qasm.contains(token), "missing {token} in:\n{qasm}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Logical qubit identity.
+
+/// A logical (program) qubit index.
+///
+/// Deliberately a different type from the physical
+/// `chipletqc_topology::qubit::QubitId`: the transpiler owns the mapping
+/// between the two, and the type system keeps them from mixing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// The index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(value: u32) -> Self {
+        Qubit(value)
+    }
+}
+
+impl std::fmt::Display for Qubit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let q = Qubit::from(5u32);
+        assert_eq!(q.index(), 5);
+        assert_eq!(q.to_string(), "q5");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the circuit IR.
+
+use proptest::prelude::*;
+
+use chipletqc_circuit::circuit::Circuit;
+use chipletqc_circuit::gate::Gate;
+use chipletqc_circuit::qasm::to_qasm;
+use chipletqc_circuit::qubit::Qubit;
+
+/// A strategy producing arbitrary valid gates over `n` qubits (n >= 2).
+fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let pair = (0..n, 0..n - 1).prop_map(move |(a, d)| {
+        let b = (a + 1 + d) % n;
+        (a, b)
+    });
+    prop_oneof![
+        (q.clone(), -6.3f64..6.3).prop_map(|(q, theta)| Gate::Rz { q: Qubit(q), theta }),
+        q.clone().prop_map(|q| Gate::Sx { q: Qubit(q) }),
+        q.clone().prop_map(|q| Gate::X { q: Qubit(q) }),
+        q.clone().prop_map(|q| Gate::H { q: Qubit(q) }),
+        (q.clone(), -6.3f64..6.3).prop_map(|(q, theta)| Gate::Rx { q: Qubit(q), theta }),
+        (q.clone(), -6.3f64..6.3).prop_map(|(q, theta)| Gate::Ry { q: Qubit(q), theta }),
+        pair.clone().prop_map(|(a, b)| Gate::Cx { control: Qubit(a), target: Qubit(b) }),
+        pair.clone().prop_map(|(a, b)| Gate::Swap { a: Qubit(a), b: Qubit(b) }),
+        (pair, -6.3f64..6.3).prop_map(|((a, b), theta)| Gate::Rzz { a: Qubit(a), b: Qubit(b), theta }),
+        q.prop_map(|q| Gate::Measure { q: Qubit(q) }),
+    ]
+}
+
+fn arb_circuit(n: u32, max_len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 0..max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n as usize);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    /// Count identities: 1q + 2q + measurements == total.
+    #[test]
+    fn counts_partition_the_gate_list(c in arb_circuit(6, 120)) {
+        prop_assert_eq!(c.count_1q() + c.count_2q() + c.count_measurements(), c.len());
+    }
+
+    /// Depth bounds: critical-2q <= 2q count, depth <= len, and depth
+    /// >= ceil(len / n) (pigeonhole over qubits).
+    #[test]
+    fn depth_bounds(c in arb_circuit(5, 100)) {
+        prop_assert!(c.two_qubit_critical_path() <= c.count_2q());
+        prop_assert!(c.depth() <= c.len());
+        if !c.is_empty() {
+            let lower = c.len().div_ceil(2 * c.num_qubits());
+            prop_assert!(c.depth() >= lower.min(1));
+        }
+    }
+
+    /// Appending concatenates counts and can only deepen the circuit.
+    #[test]
+    fn append_is_additive(a in arb_circuit(4, 60), b in arb_circuit(4, 60)) {
+        let mut joined = Circuit::new(4);
+        joined.append(&a);
+        joined.append(&b);
+        prop_assert_eq!(joined.len(), a.len() + b.len());
+        prop_assert_eq!(joined.count_2q(), a.count_2q() + b.count_2q());
+        prop_assert!(joined.depth() >= a.depth().max(b.depth()));
+        prop_assert!(joined.depth() <= a.depth() + b.depth());
+    }
+
+    /// QASM export emits one statement per gate (RZZ expands to 3) and
+    /// parses back structurally: statement count matches.
+    #[test]
+    fn qasm_statement_count(c in arb_circuit(5, 80)) {
+        let qasm = to_qasm(&c);
+        let rzz = c.gates().iter().filter(|g| matches!(g, Gate::Rzz { .. })).count();
+        let stmts = qasm
+            .lines()
+            .filter(|l| !l.starts_with("OPENQASM") && !l.starts_with("include")
+                && !l.starts_with("qreg") && !l.starts_with("creg") && !l.starts_with("//")
+                && !l.is_empty())
+            .count();
+        prop_assert_eq!(stmts, c.len() + 2 * rzz);
+    }
+
+    /// Two-qubit critical path is invariant under inserting 1q gates.
+    #[test]
+    fn critical_path_ignores_added_1q(c in arb_circuit(4, 60), q in 0u32..4) {
+        let mut extended = Circuit::new(4);
+        extended.append(&c);
+        extended.h(Qubit(q));
+        prop_assert_eq!(extended.two_qubit_critical_path(), c.two_qubit_critical_path());
+    }
+}

@@ -1,0 +1,310 @@
+//! Whole-device collision checking.
+//!
+//! Quantifies the Table I criteria over a device: types 1–4 over every
+//! coupled pair (with the CR orientation the device defines), and types
+//! 5–7 over every control with two targets. [`is_collision_free`] is the
+//! early-exit predicate on the Monte Carlo hot path of the yield
+//! simulations (Figs. 4 and 8); [`find_collisions`] produces full
+//! reports for the per-type analysis.
+
+use chipletqc_topology::device::Device;
+use chipletqc_topology::qubit::QubitId;
+
+use crate::criteria::{
+    type1, type2, type3, type4, type5, type6, type7, Collision, CollisionParams, CollisionType,
+};
+use crate::frequencies::Frequencies;
+
+/// Asserts the assignment covers the device (cheap; indexes would panic
+/// later anyway, but the message is clearer here).
+fn check_len(device: &Device, freqs: &Frequencies) {
+    assert_eq!(
+        device.num_qubits(),
+        freqs.len(),
+        "frequency assignment covers {} qubits but device {} has {}",
+        freqs.len(),
+        device.name(),
+        device.num_qubits()
+    );
+}
+
+/// Whether the fabricated device has **no** Table I collision.
+///
+/// This is the paper's batch-classification predicate: "If all seven
+/// criteria return false, a QC is categorized as collision-free."
+///
+/// # Panics
+///
+/// Panics if `freqs` does not cover the device.
+pub fn is_collision_free(device: &Device, freqs: &Frequencies, params: &CollisionParams) -> bool {
+    check_len(device, freqs);
+    for e in device.edges() {
+        let (c, t) = (e.control, e.target());
+        if type1(freqs, e.a, e.b, params)
+            || type2(freqs, c, t, params)
+            || type3(freqs, e.a, e.b, params)
+            || type4(freqs, c, t, params)
+        {
+            return false;
+        }
+    }
+    for i in device.qubits() {
+        let targets = device.targets_of(i);
+        for (jx, &j) in targets.iter().enumerate() {
+            for &k in &targets[jx + 1..] {
+                if type5(freqs, j, k, params)
+                    || type6(freqs, j, k, params)
+                    || type7(freqs, i, j, k, params)
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A full collision report for one fabricated device.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CollisionReport {
+    /// Every collision found, in device scan order.
+    pub collisions: Vec<Collision>,
+}
+
+impl CollisionReport {
+    /// Whether the device is collision-free.
+    pub fn is_collision_free(&self) -> bool {
+        self.collisions.is_empty()
+    }
+
+    /// Collision counts indexed by Table I row − 1.
+    pub fn counts_by_type(&self) -> [usize; 7] {
+        let mut counts = [0; 7];
+        for c in &self.collisions {
+            counts[(c.collision_type.table_row() - 1) as usize] += 1;
+        }
+        counts
+    }
+
+    /// The distinct qubits involved in any collision.
+    pub fn affected_qubits(&self) -> Vec<QubitId> {
+        let mut qs: Vec<QubitId> = self.collisions.iter().flat_map(|c| c.qubits.clone()).collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs
+    }
+}
+
+impl std::fmt::Display for CollisionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.collisions.is_empty() {
+            return write!(f, "collision-free");
+        }
+        let counts = self.counts_by_type();
+        write!(f, "{} collisions (", self.collisions.len())?;
+        let mut first = true;
+        for (i, n) in counts.iter().enumerate() {
+            if *n > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "T{}: {}", i + 1, n)?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Finds every Table I collision on the device.
+///
+/// # Panics
+///
+/// Panics if `freqs` does not cover the device.
+pub fn find_collisions(
+    device: &Device,
+    freqs: &Frequencies,
+    params: &CollisionParams,
+) -> CollisionReport {
+    check_len(device, freqs);
+    let mut collisions = Vec::new();
+    let mut push = |ty: CollisionType, qubits: Vec<QubitId>| {
+        collisions.push(Collision { collision_type: ty, qubits });
+    };
+    for e in device.edges() {
+        let (c, t) = (e.control, e.target());
+        if type1(freqs, e.a, e.b, params) {
+            push(CollisionType::NearResonantNeighbors, vec![e.a, e.b]);
+        }
+        if type2(freqs, c, t, params) {
+            push(CollisionType::HalfAnharmonicityTarget, vec![c, t]);
+        }
+        if type3(freqs, e.a, e.b, params) {
+            push(CollisionType::AnharmonicityNeighbors, vec![e.a, e.b]);
+        }
+        if type4(freqs, c, t, params) {
+            push(CollisionType::OutsideStraddlingRegime, vec![c, t]);
+        }
+    }
+    for i in device.qubits() {
+        let targets = device.targets_of(i);
+        for (jx, &j) in targets.iter().enumerate() {
+            for &k in &targets[jx + 1..] {
+                if type5(freqs, j, k, params) {
+                    push(CollisionType::SharedTargetsResonant, vec![i, j, k]);
+                }
+                if type6(freqs, j, k, params) {
+                    push(CollisionType::SharedTargetsAnharmonicity, vec![i, j, k]);
+                }
+                if type7(freqs, i, j, k, params) {
+                    push(CollisionType::TwoPhotonProcess, vec![i, j, k]);
+                }
+            }
+        }
+    }
+    CollisionReport { collisions }
+}
+
+/// Collision counts by type, without materializing the report.
+pub fn count_by_type(device: &Device, freqs: &Frequencies, params: &CollisionParams) -> [usize; 7] {
+    find_collisions(device, freqs, params).counts_by_type()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipletqc_topology::evalset::paper_mcms;
+    use chipletqc_topology::family::{ChipletSpec, MonolithicSpec};
+    use chipletqc_topology::plan::FrequencyPlan;
+
+    fn paper_params() -> CollisionParams {
+        CollisionParams::paper()
+    }
+
+    #[test]
+    fn ideal_chiplets_are_collision_free() {
+        let plan = FrequencyPlan::state_of_the_art();
+        for spec in ChipletSpec::catalog() {
+            let device = spec.build();
+            let freqs = Frequencies::ideal(&device, &plan);
+            assert!(
+                is_collision_free(&device, &freqs, &paper_params()),
+                "{spec}: {}",
+                find_collisions(&device, &freqs, &paper_params())
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_monolithics_are_collision_free() {
+        let plan = FrequencyPlan::state_of_the_art();
+        for q in [5, 100, 495, 1000] {
+            let device = MonolithicSpec::with_qubits(q).unwrap().build();
+            let freqs = Frequencies::ideal(&device, &plan);
+            assert!(is_collision_free(&device, &freqs, &paper_params()), "mono-{q}");
+        }
+    }
+
+    #[test]
+    fn ideal_mcms_are_collision_free_including_links() {
+        let plan = FrequencyPlan::state_of_the_art();
+        for spec in paper_mcms().iter().step_by(9) {
+            let device = spec.build();
+            let freqs = Frequencies::ideal(&device, &plan);
+            assert!(
+                is_collision_free(&device, &freqs, &paper_params()),
+                "{spec}: {}",
+                find_collisions(&device, &freqs, &paper_params())
+            );
+        }
+    }
+
+    #[test]
+    fn all_fig4_step_sizes_are_nominally_collision_free() {
+        // The Fig. 4 sweep only makes sense if every step size in
+        // [0.04, 0.07] is collision-free at zero variation.
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        for step in [0.04, 0.05, 0.06, 0.07] {
+            let plan = FrequencyPlan::with_step(step);
+            let freqs = Frequencies::ideal(&device, &plan);
+            assert!(
+                is_collision_free(&device, &freqs, &paper_params()),
+                "step {step}: {}",
+                find_collisions(&device, &freqs, &paper_params())
+            );
+        }
+    }
+
+    #[test]
+    fn near_null_neighbor_is_detected_as_type1_and_5() {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let plan = FrequencyPlan::state_of_the_art();
+        let mut raw: Vec<f64> = Frequencies::ideal(&device, &plan).as_slice().to_vec();
+        // Find an F2 control with two targets and set the targets equal.
+        let control = device
+            .qubits()
+            .find(|q| device.targets_of(*q).len() == 2)
+            .expect("10q chiplet has 2-target controls");
+        let targets = device.targets_of(control).to_vec();
+        raw[targets[1].index()] = raw[targets[0].index()];
+        let freqs = Frequencies::with_uniform_alpha(raw, plan.anharmonicity()).unwrap();
+        let report = find_collisions(&device, &freqs, &paper_params());
+        assert!(!report.is_collision_free());
+        let counts = report.counts_by_type();
+        assert!(counts[4] > 0, "expected a Type 5: {report}");
+        assert!(!report.affected_qubits().is_empty());
+        assert!(!is_collision_free(&device, &freqs, &paper_params()));
+    }
+
+    #[test]
+    fn raised_target_breaks_straddling() {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let plan = FrequencyPlan::state_of_the_art();
+        let mut raw: Vec<f64> = Frequencies::ideal(&device, &plan).as_slice().to_vec();
+        let edge = &device.edges()[0];
+        // Push the target above its control: Type 4.
+        raw[edge.target().index()] = raw[edge.control.index()] + 0.01;
+        let freqs = Frequencies::with_uniform_alpha(raw, plan.anharmonicity()).unwrap();
+        let report = find_collisions(&device, &freqs, &paper_params());
+        assert!(report.counts_by_type()[3] > 0, "{report}");
+    }
+
+    #[test]
+    fn report_display_summarizes_counts() {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let plan = FrequencyPlan::state_of_the_art();
+        let freqs = Frequencies::ideal(&device, &plan);
+        assert_eq!(
+            find_collisions(&device, &freqs, &paper_params()).to_string(),
+            "collision-free"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "covers")]
+    fn mismatched_assignment_panics() {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let freqs = Frequencies::with_uniform_alpha(vec![5.0; 3], -0.33).unwrap();
+        let _ = is_collision_free(&device, &freqs, &paper_params());
+    }
+
+    #[test]
+    fn count_by_type_matches_report() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let plan = FrequencyPlan::with_step(0.015); // inside the Type 1 window
+        let freqs = Frequencies::ideal(&device, &plan);
+        let report = find_collisions(&device, &freqs, &paper_params());
+        assert_eq!(report.counts_by_type(), count_by_type(&device, &freqs, &paper_params()));
+        assert!(!report.is_collision_free());
+    }
+
+    #[test]
+    fn tight_step_collides_via_type1() {
+        // Step 0.015 < 0.017 window: every F2-F1 and F2-F0 second-step
+        // detuning is 0.015/0.03; the 0.015 ones are Type 1 collisions.
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let freqs = Frequencies::ideal(&device, &FrequencyPlan::with_step(0.015));
+        let counts = count_by_type(&device, &freqs, &paper_params());
+        assert!(counts[0] > 0);
+    }
+}

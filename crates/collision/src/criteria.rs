@@ -1,0 +1,367 @@
+//! The seven collision criteria of Table I.
+//!
+//! Each criterion bounds a physical mechanism that degrades the
+//! cross-resonance gate when fixed-frequency transmon frequencies land
+//! too close to a resonance condition:
+//!
+//! | Type | Condition | Threshold (GHz) | Scope |
+//! |---|---|---|---|
+//! | 1 | `f_i = f_j` | ±0.017 | nearest neighbors |
+//! | 2 | `f_i + α_i/2 = f_j` | ±0.004 | control `i`, target `j` |
+//! | 3 | `f_i = f_j + α_j` | ±0.030 | nearest neighbors (either order) |
+//! | 4 | `f_j < f_i + α_i` or `f_i < f_j` | — | control `i`, target `j` (straddling regime) |
+//! | 5 | `f_j = f_k` | ±0.017 | `i` controls both `j` and `k` |
+//! | 6 | `f_j = f_k + α_k` or `f_j + α_j = f_k` | ±0.025 | `i` controls both `j` and `k` |
+//! | 7 | `2 f_i + α_i = f_j + f_k` | ±0.017 | `i` controls both `j` and `k` |
+//!
+//! The predicates here are pure functions of frequencies; whole-device
+//! quantification lives in [`crate::checker`].
+
+use chipletqc_topology::qubit::QubitId;
+
+use crate::frequencies::Frequencies;
+
+/// One of the seven Table I collision mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollisionType {
+    /// Type 1: nearest neighbors near-resonant ("near-null" detuning).
+    NearResonantNeighbors,
+    /// Type 2: target degenerate with the control's `|0⟩→|2⟩`/2
+    /// two-photon transition (`f_i + α_i/2`).
+    HalfAnharmonicityTarget,
+    /// Type 3: neighbor resonant with the other's `|1⟩→|2⟩` transition
+    /// (`f_j + α_j`).
+    AnharmonicityNeighbors,
+    /// Type 4: target outside the straddling regime
+    /// (`f_i + α_i < f_j < f_i` violated).
+    OutsideStraddlingRegime,
+    /// Type 5: two targets of one control near-resonant with each other.
+    SharedTargetsResonant,
+    /// Type 6: one target resonant with the other target's `|1⟩→|2⟩`
+    /// transition.
+    SharedTargetsAnharmonicity,
+    /// Type 7: two-photon process `2 f_i + α_i = f_j + f_k` across a
+    /// control and its two targets.
+    TwoPhotonProcess,
+}
+
+impl CollisionType {
+    /// All seven types in Table I order.
+    pub const ALL: [CollisionType; 7] = [
+        CollisionType::NearResonantNeighbors,
+        CollisionType::HalfAnharmonicityTarget,
+        CollisionType::AnharmonicityNeighbors,
+        CollisionType::OutsideStraddlingRegime,
+        CollisionType::SharedTargetsResonant,
+        CollisionType::SharedTargetsAnharmonicity,
+        CollisionType::TwoPhotonProcess,
+    ];
+
+    /// The Table I row number (1–7).
+    pub fn table_row(self) -> u8 {
+        match self {
+            CollisionType::NearResonantNeighbors => 1,
+            CollisionType::HalfAnharmonicityTarget => 2,
+            CollisionType::AnharmonicityNeighbors => 3,
+            CollisionType::OutsideStraddlingRegime => 4,
+            CollisionType::SharedTargetsResonant => 5,
+            CollisionType::SharedTargetsAnharmonicity => 6,
+            CollisionType::TwoPhotonProcess => 7,
+        }
+    }
+
+    /// The type with Table I row number `row` (1-based).
+    pub fn from_table_row(row: u8) -> Option<CollisionType> {
+        CollisionType::ALL.get(row.checked_sub(1)? as usize).copied()
+    }
+}
+
+impl std::fmt::Display for CollisionType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Type {}", self.table_row())
+    }
+}
+
+/// The collision thresholds (GHz), defaulting to Table I.
+///
+/// All thresholds are half-widths of the forbidden window around the
+/// resonance condition. [`CollisionParams::scaled`] shrinks or widens
+/// every window at once, modeling future improvements in CR calibration
+/// (the paper's "parameterized … to model future improvements" design
+/// goal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionParams {
+    /// Type 1 window (paper: 0.017).
+    pub t1: f64,
+    /// Type 2 window (paper: 0.004).
+    pub t2: f64,
+    /// Type 3 window (paper: 0.030).
+    pub t3: f64,
+    /// Type 5 window (paper: 0.017).
+    pub t5: f64,
+    /// Type 6 window (paper: 0.025).
+    pub t6: f64,
+    /// Type 7 window (paper: 0.017).
+    pub t7: f64,
+    /// Whether the Type 4 straddling-regime check is enforced (no
+    /// numeric threshold in Table I).
+    pub enforce_straddling: bool,
+}
+
+impl CollisionParams {
+    /// The Table I thresholds.
+    pub fn paper() -> CollisionParams {
+        CollisionParams {
+            t1: 0.017,
+            t2: 0.004,
+            t3: 0.030,
+            t5: 0.017,
+            t6: 0.025,
+            t7: 0.017,
+            enforce_straddling: true,
+        }
+    }
+
+    /// Every window scaled by `factor` (> 0). `factor < 1` models
+    /// improved gate calibration tolerating tighter detunings.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> CollisionParams {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        CollisionParams {
+            t1: self.t1 * factor,
+            t2: self.t2 * factor,
+            t3: self.t3 * factor,
+            t5: self.t5 * factor,
+            t6: self.t6 * factor,
+            t7: self.t7 * factor,
+            enforce_straddling: self.enforce_straddling,
+        }
+    }
+}
+
+impl Default for CollisionParams {
+    fn default() -> Self {
+        CollisionParams::paper()
+    }
+}
+
+/// A detected collision: the mechanism and the qubits involved.
+///
+/// Types 1–4 involve an edge (`control`/`a` and one other qubit); types
+/// 5–7 involve a control and both of its targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collision {
+    /// The Table I mechanism.
+    pub collision_type: CollisionType,
+    /// The qubits involved, control (or first neighbor) first.
+    pub qubits: Vec<QubitId>,
+}
+
+impl std::fmt::Display for Collision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on", self.collision_type)?;
+        for q in &self.qubits {
+            write!(f, " {q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Type 1: neighbors `a`, `b` near-resonant.
+pub fn type1(freqs: &Frequencies, a: QubitId, b: QubitId, params: &CollisionParams) -> bool {
+    (freqs.freq(a) - freqs.freq(b)).abs() <= params.t1
+}
+
+/// Type 2: target `t` degenerate with control `c`'s half-anharmonicity
+/// point `f_c + α_c/2`.
+pub fn type2(freqs: &Frequencies, c: QubitId, t: QubitId, params: &CollisionParams) -> bool {
+    (freqs.freq(c) + freqs.alpha(c) / 2.0 - freqs.freq(t)).abs() <= params.t2
+}
+
+/// Type 3: either neighbor resonant with the other's `|1⟩→|2⟩`
+/// transition (checked in both orders, since Table I scopes this to the
+/// undirected neighbor pair).
+pub fn type3(freqs: &Frequencies, a: QubitId, b: QubitId, params: &CollisionParams) -> bool {
+    (freqs.freq(a) - (freqs.freq(b) + freqs.alpha(b))).abs() <= params.t3
+        || (freqs.freq(b) - (freqs.freq(a) + freqs.alpha(a))).abs() <= params.t3
+}
+
+/// Type 4: target `t` outside control `c`'s straddling regime
+/// `(f_c + α_c, f_c)`.
+pub fn type4(freqs: &Frequencies, c: QubitId, t: QubitId, params: &CollisionParams) -> bool {
+    if !params.enforce_straddling {
+        return false;
+    }
+    let (fc, ft) = (freqs.freq(c), freqs.freq(t));
+    ft < fc + freqs.alpha(c) || fc < ft
+}
+
+/// Type 5: targets `j`, `k` of one control near-resonant.
+pub fn type5(freqs: &Frequencies, j: QubitId, k: QubitId, params: &CollisionParams) -> bool {
+    (freqs.freq(j) - freqs.freq(k)).abs() <= params.t5
+}
+
+/// Type 6: target `j` resonant with target `k`'s `|1⟩→|2⟩` transition,
+/// in either direction.
+pub fn type6(freqs: &Frequencies, j: QubitId, k: QubitId, params: &CollisionParams) -> bool {
+    (freqs.freq(j) - (freqs.freq(k) + freqs.alpha(k))).abs() <= params.t6
+        || (freqs.freq(j) + freqs.alpha(j) - freqs.freq(k)).abs() <= params.t6
+}
+
+/// Type 7: two-photon process `2 f_i + α_i = f_j + f_k` across control
+/// `i` and targets `j`, `k`.
+pub fn type7(
+    freqs: &Frequencies,
+    i: QubitId,
+    j: QubitId,
+    k: QubitId,
+    params: &CollisionParams,
+) -> bool {
+    (2.0 * freqs.freq(i) + freqs.alpha(i) - (freqs.freq(j) + freqs.freq(k))).abs() <= params.t7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA: f64 = -0.330;
+
+    fn freqs3(f: [f64; 3]) -> Frequencies {
+        Frequencies::with_uniform_alpha(f.to_vec(), ALPHA).unwrap()
+    }
+
+    const Q0: QubitId = QubitId(0);
+    const Q1: QubitId = QubitId(1);
+    const Q2: QubitId = QubitId(2);
+
+    #[test]
+    fn type1_window() {
+        let p = CollisionParams::paper();
+        assert!(type1(&freqs3([5.0, 5.016, 0.0]), Q0, Q1, &p));
+        assert!(type1(&freqs3([5.0, 5.0169, 0.0]), Q0, Q1, &p)); // just inside the window
+        assert!(!type1(&freqs3([5.0, 5.018, 0.0]), Q0, Q1, &p));
+        assert!(!type1(&freqs3([5.0, 5.06, 0.0]), Q0, Q1, &p)); // nominal step is safe
+    }
+
+    #[test]
+    fn type2_window() {
+        let p = CollisionParams::paper();
+        // Control at 5.12: half-anharmonicity point at 5.12 - 0.165 = 4.955.
+        assert!(type2(&freqs3([5.12, 4.955, 0.0]), Q0, Q1, &p));
+        assert!(type2(&freqs3([5.12, 4.9585, 0.0]), Q0, Q1, &p));
+        assert!(!type2(&freqs3([5.12, 4.9651, 0.0]), Q0, Q1, &p));
+        // Nominal F2 -> F0 (5.12 control, 5.0 target): gap 0.045, safe.
+        assert!(!type2(&freqs3([5.12, 5.0, 0.0]), Q0, Q1, &p));
+    }
+
+    #[test]
+    fn type3_window_both_directions() {
+        let p = CollisionParams::paper();
+        // f_a near f_b + alpha: 5.06 - 0.33 = 4.73.
+        assert!(type3(&freqs3([4.73, 5.06, 0.0]), Q0, Q1, &p));
+        assert!(type3(&freqs3([4.755, 5.06, 0.0]), Q0, Q1, &p));
+        assert!(!type3(&freqs3([4.765, 5.06, 0.0]), Q0, Q1, &p));
+        // Symmetric direction.
+        assert!(type3(&freqs3([5.06, 4.73, 0.0]), Q0, Q1, &p));
+        // Nominal neighbors are safe.
+        assert!(!type3(&freqs3([5.12, 5.06, 0.0]), Q0, Q1, &p));
+    }
+
+    #[test]
+    fn type4_straddling_regime() {
+        let p = CollisionParams::paper();
+        // Control 5.12: straddle is (4.79, 5.12).
+        assert!(!type4(&freqs3([5.12, 5.0, 0.0]), Q0, Q1, &p));
+        assert!(type4(&freqs3([5.12, 5.13, 0.0]), Q0, Q1, &p)); // target above control
+        assert!(type4(&freqs3([5.12, 4.78, 0.0]), Q0, Q1, &p)); // below f_c + alpha
+        let off = CollisionParams { enforce_straddling: false, ..p };
+        assert!(!type4(&freqs3([5.12, 5.13, 0.0]), Q0, Q1, &off));
+    }
+
+    #[test]
+    fn type5_window() {
+        let p = CollisionParams::paper();
+        assert!(type5(&freqs3([0.0, 5.0, 5.01]), Q1, Q2, &p));
+        assert!(!type5(&freqs3([0.0, 5.0, 5.06]), Q1, Q2, &p));
+    }
+
+    #[test]
+    fn type6_window_both_directions() {
+        let p = CollisionParams::paper();
+        // f_j near f_k + alpha: 5.0 - 0.33 = 4.67.
+        assert!(type6(&freqs3([0.0, 4.67, 5.0]), Q1, Q2, &p));
+        assert!(type6(&freqs3([0.0, 5.0, 4.67]), Q1, Q2, &p));
+        assert!(type6(&freqs3([0.0, 4.694, 5.0]), Q1, Q2, &p));
+        assert!(!type6(&freqs3([0.0, 4.696, 5.0]), Q1, Q2, &p));
+        assert!(!type6(&freqs3([0.0, 5.0, 5.06]), Q1, Q2, &p));
+    }
+
+    #[test]
+    fn type7_window() {
+        let p = CollisionParams::paper();
+        // 2*5.12 - 0.33 = 9.91; targets summing near 9.91 collide.
+        assert!(type7(&freqs3([5.12, 4.95, 4.96]), Q0, Q1, Q2, &p));
+        assert!(type7(&freqs3([5.12, 4.90, 5.026]), Q0, Q1, Q2, &p));
+        assert!(!type7(&freqs3([5.12, 5.0, 5.06]), Q0, Q1, Q2, &p)); // nominal: sum 10.06
+    }
+
+    #[test]
+    fn nominal_plan_clears_all_criteria() {
+        // F2 control 5.12 with F0 (5.0) and F1 (5.06) targets: the
+        // paper's optimum plan must be collision-free with zero
+        // variation.
+        let p = CollisionParams::paper();
+        let f = freqs3([5.12, 5.0, 5.06]);
+        assert!(!type1(&f, Q0, Q1, &p) && !type1(&f, Q0, Q2, &p));
+        assert!(!type2(&f, Q0, Q1, &p) && !type2(&f, Q0, Q2, &p));
+        assert!(!type3(&f, Q0, Q1, &p) && !type3(&f, Q0, Q2, &p));
+        assert!(!type4(&f, Q0, Q1, &p) && !type4(&f, Q0, Q2, &p));
+        assert!(!type5(&f, Q1, Q2, &p));
+        assert!(!type6(&f, Q1, Q2, &p));
+        assert!(!type7(&f, Q0, Q1, Q2, &p));
+    }
+
+    #[test]
+    fn scaled_params_shrink_windows() {
+        let p = CollisionParams::paper().scaled(0.5);
+        assert!((p.t1 - 0.0085).abs() < 1e-12);
+        assert!((p.t2 - 0.002).abs() < 1e-12);
+        // A detuning that collides at paper thresholds passes at half.
+        assert!(!type1(&freqs3([5.0, 5.012, 0.0]), Q0, Q1, &p));
+        assert!(type1(
+            &freqs3([5.0, 5.012, 0.0]),
+            Q0,
+            Q1,
+            &CollisionParams::paper()
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        let _ = CollisionParams::paper().scaled(0.0);
+    }
+
+    #[test]
+    fn table_row_roundtrip() {
+        for t in CollisionType::ALL {
+            assert_eq!(CollisionType::from_table_row(t.table_row()), Some(t));
+        }
+        assert_eq!(CollisionType::from_table_row(0), None);
+        assert_eq!(CollisionType::from_table_row(8), None);
+        assert_eq!(CollisionType::NearResonantNeighbors.to_string(), "Type 1");
+    }
+
+    #[test]
+    fn collision_display() {
+        let c = Collision {
+            collision_type: CollisionType::TwoPhotonProcess,
+            qubits: vec![Q0, Q1, Q2],
+        };
+        assert_eq!(c.to_string(), "Type 7 on Q0 Q1 Q2");
+    }
+}

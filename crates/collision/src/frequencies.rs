@@ -1,0 +1,170 @@
+//! Fabricated frequency assignments.
+//!
+//! A [`Frequencies`] value is the *outcome of fabrication* for one
+//! device: the actual operating frequency `f_i` and anharmonicity `α_i`
+//! of every qubit. The yield crate produces these by sampling around a
+//! device's ideal plan; [`Frequencies::ideal`] produces the zero-variation
+//! reference assignment.
+
+use chipletqc_topology::device::Device;
+use chipletqc_topology::plan::FrequencyPlan;
+use chipletqc_topology::qubit::QubitId;
+
+/// Per-qubit fabricated frequencies and anharmonicities (GHz).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frequencies {
+    freqs: Vec<f64>,
+    alphas: Vec<f64>,
+}
+
+/// Error constructing a [`Frequencies`] assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrequenciesError {
+    /// Frequency and anharmonicity vectors disagree in length.
+    LengthMismatch {
+        /// Number of frequencies supplied.
+        freqs: usize,
+        /// Number of anharmonicities supplied.
+        alphas: usize,
+    },
+    /// A value was NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for FrequenciesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrequenciesError::LengthMismatch { freqs, alphas } => {
+                write!(f, "{freqs} frequencies but {alphas} anharmonicities")
+            }
+            FrequenciesError::NonFinite => write!(f, "frequencies must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for FrequenciesError {}
+
+impl Frequencies {
+    /// Creates an assignment from per-qubit frequencies and
+    /// anharmonicities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vectors differ in length or contain
+    /// non-finite values.
+    pub fn new(freqs: Vec<f64>, alphas: Vec<f64>) -> Result<Frequencies, FrequenciesError> {
+        if freqs.len() != alphas.len() {
+            return Err(FrequenciesError::LengthMismatch { freqs: freqs.len(), alphas: alphas.len() });
+        }
+        if freqs.iter().chain(alphas.iter()).any(|x| !x.is_finite()) {
+            return Err(FrequenciesError::NonFinite);
+        }
+        Ok(Frequencies { freqs, alphas })
+    }
+
+    /// Creates an assignment with one shared anharmonicity (the paper
+    /// fixes `α = −0.330 GHz` for all qubits).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on non-finite inputs.
+    pub fn with_uniform_alpha(freqs: Vec<f64>, alpha: f64) -> Result<Frequencies, FrequenciesError> {
+        let n = freqs.len();
+        Frequencies::new(freqs, vec![alpha; n])
+    }
+
+    /// The ideal (zero fabrication variation) assignment of `device`
+    /// under `plan`: every qubit sits exactly on its class frequency.
+    pub fn ideal(device: &Device, plan: &FrequencyPlan) -> Frequencies {
+        let freqs = device.qubits().map(|q| plan.ideal(device.class(q))).collect();
+        let n = device.num_qubits();
+        Frequencies { freqs, alphas: vec![plan.anharmonicity(); n] }
+    }
+
+    /// The fabricated frequency of `q` in GHz.
+    pub fn freq(&self, q: QubitId) -> f64 {
+        self.freqs[q.index()]
+    }
+
+    /// The anharmonicity of `q` in GHz (negative).
+    pub fn alpha(&self, q: QubitId) -> f64 {
+        self.alphas[q.index()]
+    }
+
+    /// Number of qubits covered.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// The absolute qubit-qubit detuning `|f_a − f_b|` in GHz — the
+    /// x-axis of the paper's Fig. 7 fidelity relationship.
+    pub fn detuning(&self, a: QubitId, b: QubitId) -> f64 {
+        (self.freq(a) - self.freq(b)).abs()
+    }
+
+    /// All frequencies as a slice (qubit-id order).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.freqs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipletqc_topology::family::ChipletSpec;
+    use chipletqc_topology::qubit::FrequencyClass;
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert_eq!(
+            Frequencies::new(vec![5.0, 5.06], vec![-0.33]).unwrap_err(),
+            FrequenciesError::LengthMismatch { freqs: 2, alphas: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            Frequencies::with_uniform_alpha(vec![5.0, f64::NAN], -0.33).unwrap_err(),
+            FrequenciesError::NonFinite
+        );
+        assert!(Frequencies::with_uniform_alpha(vec![5.0], f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ideal_matches_classes() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let plan = FrequencyPlan::state_of_the_art();
+        let freqs = Frequencies::ideal(&device, &plan);
+        assert_eq!(freqs.len(), 20);
+        for q in device.qubits() {
+            let expected = match device.class(q) {
+                FrequencyClass::F0 => 5.0,
+                FrequencyClass::F1 => 5.06,
+                FrequencyClass::F2 => 5.12,
+            };
+            assert!((freqs.freq(q) - expected).abs() < 1e-12);
+            assert_eq!(freqs.alpha(q), -0.330);
+        }
+    }
+
+    #[test]
+    fn detuning_is_absolute() {
+        let freqs = Frequencies::with_uniform_alpha(vec![5.0, 5.12], -0.33).unwrap();
+        assert!((freqs.detuning(QubitId(0), QubitId(1)) - 0.12).abs() < 1e-12);
+        assert!((freqs.detuning(QubitId(1), QubitId(0)) - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let freqs = Frequencies::with_uniform_alpha(vec![5.0, 5.06], -0.3).unwrap();
+        assert_eq!(freqs.as_slice(), &[5.0, 5.06]);
+        assert!(!freqs.is_empty());
+        assert!(Frequencies::with_uniform_alpha(vec![], -0.3).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the collision criteria and checker.
+
+use proptest::prelude::*;
+
+use chipletqc_collision::checker::{find_collisions, is_collision_free};
+use chipletqc_collision::criteria::{type1, type3, type5, type6, CollisionParams};
+use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_topology::family::ChipletSpec;
+use chipletqc_topology::plan::FrequencyPlan;
+use chipletqc_topology::qubit::QubitId;
+
+proptest! {
+    /// The fast predicate and the full report always agree.
+    #[test]
+    fn predicate_matches_report(seed_offsets in prop::collection::vec(-0.05f64..0.05, 20)) {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let plan = FrequencyPlan::state_of_the_art();
+        let base = Frequencies::ideal(&device, &plan);
+        let perturbed: Vec<f64> = base
+            .as_slice()
+            .iter()
+            .zip(&seed_offsets)
+            .map(|(f, d)| f + d)
+            .collect();
+        let freqs = Frequencies::with_uniform_alpha(perturbed, plan.anharmonicity()).unwrap();
+        let params = CollisionParams::paper();
+        let report = find_collisions(&device, &freqs, &params);
+        prop_assert_eq!(is_collision_free(&device, &freqs, &params), report.is_collision_free());
+        let total: usize = report.counts_by_type().iter().sum();
+        prop_assert_eq!(total, report.collisions.len());
+    }
+
+    /// Symmetric criteria are symmetric in their qubit arguments.
+    #[test]
+    fn pair_criteria_are_symmetric(fa in 4.5f64..5.5, fb in 4.5f64..5.5) {
+        let freqs = Frequencies::with_uniform_alpha(vec![fa, fb], -0.33).unwrap();
+        let p = CollisionParams::paper();
+        let (a, b) = (QubitId(0), QubitId(1));
+        prop_assert_eq!(type1(&freqs, a, b, &p), type1(&freqs, b, a, &p));
+        prop_assert_eq!(type3(&freqs, a, b, &p), type3(&freqs, b, a, &p));
+        prop_assert_eq!(type5(&freqs, a, b, &p), type5(&freqs, b, a, &p));
+        prop_assert_eq!(type6(&freqs, a, b, &p), type6(&freqs, b, a, &p));
+    }
+
+    /// A global frequency translation never changes any verdict (the
+    /// criteria depend only on detunings; the paper: "although detuning
+    /// between frequencies is important, absolute values are not").
+    #[test]
+    fn criteria_are_translation_invariant(
+        offsets in prop::collection::vec(-0.08f64..0.08, 10),
+        shift in -0.5f64..0.5,
+    ) {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let plan = FrequencyPlan::state_of_the_art();
+        let base: Vec<f64> = Frequencies::ideal(&device, &plan)
+            .as_slice()
+            .iter()
+            .zip(&offsets)
+            .map(|(f, d)| f + d)
+            .collect();
+        let shifted: Vec<f64> = base.iter().map(|f| f + shift).collect();
+        let p = CollisionParams::paper();
+        let a = find_collisions(
+            &device,
+            &Frequencies::with_uniform_alpha(base, -0.33).unwrap(),
+            &p,
+        );
+        let b = find_collisions(
+            &device,
+            &Frequencies::with_uniform_alpha(shifted, -0.33).unwrap(),
+            &p,
+        );
+        prop_assert_eq!(a.counts_by_type(), b.counts_by_type());
+    }
+
+    /// Collapsing all qubits onto one frequency floods the device with
+    /// near-null collisions.
+    #[test]
+    fn degenerate_frequencies_always_collide(f in 4.0f64..6.0) {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let freqs = Frequencies::with_uniform_alpha(vec![f; 20], -0.33).unwrap();
+        let report = find_collisions(&device, &freqs, &CollisionParams::paper());
+        prop_assert!(!report.is_collision_free());
+        // Every edge fires Type 1 at zero detuning.
+        prop_assert_eq!(report.counts_by_type()[0], device.graph().num_edges());
+    }
+}

@@ -1,0 +1,299 @@
+//! Fig. 10: MCM-vs-monolithic application fidelity across the
+//! benchmark suite.
+//!
+//! For every system, each benchmark is generated at 80 % utilization,
+//! compiled (layout + SABRE + basis lowering) onto both the MCM and the
+//! monolithic topology, and scored by the fidelity product of all
+//! two-qubit gates over the respective device populations. The
+//! reported quantity is `log10(ESP_MCM / ESP_Mono)` using population
+//! geometric means — positive means MCM advantage. Systems whose
+//! monolithic counterpart had zero collision-free yield are the
+//! paper's red-X points: the MCM is the only way to run the workload.
+
+use std::collections::HashMap;
+
+use chipletqc_benchmarks::suite::Benchmark;
+use chipletqc_math::logspace::{ln_to_log10, mean_ln};
+use chipletqc_math::rng::Seed;
+use chipletqc_topology::evalset::paper_mcms;
+use chipletqc_topology::mcm::McmSpec;
+use chipletqc_transpile::esp::{edge_usage, esp_from_usage};
+use chipletqc_transpile::pipeline::Transpiler;
+
+use crate::lab::{Lab, LabConfig};
+use crate::report::TextTable;
+
+/// Fig. 10 configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Config {
+    /// Lab configuration.
+    pub lab: LabConfig,
+    /// The benchmarks to map (paper: all seven).
+    pub benchmarks: Vec<Benchmark>,
+    /// The systems to evaluate (paper: the 102-system set).
+    pub systems: Vec<McmSpec>,
+    /// The compiler.
+    pub transpiler: Transpiler,
+    /// Seed for randomized benchmarks (primacy).
+    pub circuit_seed: Seed,
+}
+
+impl Fig10Config {
+    /// The paper's full evaluation: 7 benchmarks × 102 systems.
+    pub fn paper() -> Fig10Config {
+        Fig10Config {
+            lab: LabConfig::paper(),
+            benchmarks: Benchmark::ALL.to_vec(),
+            systems: paper_mcms(),
+            transpiler: Transpiler::paper(),
+            circuit_seed: Seed(10),
+        }
+    }
+
+    /// Reduced: three benchmarks on small systems.
+    pub fn quick() -> Fig10Config {
+        let systems = paper_mcms()
+            .into_iter()
+            .filter(|s| s.chiplet().num_qubits() <= 20 && s.num_qubits() <= 120)
+            .collect();
+        Fig10Config {
+            lab: LabConfig::quick(),
+            benchmarks: vec![Benchmark::Ghz, Benchmark::Bv, Benchmark::Qaoa],
+            systems,
+            transpiler: Transpiler::paper(),
+            circuit_seed: Seed(10),
+        }
+    }
+}
+
+/// The outcome class of one system × benchmark cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatioOutcome {
+    /// Both populations exist: `log10(ESP_MCM / ESP_Mono)`.
+    Finite(f64),
+    /// The monolithic counterpart had zero collision-free yield — the
+    /// paper's red X (unbounded MCM advantage).
+    MonolithicImpossible,
+    /// No module could be assembled (only possible with degenerate
+    /// batches).
+    McmUnavailable,
+}
+
+impl RatioOutcome {
+    /// The finite value, if any.
+    pub fn finite(self) -> Option<f64> {
+        match self {
+            RatioOutcome::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One system × benchmark evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Point {
+    /// The system.
+    pub spec: McmSpec,
+    /// Population geometric-mean `log10 ESP` on the MCM.
+    pub mcm_esp_log10: Option<f64>,
+    /// Population geometric-mean `log10 ESP` on the monolithic device.
+    pub mono_esp_log10: Option<f64>,
+    /// The comparison outcome.
+    pub outcome: RatioOutcome,
+}
+
+/// One benchmark's series over all systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// One point per system (config order).
+    pub points: Vec<Fig10Point>,
+}
+
+impl Fig10Row {
+    /// The number of red-X systems (zero-yield monolithic).
+    pub fn red_x_count(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.outcome == RatioOutcome::MonolithicImpossible)
+            .count()
+    }
+
+    /// The fraction of finite points with MCM advantage
+    /// (`log10 ratio > 0`).
+    pub fn advantage_fraction(&self) -> f64 {
+        let finite: Vec<f64> = self.points.iter().filter_map(|p| p.outcome.finite()).collect();
+        if finite.is_empty() {
+            return 0.0;
+        }
+        finite.iter().filter(|v| **v > 0.0).count() as f64 / finite.len() as f64
+    }
+}
+
+/// The Fig. 10 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Data {
+    /// One row per benchmark.
+    pub rows: Vec<Fig10Row>,
+}
+
+impl Fig10Data {
+    /// Restriction of the data to square systems (Fig. 10b).
+    pub fn squares(&self) -> Fig10Data {
+        Fig10Data {
+            rows: self
+                .rows
+                .iter()
+                .map(|row| Fig10Row {
+                    benchmark: row.benchmark,
+                    points: row.points.iter().filter(|p| p.spec.is_square()).copied().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders one table per benchmark.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&format!(
+                "=== {} ({} red-X systems; MCM advantage on {:.0}% of finite points) ===\n",
+                row.benchmark,
+                row.red_x_count(),
+                100.0 * row.advantage_fraction()
+            ));
+            let mut table = TextTable::new([
+                "chiplet",
+                "grid",
+                "qubits",
+                "log10 ESP (MCM)",
+                "log10 ESP (mono)",
+                "log10 ratio",
+            ]);
+            for p in &row.points {
+                table.row([
+                    p.spec.chiplet().num_qubits().to_string(),
+                    format!("{}x{}", p.spec.grid_rows(), p.spec.grid_cols()),
+                    p.spec.num_qubits().to_string(),
+                    p.mcm_esp_log10.map_or("-".into(), |v| format!("{v:.2}")),
+                    p.mono_esp_log10.map_or("-".into(), |v| format!("{v:.2}")),
+                    match p.outcome {
+                        RatioOutcome::Finite(v) => format!("{v:+.2}"),
+                        RatioOutcome::MonolithicImpossible => "X (mono yield 0)".into(),
+                        RatioOutcome::McmUnavailable => "no MCM".into(),
+                    },
+                ]);
+            }
+            out.push_str(&table.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the Fig. 10 evaluation.
+pub fn run(config: &Fig10Config) -> Fig10Data {
+    let lab = Lab::new(config.lab);
+    // Monolithic compiles are shared across systems of equal size.
+    let mut mono_usage: HashMap<(usize, Benchmark), Vec<u32>> = HashMap::new();
+
+    let mut rows: Vec<Fig10Row> = config
+        .benchmarks
+        .iter()
+        .map(|b| Fig10Row { benchmark: *b, points: Vec::new() })
+        .collect();
+
+    for spec in &config.systems {
+        let qubits = spec.num_qubits();
+        let mcm_device = spec.build();
+        let mono_pop = lab.mono_population(qubits);
+        let outcome = lab.assemble(spec);
+        let selected = lab.selected_mcm_count(outcome.mcms.len(), mono_pop.estimate.survivors);
+
+        for (bi, &benchmark) in config.benchmarks.iter().enumerate() {
+            let circuit = benchmark.for_device_qubits(qubits, config.circuit_seed);
+            let mcm_compiled = config.transpiler.transpile(&circuit, &mcm_device);
+            let mcm_use = edge_usage(&mcm_compiled.physical, &mcm_device);
+            let mcm_lns: Vec<f64> = outcome.mcms[..selected]
+                .iter()
+                .map(|m| esp_from_usage(&mcm_use, &m.noise).ln())
+                .collect();
+
+            let mono_use = mono_usage.entry((qubits, benchmark)).or_insert_with(|| {
+                let compiled = config.transpiler.transpile(&circuit, &mono_pop.device);
+                edge_usage(&compiled.physical, &mono_pop.device)
+            });
+            let mono_lns: Vec<f64> = mono_pop
+                .members
+                .iter()
+                .map(|(_, noise)| esp_from_usage(mono_use, noise).ln())
+                .collect();
+
+            let mcm_esp_log10 = (!mcm_lns.is_empty()).then(|| ln_to_log10(mean_ln(&mcm_lns)));
+            let mono_esp_log10 = (!mono_lns.is_empty()).then(|| ln_to_log10(mean_ln(&mono_lns)));
+            let point_outcome = match (mcm_esp_log10, mono_esp_log10) {
+                (Some(m), Some(o)) => RatioOutcome::Finite(m - o),
+                (Some(_), None) => RatioOutcome::MonolithicImpossible,
+                _ => RatioOutcome::McmUnavailable,
+            };
+            rows[bi].points.push(Fig10Point {
+                spec: *spec,
+                mcm_esp_log10,
+                mono_esp_log10,
+                outcome: point_outcome,
+            });
+        }
+    }
+    Fig10Data { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_full_grid() {
+        let config = Fig10Config::quick();
+        let data = run(&config);
+        assert_eq!(data.rows.len(), config.benchmarks.len());
+        for row in &data.rows {
+            assert_eq!(row.points.len(), config.systems.len());
+            // ESPs are negative log10 values (fidelity < 1).
+            for p in &row.points {
+                if let Some(v) = p.mcm_esp_log10 {
+                    assert!(v < 0.0, "{}: ESP log10 {v}", p.spec);
+                }
+            }
+        }
+        let rendered = data.render();
+        assert!(rendered.contains("GHZ"));
+        assert!(rendered.contains("log10 ratio"));
+    }
+
+    #[test]
+    fn squares_filter_keeps_only_squares() {
+        let data = run(&Fig10Config::quick());
+        let squares = data.squares();
+        for row in &squares.rows {
+            assert!(row.points.iter().all(|p| p.spec.is_square()));
+            assert!(!row.points.is_empty());
+        }
+    }
+
+    #[test]
+    fn ratios_are_modest_on_small_systems() {
+        // On 40-120 qubit systems both architectures exist and the
+        // log10 ratio should be bounded (the extreme values of the
+        // paper appear only at hundreds of qubits where ESPs differ by
+        // tens of orders of magnitude).
+        let data = run(&Fig10Config::quick());
+        for row in &data.rows {
+            for p in &row.points {
+                if let RatioOutcome::Finite(v) = p.outcome {
+                    assert!(v.abs() < 200.0, "{}: ratio {v}", p.spec);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig. 6: MCM configuration counts and assembly bounds.
+//!
+//! Left axis: possible configurations of an `m×m` module from the
+//! collision-free yield of 20-qubit chiplets (factorial growth,
+//! reported as `log10`). Right axis: the assembled-module upper bound.
+//! The paper's operating point is ~69.4 % yield from a batch of 10⁵.
+
+use chipletqc_assembly::configurations::{fig6_rows, ConfigurationRow};
+use chipletqc_collision::criteria::CollisionParams;
+use chipletqc_math::rng::Seed;
+use chipletqc_topology::family::ChipletSpec;
+use chipletqc_yield::fabrication::FabricationParams;
+use chipletqc_yield::monte_carlo::simulate_yield;
+
+use crate::report::TextTable;
+
+/// Fig. 6 configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Config {
+    /// Chiplet size (paper: 20 qubits).
+    pub chiplet_qubits: usize,
+    /// Fabrication batch (paper: 100 000).
+    pub batch: usize,
+    /// Largest square module side.
+    pub max_side: usize,
+    /// Fabrication model.
+    pub fabrication: FabricationParams,
+    /// Collision thresholds.
+    pub collision: CollisionParams,
+    /// Root seed.
+    pub seed: Seed,
+}
+
+impl Fig6Config {
+    /// The paper's operating point: 20q chiplets, batch 10⁵,
+    /// σ_f = 0.014.
+    pub fn paper() -> Fig6Config {
+        Fig6Config {
+            chiplet_qubits: 20,
+            batch: 100_000,
+            max_side: 7,
+            fabrication: FabricationParams::state_of_the_art(),
+            collision: CollisionParams::paper(),
+            seed: Seed(6),
+        }
+    }
+
+    /// Reduced batch for tests.
+    pub fn quick() -> Fig6Config {
+        Fig6Config { batch: 2000, ..Fig6Config::paper() }
+    }
+}
+
+/// The Fig. 6 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Data {
+    /// Collision-free chiplets measured by Monte Carlo.
+    pub yielded: u64,
+    /// The batch size used.
+    pub batch: usize,
+    /// One row per square module side.
+    pub rows: Vec<ConfigurationRow>,
+}
+
+impl Fig6Data {
+    /// The measured chiplet yield fraction.
+    pub fn yield_fraction(&self) -> f64 {
+        self.yielded as f64 / self.batch as f64
+    }
+
+    /// Renders the two-axis table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "collision-free 20q chiplets: {}/{} = {:.4}\n",
+            self.yielded,
+            self.batch,
+            self.yield_fraction()
+        );
+        let mut table = TextTable::new(["module", "log10(configurations)", "max assembled"]);
+        for row in &self.rows {
+            table.row([
+                format!("{0}x{0}", row.side),
+                format!("{:.1}", row.log10_configurations),
+                row.max_assembled.to_string(),
+            ]);
+        }
+        out.push_str(&table.to_string());
+        out
+    }
+}
+
+/// Runs the Fig. 6 measurement + counting.
+pub fn run(config: &Fig6Config) -> Fig6Data {
+    let device = ChipletSpec::with_qubits(config.chiplet_qubits)
+        .expect("paper chiplet sizes are valid")
+        .build();
+    let estimate = simulate_yield(
+        &device,
+        &config.fabrication,
+        &config.collision,
+        config.batch,
+        config.seed,
+    );
+    Fig6Data {
+        yielded: estimate.survivors as u64,
+        batch: config.batch,
+        rows: fig6_rows(estimate.survivors as u64, config.max_side),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_near_paper_694_percent() {
+        let data = run(&Fig6Config::quick());
+        // Paper: ~69.4% at sigma_f = 0.014. Allow Monte Carlo slack at
+        // the reduced batch.
+        assert!(
+            (data.yield_fraction() - 0.694).abs() < 0.08,
+            "yield {:.3}",
+            data.yield_fraction()
+        );
+    }
+
+    #[test]
+    fn factorial_growth_and_decreasing_bound() {
+        let data = run(&Fig6Config::quick());
+        assert_eq!(data.rows.len(), 6); // sides 2..=7
+        assert!(data
+            .rows
+            .windows(2)
+            .all(|w| w[1].log10_configurations > w[0].log10_configurations));
+        assert!(data.rows.windows(2).all(|w| w[1].max_assembled < w[0].max_assembled));
+        let rendered = data.render();
+        assert!(rendered.contains("2x2"));
+        assert!(rendered.contains("7x7"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Fig. 7: CX infidelity vs. qubit-qubit detuning on the Washington
+//! stand-in, and the binned empirical model built from it.
+
+use chipletqc_math::rng::Seed;
+use chipletqc_noise::detuning_model::EmpiricalDetuningModel;
+use chipletqc_noise::washington::{synthesize_calibration, CalibrationData, WashingtonParams};
+
+use crate::report::TextTable;
+
+/// Fig. 7 configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Config {
+    /// Synthetic-calibration generator parameters.
+    pub washington: WashingtonParams,
+    /// Bin width for the empirical model (paper: 0.1 GHz).
+    pub bin_width: f64,
+    /// Root seed.
+    pub seed: Seed,
+}
+
+impl Fig7Config {
+    /// The paper-calibrated generator and 0.1 GHz bins.
+    pub fn paper() -> Fig7Config {
+        Fig7Config {
+            washington: WashingtonParams::paper(),
+            bin_width: EmpiricalDetuningModel::PAPER_BIN_WIDTH,
+            seed: Seed(7),
+        }
+    }
+
+    /// Same as [`Fig7Config::paper`] (already cheap).
+    pub fn quick() -> Fig7Config {
+        Fig7Config::paper()
+    }
+}
+
+/// The Fig. 7 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Data {
+    /// The scatter points `(detuning GHz, mean CX infidelity)`.
+    pub calibration: CalibrationData,
+    /// The binned empirical model.
+    pub model: EmpiricalDetuningModel,
+}
+
+impl Fig7Data {
+    /// Renders the pooled statistics and per-bin summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "pooled median {:.4} (paper: 0.012), mean {:.4} (paper: 0.018)\n",
+            self.calibration.median_infidelity(),
+            self.calibration.mean_infidelity()
+        );
+        let mut table = TextTable::new(["detuning bin (GHz)", "pairs", "mean infidelity"]);
+        for (center, count, mean) in self.model.bin_summary() {
+            table.row([
+                format!("{:.2}-{:.2}", center - 0.05, center + 0.05),
+                count.to_string(),
+                format!("{mean:.4}"),
+            ]);
+        }
+        out.push_str(&table.to_string());
+        out
+    }
+}
+
+/// Runs the Fig. 7 synthesis + binning.
+pub fn run(config: &Fig7Config) -> Fig7Data {
+    let calibration = synthesize_calibration(&config.washington, config.seed);
+    let model = EmpiricalDetuningModel::with_bin_width(&calibration, config.bin_width)
+        .expect("synthetic calibration is non-empty");
+    Fig7Data { calibration, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_near_paper_values() {
+        let data = run(&Fig7Config::paper());
+        assert!((data.calibration.median_infidelity() - 0.012).abs() < 0.004);
+        assert!((data.calibration.mean_infidelity() - 0.018).abs() < 0.006);
+        assert_eq!(data.calibration.points.len(), 144);
+    }
+
+    #[test]
+    fn render_lists_bins() {
+        let data = run(&Fig7Config::paper());
+        let rendered = data.render();
+        assert!(rendered.contains("pooled median"));
+        assert!(rendered.contains("0.00-0.10") || rendered.contains("-0.00-0.10"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Fig. 9: heatmaps of `E_avg,MCM / E_avg,Mono` for square MCMs across
+//! link-error ratios.
+//!
+//! Panel (a) uses the state-of-the-art link distribution
+//! (`e_link/e_chip ≈ 4.17`); panels (b)–(d) improve links to 3×, 2×,
+//! and 1× the on-chip mean. A ratio below one (the paper highlights
+//! these cells) means the module population beats the monolithic
+//! population on average two-qubit infidelity.
+
+use chipletqc_noise::link::{PAPER_CHIP_MEAN, PAPER_LINK_MEAN};
+use chipletqc_topology::evalset::square_mcms;
+use chipletqc_topology::mcm::McmSpec;
+
+use crate::lab::{Lab, LabConfig, SystemComparison};
+use crate::report::{fmt_ratio, TextTable};
+
+/// Fig. 9 configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Config {
+    /// Lab configuration.
+    pub lab: LabConfig,
+    /// The `e_link/e_chip` ratios, one heatmap each (paper: ≈4.17, 3,
+    /// 2, 1).
+    pub ratios: Vec<f64>,
+    /// The square systems to evaluate.
+    pub systems: Vec<McmSpec>,
+}
+
+impl Fig9Config {
+    /// The paper's four panels over the 15 square systems.
+    pub fn paper() -> Fig9Config {
+        Fig9Config {
+            lab: LabConfig::paper(),
+            ratios: vec![PAPER_LINK_MEAN / PAPER_CHIP_MEAN, 3.0, 2.0, 1.0],
+            systems: square_mcms(),
+        }
+    }
+
+    /// Reduced: two panels, small systems, reduced batch.
+    pub fn quick() -> Fig9Config {
+        let systems = square_mcms()
+            .into_iter()
+            .filter(|s| s.num_qubits() <= 180)
+            .collect();
+        Fig9Config {
+            lab: LabConfig::quick().with_batch(600),
+            ratios: vec![PAPER_LINK_MEAN / PAPER_CHIP_MEAN, 1.0],
+            systems,
+        }
+    }
+}
+
+/// One heatmap panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Panel {
+    /// The `e_link/e_chip` ratio of this panel.
+    pub link_ratio: f64,
+    /// One comparison per square system.
+    pub cells: Vec<SystemComparison>,
+}
+
+impl Fig9Panel {
+    /// The fraction of defined cells with MCM advantage (ratio < 1).
+    pub fn advantage_fraction(&self) -> f64 {
+        let defined: Vec<f64> = self.cells.iter().filter_map(|c| c.eavg_ratio).collect();
+        if defined.is_empty() {
+            return 0.0;
+        }
+        defined.iter().filter(|r| **r < 1.0).count() as f64 / defined.len() as f64
+    }
+
+    /// The best (lowest) ratio in the panel.
+    pub fn best_ratio(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.eavg_ratio)
+            .min_by(f64::total_cmp)
+    }
+}
+
+/// The Fig. 9 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Data {
+    /// One panel per link ratio, in config order.
+    pub panels: Vec<Fig9Panel>,
+}
+
+impl Fig9Data {
+    /// Renders every panel as a chiplet × side heatmap.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for panel in &self.panels {
+            out.push_str(&format!(
+                "=== e_link/e_chip = {:.2} (MCM advantage in {:.0}% of cells) ===\n",
+                panel.link_ratio,
+                100.0 * panel.advantage_fraction()
+            ));
+            let mut table =
+                TextTable::new(["chiplet", "grid", "qubits", "Eavg MCM", "Eavg mono", "ratio"]);
+            for cell in &panel.cells {
+                table.row([
+                    cell.spec.chiplet().num_qubits().to_string(),
+                    format!("{0}x{0}", cell.spec.grid_rows()),
+                    cell.spec.num_qubits().to_string(),
+                    cell.eavg_mcm.map_or("-".into(), |e| format!("{e:.5}")),
+                    cell.eavg_mono.map_or("-".into(), |e| format!("{e:.5}")),
+                    fmt_ratio(cell.eavg_ratio),
+                ]);
+            }
+            out.push_str(&table.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the Fig. 9 sweep. Fabrication and characterization are shared
+/// across panels via sibling labs.
+pub fn run(config: &Fig9Config) -> Fig9Data {
+    let base = Lab::new(config.lab);
+    let panels = config
+        .ratios
+        .iter()
+        .map(|&ratio| {
+            let lab = base.with_link_ratio(ratio);
+            let cells = config.systems.iter().map(|spec| lab.compare(spec)).collect();
+            Fig9Panel { link_ratio: ratio, cells }
+        })
+        .collect();
+    Fig9Data { panels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_links_beat_state_of_the_art_links() {
+        let data = run(&Fig9Config::quick());
+        assert_eq!(data.panels.len(), 2);
+        let sota = &data.panels[0];
+        let equal = &data.panels[1];
+        // Better links can only improve (or tie) each defined cell.
+        for (a, b) in sota.cells.iter().zip(&equal.cells) {
+            if let (Some(ra), Some(rb)) = (a.eavg_ratio, b.eavg_ratio) {
+                assert!(rb <= ra + 0.05, "{}: {} -> {}", a.spec, ra, rb);
+            }
+        }
+        assert!(equal.advantage_fraction() >= sota.advantage_fraction());
+        let rendered = data.render();
+        assert!(rendered.contains("e_link/e_chip"));
+    }
+
+    #[test]
+    fn equal_link_panel_shows_broad_advantage() {
+        // Fig. 9(d): at e_link = e_chip, 100% of configurations favor
+        // the MCM. At reduced batch we require a strong majority of the
+        // defined cells.
+        let data = run(&Fig9Config::quick());
+        let equal = &data.panels[1];
+        assert!(
+            equal.advantage_fraction() > 0.6,
+            "advantage fraction {}",
+            equal.advantage_fraction()
+        );
+    }
+}

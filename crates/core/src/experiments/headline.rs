@@ -1,0 +1,119 @@
+//! The abstract's headline numbers, extracted from the Fig. 8 and
+//! Fig. 9 datasets.
+//!
+//! The paper's claims:
+//!
+//! 1. "chiplet architectures … benefit from average yield improvements
+//!    ranging from 9.6−92.6× for ≲500 qubit machines";
+//! 2. "configurations that demonstrate average two-qubit gate
+//!    infidelity reductions that are at best 0.815× their monolithic
+//!    counterpart" (range 0.949−0.815×);
+//! 3. "carefully-selected modular systems achieve fidelity improvements
+//!    on a range of benchmark circuits".
+
+use crate::experiments::fig10::Fig10Data;
+use crate::experiments::fig8::Fig8Data;
+use crate::experiments::fig9::Fig9Data;
+use crate::report::TextTable;
+
+/// The extracted headline summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// Smallest per-chiplet-size average yield improvement (paper:
+    /// ~9.6×).
+    pub min_yield_improvement: Option<f64>,
+    /// Largest per-chiplet-size average yield improvement (paper:
+    /// ~92.6×).
+    pub max_yield_improvement: Option<f64>,
+    /// Best (lowest) `E_avg` ratio at state-of-the-art links (paper:
+    /// 0.815×).
+    pub best_eavg_ratio: Option<f64>,
+    /// Fraction of square systems with `E_avg` advantage at
+    /// `e_link = e_chip` (paper: 100 %).
+    pub equal_link_advantage_fraction: Option<f64>,
+    /// Fraction of finite benchmark points with MCM fidelity advantage,
+    /// if application data was provided.
+    pub benchmark_advantage_fraction: Option<f64>,
+}
+
+impl Headline {
+    /// Extracts the headline numbers from experiment datasets.
+    ///
+    /// `fig10` is optional because the application sweep is by far the
+    /// most expensive stage.
+    pub fn from_data(fig8: &Fig8Data, fig9: &Fig9Data, fig10: Option<&Fig10Data>) -> Headline {
+        let improvements: Vec<f64> =
+            fig8.improvements.iter().filter_map(|(_, r, _)| *r).collect();
+        let best_eavg_ratio = fig9.panels.first().and_then(|p| p.best_ratio());
+        let equal_link_advantage_fraction = fig9
+            .panels
+            .iter()
+            .find(|p| (p.link_ratio - 1.0).abs() < 1e-9)
+            .map(|p| p.advantage_fraction());
+        let benchmark_advantage_fraction = fig10.map(|d| {
+            let fracs: Vec<f64> = d.rows.iter().map(|r| r.advantage_fraction()).collect();
+            chipletqc_math::stats::mean(&fracs)
+        });
+        Headline {
+            min_yield_improvement: improvements.iter().copied().min_by(f64::total_cmp),
+            max_yield_improvement: improvements.iter().copied().max_by(f64::total_cmp),
+            best_eavg_ratio,
+            equal_link_advantage_fraction,
+            benchmark_advantage_fraction,
+        }
+    }
+
+    /// Renders the claims table.
+    pub fn render(&self) -> String {
+        let fmt = |v: Option<f64>, digits: usize| {
+            v.map_or("-".to_string(), |x| format!("{x:.digits$}"))
+        };
+        let mut table = TextTable::new(["claim", "measured", "paper"]);
+        table.row([
+            "min avg yield improvement".to_string(),
+            fmt(self.min_yield_improvement, 1),
+            "9.6x".to_string(),
+        ]);
+        table.row([
+            "max avg yield improvement".to_string(),
+            fmt(self.max_yield_improvement, 1),
+            "92.6x".to_string(),
+        ]);
+        table.row([
+            "best Eavg ratio (SOTA links)".to_string(),
+            fmt(self.best_eavg_ratio, 3),
+            "0.815".to_string(),
+        ]);
+        table.row([
+            "Eavg advantage at e_link=e_chip".to_string(),
+            fmt(self.equal_link_advantage_fraction.map(|f| f * 100.0), 0) + "%",
+            "100%".to_string(),
+        ]);
+        table.row([
+            "benchmark advantage fraction".to_string(),
+            fmt(self.benchmark_advantage_fraction.map(|f| f * 100.0), 0) + "%",
+            "select cases".to_string(),
+        ]);
+        table.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{fig8, fig9};
+
+    #[test]
+    fn headline_extracts_from_quick_runs() {
+        let f8 = fig8::run(&fig8::Fig8Config::quick());
+        let f9 = fig9::run(&fig9::Fig9Config::quick());
+        let headline = Headline::from_data(&f8, &f9, None);
+        let min = headline.min_yield_improvement.expect("some improvements measured");
+        assert!(min > 1.0, "min improvement {min}");
+        assert!(headline.max_yield_improvement.unwrap() >= min);
+        assert!(headline.best_eavg_ratio.is_some());
+        let rendered = headline.render();
+        assert!(rendered.contains("92.6x"));
+        assert!(rendered.contains("0.815"));
+    }
+}

@@ -1,0 +1,446 @@
+//! The shared fabricate → characterize → assemble → compare pipeline.
+//!
+//! Every architecture comparison in the paper (Figs. 8–10) consumes the
+//! same intermediate products: a collision-free KGD-characterized
+//! chiplet bin per chiplet size, a collision-free noise-assigned
+//! monolithic population per system size, and a best-first MCM assembly
+//! per configuration. [`Lab`] computes these once per configuration and
+//! caches them, and [`Lab::with_link_ratio`] creates sibling labs that
+//! share the link-independent caches — the Fig. 9 ratio sweep reuses
+//! all fabrication work across its four panels.
+//!
+//! ## Population semantics (DESIGN.md §6)
+//!
+//! The paper compares "the devices in the collision-free monolithic
+//! yield to the MCMs resulting from the chiplets in the scaled,
+//! collision-free bin", with KGD ranking ensuring the best chiplets
+//! form the first modules. [`ComparisonMode::MatchMonolithicCount`]
+//! (the default) compares the *best `min(N_mono, N_assembled)`
+//! modules* against the full monolithic survivor population — equal
+//! device counts, which is what makes speed-binning-style postselection
+//! meaningful. [`ComparisonMode::AllAssembled`] is the ablation that
+//! averages over every assembled module.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use chipletqc_assembly::assembler::{Assembler, AssemblyOutcome, AssemblyParams};
+use chipletqc_assembly::kgd::KgdBin;
+use chipletqc_collision::criteria::CollisionParams;
+use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::rng::Seed;
+use chipletqc_math::stats::mean;
+use chipletqc_noise::assign::{EdgeNoise, NoiseModel};
+use chipletqc_topology::device::Device;
+use chipletqc_topology::family::{ChipletSpec, MonolithicSpec};
+use chipletqc_topology::mcm::McmSpec;
+use chipletqc_yield::fabrication::FabricationParams;
+use chipletqc_yield::monte_carlo::{fabricate_collision_free, YieldEstimate};
+
+/// How MCM and monolithic populations are matched before averaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ComparisonMode {
+    /// Compare the best `min(N_mono, N_assembled)` modules against all
+    /// monolithic survivors (the paper's scaled comparison; default).
+    #[default]
+    MatchMonolithicCount,
+    /// Compare every assembled module (ablation).
+    AllAssembled,
+}
+
+/// Lab configuration: fabrication batch, models, and seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabConfig {
+    /// Fabrication batch size per device design (paper: 10 000).
+    pub batch: usize,
+    /// Table I thresholds.
+    pub collision: CollisionParams,
+    /// Ideal plan + fabrication precision (paper: σ_f = 0.014).
+    pub fabrication: FabricationParams,
+    /// Assembly policy (reshuffle budget, bump bonds).
+    pub assembly: AssemblyParams,
+    /// Link error scale as a multiple of the on-chip mean; `None` uses
+    /// the Gold et al. distribution (≈ 4.17×).
+    pub link_ratio: Option<f64>,
+    /// Population matching mode.
+    pub comparison: ComparisonMode,
+    /// Root seed; every sub-stream derives from it.
+    pub seed: Seed,
+}
+
+impl LabConfig {
+    /// The paper-scale configuration: batch 10 000, σ_f = 0.014 GHz,
+    /// state-of-the-art link noise.
+    pub fn paper() -> LabConfig {
+        LabConfig {
+            batch: 10_000,
+            collision: CollisionParams::paper(),
+            fabrication: FabricationParams::state_of_the_art(),
+            assembly: AssemblyParams::paper(),
+            link_ratio: None,
+            comparison: ComparisonMode::MatchMonolithicCount,
+            seed: Seed(2022),
+        }
+    }
+
+    /// A reduced configuration for tests and doc examples
+    /// (batch 400).
+    pub fn quick() -> LabConfig {
+        LabConfig { batch: 400, ..LabConfig::paper() }
+    }
+
+    /// Returns a copy with a different batch size.
+    #[must_use]
+    pub fn with_batch(self, batch: usize) -> LabConfig {
+        LabConfig { batch, ..self }
+    }
+
+    /// Returns a copy with a different root seed.
+    #[must_use]
+    pub fn with_seed(self, seed: Seed) -> LabConfig {
+        LabConfig { seed, ..self }
+    }
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig::paper()
+    }
+}
+
+/// A collision-free, noise-assigned monolithic device population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonoPopulation {
+    /// The monolithic device design.
+    pub device: Device,
+    /// The Monte Carlo yield estimate.
+    pub estimate: YieldEstimate,
+    /// Surviving devices: fabricated frequencies + assigned edge noise.
+    pub members: Vec<(Frequencies, EdgeNoise)>,
+}
+
+impl MonoPopulation {
+    /// Mean `E_avg` across the population, `None` when empty.
+    pub fn mean_eavg(&self) -> Option<f64> {
+        if self.members.is_empty() {
+            return None;
+        }
+        Some(mean(&self.members.iter().map(|(_, n)| n.eavg()).collect::<Vec<f64>>()))
+    }
+}
+
+/// Link-independent caches shared between sibling labs.
+#[derive(Debug, Default)]
+struct SharedCaches {
+    chiplet_bins: RefCell<HashMap<usize, Rc<KgdBin>>>,
+    mono_pops: RefCell<HashMap<usize, Rc<MonoPopulation>>>,
+}
+
+/// The cached experiment pipeline.
+#[derive(Debug)]
+pub struct Lab {
+    config: LabConfig,
+    noise: NoiseModel,
+    shared: Rc<SharedCaches>,
+    assemblies: RefCell<HashMap<(usize, usize, usize), Rc<AssemblyOutcome>>>,
+}
+
+impl Lab {
+    /// Creates a lab from a configuration.
+    pub fn new(config: LabConfig) -> Lab {
+        let calib_seed = config.seed.split_str("calibration");
+        let noise = match config.link_ratio {
+            None => NoiseModel::paper(calib_seed),
+            Some(ratio) => NoiseModel::with_link_ratio(calib_seed, ratio),
+        };
+        Lab {
+            config,
+            noise,
+            shared: Rc::new(SharedCaches::default()),
+            assemblies: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A sibling lab with a different `e_link/e_chip` ratio, sharing
+    /// the fabrication and characterization caches (the Fig. 9 sweep).
+    pub fn with_link_ratio(&self, ratio: f64) -> Lab {
+        let config = LabConfig { link_ratio: Some(ratio), ..self.config };
+        let noise =
+            NoiseModel::with_link_ratio(self.config.seed.split_str("calibration"), ratio);
+        Lab {
+            config,
+            noise,
+            shared: Rc::clone(&self.shared),
+            assemblies: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LabConfig {
+        &self.config
+    }
+
+    /// The noise model in use.
+    pub fn noise_model(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The KGD-characterized collision-free bin for a chiplet design
+    /// (cached).
+    pub fn chiplet_bin(&self, chiplet: ChipletSpec) -> Rc<KgdBin> {
+        let key = chiplet.num_qubits();
+        if let Some(bin) = self.shared.chiplet_bins.borrow().get(&key) {
+            return Rc::clone(bin);
+        }
+        let device = chiplet.build();
+        let raw = fabricate_collision_free(
+            &device,
+            &self.config.fabrication,
+            &self.config.collision,
+            self.config.batch,
+            self.config.seed.split_str("chiplet-fab").split(key as u64),
+        );
+        let bin = Rc::new(KgdBin::characterize(
+            &device,
+            raw,
+            &self.noise,
+            self.config.seed.split_str("chiplet-kgd").split(key as u64),
+        ));
+        self.shared.chiplet_bins.borrow_mut().insert(key, Rc::clone(&bin));
+        bin
+    }
+
+    /// The collision-free monolithic population at `qubits` (cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is not a positive multiple of 5.
+    pub fn mono_population(&self, qubits: usize) -> Rc<MonoPopulation> {
+        if let Some(pop) = self.shared.mono_pops.borrow().get(&qubits) {
+            return Rc::clone(pop);
+        }
+        let device = MonolithicSpec::with_qubits(qubits)
+            .unwrap_or_else(|e| panic!("monolithic size {qubits}: {e}"))
+            .build();
+        let survivors = fabricate_collision_free(
+            &device,
+            &self.config.fabrication,
+            &self.config.collision,
+            self.config.batch,
+            self.config.seed.split_str("mono-fab").split(qubits as u64),
+        );
+        let estimate = YieldEstimate { survivors: survivors.len(), batch: self.config.batch };
+        let noise_seed = self.config.seed.split_str("mono-noise").split(qubits as u64);
+        let members = survivors
+            .into_iter()
+            .enumerate()
+            .map(|(i, freqs)| {
+                let mut rng = noise_seed.split(i as u64).rng();
+                let noise = self.noise.assign(&device, &freqs, &mut rng);
+                (freqs, noise)
+            })
+            .collect();
+        let pop = Rc::new(MonoPopulation { device, estimate, members });
+        self.shared.mono_pops.borrow_mut().insert(qubits, Rc::clone(&pop));
+        pop
+    }
+
+    /// The best-first assembly of `spec` from its chiplet bin (cached
+    /// per lab, since module link noise depends on the link ratio).
+    pub fn assemble(&self, spec: &McmSpec) -> Rc<AssemblyOutcome> {
+        let key = (spec.chiplet().num_qubits(), spec.grid_rows(), spec.grid_cols());
+        if let Some(outcome) = self.assemblies.borrow().get(&key) {
+            return Rc::clone(outcome);
+        }
+        let bin = self.chiplet_bin(spec.chiplet());
+        let outcome = Rc::new(Assembler::new(self.config.assembly).assemble(
+            spec,
+            &bin,
+            self.noise.link_model(),
+            self.config
+                .seed
+                .split_str("assemble")
+                .split((key.0 * 1_000_000 + key.1 * 1000 + key.2) as u64),
+        ));
+        self.assemblies.borrow_mut().insert(key, Rc::clone(&outcome));
+        outcome
+    }
+
+    /// The number of modules selected for comparison under the
+    /// configured [`ComparisonMode`].
+    ///
+    /// When the monolithic counterpart has zero yield there is nothing
+    /// to match against — the MCM is the only way to build the system
+    /// (the paper's "red X" / unbounded-improvement case) — so the full
+    /// assembled population is reported.
+    pub fn selected_mcm_count(&self, assembled: usize, mono_survivors: usize) -> usize {
+        match self.config.comparison {
+            ComparisonMode::MatchMonolithicCount if mono_survivors > 0 => {
+                assembled.min(mono_survivors)
+            }
+            _ => assembled,
+        }
+    }
+
+    /// Runs the full MCM-vs-monolithic comparison for one
+    /// configuration.
+    pub fn compare(&self, spec: &McmSpec) -> SystemComparison {
+        let mono = self.mono_population(spec.num_qubits());
+        let outcome = self.assemble(spec);
+        let selected = self.selected_mcm_count(outcome.mcms.len(), mono.estimate.survivors);
+        let eavg_mcm = (selected > 0).then(|| {
+            mean(&outcome.mcms[..selected].iter().map(|m| m.eavg).collect::<Vec<f64>>())
+        });
+        let eavg_mono = mono.mean_eavg();
+        let eavg_ratio = match (eavg_mcm, eavg_mono) {
+            (Some(m), Some(o)) if o > 0.0 => Some(m / o),
+            _ => None,
+        };
+        SystemComparison {
+            spec: *spec,
+            mono_yield: mono.estimate,
+            mcm_assembled: outcome.mcms.len(),
+            mcm_population: selected,
+            mono_population: mono.estimate.survivors,
+            eavg_mcm,
+            eavg_mono,
+            eavg_ratio,
+        }
+    }
+}
+
+/// One MCM-vs-monolithic comparison result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemComparison {
+    /// The MCM configuration compared.
+    pub spec: McmSpec,
+    /// Monolithic collision-free yield at the same qubit count.
+    pub mono_yield: YieldEstimate,
+    /// Modules assembled from the full bin.
+    pub mcm_assembled: usize,
+    /// Modules selected for the comparison population.
+    pub mcm_population: usize,
+    /// Monolithic survivor count.
+    pub mono_population: usize,
+    /// Mean `E_avg` of the selected modules.
+    pub eavg_mcm: Option<f64>,
+    /// Mean `E_avg` of the monolithic population.
+    pub eavg_mono: Option<f64>,
+    /// `E_avg,MCM / E_avg,Mono` (the Fig. 9 cell), `None` when either
+    /// population is empty.
+    pub eavg_ratio: Option<f64>,
+}
+
+impl std::fmt::Display for SystemComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: mono yield {}, {} MCMs ({} compared), Eavg ratio {}",
+            self.spec,
+            self.mono_yield,
+            self.mcm_assembled,
+            self.mcm_population,
+            crate::report::fmt_ratio(self.eavg_ratio)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipletqc_noise::link::PAPER_CHIP_MEAN;
+
+    fn quick_lab() -> Lab {
+        Lab::new(LabConfig::quick())
+    }
+
+    #[test]
+    fn caches_return_identical_objects() {
+        let lab = quick_lab();
+        let chiplet = ChipletSpec::with_qubits(10).unwrap();
+        let a = lab.chiplet_bin(chiplet);
+        let b = lab.chiplet_bin(chiplet);
+        assert!(Rc::ptr_eq(&a, &b));
+        let p = lab.mono_population(40);
+        let q = lab.mono_population(40);
+        assert!(Rc::ptr_eq(&p, &q));
+        let spec = McmSpec::new(chiplet, 2, 2);
+        let x = lab.assemble(&spec);
+        let y = lab.assemble(&spec);
+        assert!(Rc::ptr_eq(&x, &y));
+    }
+
+    #[test]
+    fn sibling_labs_share_fabrication() {
+        let lab = quick_lab();
+        let chiplet = ChipletSpec::with_qubits(10).unwrap();
+        let bin = lab.chiplet_bin(chiplet);
+        let sibling = lab.with_link_ratio(1.0);
+        let bin2 = sibling.chiplet_bin(chiplet);
+        assert!(Rc::ptr_eq(&bin, &bin2));
+        assert_eq!(sibling.config().link_ratio, Some(1.0));
+        // But the link models differ.
+        assert!(
+            (sibling.noise_model().link_model().mean() - PAPER_CHIP_MEAN).abs() < 1e-9
+        );
+        assert!((lab.noise_model().link_model().mean() - 0.075).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mono_population_members_match_yield() {
+        let lab = quick_lab();
+        let pop = lab.mono_population(40);
+        assert_eq!(pop.members.len(), pop.estimate.survivors);
+        assert!(pop.estimate.survivors > 0, "40q yield should be healthy");
+        assert!(pop.mean_eavg().unwrap() > 0.001);
+        for (freqs, noise) in &pop.members {
+            assert_eq!(freqs.len(), 40);
+            assert_eq!(noise.len(), pop.device.edges().len());
+        }
+    }
+
+    #[test]
+    fn compare_produces_sane_ratio_for_small_system() {
+        let lab = quick_lab();
+        let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 2);
+        let cmp = lab.compare(&spec);
+        assert!(cmp.mcm_population > 0);
+        assert!(cmp.mono_population > 0);
+        let ratio = cmp.eavg_ratio.expect("both populations nonempty");
+        assert!(ratio > 0.5 && ratio < 3.0, "ratio {ratio}");
+        assert!(!cmp.to_string().is_empty());
+    }
+
+    #[test]
+    fn match_mode_caps_population() {
+        let lab = quick_lab();
+        assert_eq!(lab.selected_mcm_count(100, 7), 7);
+        assert_eq!(lab.selected_mcm_count(5, 7), 5);
+        // Zero-yield monolithic counterpart: report all modules.
+        assert_eq!(lab.selected_mcm_count(100, 0), 100);
+        let all = Lab::new(LabConfig {
+            comparison: ComparisonMode::AllAssembled,
+            ..LabConfig::quick()
+        });
+        assert_eq!(all.selected_mcm_count(100, 7), 100);
+    }
+
+    #[test]
+    fn equal_link_error_gives_mcm_advantage_on_large_systems() {
+        // The Fig. 9(d) mechanism at reduced scale: with links as good
+        // as on-chip couplers and far more modules than monolithic
+        // survivors, the best-module population beats the monolithic
+        // average.
+        let lab = Lab::new(LabConfig::quick().with_batch(600)).with_link_ratio(1.0);
+        let spec = McmSpec::new(ChipletSpec::with_qubits(20).unwrap(), 3, 3);
+        let cmp = lab.compare(&spec);
+        if let Some(ratio) = cmp.eavg_ratio {
+            assert!(ratio < 1.05, "expected MCM advantage, ratio {ratio}");
+        } else {
+            // 180q monolithic can hit zero yield at this batch; then the
+            // comparison is undefined (the paper's "X" case).
+            assert_eq!(cmp.mono_population, 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text and CSV table rendering.
+//!
+//! Every experiment renders its data through [`TextTable`] so the
+//! regeneration binaries print the same rows the paper's tables and
+//! figure series contain, in a form that diffs cleanly run-to-run.
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc::report::TextTable;
+///
+/// let mut t = TextTable::new(["size", "yield"]);
+/// t.row(["100", "0.11"]);
+/// t.row(["10", "0.85"]);
+/// let s = t.to_string();
+/// assert!(s.contains("size"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> TextTable {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as comma-separated values (headers first). Cells
+    /// containing commas or quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!("{cell:>w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an optional ratio, using the paper's "X" marker for
+/// undefined ratios (0 %-yield monolithic counterparts ⇒ unbounded MCM
+/// advantage).
+pub fn fmt_ratio(ratio: Option<f64>) -> String {
+    match ratio {
+        Some(r) => format!("{r:.4}"),
+        None => "X".to_string(),
+    }
+}
+
+/// Formats a yield fraction with sensible precision.
+pub fn fmt_yield(y: f64) -> String {
+    format!("{y:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(["a", "verylongheader"]);
+        t.row(["1", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("verylongheader"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn rejects_ragged_rows() {
+        TextTable::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["with,comma", "with\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(Some(0.815)), "0.8150");
+        assert_eq!(fmt_ratio(None), "X");
+        assert_eq!(fmt_yield(0.11), "0.1100");
+    }
+
+    #[test]
+    fn num_rows_counts() {
+        let mut t = TextTable::new(["x"]);
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Log-domain combinatorics for configuration counting.
+//!
+//! Fig. 6 of the paper plots the number of possible MCM configurations
+//! against MCM size: with ~69k collision-free 20-qubit chiplets, the
+//! number of ways to populate an m×m module grows factorially and exceeds
+//! `u128` for even a 2×2 module, so every count here is carried as
+//! `log10`.
+
+/// Natural log of `n!`, exact summation below 256 and the Stirling series
+/// above (relative error < 1e-12 in that regime).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        return (2..=n).map(|k| (k as f64).ln()).sum();
+    }
+    let n = n as f64;
+    // Stirling series with 1/(12n) and 1/(360n^3) correction terms.
+    n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n)
+        - 1.0 / (360.0 * n * n * n)
+}
+
+/// Base-10 log of `n!`.
+pub fn log10_factorial(n: u64) -> f64 {
+    ln_factorial(n) / std::f64::consts::LN_10
+}
+
+/// Base-10 log of the number of ordered arrangements `P(n, k) = n!/(n−k)!`.
+///
+/// This is the Fig. 6 "potential configurations" count: `k = k·m` slots in
+/// an MCM filled from `n` distinguishable collision-free chiplets, order
+/// (placement) mattering.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (no arrangement exists).
+pub fn log10_permutations(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    log10_factorial(n) - log10_factorial(n - k)
+}
+
+/// Base-10 log of the binomial coefficient `C(n, k)`.
+pub fn log10_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    log10_factorial(n) - log10_factorial(k) - log10_factorial(n - k)
+}
+
+/// All factor pairs `(k, m)` of `n` with `k <= m`, sorted by descending
+/// squareness (ascending `m − k`).
+///
+/// The paper prioritizes "more square" MCM dimensions "to reduce topology
+/// graph diameter" (Section VII-B); `factor_pairs(n)[0]` is exactly that
+/// choice.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_math::combinatorics::factor_pairs;
+///
+/// assert_eq!(factor_pairs(12)[0], (3, 4));
+/// assert_eq!(factor_pairs(4)[0], (2, 2));  // the paper keeps 2x2 ...
+/// assert_eq!(*factor_pairs(4).last().unwrap(), (1, 4)); // ... not 4x1
+/// ```
+pub fn factor_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut k = 1;
+    while k * k <= n {
+        if n.is_multiple_of(k) {
+            pairs.push((k, n / k));
+        }
+        k += 1;
+    }
+    pairs.sort_by_key(|(a, b)| b - a);
+    pairs
+}
+
+/// The most-square factorization of `n` (see [`factor_pairs`]).
+pub fn most_square_dims(n: usize) -> (usize, usize) {
+    factor_pairs(n)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factorials_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((log10_factorial(10) - 3_628_800f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stirling_matches_exact_at_boundary() {
+        // Compare the series against exact summation around the switch point.
+        let exact: f64 = (2..=300u64).map(|k| (k as f64).ln()).sum();
+        assert!((ln_factorial(300) - exact).abs() / exact < 1e-12);
+    }
+
+    #[test]
+    fn permutations_match_small_cases() {
+        // P(5, 2) = 20.
+        assert!((log10_permutations(5, 2) - 20f64.log10()).abs() < 1e-12);
+        // P(n, 0) = 1.
+        assert_eq!(log10_permutations(9, 0), 0.0);
+        assert_eq!(log10_permutations(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn fig6_scale_configuration_count() {
+        // With 69,421 collision-free chiplets, a 2x2 MCM has
+        // P(69421, 4) ~ 69421^4 ~ 10^19.4 configurations.
+        let log_count = log10_permutations(69_421, 4);
+        assert!(log_count > 19.0 && log_count < 19.5, "log10 = {log_count}");
+        // A 6x6 MCM: P(69421, 36) ~ 10^174.
+        let log36 = log10_permutations(69_421, 36);
+        assert!(log36 > 170.0 && log36 < 180.0, "log10 = {log36}");
+    }
+
+    #[test]
+    fn binomial_matches_small_cases() {
+        assert!((log10_binomial(5, 2) - 10f64.log10()).abs() < 1e-12);
+        assert_eq!(log10_binomial(5, 0), 0.0);
+        assert_eq!(log10_binomial(2, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn factor_pairs_square_first() {
+        assert_eq!(factor_pairs(36)[0], (6, 6));
+        assert_eq!(factor_pairs(2), vec![(1, 2)]);
+        assert_eq!(most_square_dims(49), (7, 7));
+        assert_eq!(most_square_dims(10), (2, 5));
+        assert_eq!(most_square_dims(7), (1, 7));
+    }
+
+    #[test]
+    fn factor_pairs_cover_all_divisors() {
+        let pairs = factor_pairs(24);
+        assert_eq!(pairs.len(), 4); // (4,6), (3,8), (2,12), (1,24)
+        for (k, m) in pairs {
+            assert_eq!(k * m, 24);
+            assert!(k <= m);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Fixed-width binning.
+//!
+//! The paper's empirical fidelity model bins Washington calibration data
+//! "according to detuning intervals of step-size 0.1 GHz" (Section VI-A)
+//! and then assigns gate fidelity "by sampling from the distribution of
+//! the corresponding bin". [`Binning`] is that bin index machinery;
+//! the sampling model itself lives in `chipletqc-noise`.
+
+/// A fixed-width binning of a half-open interval `[origin, ∞)`.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_math::histogram::Binning;
+///
+/// // The paper's 0.1 GHz detuning bins.
+/// let bins = Binning::new(0.0, 0.1).unwrap();
+/// assert_eq!(bins.index_of(0.05), 0);
+/// assert_eq!(bins.index_of(0.1), 1);
+/// assert_eq!(bins.range(1), (0.1, 0.2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binning {
+    origin: f64,
+    width: f64,
+}
+
+/// Error constructing a [`Binning`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBinWidth;
+
+impl std::fmt::Display for InvalidBinWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bin width must be finite and positive")
+    }
+}
+
+impl std::error::Error for InvalidBinWidth {}
+
+impl Binning {
+    /// Creates a binning starting at `origin` with bins of `width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBinWidth`] unless `width` is finite and positive
+    /// and `origin` is finite.
+    pub fn new(origin: f64, width: f64) -> Result<Binning, InvalidBinWidth> {
+        if !width.is_finite() || width <= 0.0 || !origin.is_finite() {
+            return Err(InvalidBinWidth);
+        }
+        Ok(Binning { origin, width })
+    }
+
+    /// The bin width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The binning origin.
+    pub fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    /// The index of the bin containing `x`.
+    ///
+    /// Values below `origin` clamp into bin 0 (detunings are absolute
+    /// values in the noise model, so this is a safety clamp rather than a
+    /// hot path).
+    pub fn index_of(&self, x: f64) -> usize {
+        if x <= self.origin {
+            return 0;
+        }
+        ((x - self.origin) / self.width).floor() as usize
+    }
+
+    /// The half-open range `[lo, hi)` of bin `index`.
+    pub fn range(&self, index: usize) -> (f64, f64) {
+        let lo = self.origin + index as f64 * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// The center of bin `index`.
+    pub fn center(&self, index: usize) -> f64 {
+        self.origin + (index as f64 + 0.5) * self.width
+    }
+}
+
+/// A histogram of `f64` samples grouped by a [`Binning`], retaining the
+/// samples per bin (the noise model bootstraps from bin members).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleHistogram {
+    binning: Binning,
+    bins: Vec<Vec<f64>>,
+}
+
+impl SampleHistogram {
+    /// Creates an empty histogram.
+    pub fn new(binning: Binning) -> SampleHistogram {
+        SampleHistogram { binning, bins: Vec::new() }
+    }
+
+    /// Adds a `(key, value)` pair; the bin is selected by `key` and the
+    /// stored sample is `value`.
+    pub fn insert(&mut self, key: f64, value: f64) {
+        let idx = self.binning.index_of(key);
+        if idx >= self.bins.len() {
+            self.bins.resize_with(idx + 1, Vec::new);
+        }
+        self.bins[idx].push(value);
+    }
+
+    /// The binning in use.
+    pub fn binning(&self) -> Binning {
+        self.binning
+    }
+
+    /// The number of allocated bins (trailing empty bins are not
+    /// trimmed).
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The samples stored in bin `index` (empty slice if out of range).
+    pub fn samples(&self, index: usize) -> &[f64] {
+        self.bins.get(index).map_or(&[], Vec::as_slice)
+    }
+
+    /// The samples of the bin containing `key`.
+    pub fn samples_for(&self, key: f64) -> &[f64] {
+        self.samples(self.binning.index_of(key))
+    }
+
+    /// The nearest non-empty bin index to `index`, if any bin is
+    /// non-empty. Ties prefer the lower bin.
+    ///
+    /// Bin populations thin out at extreme detunings; the noise model
+    /// falls back to the nearest populated bin exactly because the paper's
+    /// framework "allows the sampling bounds to be adjusted".
+    pub fn nearest_populated(&self, index: usize) -> Option<usize> {
+        if self.bins.get(index).is_some_and(|b| !b.is_empty()) {
+            return Some(index);
+        }
+        let mut best: Option<(usize, usize)> = None; // (distance, idx)
+        for (i, bin) in self.bins.iter().enumerate() {
+            if bin.is_empty() {
+                continue;
+            }
+            let dist = i.abs_diff(index);
+            if best.is_none_or(|(bd, _)| dist < bd) {
+                best = Some((dist, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Total number of stored samples.
+    pub fn len(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the histogram holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterator over `(bin_index, samples)` for non-empty bins.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, b)| (i, b.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_rejects_bad_width() {
+        assert!(Binning::new(0.0, 0.0).is_err());
+        assert!(Binning::new(0.0, -0.1).is_err());
+        assert!(Binning::new(f64::NAN, 0.1).is_err());
+        assert!(Binning::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn index_and_range_roundtrip() {
+        let b = Binning::new(0.0, 0.1).unwrap();
+        for i in 0..20 {
+            let (lo, hi) = b.range(i);
+            assert_eq!(b.index_of(lo), i);
+            assert_eq!(b.index_of((lo + hi) / 2.0), i);
+            assert!((b.center(i) - (lo + hi) / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn below_origin_clamps_to_zero() {
+        let b = Binning::new(0.0, 0.1).unwrap();
+        assert_eq!(b.index_of(-0.5), 0);
+    }
+
+    #[test]
+    fn histogram_groups_samples() {
+        let mut h = SampleHistogram::new(Binning::new(0.0, 0.1).unwrap());
+        h.insert(0.05, 1.0);
+        h.insert(0.07, 2.0);
+        h.insert(0.23, 3.0);
+        assert_eq!(h.samples_for(0.01), &[1.0, 2.0]);
+        assert_eq!(h.samples(2), &[3.0]);
+        assert_eq!(h.samples(9), &[] as &[f64]);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn nearest_populated_fallback() {
+        let mut h = SampleHistogram::new(Binning::new(0.0, 0.1).unwrap());
+        assert_eq!(h.nearest_populated(0), None);
+        h.insert(0.35, 9.0); // bin 3
+        assert_eq!(h.nearest_populated(0), Some(3));
+        assert_eq!(h.nearest_populated(3), Some(3));
+        assert_eq!(h.nearest_populated(7), Some(3));
+        h.insert(0.05, 1.0); // bin 0
+        assert_eq!(h.nearest_populated(1), Some(0)); // tie at dist 1? bin0 dist1, bin3 dist2 -> bin0
+        assert_eq!(h.nearest_populated(2), Some(3)); // bin0 dist2, bin3 dist1 -> bin3
+    }
+
+    #[test]
+    fn iter_skips_empty_bins() {
+        let mut h = SampleHistogram::new(Binning::new(0.0, 1.0).unwrap());
+        h.insert(0.5, 1.0);
+        h.insert(5.5, 2.0);
+        let seen: Vec<usize> = h.iter().map(|(i, _)| i).collect();
+        assert_eq!(seen, vec![0, 5]);
+    }
+}

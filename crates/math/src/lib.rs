@@ -1,0 +1,50 @@
+//! Numeric substrate for the `chipletqc` workspace.
+//!
+//! This crate deliberately owns everything numeric that the rest of the
+//! workspace needs so that the simulation crates stay focused on the
+//! architecture models of the paper:
+//!
+//! * [`rng`] — deterministic, splittable random-number handling built on
+//!   [`rand::rngs::StdRng`]. Every Monte Carlo experiment in the workspace
+//!   is reproducible from a single [`rng::Seed`].
+//! * [`dist`] — Normal and LogNormal sampling implemented with the polar
+//!   Box–Muller method (no dependency on `rand_distr`).
+//! * [`stats`] — summary statistics: mean, variance, median, arbitrary
+//!   quantiles, and five-number box-plot summaries (used by the Fig. 3(b)
+//!   reproduction).
+//! * [`logspace`] — log-domain probability products. Estimated success
+//!   probability (ESP) multiplies thousands of per-gate fidelities and
+//!   underflows `f64`; all ESP math in the workspace goes through
+//!   [`logspace::LogProduct`].
+//! * [`combinatorics`] — log-factorials and permutation counts for the
+//!   Fig. 6 configuration-count reproduction (the counts overflow `u128`
+//!   almost immediately, so they are reported as `log10`).
+//! * [`histogram`] — fixed-width binning used by the empirical
+//!   detuning→infidelity model of Fig. 7.
+//!
+//! # Example
+//!
+//! ```
+//! use chipletqc_math::rng::Seed;
+//! use chipletqc_math::dist::Normal;
+//! use chipletqc_math::stats::mean;
+//!
+//! let mut rng = Seed(7).rng();
+//! let dist = Normal::new(5.0, 0.014).unwrap();
+//! let samples: Vec<f64> = (0..1000).map(|_| dist.sample(&mut rng)).collect();
+//! assert!((mean(&samples) - 5.0).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combinatorics;
+pub mod dist;
+pub mod histogram;
+pub mod logspace;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{LogNormal, Normal};
+pub use logspace::LogProduct;
+pub use rng::Seed;

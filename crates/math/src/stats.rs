@@ -1,0 +1,259 @@
+//! Summary statistics over `f64` samples.
+//!
+//! Used throughout the workspace: Monte Carlo yield fractions, per-device
+//! average infidelity `E_avg`, population comparisons, and the Fig. 3(b)
+//! box-plot reproduction.
+
+/// The arithmetic mean of `samples`. Returns `NaN` for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// The unbiased sample variance. Returns `NaN` for fewer than two samples.
+pub fn variance(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(samples);
+    samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (samples.len() - 1) as f64
+}
+
+/// The unbiased sample standard deviation.
+pub fn std_dev(samples: &[f64]) -> f64 {
+    variance(samples).sqrt()
+}
+
+/// The median of `samples`. Returns `NaN` for an empty slice.
+pub fn median(samples: &[f64]) -> f64 {
+    quantile(samples, 0.5)
+}
+
+/// The `q`-quantile (`0 <= q <= 1`) with linear interpolation between
+/// order statistics (the same convention as NumPy's default).
+///
+/// Returns `NaN` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or NaN.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over an already-sorted slice (ascending). Useful when many
+/// quantiles are read from one sample set.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A five-number summary plus mean, as drawn by a box plot.
+///
+/// Whiskers follow the Tukey convention: the most extreme samples within
+/// 1.5 × IQR of the box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxPlot {
+    /// Lower whisker (smallest sample ≥ Q1 − 1.5·IQR).
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (largest sample ≤ Q3 + 1.5·IQR).
+    pub whisker_hi: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples outside the whiskers.
+    pub outliers: usize,
+}
+
+impl BoxPlot {
+    /// Computes the box-plot summary of `samples`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<BoxPlot> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let med = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers snap to the most extreme samples inside the fences,
+        // clamped to the box edges: with interpolated quartiles a
+        // sparse tail can leave no sample between a fence and its
+        // quartile, and a whisker must never extend past its box edge.
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|x| *x >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|x| *x <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1])
+            .max(q3);
+        let outliers = sorted.iter().filter(|x| **x < lo_fence || **x > hi_fence).count();
+        Some(BoxPlot {
+            whisker_lo,
+            q1,
+            median: med,
+            q3,
+            whisker_hi,
+            mean: mean(samples),
+            outliers,
+        })
+    }
+
+    /// The interquartile range `Q3 − Q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for BoxPlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.4} |{:.4} {:.4} {:.4}| {:.4}] mean {:.4}",
+            self.whisker_lo, self.q1, self.median, self.q3, self.whisker_hi, self.mean
+        )
+    }
+}
+
+/// A Wilson-score 95 % confidence interval for a binomial proportion.
+///
+/// Yield is a proportion out of a finite batch; the Wilson interval is
+/// well-behaved even at 0 % and 100 % observed yield (both occur in the
+/// paper: monolithic yields hit zero above ~400 qubits).
+pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.96_f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn boxplot_of_uniform_ramp() {
+        let xs: Vec<f64> = (0..101).map(f64::from).collect();
+        let bp = BoxPlot::from_samples(&xs).unwrap();
+        assert_eq!(bp.median, 50.0);
+        assert_eq!(bp.q1, 25.0);
+        assert_eq!(bp.q3, 75.0);
+        assert_eq!(bp.whisker_lo, 0.0);
+        assert_eq!(bp.whisker_hi, 100.0);
+        assert_eq!(bp.outliers, 0);
+        assert_eq!(bp.iqr(), 50.0);
+    }
+
+    #[test]
+    fn boxplot_flags_outliers() {
+        let mut xs: Vec<f64> = (0..100).map(f64::from).collect();
+        xs.push(10_000.0);
+        let bp = BoxPlot::from_samples(&xs).unwrap();
+        assert_eq!(bp.outliers, 1);
+        assert!(bp.whisker_hi <= 200.0);
+    }
+
+    #[test]
+    fn boxplot_empty_is_none() {
+        assert!(BoxPlot::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn boxplot_display_is_nonempty() {
+        let bp = BoxPlot::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(!bp.to_string().is_empty());
+    }
+
+    #[test]
+    fn wilson_interval_brackets_observed_rate() {
+        let (lo, hi) = wilson_interval(110, 1000);
+        assert!(lo < 0.11 && 0.11 < hi);
+        assert!(lo > 0.08 && hi < 0.14);
+    }
+
+    #[test]
+    fn wilson_interval_handles_extremes() {
+        let (lo, hi) = wilson_interval(0, 1000);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.01);
+        let (lo, hi) = wilson_interval(1000, 1000);
+        assert!(lo > 0.99);
+        assert_eq!(hi, 1.0);
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+    }
+}

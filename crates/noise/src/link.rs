@@ -1,0 +1,143 @@
+//! Flip-chip inter-chip link infidelity (Section VI-B).
+//!
+//! Gold et al. measured coherence-limited two-qubit fidelity across
+//! separate silicon dies bonded to a carrier chip: average 92.5 %,
+//! median 94.4 % — i.e. infidelity mean 0.075 / median 0.056, a
+//! `e_link / e_chip ≈ 0.075 / 0.018 ≈ 4.17` penalty over on-chip gates.
+//! Fig. 9 of the paper sweeps this ratio down to 1 (links as good as
+//! on-chip couplers) to chart how MCM advantage grows as packaging
+//! matures; [`LinkModel::with_ratio`] reproduces that sweep by scaling
+//! the distribution while preserving its shape.
+
+use rand::Rng;
+
+use chipletqc_math::dist::LogNormal;
+
+/// The paper's on-chip mean CX infidelity (Washington average, Fig. 7).
+pub const PAPER_CHIP_MEAN: f64 = 0.018;
+
+/// The paper's link infidelity statistics from Gold et al.
+pub const PAPER_LINK_MEAN: f64 = 0.075;
+/// Median link infidelity from Gold et al.
+pub const PAPER_LINK_MEDIAN: f64 = 0.056;
+
+/// A sampling model for inter-chip link infidelity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    dist: LogNormal,
+}
+
+impl LinkModel {
+    /// The state-of-the-art flip-chip distribution (mean 0.075, median
+    /// 0.056): `e_link/e_chip ≈ 4.17`.
+    pub fn paper() -> LinkModel {
+        LinkModel {
+            dist: LogNormal::from_mean_median(PAPER_LINK_MEAN, PAPER_LINK_MEDIAN)
+                .expect("paper constants are valid"),
+        }
+    }
+
+    /// A link model with mean infidelity `ratio × chip_mean`,
+    /// preserving the paper distribution's shape (the Fig. 9 sweep:
+    /// ratios 4.17, 3, 2, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` and `chip_mean` are finite and positive.
+    pub fn with_ratio(ratio: f64, chip_mean: f64) -> LinkModel {
+        assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive");
+        assert!(chip_mean.is_finite() && chip_mean > 0.0, "chip_mean must be positive");
+        let scale = ratio * chip_mean / PAPER_LINK_MEAN;
+        let base = LinkModel::paper().dist;
+        LinkModel {
+            dist: LogNormal::new(base.mu() + scale.ln(), base.sigma())
+                .expect("scaled parameters remain finite"),
+        }
+    }
+
+    /// The distribution's mean infidelity.
+    pub fn mean(&self) -> f64 {
+        self.dist.mean()
+    }
+
+    /// The distribution's median infidelity.
+    pub fn median(&self) -> f64 {
+        self.dist.median()
+    }
+
+    /// Draws one link's infidelity (clamped below 0.9: a bonded link
+    /// that bad would fail known-good-die screening, and ESP math needs
+    /// probabilities).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.dist.sample(rng).min(0.9)
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::paper()
+    }
+}
+
+impl std::fmt::Display for LinkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link infidelity mean {:.4}, median {:.4}", self.mean(), self.median())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipletqc_math::rng::Seed;
+    use chipletqc_math::stats::{mean, median};
+
+    #[test]
+    fn paper_moments() {
+        let m = LinkModel::paper();
+        assert!((m.mean() - 0.075).abs() < 1e-9);
+        assert!((m.median() - 0.056).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_ratio_is_about_4() {
+        let ratio = LinkModel::paper().mean() / PAPER_CHIP_MEAN;
+        assert!((ratio - 4.17).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn with_ratio_scales_mean() {
+        for ratio in [1.0, 2.0, 3.0] {
+            let m = LinkModel::with_ratio(ratio, PAPER_CHIP_MEAN);
+            assert!((m.mean() - ratio * PAPER_CHIP_MEAN).abs() < 1e-9, "ratio {ratio}");
+            // Shape preserved: mean/median constant.
+            assert!((m.mean() / m.median() - 0.075 / 0.056).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ratio_4p17_recovers_paper() {
+        let m = LinkModel::with_ratio(PAPER_LINK_MEAN / PAPER_CHIP_MEAN, PAPER_CHIP_MEAN);
+        assert!((m.mean() - 0.075).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_match_moments() {
+        let m = LinkModel::paper();
+        let mut rng = Seed(5).rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| m.sample(&mut rng)).collect();
+        assert!((mean(&samples) - 0.075).abs() < 0.003);
+        assert!((median(&samples) - 0.056).abs() < 0.002);
+        assert!(samples.iter().all(|e| *e > 0.0 && *e <= 0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_ratio() {
+        LinkModel::with_ratio(0.0, PAPER_CHIP_MEAN);
+    }
+
+    #[test]
+    fn display_shows_moments() {
+        assert!(LinkModel::paper().to_string().contains("0.075"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The detuning→error-amplification response.
+//!
+//! The synthetic Washington calibration generator shapes its base CX
+//! noise with a multiplicative response `g(Δ)` over the absolute
+//! qubit-qubit detuning `Δ` (GHz). The response encodes the same physics
+//! as the Table I collision criteria: CX error is amplified when the
+//! detuning approaches a resonance condition and minimal in the
+//! straddling-regime sweet spot:
+//!
+//! * a **near-null** peak at `Δ ≈ 0` (criteria 1/5),
+//! * a **half-anharmonicity** bump at `Δ ≈ |α|/2 = 0.165` (criterion 2),
+//! * an **anharmonicity** peak at `Δ ≈ |α| = 0.330` (criteria 3/6),
+//! * a rising **outside-straddling** tail for `Δ > |α|` (criterion 4),
+//! * a flat `g ≈ 1` sweet spot around `Δ ≈ 0.05–0.13` where the paper's
+//!   ideal plan places its detunings.
+//!
+//! The paper's future-work section proposes replacing the empirical
+//! relationship with a first-principles CR model; `g(Δ)` is this
+//! reproduction's stand-in for the real machine's measured relationship
+//! and is only used to *generate* calibration data, never consumed
+//! directly by the architecture comparisons (those go through the binned
+//! empirical model, as in the paper).
+
+/// Parameters of the detuning response (peak amplitudes and widths).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseParams {
+    /// Amplification at zero detuning (near-null).
+    pub near_null_amp: f64,
+    /// Gaussian width of the near-null peak (GHz).
+    pub near_null_width: f64,
+    /// Amplification at the half-anharmonicity point.
+    pub half_alpha_amp: f64,
+    /// Width of the half-anharmonicity bump (GHz).
+    pub half_alpha_width: f64,
+    /// Amplification at the anharmonicity point.
+    pub alpha_amp: f64,
+    /// Width of the anharmonicity peak (GHz).
+    pub alpha_width: f64,
+    /// Slope of the outside-straddling tail (per GHz).
+    pub outside_slope: f64,
+    /// The anharmonicity magnitude `|α|` (GHz).
+    pub alpha_abs: f64,
+}
+
+impl ResponseParams {
+    /// The calibration used by the synthetic Washington dataset.
+    pub fn eagle() -> ResponseParams {
+        ResponseParams {
+            near_null_amp: 7.0,
+            near_null_width: 0.022,
+            half_alpha_amp: 1.6,
+            half_alpha_width: 0.012,
+            alpha_amp: 3.0,
+            alpha_width: 0.030,
+            outside_slope: 6.0,
+            alpha_abs: 0.330,
+        }
+    }
+}
+
+impl Default for ResponseParams {
+    fn default() -> Self {
+        ResponseParams::eagle()
+    }
+}
+
+/// The multiplicative error amplification at absolute detuning
+/// `delta` (GHz).
+///
+/// Always ≥ 1; equal to ~1 in the straddling sweet spot.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_noise::response::{detuning_response, ResponseParams};
+///
+/// let p = ResponseParams::eagle();
+/// let sweet = detuning_response(0.08, &p);
+/// let null = detuning_response(0.0, &p);
+/// let alpha = detuning_response(0.33, &p);
+/// assert!(null > 4.0 * sweet);
+/// assert!(alpha > 2.0 * sweet);
+/// assert!(sweet < 1.3);
+/// ```
+pub fn detuning_response(delta: f64, params: &ResponseParams) -> f64 {
+    let delta = delta.abs();
+    let gauss = |center: f64, width: f64| {
+        let z = (delta - center) / width;
+        (-z * z).exp()
+    };
+    let mut g = 1.0;
+    g += params.near_null_amp * gauss(0.0, params.near_null_width);
+    g += params.half_alpha_amp * gauss(params.alpha_abs / 2.0, params.half_alpha_width);
+    g += params.alpha_amp * gauss(params.alpha_abs, params.alpha_width);
+    if delta > params.alpha_abs {
+        g += params.outside_slope * (delta - params.alpha_abs);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_is_at_least_one() {
+        let p = ResponseParams::eagle();
+        for i in 0..100 {
+            let delta = i as f64 * 0.006;
+            assert!(detuning_response(delta, &p) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn peaks_at_collision_conditions() {
+        let p = ResponseParams::eagle();
+        let sweet = detuning_response(0.09, &p);
+        assert!(detuning_response(0.0, &p) > sweet * 3.0);
+        assert!(detuning_response(0.165, &p) > sweet * 1.5);
+        assert!(detuning_response(0.330, &p) > sweet * 2.0);
+        assert!(detuning_response(0.45, &p) > sweet * 1.4);
+    }
+
+    #[test]
+    fn symmetric_in_sign() {
+        let p = ResponseParams::eagle();
+        assert_eq!(detuning_response(-0.1, &p), detuning_response(0.1, &p));
+    }
+
+    #[test]
+    fn sweet_spot_is_flat() {
+        let p = ResponseParams::eagle();
+        let a = detuning_response(0.06, &p);
+        let b = detuning_response(0.12, &p);
+        assert!((a - b).abs() < 0.4, "sweet spot not flat: {a} vs {b}");
+    }
+}

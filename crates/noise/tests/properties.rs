@@ -1,0 +1,70 @@
+//! Property tests for the noise models.
+
+use proptest::prelude::*;
+
+use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::rng::Seed;
+use chipletqc_noise::detuning_model::EmpiricalDetuningModel;
+use chipletqc_noise::link::{LinkModel, PAPER_CHIP_MEAN};
+use chipletqc_noise::washington::{paper_calibration, CalibrationData};
+use chipletqc_noise::NoiseModel;
+use chipletqc_topology::family::ChipletSpec;
+use chipletqc_topology::plan::FrequencyPlan;
+
+proptest! {
+    /// Every empirical-model sample is literally one of the
+    /// calibration values (the model is a bin-wise bootstrap, not a
+    /// fit).
+    #[test]
+    fn empirical_samples_come_from_calibration(delta in 0.0f64..0.8, seed in 0u64..200) {
+        let calibration = paper_calibration(Seed(1));
+        let model = EmpiricalDetuningModel::from_calibration(&calibration).unwrap();
+        let mut rng = Seed(seed).rng();
+        let sample = model.sample(delta, &mut rng);
+        prop_assert!(calibration.infidelities().contains(&sample));
+    }
+
+    /// The link model's mean scales exactly with the requested ratio
+    /// while the shape (mean/median) stays fixed.
+    #[test]
+    fn link_ratio_scaling(ratio in 0.2f64..6.0) {
+        let model = LinkModel::with_ratio(ratio, PAPER_CHIP_MEAN);
+        prop_assert!((model.mean() - ratio * PAPER_CHIP_MEAN).abs() < 1e-9);
+        prop_assert!((model.mean() / model.median() - 0.075 / 0.056).abs() < 1e-9);
+    }
+
+    /// Noise assignment is a pure function of (device, frequencies,
+    /// RNG stream) and always yields probabilities.
+    #[test]
+    fn assignment_is_pure_and_bounded(seed in 0u64..100, cal in 0u64..5) {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let freqs = Frequencies::ideal(&device, &FrequencyPlan::state_of_the_art());
+        let model = NoiseModel::paper(Seed(cal));
+        let a = model.assign(&device, &freqs, &mut Seed(seed).rng());
+        let b = model.assign(&device, &freqs, &mut Seed(seed).rng());
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.as_slice().iter().all(|e| (0.0..1.0).contains(e)));
+        prop_assert!(a.eavg() > 0.0 && a.eavg() < 1.0);
+    }
+
+    /// Bin-width changes re-partition but never lose calibration data.
+    #[test]
+    fn bin_width_preserves_sample_count(width_centis in 2u32..50) {
+        let calibration = paper_calibration(Seed(2));
+        let width = width_centis as f64 / 100.0;
+        let model = EmpiricalDetuningModel::with_bin_width(&calibration, width).unwrap();
+        let total: usize = model.bin_summary().iter().map(|(_, n, _)| n).sum();
+        prop_assert_eq!(total, calibration.points.len());
+    }
+
+    /// Pooled statistics are invariant under point order.
+    #[test]
+    fn calibration_statistics_are_order_invariant(perm_seed in 0u64..100) {
+        let calibration = paper_calibration(Seed(3));
+        let mut shuffled = calibration.points.clone();
+        chipletqc_math::rng::shuffle(&mut shuffled, &mut Seed(perm_seed).rng());
+        let reordered = CalibrationData { points: shuffled };
+        prop_assert!((calibration.median_infidelity() - reordered.median_infidelity()).abs() < 1e-12);
+        prop_assert!((calibration.mean_infidelity() - reordered.mean_infidelity()).abs() < 1e-12);
+    }
+}

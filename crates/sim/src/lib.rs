@@ -1,0 +1,35 @@
+//! Dense statevector simulation.
+//!
+//! The validation substrate of the workspace: a small (≤ ~20 qubit)
+//! Schrödinger-style simulator used by the test suites to prove the
+//! benchmark generators and the transpiler's decompositions are
+//! *semantically* correct — BV really recovers its hidden string, GHZ
+//! really prepares `(|0…0⟩+|1…1⟩)/√2`, the Cuccaro adder really adds,
+//! the bit-code syndrome really fires on injected errors, and
+//! `H = RZ(π/2)·SX·RZ(π/2)` really holds (up to global phase).
+//!
+//! The paper's own evaluation never simulates states ("the structures
+//! we evaluate surpass the capacity of today's most powerful quantum
+//! simulators"); this crate exists so the reproduction's *inputs* are
+//! trustworthy, not to score architectures.
+//!
+//! # Example
+//!
+//! ```
+//! use chipletqc_sim::state::State;
+//! use chipletqc_benchmarks::ghz::ghz_circuit;
+//!
+//! let state = State::run(&ghz_circuit(3));
+//! let probs = state.probabilities();
+//! assert!((probs[0b000] - 0.5).abs() < 1e-10);
+//! assert!((probs[0b111] - 0.5).abs() < 1e-10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod state;
+
+pub use complex::Complex;
+pub use state::State;

@@ -1,0 +1,383 @@
+//! The statevector and gate application.
+//!
+//! Basis-state indexing is little-endian: qubit `q`'s bit is
+//! `(index >> q) & 1`, so `|q1 q0⟩ = |10⟩` is index 2.
+
+use rand::Rng;
+
+use chipletqc_circuit::circuit::Circuit;
+use chipletqc_circuit::gate::Gate;
+use chipletqc_circuit::qubit::Qubit;
+
+use crate::complex::Complex;
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// Hard cap on simulated width (2^24 amplitudes ≈ 256 MiB).
+pub const MAX_QUBITS: usize = 24;
+
+/// A dense `n`-qubit statevector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl State {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_QUBITS`.
+    pub fn zero(num_qubits: usize) -> State {
+        assert!(
+            num_qubits <= MAX_QUBITS,
+            "{num_qubits} qubits exceeds the {MAX_QUBITS}-qubit simulator cap"
+        );
+        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
+        amps[0] = Complex::ONE;
+        State { num_qubits, amps }
+    }
+
+    /// A computational basis state `|bits⟩` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 2^num_qubits` or the width exceeds the cap.
+    pub fn basis(num_qubits: usize, bits: usize) -> State {
+        let mut state = State::zero(num_qubits);
+        assert!(bits < state.amps.len(), "basis state {bits} out of range");
+        state.amps[0] = Complex::ZERO;
+        state.amps[bits] = Complex::ONE;
+        state
+    }
+
+    /// Runs `circuit` from `|0…0⟩`, ignoring measurements.
+    pub fn run(circuit: &Circuit) -> State {
+        let mut state = State::zero(circuit.num_qubits());
+        state.apply_circuit(circuit);
+        state
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude of basis state `bits`.
+    pub fn amplitude(&self, bits: usize) -> Complex {
+        self.amps[bits]
+    }
+
+    /// All `2^n` basis-state probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        let mask = 1usize << q.0;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Total norm (should stay 1 under unitary evolution).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// The fidelity `|⟨other|self⟩|²` with another state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "state width mismatch");
+        let inner = self
+            .amps
+            .iter()
+            .zip(&other.amps)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + b.conj() * *a);
+        inner.norm_sqr()
+    }
+
+    /// Samples one measurement outcome of all qubits (the state is not
+    /// collapsed).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut u: f64 = rng.gen();
+        for (i, a) in self.amps.iter().enumerate() {
+            u -= a.norm_sqr();
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Applies every gate of `circuit` in order (measurements are
+    /// no-ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit wider than state"
+        );
+        for gate in circuit.gates() {
+            self.apply(gate);
+        }
+    }
+
+    /// Applies one gate.
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Rz { q, theta } => {
+                let phase0 = Complex::from_polar_unit(-theta / 2.0);
+                let phase1 = Complex::from_polar_unit(theta / 2.0);
+                self.apply_diagonal_1q(q, phase0, phase1);
+            }
+            Gate::Sx { q } => {
+                let half = 0.5;
+                let a = Complex::new(half, half);
+                let b = Complex::new(half, -half);
+                self.apply_1q(q, [[a, b], [b, a]]);
+            }
+            Gate::X { q } => {
+                self.apply_1q(q, [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
+            }
+            Gate::H { q } => {
+                let h = Complex::new(FRAC_1_SQRT_2, 0.0);
+                self.apply_1q(q, [[h, h], [h, -h]]);
+            }
+            Gate::Rx { q, theta } => {
+                let c = Complex::new((theta / 2.0).cos(), 0.0);
+                let s = Complex::new(0.0, -(theta / 2.0).sin());
+                self.apply_1q(q, [[c, s], [s, c]]);
+            }
+            Gate::Ry { q, theta } => {
+                let c = Complex::new((theta / 2.0).cos(), 0.0);
+                let s = (theta / 2.0).sin();
+                self.apply_1q(
+                    q,
+                    [
+                        [c, Complex::new(-s, 0.0)],
+                        [Complex::new(s, 0.0), c],
+                    ],
+                );
+            }
+            Gate::Cx { control, target } => self.apply_cx(control, target),
+            Gate::Swap { a, b } => {
+                self.apply_cx(a, b);
+                self.apply_cx(b, a);
+                self.apply_cx(a, b);
+            }
+            Gate::Rzz { a, b, theta } => {
+                let same = Complex::from_polar_unit(-theta / 2.0);
+                let diff = Complex::from_polar_unit(theta / 2.0);
+                let (ma, mb) = (1usize << a.0, 1usize << b.0);
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    let parity = ((i & ma != 0) as u8) ^ ((i & mb != 0) as u8);
+                    *amp = *amp * if parity == 0 { same } else { diff };
+                }
+            }
+            Gate::Measure { .. } => {}
+        }
+    }
+
+    /// Applies a 1-qubit unitary `[[m00, m01], [m10, m11]]` to `q`.
+    fn apply_1q(&mut self, q: Qubit, m: [[Complex; 2]; 2]) {
+        let mask = 1usize << q.0;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies a diagonal 1-qubit unitary.
+    fn apply_diagonal_1q(&mut self, q: Qubit, d0: Complex, d1: Complex) {
+        let mask = 1usize << q.0;
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            *amp = *amp * if i & mask == 0 { d0 } else { d1 };
+        }
+    }
+
+    fn apply_cx(&mut self, control: Qubit, target: Qubit) {
+        let (mc, mt) = (1usize << control.0, 1usize << target.0);
+        for i in 0..self.amps.len() {
+            if i & mc != 0 && i & mt == 0 {
+                let j = i | mt;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Whether the two states are equal up to a global phase, within
+    /// `tol` per amplitude.
+    pub fn approx_eq_global_phase(&self, other: &State, tol: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        // Find the largest amplitude to anchor the phase.
+        let (anchor, _) = self
+            .amps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
+            .expect("non-empty state");
+        if other.amps[anchor].abs() < 1e-12 {
+            return false;
+        }
+        // phase = self[anchor] / other[anchor]
+        let denom = other.amps[anchor].norm_sqr();
+        let phase = self.amps[anchor] * other.amps[anchor].conj().scale(1.0 / denom);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .all(|(a, b)| (*a - phase * *b).abs() < tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipletqc_math::rng::Seed;
+
+    #[test]
+    fn zero_state_and_basis() {
+        let s = State::zero(3);
+        assert_eq!(s.amplitude(0), Complex::ONE);
+        assert_eq!(s.probabilities()[0], 1.0);
+        let b = State::basis(3, 5);
+        assert_eq!(b.amplitude(5), Complex::ONE);
+        assert_eq!(b.prob_one(Qubit(0)), 1.0);
+        assert_eq!(b.prob_one(Qubit(1)), 0.0);
+        assert_eq!(b.prob_one(Qubit(2)), 1.0);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new(2);
+        c.x(Qubit(1));
+        let s = State::run(&c);
+        assert!((s.amplitude(0b10).abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_creates_superposition() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0));
+        let s = State::run(&c);
+        assert!((s.prob_one(Qubit(0)) - 0.5).abs() < 1e-12);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_entangles() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).cx(Qubit(0), Qubit(1));
+        let s = State::run(&c);
+        let p = s.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01] < 1e-12 && p[0b10] < 1e-12);
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let mut via_sx = Circuit::new(1);
+        via_sx.sx(Qubit(0)).sx(Qubit(0));
+        let mut via_x = Circuit::new(1);
+        via_x.x(Qubit(0));
+        let a = State::run(&via_sx);
+        let b = State::run(&via_x);
+        assert!(a.approx_eq_global_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn h_decomposition_identity() {
+        use std::f64::consts::FRAC_PI_2;
+        // H = RZ(pi/2) SX RZ(pi/2) up to global phase, on a
+        // non-trivial input state.
+        let mut direct = Circuit::new(1);
+        direct.ry(Qubit(0), 0.7).h(Qubit(0));
+        let mut decomposed = Circuit::new(1);
+        decomposed
+            .ry(Qubit(0), 0.7)
+            .rz(Qubit(0), FRAC_PI_2)
+            .sx(Qubit(0))
+            .rz(Qubit(0), FRAC_PI_2);
+        assert!(State::run(&direct).approx_eq_global_phase(&State::run(&decomposed), 1e-10));
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut c = Circuit::new(2);
+        c.x(Qubit(0)).swap(Qubit(0), Qubit(1));
+        let s = State::run(&c);
+        assert!((s.amplitude(0b10).abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rzz_phases_by_parity() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).h(Qubit(1)).rzz(Qubit(0), Qubit(1), std::f64::consts::PI);
+        let s = State::run(&c);
+        // RZZ(pi) on |++> leaves a Bell-like state; probabilities stay
+        // uniform but phases differ by parity.
+        let p = s.probabilities();
+        for prob in p {
+            assert!((prob - 0.25).abs() < 1e-12);
+        }
+        let same = s.amplitude(0b00);
+        let diff = s.amplitude(0b01);
+        assert!((same + diff).abs() < 1e-10, "opposite phases expected");
+    }
+
+    #[test]
+    fn unitarity_preserved_on_random_circuit() {
+        use chipletqc_benchmarks::primacy::{primacy_circuit, PrimacyParams};
+        let c = primacy_circuit(8, &PrimacyParams { cycles: 12 }, Seed(5));
+        let s = State::run(&c);
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+        // The state should be scrambled: no basis state dominates.
+        let max = s.probabilities().into_iter().fold(0.0, f64::max);
+        assert!(max < 0.5, "max prob {max}");
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0));
+        let s = State::run(&c);
+        let mut rng = Seed(1).rng();
+        let ones: usize = (0..2000).map(|_| s.sample(&mut rng)).sum();
+        assert!(ones > 850 && ones < 1150, "ones {ones}");
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).cx(Qubit(0), Qubit(1)).ry(Qubit(2), 0.3);
+        let a = State::run(&c);
+        let b = State::run(&c);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        let zero = State::zero(3);
+        assert!(a.fidelity(&zero) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn width_cap_enforced() {
+        State::zero(MAX_QUBITS + 1);
+    }
+}

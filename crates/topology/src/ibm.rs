@@ -1,0 +1,246 @@
+//! The motivational IBM fleet (Fig. 3a of the paper).
+//!
+//! Three generations of heavy-hex processors, all released in 2021:
+//!
+//! * **Auckland** — 27-qubit Falcon (hand-coded coupling map: the Falcon
+//!   is two vertically-chained heavy-hex cells with spur qubits);
+//! * **Brooklyn** — 65-qubit Hummingbird (row-layout generated);
+//! * **Washington** — 127-qubit Eagle (row-layout generated; the first
+//!   processor past the 100-qubit milestone, and the machine whose
+//!   calibration relationship the paper's fidelity model is built from).
+//!
+//! Frequency classes follow the same three-frequency heavy-hex pattern as
+//! the chiplet family, so these devices plug into every model in the
+//! workspace (collision checking, noise synthesis, transpilation).
+
+use crate::device::{Device, DeviceBuilder, EdgeKind};
+use crate::qubit::{ChipIndex, FrequencyClass, QubitId};
+use crate::rowlayout::RowLayout;
+
+/// One of the three IBM processor generations analyzed in Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IbmProcessor {
+    /// 27-qubit Falcon (machine: Auckland).
+    Falcon,
+    /// 65-qubit Hummingbird (machine: Brooklyn).
+    Hummingbird,
+    /// 127-qubit Eagle (machine: Washington).
+    Eagle,
+}
+
+impl IbmProcessor {
+    /// All three generations, ascending by size.
+    pub const ALL: [IbmProcessor; 3] =
+        [IbmProcessor::Falcon, IbmProcessor::Hummingbird, IbmProcessor::Eagle];
+
+    /// The IBM machine name used in the paper.
+    pub fn machine_name(self) -> &'static str {
+        match self {
+            IbmProcessor::Falcon => "Auckland",
+            IbmProcessor::Hummingbird => "Brooklyn",
+            IbmProcessor::Eagle => "Washington",
+        }
+    }
+
+    /// The processor family name.
+    pub fn family_name(self) -> &'static str {
+        match self {
+            IbmProcessor::Falcon => "Falcon",
+            IbmProcessor::Hummingbird => "Hummingbird",
+            IbmProcessor::Eagle => "Eagle",
+        }
+    }
+
+    /// Qubit count.
+    pub fn num_qubits(self) -> usize {
+        match self {
+            IbmProcessor::Falcon => 27,
+            IbmProcessor::Hummingbird => 65,
+            IbmProcessor::Eagle => 127,
+        }
+    }
+
+    /// Builds the device topology.
+    pub fn build(self) -> Device {
+        match self {
+            IbmProcessor::Falcon => falcon27(),
+            IbmProcessor::Hummingbird => hummingbird65(),
+            IbmProcessor::Eagle => eagle127(),
+        }
+    }
+}
+
+impl std::fmt::Display for IbmProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}-qubit {})", self.machine_name(), self.num_qubits(), self.family_name())
+    }
+}
+
+/// The 27-qubit Falcon coupling map (ibmq_auckland-class).
+///
+/// Two heavy-hex cells chained vertically; qubits 0, 6, 9, 17, 20, 26
+/// are the characteristic degree-1 spurs.
+pub fn falcon27() -> Device {
+    const EDGES: [(u32, u32); 28] = [
+        (0, 1),
+        (1, 2),
+        (1, 4),
+        (2, 3),
+        (3, 5),
+        (4, 7),
+        (5, 8),
+        (6, 7),
+        (7, 10),
+        (8, 9),
+        (8, 11),
+        (10, 12),
+        (11, 14),
+        (12, 13),
+        (12, 15),
+        (13, 14),
+        (14, 16),
+        (15, 18),
+        (16, 19),
+        (17, 18),
+        (18, 21),
+        (19, 20),
+        (19, 22),
+        (21, 23),
+        (22, 25),
+        (23, 24),
+        (24, 25),
+        (25, 26),
+    ];
+    // Hexagon corners 2-colored F0/F1; all subdivision and spur qubits F2.
+    const F0_CORNERS: [u32; 5] = [1, 8, 12, 19, 23];
+    const F1_CORNERS: [u32; 5] = [3, 7, 14, 18, 25];
+    let mut b = DeviceBuilder::new("ibm-falcon-27 (Auckland)");
+    for q in 0..27u32 {
+        let class = if F0_CORNERS.contains(&q) {
+            FrequencyClass::F0
+        } else if F1_CORNERS.contains(&q) {
+            FrequencyClass::F1
+        } else {
+            FrequencyClass::F2
+        };
+        b.add_qubit(class, ChipIndex(0));
+    }
+    for (x, y) in EDGES {
+        b.add_edge(QubitId(x), QubitId(y), EdgeKind::OnChip);
+    }
+    b.build()
+}
+
+/// The 65-qubit Hummingbird coupling map (ibmq_brooklyn-class): five
+/// dense rows of 10/11/11/11/10 qubits and twelve connectors.
+pub fn hummingbird65() -> Device {
+    let layout = RowLayout {
+        rows: vec![(0, 9), (0, 10), (0, 10), (0, 10), (1, 10)],
+        gaps: vec![vec![0, 4, 8], vec![2, 6, 10], vec![0, 4, 8], vec![2, 6, 10]],
+    };
+    layout.validate();
+    let mut b = DeviceBuilder::new("ibm-hummingbird-65 (Brooklyn)");
+    layout.instantiate(&mut b, ChipIndex(0));
+    b.build()
+}
+
+/// The 127-qubit Eagle coupling map (ibm_washington-class): seven dense
+/// rows of 14/15×5/14 qubits and twenty-four connectors.
+pub fn eagle127() -> Device {
+    let layout = RowLayout {
+        rows: vec![(0, 13), (0, 14), (0, 14), (0, 14), (0, 14), (0, 14), (1, 14)],
+        gaps: vec![
+            vec![0, 4, 8, 12],
+            vec![2, 6, 10, 14],
+            vec![0, 4, 8, 12],
+            vec![2, 6, 10, 14],
+            vec![0, 4, 8, 12],
+            vec![2, 6, 10, 14],
+        ],
+    };
+    layout.validate();
+    let mut b = DeviceBuilder::new("ibm-eagle-127 (Washington)");
+    layout.instantiate(&mut b, ChipIndex(0));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_sizes_match_fig3a() {
+        assert_eq!(falcon27().num_qubits(), 27);
+        assert_eq!(hummingbird65().num_qubits(), 65);
+        assert_eq!(eagle127().num_qubits(), 127);
+    }
+
+    #[test]
+    fn fleet_edge_counts() {
+        assert_eq!(falcon27().graph().num_edges(), 28);
+        assert_eq!(hummingbird65().graph().num_edges(), 72);
+        assert_eq!(eagle127().graph().num_edges(), 144);
+    }
+
+    #[test]
+    fn fleet_is_connected_single_chip() {
+        for proc in IbmProcessor::ALL {
+            let d = proc.build();
+            assert!(d.graph().is_connected(), "{proc} disconnected");
+            assert_eq!(d.num_chips(), 1);
+            assert_eq!(d.inter_chip_edges().count(), 0);
+        }
+    }
+
+    #[test]
+    fn falcon_spurs_have_degree_one() {
+        let d = falcon27();
+        for q in [0u32, 6, 9, 17, 20, 26] {
+            assert_eq!(d.graph().degree(QubitId(q)), 1, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn heavy_hex_degree_bound_holds() {
+        for proc in IbmProcessor::ALL {
+            let d = proc.build();
+            for q in d.qubits() {
+                assert!(d.graph().degree(q) <= 3, "{proc}: {q} has degree > 3");
+            }
+        }
+    }
+
+    #[test]
+    fn every_f2_neighbors_only_targets() {
+        for proc in IbmProcessor::ALL {
+            let d = proc.build();
+            for e in d.edges() {
+                assert_eq!(d.class(e.control), FrequencyClass::F2, "{proc}");
+                assert_ne!(d.class(e.target()), FrequencyClass::F2, "{proc}");
+            }
+            for q in d.qubits() {
+                let targets = d.targets_of(q);
+                assert!(targets.len() <= 2, "{proc}: control {q} drives {}", targets.len());
+                if targets.len() == 2 {
+                    assert_ne!(d.class(targets[0]), d.class(targets[1]), "{proc}: {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eagle_diameter_is_reasonable() {
+        // The real ibm_washington has graph diameter 27-ish; the
+        // generated topology must be in that regime (sanity guard against
+        // mis-wired connectors).
+        let d = eagle127().graph().diameter().unwrap();
+        assert!((20..=34).contains(&d), "eagle diameter {d}");
+    }
+
+    #[test]
+    fn processor_metadata() {
+        assert_eq!(IbmProcessor::Eagle.machine_name(), "Washington");
+        assert_eq!(IbmProcessor::Falcon.num_qubits(), 27);
+        assert!(IbmProcessor::Hummingbird.to_string().contains("Brooklyn"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Heavy-hex device topologies, chiplets, and multi-chip modules.
+//!
+//! This crate is the device substrate of the `chipletqc` workspace. It
+//! reconstructs the device family of *Scaling Superconducting Quantum
+//! Computers with Chiplet Architectures* (MICRO 2022):
+//!
+//! * [`graph`] — undirected coupling graphs with BFS distances, diameter,
+//!   and connectivity queries;
+//! * [`device`] — [`device::Device`]: a coupling graph annotated with the
+//!   three-frequency pattern (`F0 < F1 < F2`), cross-resonance control
+//!   orientation, on-chip vs. inter-chip edge kinds, and chip membership;
+//! * [`family`] — the heavy-hex chiplet family `Q = 5·D·m` reconstructed
+//!   from the paper's 20- and 60-qubit chiplet descriptions, covering all
+//!   nine paper chiplet sizes (10–250 qubits) and arbitrary monolithic
+//!   sizes;
+//! * [`mcm`] — k×m multi-chip module composition with F2 link qubits on
+//!   each chiplet's right and bottom edges (Fig. 5);
+//! * [`ibm`] — the motivational IBM fleet: Falcon-27, Hummingbird-65, and
+//!   Eagle-127 heavy-hex topologies (Fig. 3a);
+//! * [`plan`] — ideal frequency plans (`F0`, step) and anharmonicity
+//!   (Section IV-B: 5.0 / 5.06 / 5.12 GHz, α = −0.330 GHz);
+//! * [`evalset`] — the paper's evaluation set: 102 MCMs with unique sizes
+//!   ≤ 500 qubits and most-square dimensions (Section VII-B).
+//!
+//! # Example
+//!
+//! ```
+//! use chipletqc_topology::family::ChipletSpec;
+//! use chipletqc_topology::mcm::McmSpec;
+//!
+//! let chiplet = ChipletSpec::with_qubits(20).unwrap();
+//! let mcm = McmSpec::new(chiplet, 3, 3);
+//! let device = mcm.build();
+//! assert_eq!(device.num_qubits(), 180);
+//! assert_eq!(device.num_chips(), 9);
+//! assert!(device.edges().iter().any(|e| e.kind.is_inter_chip()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod evalset;
+pub mod family;
+pub mod graph;
+pub mod ibm;
+pub mod mcm;
+pub mod plan;
+pub mod qubit;
+mod rowlayout;
+
+pub use device::{Device, Edge, EdgeKind};
+pub use family::{ChipletSpec, MonolithicSpec};
+pub use graph::CouplingGraph;
+pub use mcm::McmSpec;
+pub use plan::FrequencyPlan;
+pub use qubit::{ChipIndex, FrequencyClass, QubitId};

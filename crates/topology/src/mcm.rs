@@ -1,0 +1,288 @@
+//! Multi-chip module composition.
+//!
+//! An MCM arranges `k × m` identical chiplets on a carrier interposer
+//! (Fig. 5 of the paper). Each chiplet's right link qubits couple to the
+//! first column of the chiplet to its right, and its bottom link
+//! connectors couple to the top dense row of the chiplet below. Link
+//! qubits are always F2 and act as the control of the inter-chip CR
+//! interaction, so the heavy-hex lattice and three-frequency pattern are
+//! preserved across the whole module — the property the paper requires
+//! for eventual surface/Bacon-Shor error correction.
+
+use crate::device::{Device, DeviceBuilder, EdgeKind};
+use crate::family::ChipletSpec;
+use crate::qubit::ChipIndex;
+use crate::rowlayout::ChipPorts;
+
+/// A `grid_rows × grid_cols` multi-chip module of one chiplet design.
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_topology::family::ChipletSpec;
+/// use chipletqc_topology::mcm::McmSpec;
+///
+/// let mcm = McmSpec::new(ChipletSpec::with_qubits(40).unwrap(), 2, 2);
+/// assert_eq!(mcm.num_qubits(), 160);
+/// let device = mcm.build();
+/// assert_eq!(device.num_chips(), 4);
+/// assert!(device.graph().is_connected());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct McmSpec {
+    chiplet: ChipletSpec,
+    grid_rows: usize,
+    grid_cols: usize,
+}
+
+impl McmSpec {
+    /// Creates an MCM spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero (a 0-chip module is
+    /// meaningless; chip dimensions come from
+    /// [`chipletqc_math::combinatorics::most_square_dims`]-style
+    /// factorizations which are always ≥ 1).
+    pub fn new(chiplet: ChipletSpec, grid_rows: usize, grid_cols: usize) -> McmSpec {
+        assert!(grid_rows > 0 && grid_cols > 0, "MCM grid dimensions must be nonzero");
+        McmSpec { chiplet, grid_rows, grid_cols }
+    }
+
+    /// The chiplet design used by every chip in the module.
+    pub fn chiplet(&self) -> ChipletSpec {
+        self.chiplet
+    }
+
+    /// Grid rows `k`.
+    pub fn grid_rows(&self) -> usize {
+        self.grid_rows
+    }
+
+    /// Grid columns `m`.
+    pub fn grid_cols(&self) -> usize {
+        self.grid_cols
+    }
+
+    /// Total chips `k · m`.
+    pub fn num_chips(&self) -> usize {
+        self.grid_rows * self.grid_cols
+    }
+
+    /// Whether the module is square (`k == m`), the subset evaluated in
+    /// Fig. 9 of the paper.
+    pub fn is_square(&self) -> bool {
+        self.grid_rows == self.grid_cols
+    }
+
+    /// Total qubits across all chips.
+    pub fn num_qubits(&self) -> usize {
+        self.num_chips() * self.chiplet.num_qubits()
+    }
+
+    /// The number of inter-chip link edges the assembled module uses.
+    ///
+    /// Horizontal seams carry one link per dense row; vertical seams one
+    /// link per bottom connector (`m` links each).
+    pub fn num_links(&self) -> usize {
+        let horizontal = self.grid_rows * (self.grid_cols - 1) * self.chiplet.dense_rows();
+        let vertical = (self.grid_rows - 1) * self.grid_cols * self.chiplet.width_param();
+        horizontal + vertical
+    }
+
+    /// The chip grid position of chip `index` (row-major).
+    pub fn chip_position(&self, index: ChipIndex) -> (usize, usize) {
+        (index.index() / self.grid_cols, index.index() % self.grid_cols)
+    }
+
+    /// Builds the full MCM [`Device`].
+    // Grid composition reads (r, c) against ports[r][c] and its
+    // neighbors; indexed loops are the clearer idiom here.
+    #[allow(clippy::needless_range_loop)]
+    pub fn build(&self) -> Device {
+        let mut builder = DeviceBuilder::new(format!(
+            "mcm-{}x{}-chiplet{}",
+            self.grid_rows,
+            self.grid_cols,
+            self.chiplet.num_qubits()
+        ));
+        let layout = self.chiplet.layout();
+        let mut ports: Vec<Vec<ChipPorts>> = Vec::with_capacity(self.grid_rows);
+        for r in 0..self.grid_rows {
+            let mut row_ports = Vec::with_capacity(self.grid_cols);
+            for c in 0..self.grid_cols {
+                let chip = ChipIndex((r * self.grid_cols + c) as u16);
+                row_ports.push(layout.instantiate(&mut builder, chip));
+            }
+            ports.push(row_ports);
+        }
+        // Horizontal links: right link qubit of dense row d -> column 0
+        // of the same dense row on the right-hand neighbor.
+        for r in 0..self.grid_rows {
+            for c in 0..self.grid_cols - 1 {
+                let (left_chip, right_chip) = (&ports[r][c], &ports[r][c + 1]);
+                for d in 0..self.chiplet.dense_rows() {
+                    builder.add_edge(left_chip.right[d], right_chip.left[d], EdgeKind::InterChip);
+                }
+            }
+        }
+        // Vertical links: bottom link connector at column x -> top dense
+        // row qubit at the same column of the chip below.
+        for r in 0..self.grid_rows - 1 {
+            for c in 0..self.grid_cols {
+                let (upper, lower) = (&ports[r][c], &ports[r + 1][c]);
+                for &(col, conn) in &upper.bottom {
+                    let (_, target) = lower
+                        .top
+                        .iter()
+                        .find(|(tc, _)| *tc == col)
+                        .expect("identical chiplets align column-for-column");
+                    builder.add_edge(conn, *target, EdgeKind::InterChip);
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+impl std::fmt::Display for McmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} MCM of {} ({} qubits)",
+            self.grid_rows,
+            self.grid_cols,
+            self.chiplet,
+            self.num_qubits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubit::FrequencyClass;
+
+    fn mcm(q: usize, k: usize, m: usize) -> Device {
+        McmSpec::new(ChipletSpec::with_qubits(q).unwrap(), k, m).build()
+    }
+
+    #[test]
+    fn paper_example_2x5_of_10q_is_100_qubits() {
+        let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 5);
+        assert_eq!(spec.num_qubits(), 100);
+        let device = spec.build();
+        assert_eq!(device.num_qubits(), 100);
+        assert_eq!(device.num_chips(), 10);
+        assert!(device.graph().is_connected());
+    }
+
+    #[test]
+    fn link_count_formula_matches_built_device() {
+        for (q, k, m) in [(10, 2, 5), (20, 3, 3), (40, 2, 2), (60, 2, 4), (90, 2, 2)] {
+            let spec = McmSpec::new(ChipletSpec::with_qubits(q).unwrap(), k, m);
+            let device = spec.build();
+            assert_eq!(
+                device.inter_chip_edges().count(),
+                spec.num_links(),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn inter_chip_edges_cross_chips_and_on_chip_edges_do_not() {
+        let device = mcm(20, 2, 3);
+        for e in device.edges() {
+            match e.kind {
+                EdgeKind::InterChip => assert_ne!(device.chip(e.a), device.chip(e.b)),
+                EdgeKind::OnChip => assert_eq!(device.chip(e.a), device.chip(e.b)),
+            }
+        }
+    }
+
+    #[test]
+    fn links_are_f2_controlled_with_distinct_target_classes() {
+        let device = mcm(10, 3, 3);
+        for e in device.inter_chip_edges() {
+            assert_eq!(device.class(e.control), FrequencyClass::F2);
+            assert_ne!(device.class(e.target()), FrequencyClass::F2);
+        }
+        // The two targets of any control must be one F0 and one F1 so no
+        // systematic near-null (Type 1/5) collision is designed in.
+        for q in device.qubits() {
+            let targets = device.targets_of(q);
+            if targets.len() == 2 {
+                assert_ne!(
+                    device.class(targets[0]),
+                    device.class(targets[1]),
+                    "control {q} drives two {} targets",
+                    device.class(targets[0])
+                );
+            }
+            assert!(targets.len() <= 2, "control {q} has degree > 2");
+        }
+    }
+
+    #[test]
+    fn f2_degree_stays_at_most_two_in_mcm() {
+        let device = mcm(20, 3, 3);
+        for q in device.qubits() {
+            if device.class(q) == FrequencyClass::F2 {
+                assert!(device.graph().degree(q) <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn mcm_qubit_counts_scale() {
+        assert_eq!(mcm(60, 2, 2).num_qubits(), 240);
+        assert_eq!(mcm(250, 1, 2).num_qubits(), 500);
+    }
+
+    #[test]
+    fn one_by_one_mcm_equals_standalone_chiplet() {
+        let chiplet = ChipletSpec::with_qubits(40).unwrap();
+        let alone = chiplet.build();
+        let module = McmSpec::new(chiplet, 1, 1).build();
+        assert_eq!(alone.num_qubits(), module.num_qubits());
+        assert_eq!(alone.graph().num_edges(), module.graph().num_edges());
+        assert_eq!(module.inter_chip_edges().count(), 0);
+    }
+
+    #[test]
+    fn chip_position_roundtrip() {
+        let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 3, 4);
+        assert_eq!(spec.chip_position(ChipIndex(0)), (0, 0));
+        assert_eq!(spec.chip_position(ChipIndex(5)), (1, 1));
+        assert_eq!(spec.chip_position(ChipIndex(11)), (2, 3));
+    }
+
+    #[test]
+    fn square_detection() {
+        let c = ChipletSpec::with_qubits(10).unwrap();
+        assert!(McmSpec::new(c, 2, 2).is_square());
+        assert!(!McmSpec::new(c, 2, 3).is_square());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_grid_rejected() {
+        McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 0, 2);
+    }
+
+    #[test]
+    fn link_qubits_count_matches_distinct_endpoints() {
+        let device = mcm(20, 2, 2);
+        let links = device.link_qubits();
+        // Every inter-chip edge contributes 2 qubits; seams do not share
+        // qubits in this family.
+        assert_eq!(links.len(), 2 * device.inter_chip_edges().count());
+    }
+
+    #[test]
+    fn wide_and_tall_mcms_connect() {
+        assert!(mcm(10, 1, 7).graph().is_connected());
+        assert!(mcm(10, 7, 1).graph().is_connected());
+    }
+}

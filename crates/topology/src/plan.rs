@@ -1,0 +1,221 @@
+//! Ideal frequency plans.
+//!
+//! Section IV-B of the paper: transmons target ~5 GHz, three ideal
+//! frequencies `F0 < F1 < F2` with a uniform step between them, and a
+//! fixed anharmonicity α ≈ −0.330 GHz. The Monte Carlo of Fig. 4 sweeps
+//! the step over 0.04–0.07 GHz and finds 0.06 GHz optimal, which the
+//! paper then fixes (`F = 5.0, 5.06, 5.12 GHz`) for all later analysis.
+
+use crate::qubit::FrequencyClass;
+
+/// An ideal three-frequency plan plus anharmonicity, in GHz.
+///
+/// The paper assumes a *uniform* step between `F0`, `F1`, and `F2` and
+/// names unequal steps as future work; [`FrequencyPlan::with_steps`]
+/// implements that exploration (DESIGN.md §9).
+///
+/// # Example
+///
+/// ```
+/// use chipletqc_topology::plan::FrequencyPlan;
+/// use chipletqc_topology::qubit::FrequencyClass;
+///
+/// let plan = FrequencyPlan::state_of_the_art();
+/// assert_eq!(plan.ideal(FrequencyClass::F0), 5.0);
+/// assert!((plan.ideal(FrequencyClass::F2) - 5.12).abs() < 1e-12);
+/// assert_eq!(plan.anharmonicity(), -0.330);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyPlan {
+    f0: f64,
+    step01: f64,
+    step12: f64,
+    anharmonicity: f64,
+}
+
+impl FrequencyPlan {
+    /// The paper's operating point: `F0 = 5.0 GHz`, step `0.06 GHz`
+    /// (the Fig. 4 optimum), `α = −0.330 GHz`.
+    pub fn state_of_the_art() -> FrequencyPlan {
+        FrequencyPlan { f0: 5.0, step01: 0.06, step12: 0.06, anharmonicity: -0.330 }
+    }
+
+    /// A plan with a custom uniform step (GHz), keeping the paper's
+    /// `F0 = 5.0` and `α = −0.330`. This is the Fig. 4 sweep axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step` is finite and positive.
+    pub fn with_step(step: f64) -> FrequencyPlan {
+        assert!(step.is_finite() && step > 0.0, "step must be positive, got {step}");
+        FrequencyPlan { step01: step, step12: step, ..FrequencyPlan::state_of_the_art() }
+    }
+
+    /// A plan with *unequal* steps: `F1 = F0 + step01`,
+    /// `F2 = F1 + step12` (extension; the paper assumes equal steps
+    /// "as done in prior work" and calls varying them future work).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both steps are finite and positive.
+    pub fn with_steps(step01: f64, step12: f64) -> FrequencyPlan {
+        assert!(
+            step01.is_finite() && step01 > 0.0,
+            "step01 must be positive, got {step01}"
+        );
+        assert!(
+            step12.is_finite() && step12 > 0.0,
+            "step12 must be positive, got {step12}"
+        );
+        FrequencyPlan { step01, step12, ..FrequencyPlan::state_of_the_art() }
+    }
+
+    /// A fully custom plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f0` and `anharmonicity` are finite, `step` is
+    /// finite and positive, and `anharmonicity` is negative (transmons
+    /// have negative anharmonicity; the collision criteria assume it).
+    pub fn custom(f0: f64, step: f64, anharmonicity: f64) -> FrequencyPlan {
+        assert!(f0.is_finite(), "f0 must be finite");
+        assert!(step.is_finite() && step > 0.0, "step must be positive, got {step}");
+        assert!(
+            anharmonicity.is_finite() && anharmonicity < 0.0,
+            "anharmonicity must be negative, got {anharmonicity}"
+        );
+        FrequencyPlan { f0, step01: step, step12: step, anharmonicity }
+    }
+
+    /// The base frequency `F0` in GHz.
+    pub fn f0(&self) -> f64 {
+        self.f0
+    }
+
+    /// The uniform step between ideal frequencies in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unequal-step plan; use [`FrequencyPlan::steps`]
+    /// there.
+    pub fn step(&self) -> f64 {
+        assert!(
+            (self.step01 - self.step12).abs() < 1e-15,
+            "plan has unequal steps ({} and {}); use steps()",
+            self.step01,
+            self.step12
+        );
+        self.step01
+    }
+
+    /// Both steps `(F1 − F0, F2 − F1)` in GHz.
+    pub fn steps(&self) -> (f64, f64) {
+        (self.step01, self.step12)
+    }
+
+    /// Whether the two steps are equal (the paper's assumption).
+    pub fn is_uniform(&self) -> bool {
+        self.step01 == self.step12
+    }
+
+    /// The transmon anharmonicity α in GHz (negative).
+    pub fn anharmonicity(&self) -> f64 {
+        self.anharmonicity
+    }
+
+    /// The ideal frequency of a class.
+    pub fn ideal(&self, class: FrequencyClass) -> f64 {
+        match class.steps() {
+            0 => self.f0,
+            1 => self.f0 + self.step01,
+            _ => self.f0 + self.step01 + self.step12,
+        }
+    }
+}
+
+impl Default for FrequencyPlan {
+    fn default() -> Self {
+        FrequencyPlan::state_of_the_art()
+    }
+}
+
+impl std::fmt::Display for FrequencyPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "F = {:.3}/{:.3}/{:.3} GHz, alpha = {:.3} GHz",
+            self.ideal(FrequencyClass::F0),
+            self.ideal(FrequencyClass::F1),
+            self.ideal(FrequencyClass::F2),
+            self.anharmonicity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_values() {
+        let plan = FrequencyPlan::state_of_the_art();
+        assert_eq!(plan.ideal(FrequencyClass::F0), 5.0);
+        assert!((plan.ideal(FrequencyClass::F1) - 5.06).abs() < 1e-12);
+        assert!((plan.ideal(FrequencyClass::F2) - 5.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_step_changes_only_step() {
+        let plan = FrequencyPlan::with_step(0.04);
+        assert_eq!(plan.f0(), 5.0);
+        assert_eq!(plan.step(), 0.04);
+        assert_eq!(plan.anharmonicity(), -0.330);
+        assert!((plan.ideal(FrequencyClass::F2) - 5.08).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_zero_step() {
+        FrequencyPlan::with_step(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "anharmonicity must be negative")]
+    fn rejects_positive_anharmonicity() {
+        FrequencyPlan::custom(5.0, 0.06, 0.3);
+    }
+
+    #[test]
+    fn unequal_steps_extension() {
+        let plan = FrequencyPlan::with_steps(0.05, 0.07);
+        assert!(!plan.is_uniform());
+        assert_eq!(plan.steps(), (0.05, 0.07));
+        assert!((plan.ideal(FrequencyClass::F1) - 5.05).abs() < 1e-12);
+        assert!((plan.ideal(FrequencyClass::F2) - 5.12).abs() < 1e-12);
+        assert!(FrequencyPlan::state_of_the_art().is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal steps")]
+    fn step_accessor_rejects_unequal_plans() {
+        let _ = FrequencyPlan::with_steps(0.05, 0.07).step();
+    }
+
+    #[test]
+    #[should_panic(expected = "step12 must be positive")]
+    fn with_steps_rejects_nonpositive() {
+        let _ = FrequencyPlan::with_steps(0.05, 0.0);
+    }
+
+    #[test]
+    fn default_is_state_of_the_art() {
+        assert_eq!(FrequencyPlan::default(), FrequencyPlan::state_of_the_art());
+    }
+
+    #[test]
+    fn display_lists_all_three() {
+        let s = FrequencyPlan::state_of_the_art().to_string();
+        assert!(s.contains("5.060"));
+        assert!(s.contains("5.120"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Qubit identity and frequency-class newtypes.
+
+/// Identifies a physical qubit within one [`crate::Device`].
+///
+/// A `QubitId` is only meaningful relative to the device that produced
+/// it; the newtype prevents accidental mixing with logical qubit indices
+/// during transpilation (C-NEWTYPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QubitId(pub u32);
+
+impl QubitId {
+    /// The qubit id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for QubitId {
+    fn from(value: u32) -> Self {
+        QubitId(value)
+    }
+}
+
+impl std::fmt::Display for QubitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// Identifies one chiplet within a multi-chip module.
+///
+/// Monolithic devices have a single chip with index 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ChipIndex(pub u16);
+
+impl ChipIndex {
+    /// The chip index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for ChipIndex {
+    fn from(value: u16) -> Self {
+        ChipIndex(value)
+    }
+}
+
+impl std::fmt::Display for ChipIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chip{}", self.0)
+    }
+}
+
+/// The three ideal frequency classes of the heavy-hex pattern.
+///
+/// Collision-free heavy-hex operation needs only three target frequencies
+/// `F0 < F1 < F2` (Section III-B of the paper). `F2` qubits are always the
+/// control in cross-resonance interactions and never exceed degree two
+/// within a chip; every `F2` neighbors one `F0` and one `F1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FrequencyClass {
+    /// The lowest ideal frequency (5.00 GHz in the paper's plan).
+    F0,
+    /// The middle ideal frequency (5.06 GHz).
+    F1,
+    /// The highest ideal frequency (5.12 GHz); always the CR control.
+    F2,
+}
+
+impl FrequencyClass {
+    /// All classes in ascending frequency order.
+    pub const ALL: [FrequencyClass; 3] = [FrequencyClass::F0, FrequencyClass::F1, FrequencyClass::F2];
+
+    /// The number of ideal-frequency steps above `F0` (0, 1, or 2).
+    pub fn steps(self) -> u8 {
+        match self {
+            FrequencyClass::F0 => 0,
+            FrequencyClass::F1 => 1,
+            FrequencyClass::F2 => 2,
+        }
+    }
+
+    /// Whether this class acts as the CR control in the heavy-hex plan.
+    pub fn is_control(self) -> bool {
+        self == FrequencyClass::F2
+    }
+}
+
+impl std::fmt::Display for FrequencyClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.steps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_id_roundtrip() {
+        let q = QubitId::from(7u32);
+        assert_eq!(q.index(), 7);
+        assert_eq!(q.to_string(), "Q7");
+    }
+
+    #[test]
+    fn chip_index_roundtrip() {
+        let c = ChipIndex::from(3u16);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.to_string(), "chip3");
+    }
+
+    #[test]
+    fn class_order_matches_frequency_order() {
+        assert!(FrequencyClass::F0 < FrequencyClass::F1);
+        assert!(FrequencyClass::F1 < FrequencyClass::F2);
+        assert_eq!(FrequencyClass::F2.steps(), 2);
+    }
+
+    #[test]
+    fn only_f2_controls() {
+        assert!(FrequencyClass::F2.is_control());
+        assert!(!FrequencyClass::F0.is_control());
+        assert!(!FrequencyClass::F1.is_control());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FrequencyClass::F0.to_string(), "F0");
+        assert_eq!(FrequencyClass::F2.to_string(), "F2");
+    }
+}

@@ -1,0 +1,314 @@
+//! Internal generic builder for rectangular heavy-hex tiles.
+//!
+//! Every device in the workspace that is not hand-coded (the chiplet
+//! family, monolithic devices, Hummingbird, Eagle) is an instance of a
+//! *row layout*: `R` horizontal **dense rows** of qubits joined by
+//! vertical **connector** qubits placed every four columns with
+//! alternating offsets — exactly the IBM heavy-hex construction.
+//!
+//! Frequency classes follow the three-frequency pattern of the paper
+//! (Section III-B): within a dense row, columns `≡ 1, 3 (mod 4)` are F2;
+//! columns `≡ 0 (mod 4)` are F0 on even rows and F1 on odd rows; columns
+//! `≡ 2 (mod 4)` are the opposite. All connectors are F2. This makes
+//! every F2 qubit a degree-≤2 control whose neighbors are one F0-class
+//! and one F1-class qubit, so the pattern survives arbitrary tiling of
+//! even-row-count tiles (the chiplets).
+
+use crate::device::{DeviceBuilder, EdgeKind};
+use crate::qubit::{ChipIndex, FrequencyClass, QubitId};
+
+/// A rectangular heavy-hex tile description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RowLayout {
+    /// `(start_col, end_col)` inclusive, per dense row.
+    pub rows: Vec<(u32, u32)>,
+    /// Connector columns per gap. Gap `g` sits below dense row `g`.
+    /// `gaps.len() == rows.len() − 1` for closed tiles (IBM devices) or
+    /// `rows.len()` when the final gap holds bottom link connectors
+    /// (chiplets).
+    pub gaps: Vec<Vec<u32>>,
+}
+
+/// The boundary qubits of one instantiated tile, used by the MCM
+/// composer to wire inter-chip links.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChipPorts {
+    /// Last-column qubit of each dense row (the F2 right link qubits).
+    pub right: Vec<QubitId>,
+    /// First-column qubit of each dense row.
+    pub left: Vec<QubitId>,
+    /// Bottom link connectors as `(col, qubit)`, empty for closed tiles.
+    pub bottom: Vec<(u32, QubitId)>,
+    /// Top dense row qubits as `(col, qubit)`.
+    pub top: Vec<(u32, QubitId)>,
+}
+
+/// The heavy-hex frequency class at `(row, col)` of a dense row.
+pub(crate) fn dense_class(row: usize, col: u32) -> FrequencyClass {
+    match col % 4 {
+        1 | 3 => FrequencyClass::F2,
+        0 => {
+            if row.is_multiple_of(2) {
+                FrequencyClass::F0
+            } else {
+                FrequencyClass::F1
+            }
+        }
+        _ => {
+            if row.is_multiple_of(2) {
+                FrequencyClass::F1
+            } else {
+                FrequencyClass::F0
+            }
+        }
+    }
+}
+
+/// The standard connector columns for width `0..=end_col` at gap index
+/// `g` (offset 0 on even gaps, offset 2 on odd gaps).
+pub(crate) fn connector_cols(g: usize, start_col: u32, end_col: u32) -> Vec<u32> {
+    let offset = if g.is_multiple_of(2) { 0 } else { 2 };
+    (offset..=end_col)
+        .step_by(4)
+        .filter(|c| *c >= start_col)
+        .collect()
+}
+
+impl RowLayout {
+    /// Validates structural invariants; called by the public spec types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connector column misses its dense row above, or if a
+    /// connector column lands on an F2 dense qubit (which would create an
+    /// F2–F2 edge with no CR direction).
+    pub fn validate(&self) {
+        assert!(!self.rows.is_empty(), "layout needs at least one dense row");
+        assert!(
+            self.gaps.len() == self.rows.len() - 1 || self.gaps.len() == self.rows.len(),
+            "gap count must be rows-1 (closed) or rows (with bottom links)"
+        );
+        for (g, cols) in self.gaps.iter().enumerate() {
+            let (above_start, above_end) = self.rows[g];
+            for &c in cols {
+                assert!(
+                    c >= above_start && c <= above_end,
+                    "connector col {c} outside dense row {g}"
+                );
+                assert_ne!(
+                    dense_class(g, c),
+                    FrequencyClass::F2,
+                    "connector at col {c} would attach to an F2 qubit"
+                );
+                if let Some(&(below_start, below_end)) = self.rows.get(g + 1) {
+                    assert!(
+                        c >= below_start && c <= below_end,
+                        "connector col {c} outside dense row {}",
+                        g + 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// Total qubits in the tile.
+    pub fn num_qubits(&self) -> usize {
+        let dense: usize = self
+            .rows
+            .iter()
+            .map(|(s, e)| (e - s + 1) as usize)
+            .sum();
+        let conns: usize = self.gaps.iter().map(Vec::len).sum();
+        dense + conns
+    }
+
+    /// Adds the tile's qubits and on-chip edges to `builder`, returning
+    /// the boundary ports.
+    pub fn instantiate(&self, builder: &mut DeviceBuilder, chip: ChipIndex) -> ChipPorts {
+        let mut ports = ChipPorts::default();
+        // Dense-row qubit ids, addressable by (row, col).
+        let mut row_base: Vec<(QubitId, u32)> = Vec::with_capacity(self.rows.len());
+
+        for (r, &(start, end)) in self.rows.iter().enumerate() {
+            let base = QubitId(builder.num_qubits() as u32);
+            row_base.push((base, start));
+            let mut prev: Option<QubitId> = None;
+            for c in start..=end {
+                let q = builder.add_qubit(dense_class(r, c), chip);
+                if let Some(p) = prev {
+                    builder.add_edge(p, q, EdgeKind::OnChip);
+                }
+                prev = Some(q);
+                if r == 0 {
+                    ports.top.push((c, q));
+                }
+            }
+            ports.left.push(base);
+            ports.right.push(QubitId(base.0 + (end - start)));
+
+            // The connector gap below this dense row, if any. The dense
+            // row underneath does not exist yet, so only the upward edge
+            // is added here; downward edges are wired after the loop.
+            if let Some(cols) = self.gaps.get(r) {
+                for &c in cols {
+                    let conn = builder.add_qubit(FrequencyClass::F2, chip);
+                    let (above_base, above_start) = row_base[r];
+                    builder.add_edge(
+                        QubitId(above_base.0 + (c - above_start)),
+                        conn,
+                        EdgeKind::OnChip,
+                    );
+                    ports.bottom.push((c, conn));
+                }
+            }
+        }
+
+        // Wire connectors to the dense row *below* them. `ports.bottom`
+        // currently holds every connector in gap order; drain the
+        // non-final gaps into real edges and keep only the genuine
+        // bottom links.
+        let mut final_bottom = Vec::new();
+        let mut cursor = 0usize;
+        for (g, cols) in self.gaps.iter().enumerate() {
+            for _ in cols {
+                let (c, conn) = ports.bottom[cursor];
+                cursor += 1;
+                if g + 1 < self.rows.len() {
+                    let (below_base, below_start) = row_base[g + 1];
+                    builder.add_edge(conn, QubitId(below_base.0 + (c - below_start)), EdgeKind::OnChip);
+                } else {
+                    final_bottom.push((c, conn));
+                }
+            }
+        }
+        ports.bottom = final_bottom;
+        ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceBuilder;
+
+    fn chiplet20_layout() -> RowLayout {
+        // D = 2, m = 2 (W = 7): the paper's 20-qubit chiplet.
+        RowLayout {
+            rows: vec![(0, 7), (0, 7)],
+            gaps: vec![connector_cols(0, 0, 7), connector_cols(1, 0, 7)],
+        }
+    }
+
+    #[test]
+    fn class_pattern_basics() {
+        assert_eq!(dense_class(0, 0), FrequencyClass::F0);
+        assert_eq!(dense_class(0, 1), FrequencyClass::F2);
+        assert_eq!(dense_class(0, 2), FrequencyClass::F1);
+        assert_eq!(dense_class(0, 3), FrequencyClass::F2);
+        assert_eq!(dense_class(1, 0), FrequencyClass::F1);
+        assert_eq!(dense_class(1, 2), FrequencyClass::F0);
+    }
+
+    #[test]
+    fn connector_cols_alternate() {
+        assert_eq!(connector_cols(0, 0, 7), vec![0, 4]);
+        assert_eq!(connector_cols(1, 0, 7), vec![2, 6]);
+        assert_eq!(connector_cols(0, 0, 14), vec![0, 4, 8, 12]);
+        assert_eq!(connector_cols(1, 0, 14), vec![2, 6, 10, 14]);
+        assert_eq!(connector_cols(1, 1, 14), vec![2, 6, 10, 14]);
+        assert_eq!(connector_cols(0, 1, 13), vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn twenty_qubit_chiplet_counts() {
+        let layout = chiplet20_layout();
+        layout.validate();
+        assert_eq!(layout.num_qubits(), 20);
+        let mut b = DeviceBuilder::new("c20");
+        let ports = layout.instantiate(&mut b, ChipIndex(0));
+        let d = b.build();
+        assert_eq!(d.num_qubits(), 20);
+        // 2 rows x 7 horizontal + 2 between-connector x 2 + 2 bottom x 1.
+        assert_eq!(d.graph().num_edges(), 20);
+        assert_eq!(ports.right.len(), 2);
+        assert_eq!(ports.left.len(), 2);
+        assert_eq!(ports.bottom.len(), 2);
+        assert_eq!(ports.top.len(), 8);
+        // Right link qubits are F2.
+        for q in ports.right {
+            assert_eq!(d.class(q), FrequencyClass::F2);
+        }
+        for (_, q) in ports.bottom {
+            assert_eq!(d.class(q), FrequencyClass::F2);
+        }
+    }
+
+    #[test]
+    fn f2_never_exceeds_degree_two_on_chip() {
+        let layout = chiplet20_layout();
+        let mut b = DeviceBuilder::new("c20");
+        layout.instantiate(&mut b, ChipIndex(0));
+        let d = b.build();
+        for q in d.qubits() {
+            if d.class(q) == FrequencyClass::F2 {
+                assert!(d.graph().degree(q) <= 2, "{q} has degree {}", d.graph().degree(q));
+            }
+        }
+    }
+
+    #[test]
+    fn f2_neighbors_are_one_f0_one_f1() {
+        let layout = chiplet20_layout();
+        let mut b = DeviceBuilder::new("c20");
+        layout.instantiate(&mut b, ChipIndex(0));
+        let d = b.build();
+        for q in d.qubits() {
+            if d.class(q) != FrequencyClass::F2 {
+                continue;
+            }
+            let classes: Vec<_> = d
+                .graph()
+                .neighbors(q)
+                .iter()
+                .map(|(n, _)| d.class(*n))
+                .collect();
+            assert!(!classes.contains(&FrequencyClass::F2), "F2 adjacent to F2 at {q}");
+            if classes.len() == 2 {
+                assert_ne!(classes[0], classes[1], "F2 {q} between two {}", classes[0]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "would attach to an F2")]
+    fn validate_rejects_connector_on_f2_column() {
+        let layout = RowLayout {
+            rows: vec![(0, 7), (0, 7)],
+            gaps: vec![vec![1]],
+        };
+        layout.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside dense row")]
+    fn validate_rejects_out_of_range_connector() {
+        let layout = RowLayout {
+            rows: vec![(0, 3), (0, 3)],
+            gaps: vec![vec![4]],
+        };
+        layout.validate();
+    }
+
+    #[test]
+    fn closed_tile_has_no_bottom_ports() {
+        let layout = RowLayout {
+            rows: vec![(0, 7), (0, 7)],
+            gaps: vec![connector_cols(0, 0, 7)],
+        };
+        layout.validate();
+        let mut b = DeviceBuilder::new("closed");
+        let ports = layout.instantiate(&mut b, ChipIndex(0));
+        assert!(ports.bottom.is_empty());
+        assert_eq!(b.build().num_qubits(), 18);
+    }
+}

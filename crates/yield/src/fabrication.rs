@@ -1,0 +1,212 @@
+//! Fabrication-precision parameters and frequency sampling.
+//!
+//! Section III-C of the paper: stochastic Josephson-junction variation
+//! deviates each transmon's frequency from its design target; the spread
+//! is characterized by a normal distribution with standard deviation
+//! `σ_f`. The paper anchors three values:
+//!
+//! * `σ_f = 0.1323 GHz` — spread directly after fabrication
+//!   (Hertzberg et al.);
+//! * `σ_f = 0.014 GHz` — after post-fabrication laser tuning, the
+//!   state of the art the paper adopts for all system modeling;
+//! * `σ_f = 0.006 GHz` — the projected precision needed for >10³-qubit
+//!   monolithic devices under the Table I criteria.
+
+use rand::Rng;
+
+use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::dist::Normal;
+use chipletqc_topology::device::Device;
+use chipletqc_topology::plan::FrequencyPlan;
+
+/// Fabrication model: ideal plan + precision.
+///
+/// The optional `sigma_alpha` extends the paper's model with per-qubit
+/// anharmonicity variation (the paper fixes α = −0.330 GHz for every
+/// qubit; keep `sigma_alpha = 0.0` for faithful reproduction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricationParams {
+    plan: FrequencyPlan,
+    sigma_f: f64,
+    sigma_alpha: f64,
+}
+
+impl FabricationParams {
+    /// The paper's reference spread directly after fabrication:
+    /// `σ_f = 0.1323 GHz`.
+    pub fn post_fabrication() -> FabricationParams {
+        FabricationParams::new(FrequencyPlan::state_of_the_art(), 0.1323)
+    }
+
+    /// The laser-tuned state of the art used for all of the paper's
+    /// system modeling: `σ_f = 0.014 GHz`.
+    pub fn state_of_the_art() -> FabricationParams {
+        FabricationParams::new(FrequencyPlan::state_of_the_art(), 0.014)
+    }
+
+    /// The projected precision for beyond-10³-qubit monolithic scaling:
+    /// `σ_f = 0.006 GHz`.
+    pub fn projected() -> FabricationParams {
+        FabricationParams::new(FrequencyPlan::state_of_the_art(), 0.006)
+    }
+
+    /// A custom plan/precision combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma_f` is finite and non-negative.
+    pub fn new(plan: FrequencyPlan, sigma_f: f64) -> FabricationParams {
+        assert!(
+            sigma_f.is_finite() && sigma_f >= 0.0,
+            "sigma_f must be finite and >= 0, got {sigma_f}"
+        );
+        FabricationParams { plan, sigma_f, sigma_alpha: 0.0 }
+    }
+
+    /// Returns a copy with a different precision.
+    #[must_use]
+    pub fn with_sigma_f(&self, sigma_f: f64) -> FabricationParams {
+        FabricationParams::new(self.plan, sigma_f)
+    }
+
+    /// Returns a copy with a different ideal plan.
+    #[must_use]
+    pub fn with_plan(&self, plan: FrequencyPlan) -> FabricationParams {
+        FabricationParams { plan, ..*self }
+    }
+
+    /// Returns a copy with per-qubit anharmonicity variation
+    /// (extension beyond the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma_alpha` is finite and non-negative.
+    #[must_use]
+    pub fn with_sigma_alpha(&self, sigma_alpha: f64) -> FabricationParams {
+        assert!(
+            sigma_alpha.is_finite() && sigma_alpha >= 0.0,
+            "sigma_alpha must be finite and >= 0, got {sigma_alpha}"
+        );
+        FabricationParams { sigma_alpha, ..*self }
+    }
+
+    /// The ideal frequency plan.
+    pub fn plan(&self) -> &FrequencyPlan {
+        &self.plan
+    }
+
+    /// The fabrication precision σ_f in GHz.
+    pub fn sigma_f(&self) -> f64 {
+        self.sigma_f
+    }
+
+    /// The anharmonicity spread (0 in the paper's model).
+    pub fn sigma_alpha(&self) -> f64 {
+        self.sigma_alpha
+    }
+
+    /// Virtually fabricates one device: every qubit's frequency is drawn
+    /// from `N(F_class, σ_f)` (and its anharmonicity from
+    /// `N(α, σ_alpha)` if enabled).
+    pub fn sample<R: Rng + ?Sized>(&self, device: &Device, rng: &mut R) -> Frequencies {
+        let freq_noise = Normal::new(0.0, self.sigma_f).expect("validated in constructor");
+        let freqs: Vec<f64> = device
+            .qubits()
+            .map(|q| self.plan.ideal(device.class(q)) + freq_noise.sample(rng))
+            .collect();
+        if self.sigma_alpha == 0.0 {
+            Frequencies::with_uniform_alpha(freqs, self.plan.anharmonicity())
+                .expect("sampled values are finite")
+        } else {
+            let alpha_noise = Normal::new(self.plan.anharmonicity(), self.sigma_alpha)
+                .expect("validated in constructor");
+            let alphas: Vec<f64> = (0..device.num_qubits()).map(|_| alpha_noise.sample(rng)).collect();
+            Frequencies::new(freqs, alphas).expect("sampled values are finite")
+        }
+    }
+}
+
+impl Default for FabricationParams {
+    fn default() -> Self {
+        FabricationParams::state_of_the_art()
+    }
+}
+
+impl std::fmt::Display for FabricationParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} with sigma_f = {:.4} GHz", self.plan, self.sigma_f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chipletqc_math::rng::Seed;
+    use chipletqc_math::stats::{mean, std_dev};
+    use chipletqc_topology::family::ChipletSpec;
+    use chipletqc_topology::qubit::FrequencyClass;
+
+    #[test]
+    fn reference_points_match_paper() {
+        assert_eq!(FabricationParams::post_fabrication().sigma_f(), 0.1323);
+        assert_eq!(FabricationParams::state_of_the_art().sigma_f(), 0.014);
+        assert_eq!(FabricationParams::projected().sigma_f(), 0.006);
+        assert_eq!(FabricationParams::default(), FabricationParams::state_of_the_art());
+    }
+
+    #[test]
+    fn sampling_centers_on_class_ideals() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let mut rng = Seed(42).rng();
+        // Collect many samples of one F0 qubit.
+        let f0_qubit = device.qubits().find(|q| device.class(*q) == FrequencyClass::F0).unwrap();
+        let samples: Vec<f64> =
+            (0..4000).map(|_| fab.sample(&device, &mut rng).freq(f0_qubit)).collect();
+        assert!((mean(&samples) - 5.0).abs() < 2e-3, "mean {}", mean(&samples));
+        assert!((std_dev(&samples) - 0.014).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let fab = FabricationParams::state_of_the_art().with_sigma_f(0.0);
+        let mut rng = Seed(1).rng();
+        let freqs = fab.sample(&device, &mut rng);
+        for q in device.qubits() {
+            assert_eq!(freqs.freq(q), fab.plan().ideal(device.class(q)));
+        }
+    }
+
+    #[test]
+    fn alpha_variation_extension() {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let fab = FabricationParams::state_of_the_art().with_sigma_alpha(0.005);
+        let mut rng = Seed(2).rng();
+        let freqs = fab.sample(&device, &mut rng);
+        let alphas: Vec<f64> = device.qubits().map(|q| freqs.alpha(q)).collect();
+        // Not all identical once variation is on.
+        assert!(alphas.iter().any(|a| (a - alphas[0]).abs() > 1e-9));
+        assert!((mean(&alphas) + 0.330).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let a = fab.sample(&device, &mut Seed(9).rng());
+        let b = fab.sample(&device, &mut Seed(9).rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma_f must be finite")]
+    fn rejects_negative_sigma() {
+        let _ = FabricationParams::state_of_the_art().with_sigma_f(-0.1);
+    }
+
+    #[test]
+    fn display_mentions_sigma() {
+        assert!(FabricationParams::state_of_the_art().to_string().contains("0.0140"));
+    }
+}

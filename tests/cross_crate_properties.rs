@@ -1,0 +1,141 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+
+use chipletqc::prelude::*;
+use chipletqc_collision::checker::{find_collisions, is_collision_free};
+use chipletqc_collision::criteria::CollisionParams;
+use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::rng::Seed;
+use chipletqc_topology::evalset::paper_mcms;
+use chipletqc_topology::qubit::FrequencyClass;
+use chipletqc_transpile::esp::esp_log;
+use chipletqc_transpile::pipeline::Transpiler;
+use chipletqc_yield::fabrication::FabricationParams;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any even-row chiplet in any grid yields a connected device with
+    /// the predicted qubit and link counts, pattern intact.
+    #[test]
+    fn mcm_structure_invariants(dm in 1usize..6, m in 1usize..4, k in 1usize..4, g in 1usize..4) {
+        let chiplet = ChipletSpec::new(2 * dm, m).unwrap();
+        let spec = McmSpec::new(chiplet, k, g);
+        let device = spec.build();
+        prop_assert_eq!(device.num_qubits(), spec.num_qubits());
+        prop_assert!(device.graph().is_connected());
+        prop_assert_eq!(device.inter_chip_edges().count(), spec.num_links());
+        // The three-frequency rule: F2 controls everything, max degree 2.
+        for e in device.edges() {
+            prop_assert_eq!(device.class(e.control), FrequencyClass::F2);
+        }
+        for q in device.qubits() {
+            if device.class(q) == FrequencyClass::F2 {
+                prop_assert!(device.graph().degree(q) <= 2);
+            }
+        }
+    }
+
+    /// Ideal plans with any step in the paper's sweep range are
+    /// collision-free at zero variation, on chiplets and MCMs alike.
+    #[test]
+    fn ideal_plans_are_collision_free(step in 0.04f64..0.071, pick in 0usize..102) {
+        let spec = paper_mcms()[pick];
+        let device = spec.build();
+        let plan = FrequencyPlan::with_step(step);
+        let freqs = Frequencies::ideal(&device, &plan);
+        prop_assert!(is_collision_free(&device, &freqs, &CollisionParams::paper()));
+    }
+
+    /// Widening every collision window can only find more collisions
+    /// (monotonicity of the Table I criteria).
+    #[test]
+    fn collision_criteria_monotone_in_thresholds(seed in 0u64..500, scale in 1.0f64..3.0) {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let mut rng = Seed(seed).rng();
+        let freqs = fab.sample(&device, &mut rng);
+        let narrow = find_collisions(&device, &freqs, &CollisionParams::paper());
+        let wide = find_collisions(&device, &freqs, &CollisionParams::paper().scaled(scale));
+        prop_assert!(wide.collisions.len() >= narrow.collisions.len());
+        // Zero-width windows only leave the (measure-zero) straddling check.
+        let tiny = find_collisions(&device, &freqs, &CollisionParams::paper().scaled(1e-12));
+        for c in &tiny.collisions {
+            prop_assert_eq!(c.collision_type.table_row(), 4);
+        }
+    }
+
+    /// Tighter fabrication never reduces the collision-free yield
+    /// (stochastic monotonicity, checked via common batches).
+    #[test]
+    fn yield_monotone_in_precision(seed in 0u64..50) {
+        use chipletqc_yield::monte_carlo::simulate_yield;
+        let device = ChipletSpec::with_qubits(40).unwrap().build();
+        let batch = 120;
+        let tight = simulate_yield(
+            &device,
+            &FabricationParams::state_of_the_art().with_sigma_f(0.006),
+            &CollisionParams::paper(),
+            batch,
+            Seed(seed),
+        );
+        let loose = simulate_yield(
+            &device,
+            &FabricationParams::state_of_the_art().with_sigma_f(0.05),
+            &CollisionParams::paper(),
+            batch,
+            Seed(seed),
+        );
+        prop_assert!(tight.survivors + 5 >= loose.survivors,
+            "tight {} vs loose {}", tight.survivors, loose.survivors);
+    }
+
+    /// Routing any random circuit keeps measurement and CX multisets
+    /// consistent and never worsens ESP versus an identical-noise
+    /// bound.
+    #[test]
+    fn routing_invariants_on_random_programs(seed in 0u64..40, n in 4usize..10) {
+        use chipletqc_benchmarks::primacy::{primacy_circuit, PrimacyParams};
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let circuit = primacy_circuit(n, &PrimacyParams { cycles: 4 }, Seed(seed));
+        let out = Transpiler::paper().transpile(&circuit, &device);
+        prop_assert!(out.respects_connectivity(&device));
+        // 2q accounting: every SWAP lowers to 3 CX.
+        prop_assert_eq!(out.physical.count_2q(), circuit.count_2q() + 3 * out.swaps);
+        prop_assert_eq!(out.physical.count_measurements(), circuit.count_measurements());
+        // ESP under uniform noise depends only on the 2q count.
+        let noise = chipletqc_noise::assign::EdgeNoise::from_infidelities(
+            vec![0.01; device.edges().len()],
+        );
+        let esp = esp_log(&out.physical, &device, &noise);
+        let expected = 0.99f64.ln() * out.physical.count_2q() as f64;
+        prop_assert!((esp.ln() - expected).abs() < 1e-9);
+    }
+
+    /// Fabrication sampling honors its parameters: frequencies are
+    /// finite and anchored near the plan.
+    #[test]
+    fn fabrication_samples_are_anchored(seed in 0u64..200, sigma in 0.0f64..0.2) {
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let fab = FabricationParams::state_of_the_art().with_sigma_f(sigma);
+        let mut rng = Seed(seed).rng();
+        let freqs = fab.sample(&device, &mut rng);
+        for q in device.qubits() {
+            let ideal = fab.plan().ideal(device.class(q));
+            prop_assert!((freqs.freq(q) - ideal).abs() < sigma * 8.0 + 1e-12);
+        }
+    }
+}
+
+/// The evaluation set is stable: exactly the paper's 102 systems, all
+/// within the 500-qubit cap, with the most-square dims.
+#[test]
+fn evaluation_set_is_stable() {
+    let systems = paper_mcms();
+    assert_eq!(systems.len(), 102);
+    for s in &systems {
+        assert!(s.num_qubits() <= 500);
+        assert!(s.grid_rows() <= s.grid_cols());
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end integration: the full fabricate → characterize →
+//! assemble → compile → score pipeline across crates.
+
+use chipletqc::lab::{Lab, LabConfig};
+use chipletqc::prelude::*;
+use chipletqc_collision::checker::is_collision_free;
+use chipletqc_transpile::esp::{edge_usage, esp_from_usage};
+
+#[test]
+fn full_pipeline_produces_scored_modules() {
+    let config = LabConfig::quick().with_seed(Seed(99));
+    let lab = Lab::new(config);
+    let chiplet = ChipletSpec::with_qubits(20).unwrap();
+    let spec = McmSpec::new(chiplet, 2, 2);
+
+    // Fabrication & KGD.
+    let bin = lab.chiplet_bin(chiplet);
+    assert!(bin.len() > config.batch / 2, "20q chiplet yield should be ~69%");
+
+    // Assembly.
+    let outcome = lab.assemble(&spec);
+    assert!(!outcome.mcms.is_empty());
+    let device = spec.build();
+    for mcm in outcome.mcms.iter().take(5) {
+        assert!(is_collision_free(&device, &mcm.freqs, &config.collision));
+    }
+
+    // Compilation + population scoring.
+    let circuit = Benchmark::Ghz.for_device_qubits(spec.num_qubits(), Seed(1));
+    let compiled = Transpiler::paper().transpile(&circuit, &device);
+    assert!(compiled.respects_connectivity(&device));
+    let usage = edge_usage(&compiled.physical, &device);
+    let esp = esp_from_usage(&usage, &outcome.mcms[0].noise);
+    assert!(esp.ln() < 0.0, "lossy hardware must cost fidelity");
+    assert!(esp.ln().is_finite());
+
+    // The premium module should score at least as well as the worst.
+    let worst = outcome.mcms.last().unwrap();
+    let esp_worst = esp_from_usage(&usage, &worst.noise);
+    assert!(
+        esp.ln() >= esp_worst.ln() - 1e-9 || outcome.mcms.len() < 3,
+        "best-first assembly should rank ESP: {} vs {}",
+        esp.ln(),
+        esp_worst.ln()
+    );
+}
+
+#[test]
+fn pipeline_is_reproducible_end_to_end() {
+    let run = |seed: u64| {
+        let lab = Lab::new(LabConfig::quick().with_seed(Seed(seed)));
+        let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 2);
+        let cmp = lab.compare(&spec);
+        (cmp.mono_population, cmp.mcm_assembled, cmp.eavg_mcm, cmp.eavg_mono)
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn mcm_and_monolithic_devices_expose_consistent_structure() {
+    for chiplet_qubits in [10usize, 20, 40] {
+        let chiplet = ChipletSpec::with_qubits(chiplet_qubits).unwrap();
+        let spec = McmSpec::new(chiplet, 2, 2);
+        let mcm = spec.build();
+        let mono = MonolithicSpec::with_qubits(spec.num_qubits()).unwrap().build();
+        assert_eq!(mcm.num_qubits(), mono.num_qubits());
+        // Same qubit budget; the MCM pays for links with chip seams.
+        assert_eq!(mcm.inter_chip_edges().count(), spec.num_links());
+        assert_eq!(mono.inter_chip_edges().count(), 0);
+        assert!(mcm.graph().is_connected());
+        assert!(mono.graph().is_connected());
+    }
+}
+
+#[test]
+fn quick_experiment_configs_run_end_to_end() {
+    use chipletqc::experiments::*;
+    // Each experiment's quick config must execute and render.
+    assert!(!fig3b::run(&fig3b::Fig3bConfig::quick()).render().is_empty());
+    assert!(!fig6::run(&fig6::Fig6Config::quick()).render().is_empty());
+    assert!(!fig7::run(&fig7::Fig7Config::quick()).render().is_empty());
+    assert!(!output_gain::run(&output_gain::OutputGainConfig::quick()).render().is_empty());
+}
+
+#[test]
+fn zero_yield_monolithic_is_handled_gracefully() {
+    // At the raw post-fabrication precision, even a 60-qubit monolithic
+    // yields ~zero; the comparison must degrade to the "MCM only"
+    // outcome rather than panic.
+    let config = LabConfig {
+        fabrication: FabricationParams::post_fabrication(),
+        ..LabConfig::quick()
+    };
+    let lab = Lab::new(config);
+    let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 3);
+    let cmp = lab.compare(&spec);
+    assert_eq!(cmp.mono_population, 0);
+    assert_eq!(cmp.eavg_ratio, None);
+}
