@@ -150,8 +150,8 @@ impl Assembler {
         let mut retry_pool: Vec<usize> = Vec::new();
 
         let place = |subset: &mut Vec<usize>,
-                         rng: &mut rand::rngs::StdRng,
-                         reshuffles: &mut usize|
+                     rng: &mut rand::rngs::StdRng,
+                     reshuffles: &mut usize|
          -> Option<Vec<usize>> {
             for attempt in 0..=self.params.max_reshuffles {
                 if attempt > 0 {
@@ -207,8 +207,14 @@ impl Assembler {
             .into_iter()
             .map(|order| {
                 let freqs = compose_frequencies(&chiplet_device, bin, &order);
-                let noise =
-                    compose_noise(&mcm_device, &chiplet_device, bin, &order, link_model, &mut rng);
+                let noise = compose_noise(
+                    &mcm_device,
+                    &chiplet_device,
+                    bin,
+                    &order,
+                    link_model,
+                    &mut rng,
+                );
                 let eavg = noise.eavg();
                 AssembledMcm { freqs, noise, eavg, chip_order: order }
             })
@@ -316,7 +322,11 @@ mod tests {
     use chipletqc_yield::fabrication::FabricationParams;
     use chipletqc_yield::monte_carlo::fabricate_collision_free;
 
-    fn make_bin(chiplet_qubits: usize, batch: usize, seed: u64) -> (Device, KgdBin, NoiseModel) {
+    fn make_bin(
+        chiplet_qubits: usize,
+        batch: usize,
+        seed: u64,
+    ) -> (Device, KgdBin, NoiseModel) {
         let device = ChipletSpec::with_qubits(chiplet_qubits).unwrap().build();
         let raw = fabricate_collision_free(
             &device,
@@ -334,11 +344,19 @@ mod tests {
     fn assembles_expected_module_count() {
         let (_, kgd, model) = make_bin(10, 300, 7);
         let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 2);
-        let outcome =
-            Assembler::new(AssemblyParams::paper()).assemble(&spec, &kgd, model.link_model(), Seed(9));
+        let outcome = Assembler::new(AssemblyParams::paper()).assemble(
+            &spec,
+            &kgd,
+            model.link_model(),
+            Seed(9),
+        );
         // Nearly every subset should place within the reshuffle budget.
         let max_possible = kgd.len() / 4;
-        assert!(outcome.mcms.len() >= max_possible - 3, "{} of {max_possible}", outcome.mcms.len());
+        assert!(
+            outcome.mcms.len() >= max_possible - 3,
+            "{} of {max_possible}",
+            outcome.mcms.len()
+        );
         assert_eq!(outcome.chiplets_used() + outcome.unplaced, kgd.len());
     }
 
@@ -347,8 +365,12 @@ mod tests {
         let (_, kgd, model) = make_bin(10, 250, 11);
         let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 3);
         let mcm_device = spec.build();
-        let outcome =
-            Assembler::new(AssemblyParams::paper()).assemble(&spec, &kgd, model.link_model(), Seed(13));
+        let outcome = Assembler::new(AssemblyParams::paper()).assemble(
+            &spec,
+            &kgd,
+            model.link_model(),
+            Seed(13),
+        );
         assert!(!outcome.mcms.is_empty());
         for m in &outcome.mcms {
             // The targeted cross-chip check must imply the full check.
@@ -362,8 +384,12 @@ mod tests {
     fn best_chiplets_go_into_first_modules() {
         let (_, kgd, model) = make_bin(10, 300, 17);
         let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 2);
-        let outcome =
-            Assembler::new(AssemblyParams::paper()).assemble(&spec, &kgd, model.link_model(), Seed(19));
+        let outcome = Assembler::new(AssemblyParams::paper()).assemble(
+            &spec,
+            &kgd,
+            model.link_model(),
+            Seed(19),
+        );
         // First module draws from the head of the sorted bin.
         assert!(outcome.mcms[0].chip_order.iter().all(|i| *i < 8));
         // eavg should broadly increase along the assembly order.
@@ -379,8 +405,12 @@ mod tests {
         let (chiplet_device, kgd, model) = make_bin(10, 120, 23);
         let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 1, 2);
         let mcm_device = spec.build();
-        let outcome =
-            Assembler::new(AssemblyParams::paper()).assemble(&spec, &kgd, model.link_model(), Seed(29));
+        let outcome = Assembler::new(AssemblyParams::paper()).assemble(
+            &spec,
+            &kgd,
+            model.link_model(),
+            Seed(29),
+        );
         let m = &outcome.mcms[0];
         // Chip 0's first on-chip edge must carry the exact KGD value.
         let first_chiplet = &kgd.chiplets()[m.chip_order[0]];
@@ -404,8 +434,12 @@ mod tests {
     fn post_assembly_yield_below_raw_yield() {
         let (_, kgd, model) = make_bin(10, 300, 41);
         let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 2);
-        let outcome =
-            Assembler::new(AssemblyParams::paper()).assemble(&spec, &kgd, model.link_model(), Seed(43));
+        let outcome = Assembler::new(AssemblyParams::paper()).assemble(
+            &spec,
+            &kgd,
+            model.link_model(),
+            Seed(43),
+        );
         let y = outcome.post_assembly_yield(300, &BondParams::paper());
         let raw = kgd.len() as f64 / 300.0;
         assert!(y > 0.0 && y <= raw, "post {y} vs raw {raw}");
@@ -433,8 +467,12 @@ mod tests {
         let (_, kgd, model) = make_bin(10, 10, 47);
         // Bin has < 9 survivors? It has up to 10; require 3x3=9 chips:
         let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 3, 3);
-        let outcome =
-            Assembler::new(AssemblyParams::paper()).assemble(&spec, &kgd, model.link_model(), Seed(49));
+        let outcome = Assembler::new(AssemblyParams::paper()).assemble(
+            &spec,
+            &kgd,
+            model.link_model(),
+            Seed(49),
+        );
         assert_eq!(outcome.chiplets_used() + outcome.unplaced, kgd.len());
         assert!(outcome.mcms.len() <= kgd.len() / 9);
     }

@@ -81,9 +81,7 @@ impl KgdBin {
 
     /// The average `eavg` across the bin.
     pub fn mean_eavg(&self) -> f64 {
-        chipletqc_math::stats::mean(
-            &self.chiplets.iter().map(|c| c.eavg).collect::<Vec<f64>>(),
-        )
+        chipletqc_math::stats::mean(&self.chiplets.iter().map(|c| c.eavg).collect::<Vec<f64>>())
     }
 }
 

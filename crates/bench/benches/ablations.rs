@@ -53,10 +53,8 @@ fn bench_ablations(c: &mut Criterion) {
         ("all_assembled", ComparisonMode::AllAssembled),
     ] {
         modes.bench_function(name, |b| {
-            let lab = Lab::new(LabConfig {
-                comparison: mode,
-                ..LabConfig::quick().with_batch(200)
-            });
+            let lab =
+                Lab::new(LabConfig { comparison: mode, ..LabConfig::quick().with_batch(200) });
             lab.compare(&spec); // warm
             b.iter(|| lab.compare(&spec))
         });
@@ -76,7 +74,9 @@ fn bench_ablations(c: &mut Criterion) {
     );
     let ghz = Benchmark::Ghz.for_device_qubits(mcm.num_qubits(), Seed(1));
     aware.bench_function("place_only", |b| {
-        b.iter(|| chipletqc_transpile::layout::noise_aware_layout(&mcm, &noise, ghz.num_qubits()))
+        b.iter(|| {
+            chipletqc_transpile::layout::noise_aware_layout(&mcm, &noise, ghz.num_qubits())
+        })
     });
     aware.bench_function("transpile_noise_aware", |b| {
         let t = Transpiler::paper();

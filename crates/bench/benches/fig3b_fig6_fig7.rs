@@ -19,9 +19,7 @@ fn bench_synthesis(c: &mut Criterion) {
         b.iter(|| fig6_rows(PAPER_CHIPLET_COUNT, 7))
     });
 
-    c.bench_function("fig7/synthesize_washington", |b| {
-        b.iter(|| paper_calibration(Seed(1)))
-    });
+    c.bench_function("fig7/synthesize_washington", |b| b.iter(|| paper_calibration(Seed(1))));
 
     let calibration = paper_calibration(Seed(1));
     c.bench_function("fig7/build_empirical_model", |b| {

@@ -19,13 +19,10 @@ fn bench_table2(c: &mut Criterion) {
 
     let mut path_group = c.benchmark_group("table2/critical_path");
     let circuit = Benchmark::Adder.for_device_qubits(360, Seed(1));
-    path_group.bench_function("adder_288_logical", |b| {
-        b.iter(|| circuit.two_qubit_critical_path())
-    });
+    path_group
+        .bench_function("adder_288_logical", |b| b.iter(|| circuit.two_qubit_critical_path()));
     let primacy = Benchmark::Primacy.for_device_qubits(360, Seed(1));
-    path_group.bench_function("primacy_288_logical", |b| {
-        b.iter(|| primacy.counts())
-    });
+    path_group.bench_function("primacy_288_logical", |b| b.iter(|| primacy.counts()));
     path_group.finish();
 }
 

@@ -1,56 +1,65 @@
-//! Regenerates every table and figure, writing the output under
+//! Regenerates every table and figure by delegating to the
+//! `chipletqc-engine` scenario scheduler, writing the output under
 //! `target/figures/`.
+//!
+//! The figures run as one parallel scenario batch with shared
+//! fabrication/characterization caches; artifacts and the
+//! `run_report.json` are bit-identical for any worker count
+//! (`CHIPLETQC_WORKERS` or `--workers N`).
 
 use std::fs;
 use std::path::PathBuf;
 
-use chipletqc::experiments::headline::Headline;
-use chipletqc::experiments::*;
+use chipletqc::lab::CacheHub;
 use chipletqc_bench::{banner, Scale};
+use chipletqc_engine::report::{timing_summary, RunReport};
+use chipletqc_engine::scheduler::Scheduler;
+use chipletqc_engine::suite::paper_suite;
+
+fn workers_from_env() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("error: --workers needs a value");
+                std::process::exit(2);
+            });
+            return Some(value.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad --workers {value}");
+                std::process::exit(2);
+            }));
+        }
+    }
+    std::env::var("CHIPLETQC_WORKERS").ok().and_then(|v| v.parse().ok())
+}
 
 fn main() {
     let scale = Scale::from_env();
     banner("all figures", scale);
     let dir = PathBuf::from("target/figures");
     fs::create_dir_all(&dir).expect("create target/figures");
-    let quick = scale.is_quick();
 
-    let save = |name: &str, contents: String| {
-        let path = dir.join(name);
-        fs::write(&path, &contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-        println!("wrote {} ({} bytes)", path.display(), contents.len());
-    };
-
-    save(
-        "fig3b.txt",
-        fig3b::run(&fig3b::Fig3bConfig::paper()).render(),
-    );
-    let f4cfg = if quick { fig4::Fig4Config::quick() } else { fig4::Fig4Config::paper() };
-    save("fig4.txt", fig4::run(&f4cfg).render());
-    let f6cfg = if quick { fig6::Fig6Config::quick() } else { fig6::Fig6Config::paper() };
-    save("fig6.txt", fig6::run(&f6cfg).render());
-    save("fig7.txt", fig7::run(&fig7::Fig7Config::paper()).render());
-    let f8cfg = if quick { fig8::Fig8Config::quick() } else { fig8::Fig8Config::paper() };
-    let f8 = fig8::run(&f8cfg);
-    save("fig8.txt", f8.render());
-    let f9cfg = if quick { fig9::Fig9Config::quick() } else { fig9::Fig9Config::paper() };
-    let f9 = fig9::run(&f9cfg);
-    save("fig9.txt", f9.render());
-    let f10cfg = if quick { fig10::Fig10Config::quick() } else { fig10::Fig10Config::paper() };
-    let f10 = fig10::run(&f10cfg);
-    save("fig10a.txt", f10.render());
-    save("fig10b.txt", f10.squares().render());
-    let t2cfg = if quick { table2::Table2Config::quick() } else { table2::Table2Config::paper() };
-    save("table2.txt", table2::run(&t2cfg).render());
-    let ogcfg = if quick {
-        output_gain::OutputGainConfig::quick()
+    let engine_scale = if scale.is_quick() {
+        chipletqc_engine::scenario::Scale::Quick
     } else {
-        output_gain::OutputGainConfig::paper()
+        chipletqc_engine::scenario::Scale::Paper
     };
-    save("output_gain.txt", output_gain::run(&ogcfg).render());
-    save(
-        "headline.txt",
-        Headline::from_data(&f8, &f9, Some(&f10)).render(),
-    );
+    let scheduler = workers_from_env().map_or_else(Scheduler::default, Scheduler::new);
+    let suite = paper_suite(engine_scale);
+
+    let hub = CacheHub::new();
+    let results = scheduler.run(&suite, &hub);
+    let report = RunReport::from_results(&results, hub.fabrication_stats());
+    print!("{}", timing_summary(&results, scheduler.workers()));
+
+    for (name, contents) in report.artifacts() {
+        let path = dir.join(name);
+        fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {} ({} bytes)", path.display(), contents.len());
+    }
+    let path = dir.join("run_report.json");
+    let json = report.to_json();
+    fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {} ({} bytes)", path.display(), json.len());
     println!("done.");
 }

@@ -9,11 +9,7 @@ fn main() {
     let scale = Scale::from_env();
     banner("Headline claims (abstract)", scale);
     let (f8, f9, f10) = if scale.is_quick() {
-        (
-            fig8::run(&fig8::Fig8Config::quick()),
-            fig9::run(&fig9::Fig9Config::quick()),
-            None,
-        )
+        (fig8::run(&fig8::Fig8Config::quick()), fig9::run(&fig9::Fig9Config::quick()), None)
     } else {
         (
             fig8::run(&fig8::Fig8Config::paper()),

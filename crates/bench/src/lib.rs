@@ -46,7 +46,10 @@ impl Scale {
 
 /// Prints a standard header for a regeneration binary.
 pub fn banner(figure: &str, scale: Scale) {
-    println!("chipletqc :: {figure} ({})", if scale.is_quick() { "quick scale" } else { "paper scale" });
+    println!(
+        "chipletqc :: {figure} ({})",
+        if scale.is_quick() { "quick scale" } else { "paper scale" }
+    );
     println!("{}", "=".repeat(72));
 }
 

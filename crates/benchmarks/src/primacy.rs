@@ -115,9 +115,8 @@ mod tests {
         let cycles = 8;
         let c = primacy_circuit(n, &PrimacyParams { cycles }, Seed(1));
         // Even cycles: floor(n/2) pairs; odd cycles: floor((n-1)/2).
-        let expected: usize = (0..cycles)
-            .map(|cy| if cy % 2 == 0 { n / 2 } else { (n - 1) / 2 })
-            .sum();
+        let expected: usize =
+            (0..cycles).map(|cy| if cy % 2 == 0 { n / 2 } else { (n - 1) / 2 }).sum();
         assert_eq!(c.count_2q(), expected);
     }
 

@@ -94,7 +94,9 @@ impl Benchmark {
             Benchmark::Ghz => ghz_circuit(logical_qubits),
             Benchmark::Adder => largest_adder_within(logical_qubits)
                 .unwrap_or_else(|| panic!("no adder fits in {logical_qubits} qubits")),
-            Benchmark::Primacy => primacy_circuit(logical_qubits, &PrimacyParams::paper(), seed),
+            Benchmark::Primacy => {
+                primacy_circuit(logical_qubits, &PrimacyParams::paper(), seed)
+            }
             Benchmark::BitCode => largest_bitcode_within(logical_qubits)
                 .unwrap_or_else(|| panic!("no bit code fits in {logical_qubits} qubits")),
             Benchmark::Hamiltonian => tfim_circuit(logical_qubits, &TfimParams::paper()),

@@ -20,13 +20,7 @@ pub fn weighted_depth(circuit: &Circuit, mut weight: impl FnMut(&Gate) -> usize)
     let mut best = 0;
     for gate in circuit.gates() {
         let w = weight(gate);
-        let level = gate
-            .qubits()
-            .iter()
-            .map(|q| frontier[q.index()])
-            .max()
-            .unwrap_or(0)
-            + w;
+        let level = gate.qubits().iter().map(|q| frontier[q.index()]).max().unwrap_or(0) + w;
         for q in gate.qubits().iter() {
             frontier[q.index()] = level;
         }

@@ -126,7 +126,11 @@ impl Gate {
     pub fn is_basis(&self) -> bool {
         matches!(
             self,
-            Gate::Rz { .. } | Gate::Sx { .. } | Gate::X { .. } | Gate::Cx { .. } | Gate::Measure { .. }
+            Gate::Rz { .. }
+                | Gate::Sx { .. }
+                | Gate::X { .. }
+                | Gate::Cx { .. }
+                | Gate::Measure { .. }
         )
     }
 }

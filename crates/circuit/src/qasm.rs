@@ -122,7 +122,9 @@ mod tests {
             .rzz(Qubit(0), Qubit(1), 0.4)
             .measure(Qubit(1));
         let qasm = to_qasm(&c);
-        for token in ["rz(0.1)", "sx ", "x ", "h ", "rx(0.2)", "ry(0.3)", "cx ", "swap ", "measure "] {
+        for token in
+            ["rz(0.1)", "sx ", "x ", "h ", "rx(0.2)", "ry(0.3)", "cx ", "swap ", "measure "]
+        {
             assert!(qasm.contains(token), "missing {token} in:\n{qasm}");
         }
     }

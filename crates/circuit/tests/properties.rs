@@ -23,7 +23,11 @@ fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
         (q.clone(), -6.3f64..6.3).prop_map(|(q, theta)| Gate::Ry { q: Qubit(q), theta }),
         pair.clone().prop_map(|(a, b)| Gate::Cx { control: Qubit(a), target: Qubit(b) }),
         pair.clone().prop_map(|(a, b)| Gate::Swap { a: Qubit(a), b: Qubit(b) }),
-        (pair, -6.3f64..6.3).prop_map(|((a, b), theta)| Gate::Rzz { a: Qubit(a), b: Qubit(b), theta }),
+        (pair, -6.3f64..6.3).prop_map(|((a, b), theta)| Gate::Rzz {
+            a: Qubit(a),
+            b: Qubit(b),
+            theta
+        }),
         q.prop_map(|q| Gate::Measure { q: Qubit(q) }),
     ]
 }

@@ -36,7 +36,11 @@ fn check_len(device: &Device, freqs: &Frequencies) {
 /// # Panics
 ///
 /// Panics if `freqs` does not cover the device.
-pub fn is_collision_free(device: &Device, freqs: &Frequencies, params: &CollisionParams) -> bool {
+pub fn is_collision_free(
+    device: &Device,
+    freqs: &Frequencies,
+    params: &CollisionParams,
+) -> bool {
     check_len(device, freqs);
     for e in device.edges() {
         let (c, t) = (e.control, e.target());
@@ -88,7 +92,8 @@ impl CollisionReport {
 
     /// The distinct qubits involved in any collision.
     pub fn affected_qubits(&self) -> Vec<QubitId> {
-        let mut qs: Vec<QubitId> = self.collisions.iter().flat_map(|c| c.qubits.clone()).collect();
+        let mut qs: Vec<QubitId> =
+            self.collisions.iter().flat_map(|c| c.qubits.clone()).collect();
         qs.sort_unstable();
         qs.dedup();
         qs
@@ -166,7 +171,11 @@ pub fn find_collisions(
 }
 
 /// Collision counts by type, without materializing the report.
-pub fn count_by_type(device: &Device, freqs: &Frequencies, params: &CollisionParams) -> [usize; 7] {
+pub fn count_by_type(
+    device: &Device,
+    freqs: &Frequencies,
+    params: &CollisionParams,
+) -> [usize; 7] {
     find_collisions(device, freqs, params).counts_by_type()
 }
 

@@ -332,12 +332,7 @@ mod tests {
         assert!((p.t2 - 0.002).abs() < 1e-12);
         // A detuning that collides at paper thresholds passes at half.
         assert!(!type1(&freqs3([5.0, 5.012, 0.0]), Q0, Q1, &p));
-        assert!(type1(
-            &freqs3([5.0, 5.012, 0.0]),
-            Q0,
-            Q1,
-            &CollisionParams::paper()
-        ));
+        assert!(type1(&freqs3([5.0, 5.012, 0.0]), Q0, Q1, &CollisionParams::paper()));
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Frequencies {
     /// non-finite values.
     pub fn new(freqs: Vec<f64>, alphas: Vec<f64>) -> Result<Frequencies, FrequenciesError> {
         if freqs.len() != alphas.len() {
-            return Err(FrequenciesError::LengthMismatch { freqs: freqs.len(), alphas: alphas.len() });
+            return Err(FrequenciesError::LengthMismatch {
+                freqs: freqs.len(),
+                alphas: alphas.len(),
+            });
         }
         if freqs.iter().chain(alphas.iter()).any(|x| !x.is_finite()) {
             return Err(FrequenciesError::NonFinite);
@@ -68,7 +71,10 @@ impl Frequencies {
     /// # Errors
     ///
     /// Returns an error on non-finite inputs.
-    pub fn with_uniform_alpha(freqs: Vec<f64>, alpha: f64) -> Result<Frequencies, FrequenciesError> {
+    pub fn with_uniform_alpha(
+        freqs: Vec<f64>,
+        alpha: f64,
+    ) -> Result<Frequencies, FrequenciesError> {
         let n = freqs.len();
         Frequencies::new(freqs, vec![alpha; n])
     }

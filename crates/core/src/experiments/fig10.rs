@@ -20,7 +20,7 @@ use chipletqc_topology::mcm::McmSpec;
 use chipletqc_transpile::esp::{edge_usage, esp_from_usage};
 use chipletqc_transpile::pipeline::Transpiler;
 
-use crate::lab::{Lab, LabConfig};
+use crate::lab::{CacheHub, Lab, LabConfig};
 use crate::report::TextTable;
 
 /// Fig. 10 configuration.
@@ -114,10 +114,7 @@ pub struct Fig10Row {
 impl Fig10Row {
     /// The number of red-X systems (zero-yield monolithic).
     pub fn red_x_count(&self) -> usize {
-        self.points
-            .iter()
-            .filter(|p| p.outcome == RatioOutcome::MonolithicImpossible)
-            .count()
+        self.points.iter().filter(|p| p.outcome == RatioOutcome::MonolithicImpossible).count()
     }
 
     /// The fraction of finite points with MCM advantage
@@ -192,9 +189,15 @@ impl Fig10Data {
     }
 }
 
-/// Runs the Fig. 10 evaluation.
+/// Runs the Fig. 10 evaluation with private caches.
 pub fn run(config: &Fig10Config) -> Fig10Data {
-    let lab = Lab::new(config.lab);
+    run_in(config, &CacheHub::new())
+}
+
+/// Runs the Fig. 10 evaluation sharing fabrication/characterization
+/// caches through `hub` (the engine's concurrent-scenario path).
+pub fn run_in(config: &Fig10Config, hub: &CacheHub) -> Fig10Data {
+    let lab = Lab::new_in(config.lab, hub);
     // Monolithic compiles are shared across systems of equal size.
     let mut mono_usage: HashMap<(usize, Benchmark), Vec<u32>> = HashMap::new();
 
@@ -231,7 +234,8 @@ pub fn run(config: &Fig10Config) -> Fig10Data {
                 .collect();
 
             let mcm_esp_log10 = (!mcm_lns.is_empty()).then(|| ln_to_log10(mean_ln(&mcm_lns)));
-            let mono_esp_log10 = (!mono_lns.is_empty()).then(|| ln_to_log10(mean_ln(&mono_lns)));
+            let mono_esp_log10 =
+                (!mono_lns.is_empty()).then(|| ln_to_log10(mean_ln(&mono_lns)));
             let point_outcome = match (mcm_esp_log10, mono_esp_log10) {
                 (Some(m), Some(o)) => RatioOutcome::Finite(m - o),
                 (Some(_), None) => RatioOutcome::MonolithicImpossible,

@@ -43,9 +43,7 @@ impl Fig3bData {
     /// Whether the paper's headline observation holds: median CX
     /// infidelity strictly increases with device size.
     pub fn median_increases_with_size(&self) -> bool {
-        self.machines
-            .windows(2)
-            .all(|w| w[0].boxplot.median < w[1].boxplot.median)
+        self.machines.windows(2).all(|w| w[0].boxplot.median < w[1].boxplot.median)
     }
 
     /// Renders the box-plot table.

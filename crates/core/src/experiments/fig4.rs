@@ -41,11 +41,7 @@ impl Fig4Config {
 
     /// Reduced grid for tests.
     pub fn quick() -> Fig4Config {
-        Fig4Config {
-            sizes: vec![10, 30, 60, 100, 200, 400],
-            batch: 150,
-            ..Fig4Config::paper()
-        }
+        Fig4Config { sizes: vec![10, 30, 60, 100, 200, 400], batch: 150, ..Fig4Config::paper() }
     }
 }
 
@@ -96,12 +92,7 @@ impl Fig4Data {
             let sizes = &panel.curves[0].sizes;
             for (i, size) in sizes.iter().enumerate() {
                 let mut row = vec![size.to_string()];
-                row.extend(
-                    panel
-                        .curves
-                        .iter()
-                        .map(|c| fmt_yield(c.estimates[i].fraction())),
-                );
+                row.extend(panel.curves.iter().map(|c| fmt_yield(c.estimates[i].fraction())));
                 table.row(row);
             }
             out.push_str(&table.to_string());

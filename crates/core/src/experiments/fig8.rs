@@ -11,7 +11,7 @@ use chipletqc_topology::evalset::paper_mcms;
 use chipletqc_topology::family::ChipletSpec;
 use chipletqc_topology::mcm::McmSpec;
 
-use crate::lab::{Lab, LabConfig};
+use crate::lab::{CacheHub, Lab, LabConfig};
 use crate::report::{fmt_ratio, fmt_yield, TextTable};
 
 /// Fig. 8 configuration.
@@ -88,11 +88,7 @@ impl Fig8Data {
     /// The largest monolithic size with nonzero measured yield — the
     /// paper's "unfeasible ≳ 400 qubits" observation reads off this.
     pub fn monolithic_cliff(&self) -> Option<usize> {
-        self.points
-            .iter()
-            .filter(|p| p.mono_yield > 0.0)
-            .map(|p| p.spec.num_qubits())
-            .max()
+        self.points.iter().filter(|p| p.mono_yield > 0.0).map(|p| p.spec.num_qubits()).max()
     }
 
     /// Renders the yield curves and improvement summary.
@@ -105,7 +101,12 @@ impl Fig8Data {
         out.push_str(&chiplets.to_string());
         out.push_str("\n--- yield vs qubits (Fig. 8a) ---\n");
         let mut table = TextTable::new([
-            "chiplet", "grid", "qubits", "mcm yield", "mcm yield (100x bond fail)", "mono yield",
+            "chiplet",
+            "grid",
+            "qubits",
+            "mcm yield",
+            "mcm yield (100x bond fail)",
+            "mono yield",
             "improvement",
         ]);
         for p in &self.points {
@@ -130,9 +131,15 @@ impl Fig8Data {
     }
 }
 
-/// Runs the Fig. 8 evaluation.
+/// Runs the Fig. 8 evaluation with private caches.
 pub fn run(config: &Fig8Config) -> Fig8Data {
-    let lab = Lab::new(config.lab);
+    run_in(config, &CacheHub::new())
+}
+
+/// Runs the Fig. 8 evaluation sharing fabrication/characterization
+/// caches through `hub` (the engine's concurrent-scenario path).
+pub fn run_in(config: &Fig8Config, hub: &CacheHub) -> Fig8Data {
+    let lab = Lab::new_in(config.lab, hub);
     let bond = config.lab.assembly.bond;
     let bond_amplified = bond.with_failure_multiplier(config.failure_multiplier);
 
@@ -174,12 +181,11 @@ pub fn run(config: &Fig8Config) -> Fig8Data {
                 .iter()
                 .filter(|p| p.spec.chiplet() == *c && p.mono_yield > 0.0)
                 .collect();
-            let excluded = points
-                .iter()
-                .filter(|p| p.spec.chiplet() == *c && p.mono_yield == 0.0)
-                .count();
+            let excluded =
+                points.iter().filter(|p| p.spec.chiplet() == *c && p.mono_yield == 0.0).count();
             let avg = (!comparable.is_empty()).then(|| {
-                let mcm = mean(&comparable.iter().map(|p| p.yield_fraction).collect::<Vec<f64>>());
+                let mcm =
+                    mean(&comparable.iter().map(|p| p.yield_fraction).collect::<Vec<f64>>());
                 let mono = mean(&comparable.iter().map(|p| p.mono_yield).collect::<Vec<f64>>());
                 mcm / mono
             });

@@ -11,7 +11,7 @@ use chipletqc_noise::link::{PAPER_CHIP_MEAN, PAPER_LINK_MEAN};
 use chipletqc_topology::evalset::square_mcms;
 use chipletqc_topology::mcm::McmSpec;
 
-use crate::lab::{Lab, LabConfig, SystemComparison};
+use crate::lab::{CacheHub, Lab, LabConfig, SystemComparison};
 use crate::report::{fmt_ratio, TextTable};
 
 /// Fig. 9 configuration.
@@ -38,10 +38,7 @@ impl Fig9Config {
 
     /// Reduced: two panels, small systems, reduced batch.
     pub fn quick() -> Fig9Config {
-        let systems = square_mcms()
-            .into_iter()
-            .filter(|s| s.num_qubits() <= 180)
-            .collect();
+        let systems = square_mcms().into_iter().filter(|s| s.num_qubits() <= 180).collect();
         Fig9Config {
             lab: LabConfig::quick().with_batch(600),
             ratios: vec![PAPER_LINK_MEAN / PAPER_CHIP_MEAN, 1.0],
@@ -71,10 +68,7 @@ impl Fig9Panel {
 
     /// The best (lowest) ratio in the panel.
     pub fn best_ratio(&self) -> Option<f64> {
-        self.cells
-            .iter()
-            .filter_map(|c| c.eavg_ratio)
-            .min_by(f64::total_cmp)
+        self.cells.iter().filter_map(|c| c.eavg_ratio).min_by(f64::total_cmp)
     }
 }
 
@@ -117,7 +111,13 @@ impl Fig9Data {
 /// Runs the Fig. 9 sweep. Fabrication and characterization are shared
 /// across panels via sibling labs.
 pub fn run(config: &Fig9Config) -> Fig9Data {
-    let base = Lab::new(config.lab);
+    run_in(config, &CacheHub::new())
+}
+
+/// Runs the Fig. 9 sweep sharing fabrication/characterization caches
+/// through `hub` (the engine's concurrent-scenario path).
+pub fn run_in(config: &Fig9Config, hub: &CacheHub) -> Fig9Data {
+    let base = Lab::new_in(config.lab, hub);
     let panels = config
         .ratios
         .iter()

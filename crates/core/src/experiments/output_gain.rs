@@ -72,10 +72,26 @@ impl OutputGainData {
     pub fn render(&self) -> String {
         let m = &self.model;
         let mut table = TextTable::new(["quantity", "value", "paper"]);
-        table.row(["Y_m (monolithic yield)".into(), format!("{:.3}", m.monolithic_yield), "~0.11".to_string()]);
-        table.row(["Y_c (chiplet yield)".into(), format!("{:.3}", m.chiplet_yield), "~0.85".to_string()]);
-        table.row(["monolithic output".into(), format!("{:.0}", m.monolithic_output()), "110".to_string()]);
-        table.row(["MCM output (Eq. 1)".into(), format!("{:.0}", m.mcm_output()), "850".to_string()]);
+        table.row([
+            "Y_m (monolithic yield)".into(),
+            format!("{:.3}", m.monolithic_yield),
+            "~0.11".to_string(),
+        ]);
+        table.row([
+            "Y_c (chiplet yield)".into(),
+            format!("{:.3}", m.chiplet_yield),
+            "~0.85".to_string(),
+        ]);
+        table.row([
+            "monolithic output".into(),
+            format!("{:.0}", m.monolithic_output()),
+            "110".to_string(),
+        ]);
+        table.row([
+            "MCM output (Eq. 1)".into(),
+            format!("{:.0}", m.mcm_output()),
+            "850".to_string(),
+        ]);
         table.row([
             "gain".into(),
             m.gain().map_or("unbounded".into(), |g| format!("{g:.2}x")),
@@ -87,12 +103,10 @@ impl OutputGainData {
 
 /// Measures yields and evaluates Eq. 1.
 pub fn run(config: &OutputGainConfig) -> OutputGainData {
-    let mono_device = MonolithicSpec::with_qubits(config.monolithic_qubits)
-        .expect("valid size")
-        .build();
-    let chiplet_device = ChipletSpec::with_qubits(config.chiplet_qubits)
-        .expect("valid size")
-        .build();
+    let mono_device =
+        MonolithicSpec::with_qubits(config.monolithic_qubits).expect("valid size").build();
+    let chiplet_device =
+        ChipletSpec::with_qubits(config.chiplet_qubits).expect("valid size").build();
     let mono = simulate_yield(
         &mono_device,
         &config.fabrication,
@@ -101,8 +115,7 @@ pub fn run(config: &OutputGainConfig) -> OutputGainData {
         config.seed.split(1),
     );
     // Measure the chiplet yield on the equal-wafer-area batch.
-    let chiplet_batch =
-        config.batch * config.monolithic_qubits / config.chiplet_qubits;
+    let chiplet_batch = config.batch * config.monolithic_qubits / config.chiplet_qubits;
     let chiplet = simulate_yield(
         &chiplet_device,
         &config.fabrication,
@@ -138,8 +151,16 @@ mod tests {
     #[test]
     fn measured_yields_near_paper_anchors() {
         let data = run(&OutputGainConfig::quick());
-        assert!((data.model.monolithic_yield - 0.11).abs() < 0.08, "Y_m {}", data.model.monolithic_yield);
-        assert!((data.model.chiplet_yield - 0.85).abs() < 0.07, "Y_c {}", data.model.chiplet_yield);
+        assert!(
+            (data.model.monolithic_yield - 0.11).abs() < 0.08,
+            "Y_m {}",
+            data.model.monolithic_yield
+        );
+        assert!(
+            (data.model.chiplet_yield - 0.85).abs() < 0.07,
+            "Y_c {}",
+            data.model.chiplet_yield
+        );
         let rendered = data.render();
         assert!(rendered.contains("Eq. 1"));
         assert!(rendered.contains("7.7"));

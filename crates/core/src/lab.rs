@@ -9,6 +9,20 @@
 //! share the link-independent caches — the Fig. 9 ratio sweep reuses
 //! all fabrication work across its four panels.
 //!
+//! ## Thread-safe sharing (the engine contract)
+//!
+//! The caches are `Arc`-based and internally synchronized, so labs can
+//! be shared across the worker threads of `chipletqc-engine`'s
+//! scenario scheduler. A [`CacheHub`] extends sibling sharing across
+//! *independently constructed* labs: every lab created through
+//! [`Lab::new_in`] with an equivalent cache-relevant configuration
+//! (batch, fabrication, collision thresholds, root seed) reuses the
+//! same fabrication and characterization products, and each product is
+//! computed exactly once even when scenarios race for it (per-entry
+//! [`OnceLock`] initialization). Cached values are pure functions of
+//! the configuration, never of thread timing, so results remain
+//! bit-identical regardless of worker count.
+//!
 //! ## Population semantics (DESIGN.md §6)
 //!
 //! The paper compares "the devices in the collision-free monolithic
@@ -21,9 +35,9 @@
 //! meaningful. [`ComparisonMode::AllAssembled`] is the ablation that
 //! averages over every assembled module.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use chipletqc_assembly::assembler::{Assembler, AssemblyOutcome, AssemblyParams};
 use chipletqc_assembly::kgd::KgdBin;
@@ -36,7 +50,7 @@ use chipletqc_topology::device::Device;
 use chipletqc_topology::family::{ChipletSpec, MonolithicSpec};
 use chipletqc_topology::mcm::McmSpec;
 use chipletqc_yield::fabrication::FabricationParams;
-use chipletqc_yield::monte_carlo::{fabricate_collision_free, YieldEstimate};
+use chipletqc_yield::monte_carlo::{fabricate_collision_free_with_workers, YieldEstimate};
 
 /// How MCM and monolithic populations are matched before averaging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -65,6 +79,11 @@ pub struct LabConfig {
     pub link_ratio: Option<f64>,
     /// Population matching mode.
     pub comparison: ComparisonMode,
+    /// Worker threads for Monte Carlo fabrication; `None` picks a
+    /// heuristic from the batch size and hardware parallelism. The
+    /// engine sets this to divide hardware between concurrent
+    /// scenarios. Never affects results, only wall-clock time.
+    pub yield_workers: Option<usize>,
     /// Root seed; every sub-stream derives from it.
     pub seed: Seed,
 }
@@ -80,6 +99,7 @@ impl LabConfig {
             assembly: AssemblyParams::paper(),
             link_ratio: None,
             comparison: ComparisonMode::MatchMonolithicCount,
+            yield_workers: None,
             seed: Seed(2022),
         }
     }
@@ -100,6 +120,24 @@ impl LabConfig {
     #[must_use]
     pub fn with_seed(self, seed: Seed) -> LabConfig {
         LabConfig { seed, ..self }
+    }
+
+    /// Returns a copy pinned to a fabrication worker count.
+    #[must_use]
+    pub fn with_yield_workers(self, workers: Option<usize>) -> LabConfig {
+        LabConfig { yield_workers: workers, ..self }
+    }
+
+    /// The key under which labs may share fabrication/characterization
+    /// caches: everything that determines those products (batch,
+    /// fabrication model, collision thresholds, root seed) and nothing
+    /// that does not (link ratio, comparison mode, assembly policy,
+    /// worker counts).
+    fn cache_key(&self) -> String {
+        format!(
+            "b{}|s{}|f{:?}|c{:?}",
+            self.batch, self.seed.0, self.fabrication, self.collision
+        )
     }
 }
 
@@ -130,11 +168,79 @@ impl MonoPopulation {
     }
 }
 
-/// Link-independent caches shared between sibling labs.
+/// A cache slot that is initialized exactly once, even under races:
+/// the map lock is held only to find the slot, never while computing.
+type Slot<T> = Arc<OnceLock<Arc<T>>>;
+
+fn slot<K: std::hash::Hash + Eq + Clone, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: &K,
+) -> Slot<T> {
+    Arc::clone(map.lock().expect("cache poisoned").entry(key.clone()).or_default())
+}
+
+/// Link-independent caches shared between sibling labs (and, through a
+/// [`CacheHub`], between labs of concurrent scenarios).
 #[derive(Debug, Default)]
 struct SharedCaches {
-    chiplet_bins: RefCell<HashMap<usize, Rc<KgdBin>>>,
-    mono_pops: RefCell<HashMap<usize, Rc<MonoPopulation>>>,
+    chiplet_bins: Mutex<HashMap<usize, Slot<KgdBin>>>,
+    mono_pops: Mutex<HashMap<usize, Slot<MonoPopulation>>>,
+    chiplet_fabrications: AtomicUsize,
+    mono_fabrications: AtomicUsize,
+}
+
+/// Counters of how many fabrication campaigns actually ran — the
+/// observable for cache-sharing tests and engine run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricationStats {
+    /// Chiplet fabrication+KGD campaigns executed (one per distinct
+    /// chiplet size, if sharing works).
+    pub chiplet_fabrications: usize,
+    /// Monolithic fabrication campaigns executed (one per distinct
+    /// system size, if sharing works).
+    pub mono_fabrications: usize,
+}
+
+impl FabricationStats {
+    /// Total campaigns of either kind.
+    pub fn total(&self) -> usize {
+        self.chiplet_fabrications + self.mono_fabrications
+    }
+}
+
+/// A registry of [`SharedCaches`] keyed by cache-relevant
+/// configuration, extending sibling-lab sharing to labs constructed
+/// independently (the engine's concurrent scenarios).
+///
+/// Cloning a hub clones the handle, not the contents; all clones see
+/// the same caches.
+#[derive(Debug, Clone, Default)]
+pub struct CacheHub {
+    inner: Arc<Mutex<HashMap<String, Arc<SharedCaches>>>>,
+}
+
+impl CacheHub {
+    /// Creates an empty hub.
+    pub fn new() -> CacheHub {
+        CacheHub::default()
+    }
+
+    fn shared_for(&self, config: &LabConfig) -> Arc<SharedCaches> {
+        Arc::clone(
+            self.inner.lock().expect("hub poisoned").entry(config.cache_key()).or_default(),
+        )
+    }
+
+    /// Aggregate fabrication counters across every cache in the hub.
+    pub fn fabrication_stats(&self) -> FabricationStats {
+        let inner = self.inner.lock().expect("hub poisoned");
+        let mut stats = FabricationStats::default();
+        for caches in inner.values() {
+            stats.chiplet_fabrications += caches.chiplet_fabrications.load(Ordering::Relaxed);
+            stats.mono_fabrications += caches.mono_fabrications.load(Ordering::Relaxed);
+        }
+        stats
+    }
 }
 
 /// The cached experiment pipeline.
@@ -142,24 +248,29 @@ struct SharedCaches {
 pub struct Lab {
     config: LabConfig,
     noise: NoiseModel,
-    shared: Rc<SharedCaches>,
-    assemblies: RefCell<HashMap<(usize, usize, usize), Rc<AssemblyOutcome>>>,
+    shared: Arc<SharedCaches>,
+    assemblies: Mutex<HashMap<(usize, usize, usize), Slot<AssemblyOutcome>>>,
 }
 
 impl Lab {
-    /// Creates a lab from a configuration.
+    /// Creates a lab with private caches.
     pub fn new(config: LabConfig) -> Lab {
+        Lab::with_shared(config, Arc::new(SharedCaches::default()))
+    }
+
+    /// Creates a lab whose fabrication/characterization caches are
+    /// shared through `hub` with every other compatible lab.
+    pub fn new_in(config: LabConfig, hub: &CacheHub) -> Lab {
+        Lab::with_shared(config, hub.shared_for(&config))
+    }
+
+    fn with_shared(config: LabConfig, shared: Arc<SharedCaches>) -> Lab {
         let calib_seed = config.seed.split_str("calibration");
         let noise = match config.link_ratio {
             None => NoiseModel::paper(calib_seed),
             Some(ratio) => NoiseModel::with_link_ratio(calib_seed, ratio),
         };
-        Lab {
-            config,
-            noise,
-            shared: Rc::new(SharedCaches::default()),
-            assemblies: RefCell::new(HashMap::new()),
-        }
+        Lab { config, noise, shared, assemblies: Mutex::new(HashMap::new()) }
     }
 
     /// A sibling lab with a different `e_link/e_chip` ratio, sharing
@@ -171,8 +282,8 @@ impl Lab {
         Lab {
             config,
             noise,
-            shared: Rc::clone(&self.shared),
-            assemblies: RefCell::new(HashMap::new()),
+            shared: Arc::clone(&self.shared),
+            assemblies: Mutex::new(HashMap::new()),
         }
     }
 
@@ -186,85 +297,96 @@ impl Lab {
         &self.noise
     }
 
-    /// The KGD-characterized collision-free bin for a chiplet design
-    /// (cached).
-    pub fn chiplet_bin(&self, chiplet: ChipletSpec) -> Rc<KgdBin> {
-        let key = chiplet.num_qubits();
-        if let Some(bin) = self.shared.chiplet_bins.borrow().get(&key) {
-            return Rc::clone(bin);
+    /// How many fabrication campaigns this lab's shared caches have
+    /// actually executed (shared with siblings and hub-mates).
+    pub fn fabrication_stats(&self) -> FabricationStats {
+        FabricationStats {
+            chiplet_fabrications: self.shared.chiplet_fabrications.load(Ordering::Relaxed),
+            mono_fabrications: self.shared.mono_fabrications.load(Ordering::Relaxed),
         }
-        let device = chiplet.build();
-        let raw = fabricate_collision_free(
-            &device,
-            &self.config.fabrication,
-            &self.config.collision,
-            self.config.batch,
-            self.config.seed.split_str("chiplet-fab").split(key as u64),
-        );
-        let bin = Rc::new(KgdBin::characterize(
-            &device,
-            raw,
-            &self.noise,
-            self.config.seed.split_str("chiplet-kgd").split(key as u64),
-        ));
-        self.shared.chiplet_bins.borrow_mut().insert(key, Rc::clone(&bin));
-        bin
     }
 
-    /// The collision-free monolithic population at `qubits` (cached).
+    /// The KGD-characterized collision-free bin for a chiplet design
+    /// (cached; computed at most once across all sharing labs).
+    pub fn chiplet_bin(&self, chiplet: ChipletSpec) -> Arc<KgdBin> {
+        let key = chiplet.num_qubits();
+        let cell = slot(&self.shared.chiplet_bins, &key);
+        Arc::clone(cell.get_or_init(|| {
+            self.shared.chiplet_fabrications.fetch_add(1, Ordering::Relaxed);
+            let device = chiplet.build();
+            let raw = fabricate_collision_free_with_workers(
+                &device,
+                &self.config.fabrication,
+                &self.config.collision,
+                self.config.batch,
+                self.config.seed.split_str("chiplet-fab").split(key as u64),
+                self.config.yield_workers,
+            );
+            Arc::new(KgdBin::characterize(
+                &device,
+                raw,
+                &self.noise,
+                self.config.seed.split_str("chiplet-kgd").split(key as u64),
+            ))
+        }))
+    }
+
+    /// The collision-free monolithic population at `qubits` (cached;
+    /// computed at most once across all sharing labs).
     ///
     /// # Panics
     ///
     /// Panics if `qubits` is not a positive multiple of 5.
-    pub fn mono_population(&self, qubits: usize) -> Rc<MonoPopulation> {
-        if let Some(pop) = self.shared.mono_pops.borrow().get(&qubits) {
-            return Rc::clone(pop);
-        }
-        let device = MonolithicSpec::with_qubits(qubits)
-            .unwrap_or_else(|e| panic!("monolithic size {qubits}: {e}"))
-            .build();
-        let survivors = fabricate_collision_free(
-            &device,
-            &self.config.fabrication,
-            &self.config.collision,
-            self.config.batch,
-            self.config.seed.split_str("mono-fab").split(qubits as u64),
-        );
-        let estimate = YieldEstimate { survivors: survivors.len(), batch: self.config.batch };
-        let noise_seed = self.config.seed.split_str("mono-noise").split(qubits as u64);
-        let members = survivors
-            .into_iter()
-            .enumerate()
-            .map(|(i, freqs)| {
-                let mut rng = noise_seed.split(i as u64).rng();
-                let noise = self.noise.assign(&device, &freqs, &mut rng);
-                (freqs, noise)
-            })
-            .collect();
-        let pop = Rc::new(MonoPopulation { device, estimate, members });
-        self.shared.mono_pops.borrow_mut().insert(qubits, Rc::clone(&pop));
-        pop
+    pub fn mono_population(&self, qubits: usize) -> Arc<MonoPopulation> {
+        let cell = slot(&self.shared.mono_pops, &qubits);
+        Arc::clone(cell.get_or_init(|| {
+            self.shared.mono_fabrications.fetch_add(1, Ordering::Relaxed);
+            let device = MonolithicSpec::with_qubits(qubits)
+                .unwrap_or_else(|e| panic!("monolithic size {qubits}: {e}"))
+                .build();
+            let survivors = fabricate_collision_free_with_workers(
+                &device,
+                &self.config.fabrication,
+                &self.config.collision,
+                self.config.batch,
+                self.config.seed.split_str("mono-fab").split(qubits as u64),
+                self.config.yield_workers,
+            );
+            let estimate =
+                YieldEstimate { survivors: survivors.len(), batch: self.config.batch };
+            let noise_seed = self.config.seed.split_str("mono-noise").split(qubits as u64);
+            let members = survivors
+                .into_iter()
+                .enumerate()
+                .map(|(i, freqs)| {
+                    let mut rng = noise_seed.split(i as u64).rng();
+                    let noise = self.noise.assign(&device, &freqs, &mut rng);
+                    (freqs, noise)
+                })
+                .collect();
+            Arc::new(MonoPopulation { device, estimate, members })
+        }))
     }
 
     /// The best-first assembly of `spec` from its chiplet bin (cached
     /// per lab, since module link noise depends on the link ratio).
-    pub fn assemble(&self, spec: &McmSpec) -> Rc<AssemblyOutcome> {
+    pub fn assemble(&self, spec: &McmSpec) -> Arc<AssemblyOutcome> {
         let key = (spec.chiplet().num_qubits(), spec.grid_rows(), spec.grid_cols());
-        if let Some(outcome) = self.assemblies.borrow().get(&key) {
-            return Rc::clone(outcome);
-        }
-        let bin = self.chiplet_bin(spec.chiplet());
-        let outcome = Rc::new(Assembler::new(self.config.assembly).assemble(
-            spec,
-            &bin,
-            self.noise.link_model(),
-            self.config
-                .seed
-                .split_str("assemble")
-                .split((key.0 * 1_000_000 + key.1 * 1000 + key.2) as u64),
-        ));
-        self.assemblies.borrow_mut().insert(key, Rc::clone(&outcome));
-        outcome
+        let cell = slot(&self.assemblies, &key);
+        Arc::clone(cell.get_or_init(|| {
+            let bin = self.chiplet_bin(spec.chiplet());
+            Arc::new(
+                Assembler::new(self.config.assembly).assemble(
+                    spec,
+                    &bin,
+                    self.noise.link_model(),
+                    self.config
+                        .seed
+                        .split_str("assemble")
+                        .split((key.0 * 1_000_000 + key.1 * 1000 + key.2) as u64),
+                ),
+            )
+        }))
     }
 
     /// The number of modules selected for comparison under the
@@ -361,14 +483,18 @@ mod tests {
         let chiplet = ChipletSpec::with_qubits(10).unwrap();
         let a = lab.chiplet_bin(chiplet);
         let b = lab.chiplet_bin(chiplet);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         let p = lab.mono_population(40);
         let q = lab.mono_population(40);
-        assert!(Rc::ptr_eq(&p, &q));
+        assert!(Arc::ptr_eq(&p, &q));
         let spec = McmSpec::new(chiplet, 2, 2);
         let x = lab.assemble(&spec);
         let y = lab.assemble(&spec);
-        assert!(Rc::ptr_eq(&x, &y));
+        assert!(Arc::ptr_eq(&x, &y));
+        assert_eq!(
+            lab.fabrication_stats(),
+            FabricationStats { chiplet_fabrications: 1, mono_fabrications: 1 }
+        );
     }
 
     #[test]
@@ -378,13 +504,53 @@ mod tests {
         let bin = lab.chiplet_bin(chiplet);
         let sibling = lab.with_link_ratio(1.0);
         let bin2 = sibling.chiplet_bin(chiplet);
-        assert!(Rc::ptr_eq(&bin, &bin2));
+        assert!(Arc::ptr_eq(&bin, &bin2));
         assert_eq!(sibling.config().link_ratio, Some(1.0));
         // But the link models differ.
-        assert!(
-            (sibling.noise_model().link_model().mean() - PAPER_CHIP_MEAN).abs() < 1e-9
-        );
+        assert!((sibling.noise_model().link_model().mean() - PAPER_CHIP_MEAN).abs() < 1e-9);
         assert!((lab.noise_model().link_model().mean() - 0.075).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hub_extends_sharing_to_independent_labs() {
+        let hub = CacheHub::new();
+        let a = Lab::new_in(LabConfig::quick(), &hub);
+        let b = Lab::new_in(LabConfig::quick(), &hub);
+        let chiplet = ChipletSpec::with_qubits(10).unwrap();
+        let bin_a = a.chiplet_bin(chiplet);
+        let bin_b = b.chiplet_bin(chiplet);
+        assert!(Arc::ptr_eq(&bin_a, &bin_b));
+        assert_eq!(hub.fabrication_stats().chiplet_fabrications, 1);
+        // A lab whose fabrication differs must NOT share.
+        let other = Lab::new_in(LabConfig::quick().with_seed(Seed(1)), &hub);
+        let bin_other = other.chiplet_bin(chiplet);
+        assert!(!Arc::ptr_eq(&bin_a, &bin_other));
+        assert_eq!(hub.fabrication_stats().chiplet_fabrications, 2);
+        // Link ratio and comparison mode are cache-irrelevant.
+        let ratio_lab =
+            Lab::new_in(LabConfig { link_ratio: Some(2.0), ..LabConfig::quick() }, &hub);
+        assert!(Arc::ptr_eq(&bin_a, &ratio_lab.chiplet_bin(chiplet)));
+        assert_eq!(hub.fabrication_stats().chiplet_fabrications, 2);
+    }
+
+    #[test]
+    fn concurrent_labs_fabricate_once() {
+        let hub = CacheHub::new();
+        let chiplet = ChipletSpec::with_qubits(10).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let hub = hub.clone();
+                scope.spawn(move || {
+                    let lab = Lab::new_in(LabConfig::quick(), &hub);
+                    let bin = lab.chiplet_bin(chiplet);
+                    assert!(!bin.is_empty());
+                });
+            }
+        });
+        assert_eq!(
+            hub.fabrication_stats(),
+            FabricationStats { chiplet_fabrications: 1, mono_fabrications: 0 }
+        );
     }
 
     #[test]

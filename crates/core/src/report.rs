@@ -1,8 +1,12 @@
-//! Plain-text and CSV table rendering.
+//! Plain-text, CSV, and JSON rendering.
 //!
 //! Every experiment renders its data through [`TextTable`] so the
 //! regeneration binaries print the same rows the paper's tables and
 //! figure series contain, in a form that diffs cleanly run-to-run.
+//! Structured outputs (the engine's run reports) go through [`Json`],
+//! a deterministic, insertion-ordered JSON value: the same data always
+//! serializes to the same bytes, which is what makes "bit-identical
+//! reports at any worker count" a checkable contract.
 
 /// A simple column-aligned text table.
 ///
@@ -64,9 +68,7 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -84,13 +86,14 @@ impl std::fmt::Display for TextTable {
                 *w = (*w).max(cell.len());
             }
         }
-        let render_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
-            let mut line = String::new();
-            for (w, cell) in widths.iter().zip(cells) {
-                line.push_str(&format!("{cell:>w$}  "));
-            }
-            writeln!(f, "{}", line.trim_end())
-        };
+        let render_row =
+            |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+                let mut line = String::new();
+                for (w, cell) in widths.iter().zip(cells) {
+                    line.push_str(&format!("{cell:>w$}  "));
+                }
+                writeln!(f, "{}", line.trim_end())
+            };
         render_row(f, &self.headers)?;
         let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
         writeln!(f, "{}", "-".repeat(total))?;
@@ -114,6 +117,216 @@ pub fn fmt_ratio(ratio: Option<f64>) -> String {
 /// Formats a yield fraction with sensible precision.
 pub fn fmt_yield(y: f64) -> String {
     format!("{y:.4}")
+}
+
+/// A deterministic JSON value.
+///
+/// Objects preserve insertion order (no hash-map iteration order leaks
+/// into the output), and numbers serialize through Rust's shortest
+/// round-trip float formatting, so serialization is a pure function of
+/// the value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// An exact integer (covers the full `u64`/`i64` ranges, which
+    /// `f64` cannot represent beyond 2⁵³ — seeds are `u64`).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds or replaces a key in an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => {
+                let value = value.into();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        let (open_pad, close_pad, item_sep): (String, String, &str) = match indent {
+            Some(level) => (
+                format!("\n{}", "  ".repeat(level + 1)),
+                format!("\n{}", "  ".repeat(level)),
+                ",",
+            ),
+            None => (String::new(), String::new(), ","),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a trailing ".0".
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(item_sep);
+                    }
+                    out.push_str(&open_pad);
+                    item.write(out, indent.map(|l| l + 1));
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(item_sep);
+                    }
+                    out.push_str(&open_pad);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent.map(|l| l + 1));
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(value: bool) -> Json {
+        Json::Bool(value)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(value: f64) -> Json {
+        Json::Num(value)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(value: usize) -> Json {
+        Json::Int(value as i128)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(value: u64) -> Json {
+        Json::Int(i128::from(value))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(value: i64) -> Json {
+        Json::Int(i128::from(value))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(value: &str) -> Json {
+        Json::Str(value.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(value: String) -> Json {
+        Json::Str(value)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(value: Option<T>) -> Json {
+        value.map_or(Json::Null, Into::into)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(value: Vec<T>) -> Json {
+        Json::Arr(value.into_iter().map(Into::into).collect())
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_json())
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +372,42 @@ mod tests {
         let mut t = TextTable::new(["x"]);
         t.row(["1"]).row(["2"]);
         assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn json_serializes_deterministically() {
+        let value = Json::obj()
+            .field("name", "fig8")
+            .field("ratio", 0.815)
+            .field("count", 102usize)
+            .field("missing", Json::Null)
+            .field("flags", vec![true, false])
+            .field("nested", Json::obj().field("x", 1.5));
+        let compact = value.to_json();
+        assert_eq!(
+            compact,
+            r#"{"name":"fig8","ratio":0.815,"count":102,"missing":null,"flags":[true,false],"nested":{"x":1.5}}"#
+        );
+        assert_eq!(value.to_json(), compact, "serialization is pure");
+        let pretty = value.to_json_pretty();
+        assert!(pretty.contains("\n  \"name\": \"fig8\""));
+    }
+
+    #[test]
+    fn json_escapes_and_field_replaces() {
+        let v = Json::obj().field("k", "a\"b\\c\nd\te\u{1}").field("k", "replaced");
+        assert_eq!(v.to_json(), r#"{"k":"replaced"}"#);
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".into()).to_json();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(Json::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Json::Num(3.0).to_json(), "3");
+        assert_eq!(Json::Arr(vec![]).to_json(), "[]");
+        assert_eq!(Json::obj().to_json(), "{}");
+        assert_eq!(Json::from(Some(2.5)).to_json(), "2.5");
+        assert_eq!(Json::from(None::<f64>).to_json(), "null");
+        // Integers above 2^53 survive exactly (seeds are u64).
+        assert_eq!(Json::from(9_007_199_254_740_993_u64).to_json(), "9007199254740993");
+        assert_eq!(Json::from(u64::MAX).to_json(), "18446744073709551615");
+        assert_eq!(Json::from(-42_i64).to_json(), "-42");
     }
 }

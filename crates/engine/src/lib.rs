@@ -1,0 +1,57 @@
+//! # chipletqc-engine
+//!
+//! Parallel experiment orchestration for the chipletqc reproduction.
+//!
+//! The per-figure binaries in `chipletqc_bench` each hard-code one
+//! experiment; this crate turns experiments into *data* and runs them
+//! at scale:
+//!
+//! * [`scenario`] — a [`Scenario`](scenario::Scenario) names an
+//!   experiment kind plus parameter overrides (batch, seed, link
+//!   ratios, chiplet/system limits, module grids, comparison mode,
+//!   fabrication precision);
+//! * [`scheduler`] — a work-stealing
+//!   [`Scheduler`](scheduler::Scheduler) executes scenario batches on
+//!   scoped threads, sharing fabrication/characterization work through
+//!   a [`CacheHub`](chipletqc::lab::CacheHub);
+//! * [`report`] — a [`RunReport`](report::RunReport) serializes the
+//!   batch deterministically: bit-identical JSON at any worker count;
+//! * [`suite`] — predefined batches, starting with the full paper
+//!   figure suite.
+//!
+//! The `chipletqc-engine` binary wires these together as a CLI and
+//! replaces the old serial `all_figures` regeneration pass.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chipletqc::lab::CacheHub;
+//! use chipletqc_engine::scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
+//! use chipletqc_engine::scheduler::Scheduler;
+//!
+//! let scenario = Scenario {
+//!     name: "one-system".into(),
+//!     kind: ExperimentKind::Fig8,
+//!     scale: Scale::Quick,
+//!     overrides: Overrides {
+//!         batch: Some(100),
+//!         systems: Some(vec![SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 }]),
+//!         ..Overrides::default()
+//!     },
+//! };
+//! let results = Scheduler::new(2).run(&[scenario], &CacheHub::new());
+//! assert_eq!(results.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenario;
+pub mod scheduler;
+pub mod suite;
+
+pub use report::RunReport;
+pub use scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
+pub use scheduler::{ScenarioResult, Scheduler};
+pub use suite::paper_suite;

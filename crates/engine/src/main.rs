@@ -1,0 +1,175 @@
+//! The `chipletqc-engine` CLI: run the paper figure suite (or a
+//! filtered subset) as one parallel scenario batch.
+//!
+//! ```text
+//! cargo run --release -p chipletqc-engine -- --workers 8 --quick
+//! ```
+//!
+//! Writes each figure's text artifact plus a deterministic
+//! `run_report.json` under `--out` (default `target/figures`). The
+//! JSON is bit-identical for any `--workers` value; timings go to
+//! stdout only.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use chipletqc::lab::CacheHub;
+use chipletqc_engine::report::{timing_summary, RunReport};
+use chipletqc_engine::scenario::{ExperimentKind, Scale, Scenario};
+use chipletqc_engine::scheduler::Scheduler;
+use chipletqc_engine::suite::paper_suite;
+use chipletqc_math::rng::Seed;
+
+const USAGE: &str = "\
+chipletqc-engine — parallel paper-figure scenario batches
+
+USAGE:
+  chipletqc-engine [OPTIONS]
+
+OPTIONS:
+  --workers N     scheduler worker threads (default: hardware threads)
+  --quick         reduced-scale configurations (default: paper scale)
+  --only A,B,..   run only the named scenarios (see --list)
+  --seed S        override every scenario's root seed
+  --out DIR       artifact directory (default: target/figures)
+  --no-files      skip writing artifacts; print the report to stdout
+  --list          list the suite's scenario names and exit
+  --help          this message
+";
+
+struct Options {
+    workers: Option<usize>,
+    scale: Scale,
+    only: Option<Vec<String>>,
+    seed: Option<u64>,
+    out: PathBuf,
+    write_files: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        workers: None,
+        scale: Scale::Paper,
+        only: None,
+        seed: None,
+        out: PathBuf::from("target/figures"),
+        write_files: true,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let value = args.next().ok_or("--workers needs a value")?;
+                options.workers =
+                    Some(value.parse().map_err(|_| format!("bad --workers {value}"))?);
+            }
+            "--quick" => options.scale = Scale::Quick,
+            "--paper" => options.scale = Scale::Paper,
+            "--only" => {
+                let value = args.next().ok_or("--only needs a value")?;
+                options.only = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                options.seed = Some(value.parse().map_err(|_| format!("bad --seed {value}"))?);
+            }
+            "--out" => {
+                options.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--no-files" => options.write_files = false,
+            "--list" => options.list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.list {
+        for kind in ExperimentKind::ALL {
+            println!("{}", kind.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut suite: Vec<Scenario> = paper_suite(options.scale);
+    if let Some(only) = &options.only {
+        for name in only {
+            if !suite.iter().any(|s| &s.name == name) {
+                eprintln!("error: unknown scenario {name} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+        suite.retain(|s| only.contains(&s.name));
+    }
+    if let Some(seed) = options.seed {
+        for scenario in &mut suite {
+            scenario.overrides.seed = Some(seed);
+        }
+        println!("root seed override: {}", Seed(seed));
+    }
+
+    let scheduler = options.workers.map_or_else(Scheduler::default, Scheduler::new);
+    println!(
+        "chipletqc-engine :: {} scenario(s), {} scale, {} worker(s)",
+        suite.len(),
+        options.scale.name(),
+        scheduler.workers()
+    );
+    println!("{}", "=".repeat(72));
+
+    let hub = CacheHub::new();
+    let started = Instant::now();
+    let results = scheduler.run(&suite, &hub);
+    let batch_wall = started.elapsed();
+
+    let report = RunReport::from_results(&results, hub.fabrication_stats());
+    print!("{}", timing_summary(&results, scheduler.workers()));
+    println!("  {:<24} {:>9.3}s (batch wall clock)", "elapsed", batch_wall.as_secs_f64());
+    let stats = hub.fabrication_stats();
+    println!(
+        "fabrication campaigns: {} chiplet, {} monolithic (shared across scenarios)",
+        stats.chiplet_fabrications, stats.mono_fabrications
+    );
+
+    if options.write_files {
+        if let Err(error) = std::fs::create_dir_all(&options.out) {
+            eprintln!("error: create {}: {error}", options.out.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, contents) in report.artifacts() {
+            let path = options.out.join(name);
+            if let Err(error) = std::fs::write(&path, contents) {
+                eprintln!("error: write {}: {error}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} ({} bytes)", path.display(), contents.len());
+        }
+        let path = options.out.join("run_report.json");
+        let json = report.to_json();
+        if let Err(error) = std::fs::write(&path, &json) {
+            eprintln!("error: write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} bytes)", path.display(), json.len());
+    } else {
+        print!("{}", report.to_json());
+    }
+    println!("done.");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,228 @@
+//! Structured run reports.
+//!
+//! A [`RunReport`] aggregates a scenario batch's outputs into one
+//! deterministic JSON document (via [`chipletqc::report::Json`]):
+//! scenario descriptions, key metrics, rendered artifacts, the
+//! composed headline, and the hub's fabrication counters. Nothing
+//! schedule-dependent (timings, worker counts, thread ids) enters the
+//! document, so a batch serializes to bit-identical bytes at any
+//! worker count — the contract the engine's determinism tests pin
+//! down. Timings are reported separately by [`timing_summary`].
+
+use chipletqc::experiments::headline::Headline;
+use chipletqc::lab::FabricationStats;
+use chipletqc::report::Json;
+
+use crate::scenario::ExperimentData;
+use crate::scheduler::ScenarioResult;
+
+/// Report format version (bump on breaking shape changes).
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// The deterministic report of one scenario batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    json: Json,
+    artifacts: Vec<(String, String)>,
+}
+
+impl RunReport {
+    /// Builds the report from a batch's results and the hub counters.
+    ///
+    /// When the batch contains Fig. 8 and Fig. 9 results, the paper's
+    /// headline numbers are composed from them (plus Fig. 10 when
+    /// present) exactly as `all_figures` historically did.
+    pub fn from_results(results: &[ScenarioResult], stats: FabricationStats) -> RunReport {
+        let mut artifacts: Vec<(String, String)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut scenarios = Vec::new();
+        for result in results {
+            // Two scenarios of the same kind produce the same default
+            // file names; namespace collisions by scenario name (and
+            // index, should scenario names themselves collide) so no
+            // artifact silently overwrites another.
+            let files: Vec<(String, String)> = result
+                .data
+                .artifacts()
+                .into_iter()
+                .map(|(name, contents)| {
+                    let mut unique = name.clone();
+                    if seen.contains(&unique) {
+                        unique = format!("{}-{}", result.scenario.name, name);
+                    }
+                    if seen.contains(&unique) {
+                        unique = format!("{}-{}", result.index, unique);
+                    }
+                    seen.insert(unique.clone());
+                    (unique, contents)
+                })
+                .collect();
+            scenarios.push(
+                Json::obj()
+                    .field("name", result.scenario.name.clone())
+                    .field("kind", result.scenario.kind.name())
+                    .field("scale", result.scenario.scale.name())
+                    .field("overrides", result.scenario.overrides.to_json())
+                    .field("metrics", result.data.metrics())
+                    .field(
+                        "artifacts",
+                        Json::Arr(
+                            files.iter().map(|(name, _)| Json::Str(name.clone())).collect(),
+                        ),
+                    ),
+            );
+            artifacts.extend(files);
+        }
+
+        let headline = compose_headline(results);
+        let headline_json = match &headline {
+            None => Json::Null,
+            Some(h) => Json::obj()
+                .field("min_yield_improvement", h.min_yield_improvement)
+                .field("max_yield_improvement", h.max_yield_improvement)
+                .field("best_eavg_ratio", h.best_eavg_ratio)
+                .field("equal_link_advantage_fraction", h.equal_link_advantage_fraction)
+                .field("benchmark_advantage_fraction", h.benchmark_advantage_fraction),
+        };
+        if let Some(h) = &headline {
+            artifacts.push(("headline.txt".to_string(), h.render()));
+        }
+
+        let json = Json::obj()
+            .field("schema", REPORT_SCHEMA)
+            .field("scenarios", Json::Arr(scenarios))
+            .field("headline", headline_json)
+            .field(
+                "fabrication",
+                Json::obj()
+                    .field("chiplet_campaigns", stats.chiplet_fabrications)
+                    .field("mono_campaigns", stats.mono_fabrications),
+            )
+            .field(
+                "artifact_contents",
+                Json::Obj(
+                    artifacts
+                        .iter()
+                        .map(|(name, contents)| (name.clone(), Json::Str(contents.clone())))
+                        .collect(),
+                ),
+            );
+        RunReport { json, artifacts }
+    }
+
+    /// The report as pretty-printed deterministic JSON.
+    pub fn to_json(&self) -> String {
+        self.json.to_json_pretty()
+    }
+
+    /// The rendered artifact files `(name, contents)`, including
+    /// `headline.txt` when composable.
+    pub fn artifacts(&self) -> &[(String, String)] {
+        &self.artifacts
+    }
+}
+
+/// Composes the paper's headline from a batch containing Fig. 8 and
+/// Fig. 9 (and optionally Fig. 10) results.
+pub fn compose_headline(results: &[ScenarioResult]) -> Option<Headline> {
+    let fig8 = results.iter().find_map(|r| match &r.data {
+        ExperimentData::Fig8(d) => Some(d),
+        _ => None,
+    })?;
+    let fig9 = results.iter().find_map(|r| match &r.data {
+        ExperimentData::Fig9(d) => Some(d),
+        _ => None,
+    })?;
+    let fig10 = results.iter().find_map(|r| match &r.data {
+        ExperimentData::Fig10(d) => Some(d),
+        _ => None,
+    });
+    Some(Headline::from_data(fig8, fig9, fig10))
+}
+
+/// A human-readable (schedule-dependent) timing summary: per-scenario
+/// wall clock plus the batch total. Never part of [`RunReport`].
+pub fn timing_summary(results: &[ScenarioResult], workers: usize) -> String {
+    let mut out = format!("{} scenario(s) on {} worker(s)\n", results.len(), workers);
+    let mut total = 0.0;
+    for result in results {
+        let secs = result.wall.as_secs_f64();
+        total += secs;
+        out.push_str(&format!("  {:<24} {:>9.3}s\n", result.scenario.name, secs));
+    }
+    out.push_str(&format!("  {:<24} {:>9.3}s (sum of scenario times)\n", "total", total));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
+    use crate::scheduler::Scheduler;
+    use chipletqc::lab::CacheHub;
+
+    fn tiny_batch() -> Vec<Scenario> {
+        let overrides = Overrides {
+            batch: Some(100),
+            systems: Some(vec![SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 }]),
+            ..Overrides::default()
+        };
+        vec![
+            Scenario {
+                name: "fig8".into(),
+                kind: ExperimentKind::Fig8,
+                scale: Scale::Quick,
+                overrides: overrides.clone(),
+            },
+            Scenario {
+                name: "fig9".into(),
+                kind: ExperimentKind::Fig9,
+                scale: Scale::Quick,
+                overrides,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_includes_headline_and_artifacts() {
+        let hub = CacheHub::new();
+        let results = Scheduler::new(2).run(&tiny_batch(), &hub);
+        let report = RunReport::from_results(&results, hub.fabrication_stats());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"headline\""));
+        assert!(json.contains("\"best_eavg_ratio\""));
+        let names: Vec<&str> = report.artifacts().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["fig8.txt", "fig9.txt", "headline.txt"]);
+        let summary = timing_summary(&results, 2);
+        assert!(summary.contains("fig9"));
+        assert!(summary.contains("total"));
+    }
+
+    #[test]
+    fn colliding_artifact_names_are_namespaced() {
+        // Two scenarios of the same kind both emit "fig8.txt"; the
+        // report must keep both, not silently overwrite one.
+        let hub = CacheHub::new();
+        let mut batch = tiny_batch();
+        batch[1] = Scenario { name: "fig8-again".into(), ..batch[0].clone() };
+        let results = Scheduler::new(2).run(&batch, &hub);
+        let report = RunReport::from_results(&results, hub.fabrication_stats());
+        let names: Vec<&str> = report.artifacts().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["fig8.txt", "fig8-again-fig8.txt"]);
+        assert_eq!(
+            report.artifacts()[0].1,
+            report.artifacts()[1].1,
+            "same scenario, same data"
+        );
+    }
+
+    #[test]
+    fn headline_needs_fig8_and_fig9() {
+        let hub = CacheHub::new();
+        let results = Scheduler::new(1).run(&tiny_batch()[..1], &hub);
+        assert!(compose_headline(&results).is_none());
+        let report = RunReport::from_results(&results, hub.fabrication_stats());
+        assert!(report.to_json().contains("\"headline\": null"));
+    }
+}

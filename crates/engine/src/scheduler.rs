@@ -1,0 +1,206 @@
+//! The work-stealing scenario scheduler.
+//!
+//! Scenarios are distributed round-robin onto per-worker deques; each
+//! worker drains its own deque from the front and, when empty, steals
+//! from the back of the most-loaded other deque. Workers are scoped
+//! threads ([`std::thread::scope`]), so scenario results borrow nothing
+//! with `'static` lifetimes and a panic in any worker propagates.
+//!
+//! ## Determinism
+//!
+//! The schedule decides only *where and when* a scenario runs, never
+//! *what it computes*: every scenario derives its random streams from
+//! its own configuration, shared-cache entries are pure functions of
+//! the cache key (initialized exactly once via per-entry `OnceLock`),
+//! and results land in a slot indexed by scenario position. A batch
+//! therefore produces bit-identical results for any worker count —
+//! [`RunReport`](crate::report::RunReport) serialization included.
+//!
+//! Inner parallelism is budgeted: with `W` workers on `H` hardware
+//! threads, each scenario's Monte Carlo fabrication gets `max(1, H/W)`
+//! threads (unless the scenario pins its own count), so one scenario
+//! saturates the machine at `W = 1` while wide batches hand each
+//! scenario a fair share at `W = H`.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use chipletqc::lab::CacheHub;
+
+use crate::scenario::{ExperimentData, Scenario};
+
+/// The result of one executed scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Position in the submitted batch.
+    pub index: usize,
+    /// The scenario that ran (with the scheduler's worker budget
+    /// applied).
+    pub scenario: Scenario,
+    /// The typed experiment output.
+    pub data: ExperimentData,
+    /// Wall-clock execution time (not part of any deterministic
+    /// artifact).
+    pub wall: Duration,
+}
+
+/// A work-stealing scheduler executing scenario batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduler {
+    workers: usize,
+}
+
+impl Scheduler {
+    /// A scheduler with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Scheduler {
+        Scheduler { workers: workers.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Fabrication threads each scenario may use so that `workers`
+    /// concurrent scenarios share the hardware fairly.
+    fn inner_workers(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (hw / self.workers).max(1)
+    }
+
+    /// Executes every scenario, sharing intermediates through `hub`,
+    /// and returns results in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates any panic raised by a scenario.
+    pub fn run(&self, scenarios: &[Scenario], hub: &CacheHub) -> Vec<ScenarioResult> {
+        let inner = self.inner_workers();
+        // Budget inner fabrication threads two ways: the per-scenario
+        // override reaches Lab-based experiments precisely, and the
+        // process-wide default covers every other call into the yield
+        // Monte Carlo (Fig. 4 sweeps, Fig. 6, output gain). Neither
+        // affects results, only thread counts.
+        chipletqc_yield::monte_carlo::set_default_workers(Some(inner));
+        let jobs: Vec<Scenario> = scenarios
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                // Respect an explicit per-scenario pin; otherwise budget.
+                s.overrides.yield_workers = s.overrides.yield_workers.or(Some(inner));
+                s
+            })
+            .collect();
+
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..self.workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (index, _) in jobs.iter().enumerate() {
+            queues[index % self.workers].lock().expect("queue poisoned").push_back(index);
+        }
+        let slots: Vec<OnceLock<ScenarioResult>> =
+            jobs.iter().map(|_| OnceLock::new()).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..self.workers {
+                let queues = &queues;
+                let slots = &slots;
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    while let Some(index) = next_job(queues, me) {
+                        let started = Instant::now();
+                        let data = jobs[index].run(hub);
+                        let result = ScenarioResult {
+                            index,
+                            scenario: jobs[index].clone(),
+                            data,
+                            wall: started.elapsed(),
+                        };
+                        slots[index].set(result).expect("job executed twice");
+                    }
+                });
+            }
+        });
+
+        chipletqc_yield::monte_carlo::set_default_workers(None);
+        slots.into_iter().map(|slot| slot.into_inner().expect("every job completed")).collect()
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+/// Pops from the worker's own deque front, else steals from the back
+/// of another worker's deque.
+///
+/// The steal scan pops under each victim's lock in turn (rather than
+/// picking a victim first and popping later), so a worker only
+/// retires after observing every queue empty — queues are filled once
+/// up front, so an observed-empty queue stays empty.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(index) = queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some(index);
+    }
+    (0..queues.len())
+        .filter(|&v| v != me)
+        .find_map(|v| queues[v].lock().expect("queue poisoned").pop_back())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ExperimentKind, Overrides, Scale, SystemSpec};
+
+    fn tiny(kind: ExperimentKind, name: &str) -> Scenario {
+        Scenario {
+            name: name.into(),
+            kind,
+            scale: Scale::Quick,
+            overrides: Overrides {
+                batch: Some(100),
+                systems: Some(vec![SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 }]),
+                ..Overrides::default()
+            },
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let batch = vec![
+            tiny(ExperimentKind::Fig8, "a"),
+            tiny(ExperimentKind::OutputGain, "b"),
+            tiny(ExperimentKind::Fig8, "c"),
+        ];
+        let results = Scheduler::new(3).run(&batch, &CacheHub::new());
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.scenario.name, batch[i].name);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let batch = vec![tiny(ExperimentKind::Fig8, "only")];
+        let results = Scheduler::new(8).run(&batch, &CacheHub::new());
+        assert_eq!(results.len(), 1);
+        let empty = Scheduler::new(4).run(&[], &CacheHub::new());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn identical_scenarios_share_fabrication_across_workers() {
+        let hub = CacheHub::new();
+        let batch = vec![tiny(ExperimentKind::Fig8, "x"), tiny(ExperimentKind::Fig8, "y")];
+        let results = Scheduler::new(2).run(&batch, &hub);
+        assert_eq!(hub.fabrication_stats().chiplet_fabrications, 1);
+        assert_eq!(hub.fabrication_stats().mono_fabrications, 1);
+        match (&results[0].data, &results[1].data) {
+            (ExperimentData::Fig8(a), ExperimentData::Fig8(b)) => assert_eq!(a, b),
+            other => panic!("wrong kinds: {other:?}"),
+        }
+    }
+}

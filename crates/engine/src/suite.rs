@@ -1,0 +1,31 @@
+//! Predefined scenario batches.
+
+use crate::scenario::{ExperimentKind, Scale, Scenario};
+
+/// The entire paper figure suite (Figs. 3b–10, Table II, output gain)
+/// as one scenario batch, in the paper's presentation order.
+///
+/// Running this batch through the scheduler plus
+/// [`RunReport`](crate::report::RunReport) reproduces everything the
+/// old serial `all_figures` binary produced — including the composed
+/// headline — with cross-scenario sharing of fabrication and
+/// characterization work.
+pub fn paper_suite(scale: Scale) -> Vec<Scenario> {
+    ExperimentKind::ALL.into_iter().map(|kind| Scenario::new(kind, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_every_kind_once() {
+        let suite = paper_suite(Scale::Quick);
+        assert_eq!(suite.len(), ExperimentKind::ALL.len());
+        for (scenario, kind) in suite.iter().zip(ExperimentKind::ALL) {
+            assert_eq!(scenario.kind, kind);
+            assert_eq!(scenario.name, kind.name());
+            assert_eq!(scenario.scale, Scale::Quick);
+        }
+    }
+}

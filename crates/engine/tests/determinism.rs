@@ -1,0 +1,115 @@
+//! The engine's two load-bearing contracts, pinned as integration
+//! tests:
+//!
+//! 1. **Worker-count determinism** — a scenario batch serializes to a
+//!    bit-identical `RunReport` at 1, 2, and 8 workers;
+//! 2. **Cache sharing** — scenarios with the same chiplet spec
+//!    fabricate it exactly once per hub.
+
+use chipletqc::lab::CacheHub;
+use chipletqc_engine::report::RunReport;
+use chipletqc_engine::scenario::{
+    ExperimentData, ExperimentKind, Overrides, Scale, Scenario, SystemSpec,
+};
+use chipletqc_engine::scheduler::Scheduler;
+
+/// A reduced batch that still exercises the shared pipeline: Fig. 8,
+/// a two-ratio Fig. 9, and the output gain, all on one 10q 2×2 system
+/// at batch 120.
+fn small_batch() -> Vec<Scenario> {
+    let overrides = Overrides {
+        batch: Some(120),
+        systems: Some(vec![SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 }]),
+        ..Overrides::default()
+    };
+    vec![
+        Scenario {
+            name: "fig8".into(),
+            kind: ExperimentKind::Fig8,
+            scale: Scale::Quick,
+            overrides: overrides.clone(),
+        },
+        Scenario {
+            name: "fig9".into(),
+            kind: ExperimentKind::Fig9,
+            scale: Scale::Quick,
+            overrides: Overrides {
+                link_ratios: Some(vec![2.0, 1.0]),
+                batch: Some(120),
+                systems: Some(vec![SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 }]),
+                ..Overrides::default()
+            },
+        },
+        Scenario {
+            name: "output_gain".into(),
+            kind: ExperimentKind::OutputGain,
+            scale: Scale::Quick,
+            overrides: Overrides { batch: Some(120), ..Overrides::default() },
+        },
+    ]
+}
+
+fn report_at(workers: usize) -> String {
+    let hub = CacheHub::new();
+    let results = Scheduler::new(workers).run(&small_batch(), &hub);
+    RunReport::from_results(&results, hub.fabrication_stats()).to_json()
+}
+
+#[test]
+fn run_reports_are_bit_identical_at_1_2_and_8_workers() {
+    let baseline = report_at(1);
+    assert!(baseline.contains("\"fig8\""));
+    for workers in [2, 8] {
+        let other = report_at(workers);
+        assert_eq!(baseline, other, "report changed at {workers} workers");
+    }
+}
+
+#[test]
+fn same_chiplet_spec_fabricates_only_once_across_scenarios() {
+    // fig8 and fig9 both need the 10q chiplet bin and the 40q
+    // monolithic population; the hub must compute each exactly once.
+    let hub = CacheHub::new();
+    let batch: Vec<Scenario> =
+        small_batch().into_iter().filter(|s| s.kind != ExperimentKind::OutputGain).collect();
+    let results = Scheduler::new(2).run(&batch, &hub);
+    let stats = hub.fabrication_stats();
+    assert_eq!(stats.chiplet_fabrications, 1, "chiplet bin fabricated more than once");
+    assert_eq!(stats.mono_fabrications, 1, "mono population fabricated more than once");
+
+    // And the shared values are the ones both scenarios actually used:
+    // the Fig. 8 point and the Fig. 9 cells describe the same system.
+    let fig8 = results
+        .iter()
+        .find_map(|r| match &r.data {
+            ExperimentData::Fig8(d) => Some(d),
+            _ => None,
+        })
+        .expect("fig8 ran");
+    let fig9 = results
+        .iter()
+        .find_map(|r| match &r.data {
+            ExperimentData::Fig9(d) => Some(d),
+            _ => None,
+        })
+        .expect("fig9 ran");
+    assert_eq!(fig8.points.len(), 1);
+    assert_eq!(fig9.panels.len(), 2);
+    let mono_survivors = (fig8.points[0].mono_yield * 120.0).round() as usize;
+    for panel in &fig9.panels {
+        assert_eq!(panel.cells.len(), 1);
+        assert_eq!(panel.cells[0].mono_population, mono_survivors);
+        assert_eq!(panel.cells[0].spec.num_qubits(), 40);
+    }
+}
+
+#[test]
+fn separate_hubs_do_not_share() {
+    let hub_a = CacheHub::new();
+    let hub_b = CacheHub::new();
+    let batch = &small_batch()[..1];
+    Scheduler::new(1).run(batch, &hub_a);
+    Scheduler::new(1).run(batch, &hub_b);
+    assert_eq!(hub_a.fabrication_stats().chiplet_fabrications, 1);
+    assert_eq!(hub_b.fabrication_stats().chiplet_fabrications, 1);
+}

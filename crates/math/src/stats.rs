@@ -109,12 +109,8 @@ impl BoxPlot {
         // clamped to the box edges: with interpolated quartiles a
         // sparse tail can leave no sample between a fence and its
         // quartile, and a whisker must never extend past its box edge.
-        let whisker_lo = sorted
-            .iter()
-            .copied()
-            .find(|x| *x >= lo_fence)
-            .unwrap_or(sorted[0])
-            .min(q1);
+        let whisker_lo =
+            sorted.iter().copied().find(|x| *x >= lo_fence).unwrap_or(sorted[0]).min(q1);
         let whisker_hi = sorted
             .iter()
             .rev()

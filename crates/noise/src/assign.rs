@@ -183,10 +183,7 @@ mod tests {
         let noise = model.assign(&device, &ideal_freqs(&device), &mut Seed(3).rng());
         let on_chip = noise.eavg_of(&device, EdgeKind::OnChip);
         let links = noise.eavg_of(&device, EdgeKind::InterChip);
-        assert!(
-            links > 2.0 * on_chip,
-            "links {links:.4} vs on-chip {on_chip:.4}"
-        );
+        assert!(links > 2.0 * on_chip, "links {links:.4} vs on-chip {on_chip:.4}");
         let eavg = noise.eavg();
         assert!(eavg > on_chip && eavg < links);
     }

@@ -52,7 +52,9 @@ impl EmpiricalDetuningModel {
     /// # Errors
     ///
     /// Returns [`ModelError::EmptyCalibration`] for an empty dataset.
-    pub fn from_calibration(data: &CalibrationData) -> Result<EmpiricalDetuningModel, ModelError> {
+    pub fn from_calibration(
+        data: &CalibrationData,
+    ) -> Result<EmpiricalDetuningModel, ModelError> {
         EmpiricalDetuningModel::with_bin_width(data, Self::PAPER_BIN_WIDTH)
     }
 
@@ -116,7 +118,9 @@ impl EmpiricalDetuningModel {
     pub fn bin_summary(&self) -> Vec<(f64, usize, f64)> {
         self.histogram
             .iter()
-            .map(|(i, samples)| (self.histogram.binning().center(i), samples.len(), mean(samples)))
+            .map(|(i, samples)| {
+                (self.histogram.binning().center(i), samples.len(), mean(samples))
+            })
             .collect()
     }
 

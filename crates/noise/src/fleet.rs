@@ -41,7 +41,13 @@ impl FleetParams {
     /// ~0.7 % (Falcon) through ~1.3 % (Eagle), spread widening with
     /// size.
     pub fn paper() -> FleetParams {
-        FleetParams { median_27: 0.007, beta: 0.40, sigma_27: 0.35, sigma_growth: 0.09, cycles: 15 }
+        FleetParams {
+            median_27: 0.007,
+            beta: 0.40,
+            sigma_27: 0.35,
+            sigma_growth: 0.09,
+            cycles: 15,
+        }
     }
 
     /// The target median for a device of `qubits` qubits.

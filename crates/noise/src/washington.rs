@@ -207,15 +207,10 @@ mod tests {
             );
         }
         // The worst pair sits near a collision condition, not the sweet spot.
-        let (worst_delta, _) = data
-            .points
-            .iter()
-            .cloned()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
-        let near_condition = worst_delta < 0.04
-            || (worst_delta - 0.165).abs() < 0.04
-            || worst_delta > 0.30;
+        let (worst_delta, _) =
+            data.points.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        let near_condition =
+            worst_delta < 0.04 || (worst_delta - 0.165).abs() < 0.04 || worst_delta > 0.30;
         assert!(near_condition, "worst detuning {worst_delta}");
     }
 }

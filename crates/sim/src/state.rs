@@ -125,10 +125,7 @@ impl State {
     ///
     /// Panics if the circuit is wider than the state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert!(
-            circuit.num_qubits() <= self.num_qubits,
-            "circuit wider than state"
-        );
+        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than state");
         for gate in circuit.gates() {
             self.apply(gate);
         }
@@ -149,7 +146,10 @@ impl State {
                 self.apply_1q(q, [[a, b], [b, a]]);
             }
             Gate::X { q } => {
-                self.apply_1q(q, [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
+                self.apply_1q(
+                    q,
+                    [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+                );
             }
             Gate::H { q } => {
                 let h = Complex::new(FRAC_1_SQRT_2, 0.0);
@@ -163,13 +163,7 @@ impl State {
             Gate::Ry { q, theta } => {
                 let c = Complex::new((theta / 2.0).cos(), 0.0);
                 let s = (theta / 2.0).sin();
-                self.apply_1q(
-                    q,
-                    [
-                        [c, Complex::new(-s, 0.0)],
-                        [Complex::new(s, 0.0), c],
-                    ],
-                );
+                self.apply_1q(q, [[c, Complex::new(-s, 0.0)], [Complex::new(s, 0.0), c]]);
             }
             Gate::Cx { control, target } => self.apply_cx(control, target),
             Gate::Swap { a, b } => {
@@ -240,10 +234,7 @@ impl State {
         // phase = self[anchor] / other[anchor]
         let denom = other.amps[anchor].norm_sqr();
         let phase = self.amps[anchor] * other.amps[anchor].conj().scale(1.0 / denom);
-        self.amps
-            .iter()
-            .zip(&other.amps)
-            .all(|(a, b)| (*a - phase * *b).abs() < tol)
+        self.amps.iter().zip(&other.amps).all(|(a, b)| (*a - phase * *b).abs() < tol)
     }
 }
 

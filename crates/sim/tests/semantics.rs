@@ -122,10 +122,7 @@ fn bitcode_syndrome_detects_injected_flips() {
     let dirty = State::run(&bitcode_circuit(data, &[2]));
     for i in 0..data - 1 {
         let expected = if i == 1 || i == 2 { 1.0 } else { 0.0 };
-        assert!(
-            (dirty.prob_one(layout.ancilla(i)) - expected).abs() < 1e-9,
-            "ancilla {i}"
-        );
+        assert!((dirty.prob_one(layout.ancilla(i)) - expected).abs() < 1e-9, "ancilla {i}");
     }
     // An edge flip (data 0) fires only ancilla 0.
     let edge = State::run(&bitcode_circuit(data, &[0]));

@@ -175,10 +175,7 @@ impl Device {
             seen[e.a.index()] = true;
             seen[e.b.index()] = true;
         }
-        (0..self.num_qubits())
-            .filter(|i| seen[*i])
-            .map(|i| QubitId(i as u32))
-            .collect()
+        (0..self.num_qubits()).filter(|i| seen[*i]).map(|i| QubitId(i as u32)).collect()
     }
 
     /// Counts qubits per frequency class, indexed by
@@ -270,7 +267,13 @@ impl DeviceBuilder {
     ///
     /// Panics (on [`DeviceBuilder::build`]) if `control` is not an
     /// endpoint.
-    pub fn add_edge_with_control(&mut self, a: QubitId, b: QubitId, kind: EdgeKind, control: QubitId) {
+    pub fn add_edge_with_control(
+        &mut self,
+        a: QubitId,
+        b: QubitId,
+        kind: EdgeKind,
+        control: QubitId,
+    ) {
         self.edges.push((a, b, kind, Some(control)));
     }
 
@@ -289,12 +292,7 @@ impl DeviceBuilder {
         let mut graph = CouplingGraph::with_qubits(self.classes.len());
         let mut edges = Vec::with_capacity(self.edges.len());
         let mut targets_of: Vec<Vec<QubitId>> = vec![Vec::new(); self.classes.len()];
-        let num_chips = self
-            .chips
-            .iter()
-            .map(|c| c.index() + 1)
-            .max()
-            .unwrap_or(1);
+        let num_chips = self.chips.iter().map(|c| c.index() + 1).max().unwrap_or(1);
         for (a, b, kind, control) in self.edges {
             let id = graph.add_edge(a, b);
             let control = control.expect("control always set by builder methods");

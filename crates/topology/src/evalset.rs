@@ -123,14 +123,12 @@ mod tests {
         // "a 40-qubit MCM of dimension 2×2 with 10-qubit chiplets was
         // included … whereas a 4×1 configuration … was omitted."
         let systems = paper_mcms();
-        assert!(systems
-            .iter()
-            .any(|s| s.chiplet().num_qubits() == 10 && s.grid_rows() == 2 && s.grid_cols() == 2));
-        assert!(!systems
-            .iter()
-            .any(|s| s.chiplet().num_qubits() == 10
-                && ((s.grid_rows() == 4 && s.grid_cols() == 1)
-                    || (s.grid_rows() == 1 && s.grid_cols() == 4))));
+        assert!(systems.iter().any(|s| s.chiplet().num_qubits() == 10
+            && s.grid_rows() == 2
+            && s.grid_cols() == 2));
+        assert!(!systems.iter().any(|s| s.chiplet().num_qubits() == 10
+            && ((s.grid_rows() == 4 && s.grid_cols() == 1)
+                || (s.grid_rows() == 1 && s.grid_cols() == 4))));
     }
 
     #[test]
@@ -139,10 +137,8 @@ mod tests {
         // average because its only MCM (400 qubits) had a 0%-yield
         // monolithic counterpart.
         let systems = paper_mcms();
-        let two_hundred: Vec<_> = systems
-            .iter()
-            .filter(|s| s.chiplet().num_qubits() == 200)
-            .collect();
+        let two_hundred: Vec<_> =
+            systems.iter().filter(|s| s.chiplet().num_qubits() == 200).collect();
         assert_eq!(two_hundred.len(), 1);
         assert_eq!(two_hundred[0].num_qubits(), 400);
     }
@@ -153,13 +149,10 @@ mod tests {
         assert_eq!(squares.len(), 15);
         let largest = squares.iter().map(McmSpec::num_qubits).max().unwrap();
         assert_eq!(largest, 500); // 5x5 of 20q chiplets
-        // The paper's highlighted configurations exist:
-        assert!(squares
-            .iter()
-            .any(|s| s.chiplet().num_qubits() == 20 && s.grid_rows() == 3)); // 180q
-        assert!(squares
-            .iter()
-            .any(|s| s.chiplet().num_qubits() == 40 && s.grid_rows() == 3)); // 360q, best ratio 0.815
+                                  // The paper's highlighted configurations exist:
+        assert!(squares.iter().any(|s| s.chiplet().num_qubits() == 20 && s.grid_rows() == 3)); // 180q
+        assert!(squares.iter().any(|s| s.chiplet().num_qubits() == 40 && s.grid_rows() == 3));
+        // 360q, best ratio 0.815
     }
 
     #[test]

@@ -129,10 +129,7 @@ impl ChipletSpec {
 
     /// The paper's nine chiplet designs, ascending by size.
     pub fn catalog() -> Vec<ChipletSpec> {
-        CATALOG
-            .iter()
-            .map(|(_, d, m)| ChipletSpec { dense_rows: *d, m: *m })
-            .collect()
+        CATALOG.iter().map(|(_, d, m)| ChipletSpec { dense_rows: *d, m: *m }).collect()
     }
 
     /// The number of dense rows `D`.
@@ -297,7 +294,8 @@ mod tests {
 
     #[test]
     fn catalog_sizes_match_paper() {
-        let sizes: Vec<usize> = ChipletSpec::catalog().iter().map(ChipletSpec::num_qubits).collect();
+        let sizes: Vec<usize> =
+            ChipletSpec::catalog().iter().map(ChipletSpec::num_qubits).collect();
         assert_eq!(sizes, vec![10, 20, 40, 60, 90, 120, 160, 200, 250]);
     }
 

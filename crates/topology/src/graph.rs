@@ -44,10 +44,7 @@ pub struct CouplingGraph {
 impl CouplingGraph {
     /// Creates a graph with `n` isolated qubits.
     pub fn with_qubits(n: usize) -> CouplingGraph {
-        CouplingGraph {
-            adjacency: vec![Vec::new(); n],
-            endpoints: Vec::new(),
-        }
+        CouplingGraph { adjacency: vec![Vec::new(); n], endpoints: Vec::new() }
     }
 
     /// The number of qubits.
@@ -70,10 +67,7 @@ impl CouplingGraph {
         assert!(a.index() < self.num_qubits(), "qubit {a} out of range");
         assert!(b.index() < self.num_qubits(), "qubit {b} out of range");
         assert_ne!(a, b, "self-loop on {a}");
-        assert!(
-            self.edge_between(a, b).is_none(),
-            "duplicate edge {a}-{b}"
-        );
+        assert!(self.edge_between(a, b).is_none(), "duplicate edge {a}-{b}");
         let id = EdgeId(self.endpoints.len() as u32);
         self.endpoints.push((a, b));
         self.adjacency[a.index()].push((b, id));
@@ -98,18 +92,12 @@ impl CouplingGraph {
 
     /// The edge between `a` and `b`, if present.
     pub fn edge_between(&self, a: QubitId, b: QubitId) -> Option<EdgeId> {
-        self.adjacency[a.index()]
-            .iter()
-            .find(|(n, _)| *n == b)
-            .map(|(_, e)| *e)
+        self.adjacency[a.index()].iter().find(|(n, _)| *n == b).map(|(_, e)| *e)
     }
 
     /// Iterator over all edges as `(EdgeId, a, b)`.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, QubitId, QubitId)> + '_ {
-        self.endpoints
-            .iter()
-            .enumerate()
-            .map(|(i, (a, b))| (EdgeId(i as u32), *a, *b))
+        self.endpoints.iter().enumerate().map(|(i, (a, b))| (EdgeId(i as u32), *a, *b))
     }
 
     /// BFS hop distances from `from` to every qubit.
@@ -144,9 +132,7 @@ impl CouplingGraph {
     /// Cost is `O(V·E)`; for the paper's largest 500-qubit systems this
     /// is well under a millisecond and is computed once per transpile.
     pub fn distance_matrix(&self) -> Vec<Vec<u32>> {
-        (0..self.num_qubits())
-            .map(|q| self.bfs_distances(QubitId(q as u32)))
-            .collect()
+        (0..self.num_qubits()).map(|q| self.bfs_distances(QubitId(q as u32))).collect()
     }
 
     /// Whether every qubit can reach every other qubit.

@@ -72,7 +72,13 @@ impl IbmProcessor {
 
 impl std::fmt::Display for IbmProcessor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({}-qubit {})", self.machine_name(), self.num_qubits(), self.family_name())
+        write!(
+            f,
+            "{} ({}-qubit {})",
+            self.machine_name(),
+            self.num_qubits(),
+            self.family_name()
+        )
     }
 }
 

@@ -122,7 +122,11 @@ impl McmSpec {
             for c in 0..self.grid_cols - 1 {
                 let (left_chip, right_chip) = (&ports[r][c], &ports[r][c + 1]);
                 for d in 0..self.chiplet.dense_rows() {
-                    builder.add_edge(left_chip.right[d], right_chip.left[d], EdgeKind::InterChip);
+                    builder.add_edge(
+                        left_chip.right[d],
+                        right_chip.left[d],
+                        EdgeKind::InterChip,
+                    );
                 }
             }
         }
@@ -182,11 +186,7 @@ mod tests {
         for (q, k, m) in [(10, 2, 5), (20, 3, 3), (40, 2, 2), (60, 2, 4), (90, 2, 2)] {
             let spec = McmSpec::new(ChipletSpec::with_qubits(q).unwrap(), k, m);
             let device = spec.build();
-            assert_eq!(
-                device.inter_chip_edges().count(),
-                spec.num_links(),
-                "{spec}"
-            );
+            assert_eq!(device.inter_chip_edges().count(), spec.num_links(), "{spec}");
         }
     }
 

@@ -59,14 +59,8 @@ impl FrequencyPlan {
     ///
     /// Panics unless both steps are finite and positive.
     pub fn with_steps(step01: f64, step12: f64) -> FrequencyPlan {
-        assert!(
-            step01.is_finite() && step01 > 0.0,
-            "step01 must be positive, got {step01}"
-        );
-        assert!(
-            step12.is_finite() && step12 > 0.0,
-            "step12 must be positive, got {step12}"
-        );
+        assert!(step01.is_finite() && step01 > 0.0, "step01 must be positive, got {step01}");
+        assert!(step12.is_finite() && step12 > 0.0, "step12 must be positive, got {step12}");
         FrequencyPlan { step01, step12, ..FrequencyPlan::state_of_the_art() }
     }
 

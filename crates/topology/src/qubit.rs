@@ -70,7 +70,8 @@ pub enum FrequencyClass {
 
 impl FrequencyClass {
     /// All classes in ascending frequency order.
-    pub const ALL: [FrequencyClass; 3] = [FrequencyClass::F0, FrequencyClass::F1, FrequencyClass::F2];
+    pub const ALL: [FrequencyClass; 3] =
+        [FrequencyClass::F0, FrequencyClass::F1, FrequencyClass::F2];
 
     /// The number of ideal-frequency steps above `F0` (0, 1, or 2).
     pub fn steps(self) -> u8 {

@@ -68,10 +68,7 @@ pub(crate) fn dense_class(row: usize, col: u32) -> FrequencyClass {
 /// `g` (offset 0 on even gaps, offset 2 on odd gaps).
 pub(crate) fn connector_cols(g: usize, start_col: u32, end_col: u32) -> Vec<u32> {
     let offset = if g.is_multiple_of(2) { 0 } else { 2 };
-    (offset..=end_col)
-        .step_by(4)
-        .filter(|c| *c >= start_col)
-        .collect()
+    (offset..=end_col).step_by(4).filter(|c| *c >= start_col).collect()
 }
 
 impl RowLayout {
@@ -113,11 +110,7 @@ impl RowLayout {
 
     /// Total qubits in the tile.
     pub fn num_qubits(&self) -> usize {
-        let dense: usize = self
-            .rows
-            .iter()
-            .map(|(s, e)| (e - s + 1) as usize)
-            .sum();
+        let dense: usize = self.rows.iter().map(|(s, e)| (e - s + 1) as usize).sum();
         let conns: usize = self.gaps.iter().map(Vec::len).sum();
         dense + conns
     }
@@ -175,7 +168,11 @@ impl RowLayout {
                 cursor += 1;
                 if g + 1 < self.rows.len() {
                     let (below_base, below_start) = row_base[g + 1];
-                    builder.add_edge(conn, QubitId(below_base.0 + (c - below_start)), EdgeKind::OnChip);
+                    builder.add_edge(
+                        conn,
+                        QubitId(below_base.0 + (c - below_start)),
+                        EdgeKind::OnChip,
+                    );
                 } else {
                     final_bottom.push((c, conn));
                 }
@@ -266,12 +263,8 @@ mod tests {
             if d.class(q) != FrequencyClass::F2 {
                 continue;
             }
-            let classes: Vec<_> = d
-                .graph()
-                .neighbors(q)
-                .iter()
-                .map(|(n, _)| d.class(*n))
-                .collect();
+            let classes: Vec<_> =
+                d.graph().neighbors(q).iter().map(|(n, _)| d.class(*n)).collect();
             assert!(!classes.contains(&FrequencyClass::F2), "F2 adjacent to F2 at {q}");
             if classes.len() == 2 {
                 assert_ne!(classes[0], classes[1], "F2 {q} between two {}", classes[0]);
@@ -282,29 +275,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "would attach to an F2")]
     fn validate_rejects_connector_on_f2_column() {
-        let layout = RowLayout {
-            rows: vec![(0, 7), (0, 7)],
-            gaps: vec![vec![1]],
-        };
+        let layout = RowLayout { rows: vec![(0, 7), (0, 7)], gaps: vec![vec![1]] };
         layout.validate();
     }
 
     #[test]
     #[should_panic(expected = "outside dense row")]
     fn validate_rejects_out_of_range_connector() {
-        let layout = RowLayout {
-            rows: vec![(0, 3), (0, 3)],
-            gaps: vec![vec![4]],
-        };
+        let layout = RowLayout { rows: vec![(0, 3), (0, 3)], gaps: vec![vec![4]] };
         layout.validate();
     }
 
     #[test]
     fn closed_tile_has_no_bottom_ports() {
-        let layout = RowLayout {
-            rows: vec![(0, 7), (0, 7)],
-            gaps: vec![connector_cols(0, 0, 7)],
-        };
+        let layout =
+            RowLayout { rows: vec![(0, 7), (0, 7)], gaps: vec![connector_cols(0, 0, 7)] };
         layout.validate();
         let mut b = DeviceBuilder::new("closed");
         let ports = layout.instantiate(&mut b, ChipIndex(0));

@@ -38,7 +38,11 @@ pub fn to_basis(circuit: &Circuit) -> Circuit {
 
 fn lower(out: &mut Circuit, gate: &Gate) {
     match *gate {
-        Gate::Rz { .. } | Gate::Sx { .. } | Gate::X { .. } | Gate::Cx { .. } | Gate::Measure { .. } => {
+        Gate::Rz { .. }
+        | Gate::Sx { .. }
+        | Gate::X { .. }
+        | Gate::Cx { .. }
+        | Gate::Measure { .. } => {
             out.push(*gate);
         }
         Gate::H { q } => {
@@ -168,7 +172,8 @@ mod tests {
     fn bv_footprint_matches_table2() {
         // Table II BV rows: 1q = 2n * 3 (two Hadamard layers).
         let n = 32;
-        let c = chipletqc_benchmarks::bv::bv_circuit(n, &chipletqc_benchmarks::bv::all_ones(n - 1));
+        let c =
+            chipletqc_benchmarks::bv::bv_circuit(n, &chipletqc_benchmarks::bv::all_ones(n - 1));
         let basis = to_basis(&c);
         assert_eq!(basis.count_1q(), 2 * n * 3 + 1); // + the |−⟩ virtual Z
     }

@@ -151,9 +151,11 @@ mod tests {
         let e0 = &device.edges()[0];
         let e1 = &device.edges()[1];
         let mut c = Circuit::new(device.num_qubits());
-        c.cx(Qubit(e0.a.0), Qubit(e0.b.0))
-            .swap(Qubit(e1.a.0), Qubit(e1.b.0))
-            .rzz(Qubit(e0.a.0), Qubit(e0.b.0), 0.2);
+        c.cx(Qubit(e0.a.0), Qubit(e0.b.0)).swap(Qubit(e1.a.0), Qubit(e1.b.0)).rzz(
+            Qubit(e0.a.0),
+            Qubit(e0.b.0),
+            0.2,
+        );
         let mut infid = vec![0.01; device.edges().len()];
         infid[1] = 0.05;
         let noise = EdgeNoise::from_infidelities(infid);

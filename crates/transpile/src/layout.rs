@@ -172,11 +172,7 @@ pub fn noise_aware_layout(
     let start = *region
         .iter()
         .min_by_key(|q| {
-            graph
-                .neighbors(**q)
-                .iter()
-                .filter(|(nb, _)| in_region[nb.index()])
-                .count()
+            graph.neighbors(**q).iter().filter(|(nb, _)| in_region[nb.index()]).count()
         })
         .expect("region is nonempty");
     placed[start.index()] = true;

@@ -156,7 +156,10 @@ mod tests {
             for device in [&mcm, &mono] {
                 let out = t.transpile(&circuit, device);
                 assert!(out.respects_connectivity(device), "{b} on {}", device.name());
-                assert!(out.physical.gates().iter().all(|g| g.is_basis()), "{b}: non-basis gate");
+                assert!(
+                    out.physical.gates().iter().all(|g| g.is_basis()),
+                    "{b}: non-basis gate"
+                );
                 assert!(out.routing_overhead() >= 1.0);
             }
         }

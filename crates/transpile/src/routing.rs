@@ -79,10 +79,7 @@ pub fn route(
     layout: &Layout,
     params: &RoutingParams,
 ) -> Routed {
-    assert!(
-        circuit.num_qubits() <= device.num_qubits(),
-        "circuit wider than device"
-    );
+    assert!(circuit.num_qubits() <= device.num_qubits(), "circuit wider than device");
     let dist = device.graph().distance_matrix();
     let gates = circuit.gates();
     let mut layout = layout.clone();
@@ -115,10 +112,7 @@ pub fn route(
         while progressed {
             progressed = false;
             // Candidate gates are the heads of all queues.
-            let heads: Vec<usize> = queues
-                .iter()
-                .filter_map(|q| q.front().copied())
-                .collect();
+            let heads: Vec<usize> = queues.iter().filter_map(|q| q.front().copied()).collect();
             for g in heads {
                 if executed[g] || !is_ready(&queues, g, &gates[g]) {
                     continue;
@@ -177,10 +171,7 @@ pub fn route(
             // shortest path.
             let (a, b) = front_dedup[0];
             let (pa, pb) = (layout.physical(a), layout.physical(b));
-            let path = device
-                .graph()
-                .shortest_path(pa, pb)
-                .expect("device is connected");
+            let path = device.graph().shortest_path(pa, pb).expect("device is connected");
             for w in path.windows(2).take(path.len().saturating_sub(2)) {
                 out.swap(Qubit(w[0].0), Qubit(w[1].0));
                 layout.swap_physical(w[0], w[1]);
@@ -212,7 +203,9 @@ pub fn route(
             layout.swap_physical(x, y);
             let front_cost: f64 = front_dedup
                 .iter()
-                .map(|&(a, b)| dist[layout.physical(a).index()][layout.physical(b).index()] as f64)
+                .map(|&(a, b)| {
+                    dist[layout.physical(a).index()][layout.physical(b).index()] as f64
+                })
                 .sum::<f64>()
                 / front_dedup.len() as f64;
             let ext_cost: f64 = if extended.is_empty() {
@@ -227,8 +220,8 @@ pub fn route(
                     / extended.len() as f64
             };
             layout.swap_physical(x, y); // undo
-            let score =
-                decay[x.index()].max(decay[y.index()]) * (front_cost + params.extended_set_weight * ext_cost);
+            let score = decay[x.index()].max(decay[y.index()])
+                * (front_cost + params.extended_set_weight * ext_cost);
             if best.is_none_or(|(_, s)| score < s) {
                 best = Some(((x, y), score));
             }
@@ -309,10 +302,7 @@ mod tests {
         for g in routed.circuit.gates() {
             if let GateQubits::Two(a, b) = g.qubits() {
                 assert!(
-                    device
-                        .graph()
-                        .edge_between(QubitId(a.0), QubitId(b.0))
-                        .is_some(),
+                    device.graph().edge_between(QubitId(a.0), QubitId(b.0)).is_some(),
                     "{} on non-adjacent {a},{b}",
                     g.name()
                 );
@@ -344,12 +334,7 @@ mod tests {
         assert!(routed.swaps > 0);
         check_connectivity(&routed, &device);
         // Original CX still present exactly once.
-        let cx = routed
-            .circuit
-            .gates()
-            .iter()
-            .filter(|g| matches!(g, Gate::Cx { .. }))
-            .count();
+        let cx = routed.circuit.gates().iter().filter(|g| matches!(g, Gate::Cx { .. })).count();
         assert_eq!(cx, 1);
     }
 
@@ -388,10 +373,7 @@ mod tests {
         let trivial = LayoutStrategy::Trivial.place(device.num_qubits(), &device);
         let swaps_snake = route(&circuit, &device, &snake, &RoutingParams::sabre()).swaps;
         let swaps_trivial = route(&circuit, &device, &trivial, &RoutingParams::sabre()).swaps;
-        assert!(
-            swaps_snake <= swaps_trivial,
-            "snake {swaps_snake} vs trivial {swaps_trivial}"
-        );
+        assert!(swaps_snake <= swaps_trivial, "snake {swaps_snake} vs trivial {swaps_trivial}");
     }
 
     #[test]

@@ -45,7 +45,11 @@ fn window_prob(mean: f64, sigma: f64, window: f64) -> f64 {
 /// let y = analytic_yield(&device, &FabricationParams::state_of_the_art(), &CollisionParams::paper());
 /// assert!(y > 0.7 && y < 0.95); // paper: ~0.85
 /// ```
-pub fn analytic_yield(device: &Device, fab: &FabricationParams, params: &CollisionParams) -> f64 {
+pub fn analytic_yield(
+    device: &Device,
+    fab: &FabricationParams,
+    params: &CollisionParams,
+) -> f64 {
     let plan = fab.plan();
     let sigma = fab.sigma_f();
     let alpha = plan.anharmonicity();
@@ -62,7 +66,8 @@ pub fn analytic_yield(device: &Device, fab: &FabricationParams, params: &Collisi
     };
 
     for e in device.edges() {
-        let (fc, ft) = (plan.ideal(device.class(e.control)), plan.ideal(device.class(e.target())));
+        let (fc, ft) =
+            (plan.ideal(device.class(e.control)), plan.ideal(device.class(e.target())));
         // Type 1: |f_a - f_b| <= t1.
         mul_pass(window_prob(fc - ft, s2, params.t1));
         // Type 2: |f_c + alpha/2 - f_t| <= t2.
@@ -135,7 +140,8 @@ mod tests {
         let params = CollisionParams::paper();
         let fab = FabricationParams::state_of_the_art();
         let y10 = analytic_yield(&ChipletSpec::with_qubits(10).unwrap().build(), &fab, &params);
-        let y250 = analytic_yield(&ChipletSpec::with_qubits(250).unwrap().build(), &fab, &params);
+        let y250 =
+            analytic_yield(&ChipletSpec::with_qubits(250).unwrap().build(), &fab, &params);
         assert!(y10 > y250);
     }
 

@@ -120,7 +120,8 @@ impl FabricationParams {
         } else {
             let alpha_noise = Normal::new(self.plan.anharmonicity(), self.sigma_alpha)
                 .expect("validated in constructor");
-            let alphas: Vec<f64> = (0..device.num_qubits()).map(|_| alpha_noise.sample(rng)).collect();
+            let alphas: Vec<f64> =
+                (0..device.num_qubits()).map(|_| alpha_noise.sample(rng)).collect();
             Frequencies::new(freqs, alphas).expect("sampled values are finite")
         }
     }
@@ -160,7 +161,8 @@ mod tests {
         let fab = FabricationParams::state_of_the_art();
         let mut rng = Seed(42).rng();
         // Collect many samples of one F0 qubit.
-        let f0_qubit = device.qubits().find(|q| device.class(*q) == FrequencyClass::F0).unwrap();
+        let f0_qubit =
+            device.qubits().find(|q| device.class(*q) == FrequencyClass::F0).unwrap();
         let samples: Vec<f64> =
             (0..4000).map(|_| fab.sample(&device, &mut rng).freq(f0_qubit)).collect();
         assert!((mean(&samples) - 5.0).abs() < 2e-3, "mean {}", mean(&samples));

@@ -46,9 +46,33 @@ impl std::fmt::Display for YieldEstimate {
     }
 }
 
-/// Picks a worker count for a batch (one thread per ~64 devices, capped
-/// by hardware parallelism).
-fn worker_count(batch: usize) -> usize {
+/// Process-wide default worker count (0 = unset, use the hardware
+/// heuristic). See [`set_default_workers`].
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default fabrication worker count, used
+/// whenever a call site does not pass an explicit count (like a global
+/// thread-pool size). `None` restores the hardware heuristic.
+///
+/// The engine's scenario scheduler sets this to divide hardware
+/// between concurrent scenarios. Worker count never affects results
+/// (device `i` always derives from `seed.split(i)`), only wall-clock
+/// time, so changing it at any moment is always safe.
+pub fn set_default_workers(workers: Option<usize>) {
+    DEFAULT_WORKERS.store(workers.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Picks a worker count for a batch: an explicit request wins, then
+/// the process-wide default, otherwise one thread per ~64 devices,
+/// capped by hardware parallelism.
+fn worker_count(batch: usize, requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    let default = DEFAULT_WORKERS.load(Ordering::Relaxed);
+    if default > 0 {
+        return default;
+    }
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     hw.min(batch / 64).max(1)
 }
@@ -83,9 +107,22 @@ pub fn simulate_yield(
     batch: usize,
     seed: Seed,
 ) -> YieldEstimate {
+    simulate_yield_with_workers(device, fab, params, batch, seed, None)
+}
+
+/// [`simulate_yield`] with an explicit worker count (`None` keeps the
+/// heuristic). Results are bit-identical for every worker count.
+pub fn simulate_yield_with_workers(
+    device: &Device,
+    fab: &FabricationParams,
+    params: &CollisionParams,
+    batch: usize,
+    seed: Seed,
+    workers: Option<usize>,
+) -> YieldEstimate {
     let survivors = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
-    let workers = worker_count(batch);
+    let workers = worker_count(batch, workers);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -126,7 +163,21 @@ pub fn fabricate_collision_free(
     batch: usize,
     seed: Seed,
 ) -> Vec<Frequencies> {
-    let workers = worker_count(batch);
+    fabricate_collision_free_with_workers(device, fab, params, batch, seed, None)
+}
+
+/// [`fabricate_collision_free`] with an explicit worker count (`None`
+/// keeps the heuristic). The returned bin is bit-identical for every
+/// worker count.
+pub fn fabricate_collision_free_with_workers(
+    device: &Device,
+    fab: &FabricationParams,
+    params: &CollisionParams,
+    batch: usize,
+    seed: Seed,
+    workers: Option<usize>,
+) -> Vec<Frequencies> {
+    let workers = worker_count(batch, workers);
     let next = AtomicUsize::new(0);
     let mut per_worker: Vec<Vec<(usize, Frequencies)>> = Vec::new();
     std::thread::scope(|scope| {
@@ -242,6 +293,37 @@ mod tests {
     }
 
     #[test]
+    fn explicit_worker_counts_never_change_results() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let baseline = fabricate_collision_free_with_workers(
+            &device,
+            &fab,
+            &params(),
+            200,
+            Seed(21),
+            Some(1),
+        );
+        for workers in [2, 3, 8] {
+            let alt = fabricate_collision_free_with_workers(
+                &device,
+                &fab,
+                &params(),
+                200,
+                Seed(21),
+                Some(workers),
+            );
+            assert_eq!(baseline, alt, "bin changed at {workers} workers");
+        }
+        let est1 =
+            simulate_yield_with_workers(&device, &fab, &params(), 200, Seed(21), Some(1));
+        let est8 =
+            simulate_yield_with_workers(&device, &fab, &params(), 200, Seed(21), Some(8));
+        assert_eq!(est1, est8);
+        assert_eq!(est1.survivors, baseline.len());
+    }
+
+    #[test]
     fn confidence_interval_brackets_fraction() {
         let device = ChipletSpec::with_qubits(10).unwrap().build();
         let fab = FabricationParams::state_of_the_art();
@@ -258,11 +340,7 @@ mod tests {
         let device = ChipletSpec::with_qubits(10).unwrap().build();
         let fab = FabricationParams::state_of_the_art();
         let est = simulate_yield(&device, &fab, &params(), 2000, Seed(5));
-        assert!(
-            est.fraction() > 0.75 && est.fraction() < 0.92,
-            "10q yield {}",
-            est
-        );
+        assert!(est.fraction() > 0.75 && est.fraction() < 0.92, "10q yield {}", est);
     }
 
     #[test]

@@ -151,7 +151,13 @@ pub fn asymmetric_step_sweep(
                 .map(|(j, &s12)| {
                     let plan = FrequencyPlan::with_steps(s01, s12);
                     let fab = FabricationParams::new(plan, fab_sigma);
-                    simulate_yield(&device, &fab, params, batch, seed.split((i * 1000 + j) as u64))
+                    simulate_yield(
+                        &device,
+                        &fab,
+                        params,
+                        batch,
+                        seed.split((i * 1000 + j) as u64),
+                    )
                 })
                 .collect()
         })

@@ -29,7 +29,8 @@ fn main() {
     // Table II view: compiled gate composition on the MCM.
     let device = spec.build();
     let transpiler = Transpiler::paper();
-    let mut table = TextTable::new(["bench", "logical qubits", "1q", "2q", "2q critical", "swaps"]);
+    let mut table =
+        TextTable::new(["bench", "logical qubits", "1q", "2q", "2q critical", "swaps"]);
     for b in Benchmark::ALL {
         let circuit = b.for_device_qubits(spec.num_qubits(), Seed(2));
         let compiled = transpiler.transpile(&circuit, &device);
@@ -53,7 +54,8 @@ fn main() {
         ..Fig10Config::paper()
     };
     let data = run(&config);
-    let mut esp = TextTable::new(["bench", "log10 ESP (MCM)", "log10 ESP (mono)", "log10 ratio"]);
+    let mut esp =
+        TextTable::new(["bench", "log10 ESP (MCM)", "log10 ESP (mono)", "log10 ratio"]);
     for row in &data.rows {
         let p = row.points[0];
         esp.row([

@@ -28,8 +28,7 @@ fn main() {
     let mono = lab.mono_population(target);
     println!(
         "monolithic baseline: yield {} ({} good devices)\n",
-        mono.estimate,
-        mono.estimate.survivors
+        mono.estimate, mono.estimate.survivors
     );
 
     let mut table = TextTable::new([
@@ -56,8 +55,8 @@ fn main() {
         let outcome = lab.assemble(&spec);
         let mcm_yield = outcome.post_assembly_yield(batch, &lab.config().assembly.bond);
         let cmp = lab.compare(&spec);
-        let gain = (mono.estimate.fraction() > 0.0)
-            .then(|| mcm_yield / mono.estimate.fraction());
+        let gain =
+            (mono.estimate.fraction() > 0.0).then(|| mcm_yield / mono.estimate.fraction());
         let verdict = match cmp.eavg_ratio {
             Some(r) if r < 1.0 => "MCM wins on fidelity too",
             Some(_) => "MCM wins on yield, mono on fidelity",

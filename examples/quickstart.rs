@@ -38,11 +38,7 @@ fn main() {
 
     // Step 2: monolithic counterpart.
     let mono = lab.mono_population(spec.num_qubits());
-    println!(
-        "monolithic yield  : {} at {} qubits",
-        mono.estimate,
-        spec.num_qubits()
-    );
+    println!("monolithic yield  : {} at {} qubits", mono.estimate, spec.num_qubits());
 
     // Step 3: best-first assembly with link-noise assignment.
     let outcome = lab.assemble(&spec);
@@ -67,8 +63,12 @@ fn main() {
             println!("=> MCM advantage: average two-qubit infidelity is {ratio:.3}x monolithic")
         }
         Some(ratio) => {
-            println!("=> monolithic advantage at this scale (ratio {ratio:.3}); try larger systems")
+            println!(
+                "=> monolithic advantage at this scale (ratio {ratio:.3}); try larger systems"
+            )
         }
-        None => println!("=> no monolithic counterpart exists (zero yield): MCM is the only option"),
+        None => {
+            println!("=> no monolithic counterpart exists (zero yield): MCM is the only option")
+        }
     }
 }

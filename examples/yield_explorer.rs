@@ -15,10 +15,7 @@
 use chipletqc::experiments::fig4::{run, Fig4Config};
 
 fn main() {
-    let batch: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let batch: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400);
 
     let config = Fig4Config {
         batch,

@@ -88,10 +88,8 @@ fn zero_yield_monolithic_is_handled_gracefully() {
     // At the raw post-fabrication precision, even a 60-qubit monolithic
     // yields ~zero; the comparison must degrade to the "MCM only"
     // outcome rather than panic.
-    let config = LabConfig {
-        fabrication: FabricationParams::post_fabrication(),
-        ..LabConfig::quick()
-    };
+    let config =
+        LabConfig { fabrication: FabricationParams::post_fabrication(), ..LabConfig::quick() };
     let lab = Lab::new(config);
     let spec = McmSpec::new(ChipletSpec::with_qubits(10).unwrap(), 2, 3);
     let cmp = lab.compare(&spec);

@@ -1,0 +1,260 @@
+//! Vendored stand-in for the `criterion` 0.5 crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of the criterion API the workspace's benches
+//! use: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! `bench_function` / `bench_with_input`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it times a fixed number
+//! of iterations (`sample_size`, default 10; override with the
+//! `CHIPLETQC_BENCH_SAMPLES` environment variable) and prints the mean
+//! wall-clock time per iteration — enough to compare kernels run-to-run
+//! without the upstream dependency tree.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a benchmark result.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> BenchmarkId {
+        BenchmarkId { id: value.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> BenchmarkId {
+        BenchmarkId { id: value }
+    }
+}
+
+/// Times closures under a benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` `samples + 1` times (one warm-up) and records the
+    /// mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            hint::black_box(routine());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / self.samples.max(1) as f64;
+    }
+}
+
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns")
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("CHIPLETQC_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(10)
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { samples, mean_nanos: 0.0 };
+    f(&mut bencher);
+    println!("bench {label:<56} {:>12}/iter", fmt_nanos(bencher.mean_nanos));
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: default_samples() }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Benchmarks one closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(&id.into().to_string(), self.sample_size, {
+            let mut f = f;
+            move |b| f(b)
+        });
+        self
+    }
+
+    /// Benchmarks one closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Criterion {
+        run_one(&id.to_string(), self.sample_size, |b| f(b, input));
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmarks one closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("batch", 100).to_string(), "batch/100");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bencher_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(calls, 4);
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        let mut with_input = 0u32;
+        group.bench_with_input(BenchmarkId::new("inp", 1), &5u32, |b, v| {
+            b.iter(|| with_input += *v)
+        });
+        group.finish();
+        assert_eq!(with_input, 15);
+    }
+
+    #[test]
+    fn nanos_format_scales() {
+        assert_eq!(fmt_nanos(12.0), "12 ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.500 µs");
+        assert_eq!(fmt_nanos(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_nanos(3.5e9), "3.500 s");
+    }
+}
