@@ -136,6 +136,30 @@ pub struct Fig10Data {
 }
 
 impl Fig10Data {
+    /// Merges datasets computed over contiguous slices of one system
+    /// set (the engine's intra-scenario shards), in slice order: every
+    /// part must carry the same benchmark rows, and each row's points
+    /// concatenate in part order — reproducing the single-pass point
+    /// order when the slices are contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parts disagree on the benchmark list.
+    pub fn merge(parts: impl IntoIterator<Item = Fig10Data>) -> Fig10Data {
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Fig10Data { rows: Vec::new() };
+        };
+        for part in parts {
+            assert_eq!(part.rows.len(), merged.rows.len(), "shard row counts disagree");
+            for (row, more) in merged.rows.iter_mut().zip(part.rows) {
+                assert_eq!(row.benchmark, more.benchmark, "shard benchmarks disagree");
+                row.points.extend(more.points);
+            }
+        }
+        merged
+    }
+
     /// Restriction of the data to square systems (Fig. 10b).
     pub fn squares(&self) -> Fig10Data {
         Fig10Data {
@@ -283,6 +307,23 @@ mod tests {
             assert!(row.points.iter().all(|p| p.spec.is_square()));
             assert!(!row.points.is_empty());
         }
+    }
+
+    #[test]
+    fn merged_shards_equal_the_single_pass_dataset() {
+        use crate::lab::CacheHub;
+        let config = Fig10Config::quick();
+        let full = run(&config);
+        let hub = CacheHub::new();
+        let parts: Vec<Fig10Data> = config
+            .systems
+            .chunks(config.systems.len().div_ceil(3))
+            .map(|subset| {
+                run_in(&Fig10Config { systems: subset.to_vec(), ..config.clone() }, &hub)
+            })
+            .collect();
+        assert_eq!(Fig10Data::merge(parts), full);
+        assert!(Fig10Data::merge([]).rows.is_empty());
     }
 
     #[test]

@@ -85,6 +85,66 @@ pub struct Fig8Data {
 }
 
 impl Fig8Data {
+    /// Assembles the dataset from raw per-system points and chiplet
+    /// yields: points are stably sorted by (chiplet size, system
+    /// size), chiplet yields sorted and deduplicated by size, and the
+    /// per-chiplet-size improvement aggregation recomputed from the
+    /// sorted points.
+    ///
+    /// This is the single aggregation path for both whole-scenario
+    /// runs and shard merges, so a dataset reassembled from shards is
+    /// bit-identical to one computed in a single pass (the inputs are
+    /// pure functions of the configuration, and stable sorting makes
+    /// the order independent of how the points were partitioned —
+    /// provided the concatenation preserves the original relative
+    /// order, which contiguous shards do).
+    pub fn from_points(
+        mut chiplet_yields: Vec<(usize, f64)>,
+        mut points: Vec<McmYieldPoint>,
+    ) -> Fig8Data {
+        chiplet_yields.sort_by_key(|&(q, _)| q);
+        chiplet_yields.dedup_by_key(|&mut (q, _)| q);
+        points.sort_by_key(|p| (p.spec.chiplet().num_qubits(), p.spec.num_qubits()));
+        let improvements = chiplet_yields
+            .iter()
+            .map(|&(q, _)| {
+                let comparable: Vec<&McmYieldPoint> = points
+                    .iter()
+                    .filter(|p| p.spec.chiplet().num_qubits() == q && p.mono_yield > 0.0)
+                    .collect();
+                let excluded = points
+                    .iter()
+                    .filter(|p| p.spec.chiplet().num_qubits() == q && p.mono_yield == 0.0)
+                    .count();
+                let avg = (!comparable.is_empty()).then(|| {
+                    let mcm = mean(
+                        &comparable.iter().map(|p| p.yield_fraction).collect::<Vec<f64>>(),
+                    );
+                    let mono =
+                        mean(&comparable.iter().map(|p| p.mono_yield).collect::<Vec<f64>>());
+                    mcm / mono
+                });
+                (q, avg, excluded)
+            })
+            .collect();
+        Fig8Data { chiplet_yields, points, improvements }
+    }
+
+    /// Merges datasets computed over contiguous slices of one system
+    /// set (the engine's intra-scenario shards), in slice order.
+    /// Chiplet yields are unioned (they are pure functions of the
+    /// configuration, so duplicates across shards agree) and the
+    /// improvement aggregation is recomputed over the full point set.
+    pub fn merge(parts: impl IntoIterator<Item = Fig8Data>) -> Fig8Data {
+        let mut chiplet_yields = Vec::new();
+        let mut points = Vec::new();
+        for part in parts {
+            chiplet_yields.extend(part.chiplet_yields);
+            points.extend(part.points);
+        }
+        Fig8Data::from_points(chiplet_yields, points)
+    }
+
     /// The largest monolithic size with nonzero measured yield — the
     /// paper's "unfeasible ≳ 400 qubits" observation reads off this.
     pub fn monolithic_cliff(&self) -> Option<usize> {
@@ -157,7 +217,7 @@ pub fn run_in(config: &Fig8Config, hub: &CacheHub) -> Fig8Data {
         })
         .collect();
 
-    let mut points: Vec<McmYieldPoint> = config
+    let points: Vec<McmYieldPoint> = config
         .systems
         .iter()
         .map(|spec| {
@@ -172,28 +232,8 @@ pub fn run_in(config: &Fig8Config, hub: &CacheHub) -> Fig8Data {
             }
         })
         .collect();
-    points.sort_by_key(|p| (p.spec.chiplet().num_qubits(), p.spec.num_qubits()));
 
-    let improvements = chiplet_sizes
-        .iter()
-        .map(|c| {
-            let comparable: Vec<&McmYieldPoint> = points
-                .iter()
-                .filter(|p| p.spec.chiplet() == *c && p.mono_yield > 0.0)
-                .collect();
-            let excluded =
-                points.iter().filter(|p| p.spec.chiplet() == *c && p.mono_yield == 0.0).count();
-            let avg = (!comparable.is_empty()).then(|| {
-                let mcm =
-                    mean(&comparable.iter().map(|p| p.yield_fraction).collect::<Vec<f64>>());
-                let mono = mean(&comparable.iter().map(|p| p.mono_yield).collect::<Vec<f64>>());
-                mcm / mono
-            });
-            (c.num_qubits(), avg, excluded)
-        })
-        .collect();
-
-    Fig8Data { chiplet_yields, points, improvements }
+    Fig8Data::from_points(chiplet_yields, points)
 }
 
 #[cfg(test)]
@@ -233,6 +273,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn merged_shards_equal_the_single_pass_dataset() {
+        use crate::lab::CacheHub;
+        let config = Fig8Config::quick();
+        let full = run(&config);
+        for shards in [2, 3, config.systems.len()] {
+            let hub = CacheHub::new();
+            let parts: Vec<Fig8Data> = config
+                .systems
+                .chunks(config.systems.len().div_ceil(shards))
+                .map(|subset| {
+                    let sub = Fig8Config { systems: subset.to_vec(), ..config.clone() };
+                    run_in(&sub, &hub)
+                })
+                .collect();
+            assert_eq!(Fig8Data::merge(parts), full, "diverged at {shards} shards");
+        }
+        assert_eq!(Fig8Data::merge([]).points, Vec::new());
     }
 
     #[test]

@@ -80,6 +80,34 @@ pub struct Fig9Data {
 }
 
 impl Fig9Data {
+    /// Merges datasets computed over contiguous slices of one system
+    /// set (the engine's intra-scenario shards), in slice order: every
+    /// part must carry the same ratio list, and each panel's cells
+    /// concatenate in part order — reproducing the single-pass cell
+    /// order when the slices are contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parts disagree on the panel ratio list.
+    pub fn merge(parts: impl IntoIterator<Item = Fig9Data>) -> Fig9Data {
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Fig9Data { panels: Vec::new() };
+        };
+        for part in parts {
+            assert_eq!(part.panels.len(), merged.panels.len(), "shard panel counts disagree");
+            for (panel, more) in merged.panels.iter_mut().zip(part.panels) {
+                assert_eq!(
+                    panel.link_ratio.to_bits(),
+                    more.link_ratio.to_bits(),
+                    "shard panel ratios disagree"
+                );
+                panel.cells.extend(more.cells);
+            }
+        }
+        merged
+    }
+
     /// Renders every panel as a chiplet × side heatmap.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -149,6 +177,23 @@ mod tests {
         assert!(equal.advantage_fraction() >= sota.advantage_fraction());
         let rendered = data.render();
         assert!(rendered.contains("e_link/e_chip"));
+    }
+
+    #[test]
+    fn merged_shards_equal_the_single_pass_dataset() {
+        use crate::lab::CacheHub;
+        let config = Fig9Config::quick();
+        let full = run(&config);
+        let hub = CacheHub::new();
+        let parts: Vec<Fig9Data> = config
+            .systems
+            .chunks(config.systems.len().div_ceil(2))
+            .map(|subset| {
+                run_in(&Fig9Config { systems: subset.to_vec(), ..config.clone() }, &hub)
+            })
+            .collect();
+        assert_eq!(Fig9Data::merge(parts), full);
+        assert!(Fig9Data::merge([]).panels.is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use chipletqc_collision::criteria::CollisionParams;
 use chipletqc_math::rng::Seed;
 use chipletqc_topology::family::{ChipletSpec, MonolithicSpec};
 use chipletqc_yield::fabrication::FabricationParams;
-use chipletqc_yield::monte_carlo::simulate_yield;
+use chipletqc_yield::monte_carlo::{simulate_yield_range, TrialRange, YieldEstimate};
 
 use crate::report::TextTable;
 
@@ -52,6 +52,11 @@ impl OutputGainConfig {
     /// Reduced batch.
     pub fn quick() -> OutputGainConfig {
         OutputGainConfig { batch: 300, ..OutputGainConfig::paper() }
+    }
+
+    /// The equal-wafer-area chiplet batch: `B · q_m / q_c`.
+    pub fn chiplet_batch(&self) -> usize {
+        self.batch * self.monolithic_qubits / self.chiplet_qubits
     }
 }
 
@@ -101,27 +106,73 @@ impl OutputGainData {
     }
 }
 
-/// Measures yields and evaluates Eq. 1.
-pub fn run(config: &OutputGainConfig) -> OutputGainData {
+/// The partial Monte Carlo tallies of one trial-range shard of the
+/// Eq. 1 evaluation (see [`run_shard`] / [`from_shards`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputGainShard {
+    /// Survivors over the shard's slice of the monolithic batch.
+    pub mono: YieldEstimate,
+    /// Survivors over the shard's slice of the equal-area chiplet
+    /// batch.
+    pub chiplet: YieldEstimate,
+}
+
+/// Simulates one shard of the Eq. 1 Monte Carlo: `mono_range` of the
+/// monolithic batch `[0, batch)` and `chiplet_range` of the
+/// equal-wafer-area chiplet batch `[0, chiplet_batch())`.
+///
+/// Trial indices are batch-global, so merging the shards of matching
+/// [`TrialRange::split`]s with [`from_shards`] is bit-identical to
+/// [`run`].
+pub fn run_shard(
+    config: &OutputGainConfig,
+    mono_range: TrialRange,
+    chiplet_range: TrialRange,
+) -> OutputGainShard {
     let mono_device =
         MonolithicSpec::with_qubits(config.monolithic_qubits).expect("valid size").build();
     let chiplet_device =
         ChipletSpec::with_qubits(config.chiplet_qubits).expect("valid size").build();
-    let mono = simulate_yield(
-        &mono_device,
-        &config.fabrication,
-        &config.collision,
-        config.batch,
-        config.seed.split(1),
-    );
-    // Measure the chiplet yield on the equal-wafer-area batch.
-    let chiplet_batch = config.batch * config.monolithic_qubits / config.chiplet_qubits;
-    let chiplet = simulate_yield(
-        &chiplet_device,
-        &config.fabrication,
-        &config.collision,
-        chiplet_batch,
-        config.seed.split(2),
+    OutputGainShard {
+        mono: simulate_yield_range(
+            &mono_device,
+            &config.fabrication,
+            &config.collision,
+            mono_range,
+            config.seed.split(1),
+            None,
+        ),
+        chiplet: simulate_yield_range(
+            &chiplet_device,
+            &config.fabrication,
+            &config.collision,
+            chiplet_range,
+            config.seed.split(2),
+            None,
+        ),
+    }
+}
+
+/// Combines shard tallies whose ranges jointly cover both batches into
+/// the Eq. 1 dataset.
+///
+/// # Panics
+///
+/// Panics if the merged trial counts do not cover the configured
+/// batches exactly (a shard is missing, duplicated, or mis-sized).
+pub fn from_shards(
+    config: &OutputGainConfig,
+    shards: impl IntoIterator<Item = OutputGainShard>,
+) -> OutputGainData {
+    let (mono_parts, chiplet_parts): (Vec<_>, Vec<_>) =
+        shards.into_iter().map(|s| (s.mono, s.chiplet)).unzip();
+    let mono = YieldEstimate::merge(mono_parts);
+    let chiplet = YieldEstimate::merge(chiplet_parts);
+    assert_eq!(mono.batch, config.batch, "monolithic shards do not cover the batch");
+    assert_eq!(
+        chiplet.batch,
+        config.chiplet_batch(),
+        "chiplet shards do not cover the equal-area batch"
     );
     OutputGainData {
         model: OutputModel {
@@ -135,6 +186,16 @@ pub fn run(config: &OutputGainConfig) -> OutputGainData {
     }
 }
 
+/// Measures yields and evaluates Eq. 1.
+pub fn run(config: &OutputGainConfig) -> OutputGainData {
+    let shard = run_shard(
+        config,
+        TrialRange::full(config.batch),
+        TrialRange::full(config.chiplet_batch()),
+    );
+    from_shards(config, [shard])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +207,22 @@ mod tests {
         // Paper: ~7.7x. Monte Carlo slack at reduced batch: accept 4-16x.
         assert!(gain > 4.0 && gain < 16.0, "gain {gain}");
         assert!(data.model.is_capacity_matched());
+    }
+
+    #[test]
+    fn merged_trial_shards_equal_the_full_run() {
+        let config = OutputGainConfig::quick();
+        let full = run(&config);
+        for shards in [2, 3, 8] {
+            let mono_ranges = TrialRange::split(config.batch, shards);
+            let chiplet_ranges = TrialRange::split(config.chiplet_batch(), shards);
+            let parts: Vec<OutputGainShard> = mono_ranges
+                .iter()
+                .zip(&chiplet_ranges)
+                .map(|(&m, &c)| run_shard(&config, m, c))
+                .collect();
+            assert_eq!(from_shards(&config, parts), full, "diverged at {shards} shards");
+        }
     }
 
     #[test]

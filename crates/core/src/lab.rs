@@ -133,7 +133,14 @@ impl LabConfig {
     /// fabrication model, collision thresholds, root seed) and nothing
     /// that does not (link ratio, comparison mode, assembly policy,
     /// worker counts).
-    fn cache_key(&self) -> String {
+    ///
+    /// Public because it is also the natural *cross-process* cache
+    /// key: shards of one scenario — or repeated engine invocations —
+    /// that agree on this string are guaranteed to agree on every
+    /// chiplet bin and monolithic population, so persisted products
+    /// keyed by `(cache_key, product, size)` can be reused safely
+    /// (ROADMAP: cross-process result caching).
+    pub fn cache_key(&self) -> String {
         format!(
             "b{}|s{}|f{:?}|c{:?}",
             self.batch, self.seed.0, self.fabrication, self.collision

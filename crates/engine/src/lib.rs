@@ -10,12 +10,20 @@
 //!   experiment kind plus parameter overrides (batch, seed, link
 //!   ratios, chiplet/system limits, module grids, comparison mode,
 //!   fabrication precision);
+//! * [`sweep`] — a [`Sweep`](sweep::Sweep) describes axes over the
+//!   chiplet design space (grid size × link ratio × σ_f × batch ×
+//!   seed, parsed from a small text format) and expands
+//!   deterministically into a scenario batch;
 //! * [`scheduler`] — a work-stealing
 //!   [`Scheduler`](scheduler::Scheduler) executes scenario batches on
 //!   scoped threads, sharing fabrication/characterization work through
-//!   a [`CacheHub`](chipletqc::lab::CacheHub);
+//!   a [`CacheHub`](chipletqc::lab::CacheHub); with
+//!   [`with_shards`](scheduler::Scheduler::with_shards) it splits
+//!   single scenarios into system-slice and Monte Carlo trial-range
+//!   shard tasks that interleave across the worker pool;
 //! * [`report`] — a [`RunReport`](report::RunReport) serializes the
-//!   batch deterministically: bit-identical JSON at any worker count;
+//!   batch deterministically: bit-identical JSON at any worker *and
+//!   shard* count;
 //! * [`suite`] — predefined batches, starting with the full paper
 //!   figure suite.
 //!
@@ -50,8 +58,10 @@ pub mod report;
 pub mod scenario;
 pub mod scheduler;
 pub mod suite;
+pub mod sweep;
 
 pub use report::RunReport;
 pub use scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
 pub use scheduler::{ScenarioResult, Scheduler};
 pub use suite::paper_suite;
+pub use sweep::Sweep;

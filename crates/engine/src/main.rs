@@ -1,14 +1,15 @@
-//! The `chipletqc-engine` CLI: run the paper figure suite (or a
-//! filtered subset) as one parallel scenario batch.
+//! The `chipletqc-engine` CLI: run the paper figure suite, a filtered
+//! subset, or a design-space sweep as one parallel scenario batch.
 //!
 //! ```text
 //! cargo run --release -p chipletqc-engine -- --workers 8 --quick
+//! cargo run --release -p chipletqc-engine -- --sweep examples/sweeps/chiplet_grid.sweep
 //! ```
 //!
 //! Writes each figure's text artifact plus a deterministic
 //! `run_report.json` under `--out` (default `target/figures`). The
-//! JSON is bit-identical for any `--workers` value; timings go to
-//! stdout only.
+//! JSON is bit-identical for any `--workers` and `--shards` values;
+//! timings go to stdout only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,28 +20,36 @@ use chipletqc_engine::report::{timing_summary, RunReport};
 use chipletqc_engine::scenario::{ExperimentKind, Scale, Scenario};
 use chipletqc_engine::scheduler::Scheduler;
 use chipletqc_engine::suite::paper_suite;
+use chipletqc_engine::sweep::Sweep;
 use chipletqc_math::rng::Seed;
 
 const USAGE: &str = "\
-chipletqc-engine — parallel paper-figure scenario batches
+chipletqc-engine — parallel paper-figure and design-space scenario batches
 
 USAGE:
   chipletqc-engine [OPTIONS]
 
 OPTIONS:
-  --workers N     scheduler worker threads (default: hardware threads)
-  --quick         reduced-scale configurations (default: paper scale)
-  --only A,B,..   run only the named scenarios (see --list)
-  --seed S        override every scenario's root seed
-  --out DIR       artifact directory (default: target/figures)
-  --no-files      skip writing artifacts; print the report to stdout
-  --list          list the suite's scenario names and exit
-  --help          this message
+  --workers N       scheduler worker threads (default: hardware threads)
+  --shards N        split each scenario into up to N shard tasks
+                    (default: 1; never changes results)
+  --quick           reduced-scale configurations (default: paper scale)
+  --sweep FILE      expand a sweep description file into the batch
+                    (replaces the paper suite; see README \"Sweeps\")
+  --sweep-text SPEC inline sweep description; ';' separates lines
+  --only A,B,..     run only the named scenarios (see --list)
+  --seed S          override every scenario's root seed
+  --out DIR         artifact directory (default: target/figures)
+  --no-files        skip writing artifacts; print the report to stdout
+  --list            list the batch's scenario names and exit
+  --help            this message
 ";
 
 struct Options {
     workers: Option<usize>,
+    shards: usize,
     scale: Scale,
+    sweep: Option<Sweep>,
     only: Option<Vec<String>>,
     seed: Option<u64>,
     out: PathBuf,
@@ -51,7 +60,9 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         workers: None,
+        shards: 1,
         scale: Scale::Paper,
+        sweep: None,
         only: None,
         seed: None,
         out: PathBuf::from("target/figures"),
@@ -66,8 +77,26 @@ fn parse_args() -> Result<Options, String> {
                 options.workers =
                     Some(value.parse().map_err(|_| format!("bad --workers {value}"))?);
             }
+            "--shards" => {
+                let value = args.next().ok_or("--shards needs a value")?;
+                options.shards = value.parse().map_err(|_| format!("bad --shards {value}"))?;
+            }
             "--quick" => options.scale = Scale::Quick,
             "--paper" => options.scale = Scale::Paper,
+            "--sweep" => {
+                let path = args.next().ok_or("--sweep needs a file path")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|error| format!("read {path}: {error}"))?;
+                options.sweep =
+                    Some(Sweep::parse(&text).map_err(|error| format!("{path}: {error}"))?);
+            }
+            "--sweep-text" => {
+                let spec = args.next().ok_or("--sweep-text needs a value")?;
+                options.sweep = Some(
+                    Sweep::parse(&spec.replace(';', "\n"))
+                        .map_err(|error| format!("--sweep-text: {error}"))?,
+                );
+            }
             "--only" => {
                 let value = args.next().ok_or("--only needs a value")?;
                 options.only = Some(value.split(',').map(|s| s.trim().to_string()).collect());
@@ -101,13 +130,25 @@ fn main() -> ExitCode {
     };
 
     if options.list {
-        for kind in ExperimentKind::ALL {
-            println!("{}", kind.name());
+        match &options.sweep {
+            Some(sweep) => {
+                for scenario in sweep.expand() {
+                    println!("{}", scenario.name);
+                }
+            }
+            None => {
+                for kind in ExperimentKind::ALL {
+                    println!("{}", kind.name());
+                }
+            }
         }
         return ExitCode::SUCCESS;
     }
 
-    let mut suite: Vec<Scenario> = paper_suite(options.scale);
+    let mut suite: Vec<Scenario> = match &options.sweep {
+        Some(sweep) => sweep.expand(),
+        None => paper_suite(options.scale),
+    };
     if let Some(only) = &options.only {
         for name in only {
             if !suite.iter().any(|s| &s.name == name) {
@@ -124,12 +165,20 @@ fn main() -> ExitCode {
         println!("root seed override: {}", Seed(seed));
     }
 
-    let scheduler = options.workers.map_or_else(Scheduler::default, Scheduler::new);
+    let scheduler = options
+        .workers
+        .map_or_else(Scheduler::default, Scheduler::new)
+        .with_shards(options.shards);
+    let scale_label = match &options.sweep {
+        Some(sweep) => sweep.scale.name(),
+        None => options.scale.name(),
+    };
     println!(
-        "chipletqc-engine :: {} scenario(s), {} scale, {} worker(s)",
+        "chipletqc-engine :: {} scenario(s), {} scale, {} worker(s), {} shard(s)/scenario",
         suite.len(),
-        options.scale.name(),
-        scheduler.workers()
+        scale_label,
+        scheduler.workers(),
+        scheduler.shards()
     );
     println!("{}", "=".repeat(72));
 
@@ -154,6 +203,14 @@ fn main() -> ExitCode {
         }
         for (name, contents) in report.artifacts() {
             let path = options.out.join(name);
+            // Sweep scenario names contain '/', nesting artifacts in
+            // per-sweep subdirectories.
+            if let Some(parent) = path.parent() {
+                if let Err(error) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: create {}: {error}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
             if let Err(error) = std::fs::write(&path, contents) {
                 eprintln!("error: write {}: {error}", path.display());
                 return ExitCode::FAILURE;

@@ -37,19 +37,23 @@ impl RunReport {
         let mut seen = std::collections::HashSet::new();
         let mut scenarios = Vec::new();
         for result in results {
-            // Two scenarios of the same kind produce the same default
-            // file names; namespace collisions by scenario name (and
-            // index, should scenario names themselves collide) so no
-            // artifact silently overwrites another.
+            // Scenarios keep the historical bare file names only when
+            // they are the kind's canonical instance; renamed
+            // scenarios (sweep expansions, custom batches) always
+            // prefix their scenario name so every artifact is
+            // attributable by file name alone, with an index fallback
+            // should scenario names themselves collide.
+            let canonical = result.scenario.name == result.scenario.kind.name();
             let files: Vec<(String, String)> = result
                 .data
                 .artifacts()
                 .into_iter()
                 .map(|(name, contents)| {
-                    let mut unique = name.clone();
-                    if seen.contains(&unique) {
-                        unique = format!("{}-{}", result.scenario.name, name);
-                    }
+                    let mut unique = if canonical {
+                        name
+                    } else {
+                        format!("{}-{}", result.scenario.name, name)
+                    };
                     if seen.contains(&unique) {
                         unique = format!("{}-{}", result.index, unique);
                     }

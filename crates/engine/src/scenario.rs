@@ -247,6 +247,69 @@ impl Scenario {
         Scenario { name: kind.name().to_string(), kind, scale, overrides: Overrides::default() }
     }
 
+    /// The system set this scenario will evaluate, after materializing
+    /// the scale's base configuration and applying the overrides —
+    /// `None` for kinds without a system set. This is what the
+    /// scheduler partitions for intra-scenario sharding.
+    pub fn resolved_systems(&self) -> Option<Vec<SystemSpec>> {
+        let mut systems: Vec<McmSpec> = match (self.kind, self.scale) {
+            (ExperimentKind::Fig8, Scale::Paper) => fig8::Fig8Config::paper().systems,
+            (ExperimentKind::Fig8, Scale::Quick) => fig8::Fig8Config::quick().systems,
+            (ExperimentKind::Fig9, Scale::Paper) => fig9::Fig9Config::paper().systems,
+            (ExperimentKind::Fig9, Scale::Quick) => fig9::Fig9Config::quick().systems,
+            (ExperimentKind::Fig10, Scale::Paper) => fig10::Fig10Config::paper().systems,
+            (ExperimentKind::Fig10, Scale::Quick) => fig10::Fig10Config::quick().systems,
+            _ => return None,
+        };
+        self.overrides.apply_systems(&mut systems);
+        Some(
+            systems
+                .iter()
+                .map(|s| SystemSpec {
+                    chiplet_qubits: s.chiplet().num_qubits(),
+                    rows: s.grid_rows(),
+                    cols: s.grid_cols(),
+                })
+                .collect(),
+        )
+    }
+
+    /// A copy of this scenario evaluating exactly `systems` (a shard of
+    /// [`Scenario::resolved_systems`]): running it produces the same
+    /// per-system values the full scenario produces for those systems,
+    /// because every product is a pure function of the lab
+    /// configuration, which sharding leaves untouched.
+    #[must_use]
+    pub fn with_systems(&self, systems: Vec<SystemSpec>) -> Scenario {
+        let mut shard = self.clone();
+        shard.overrides.systems = Some(systems);
+        shard
+    }
+
+    /// The materialized output-gain configuration (overrides applied)
+    /// — `None` for other kinds. Used by both execution and the
+    /// scheduler's trial-range shard planning, so shards and
+    /// whole-scenario runs cannot drift apart.
+    pub fn output_gain_config(&self) -> Option<output_gain::OutputGainConfig> {
+        if self.kind != ExperimentKind::OutputGain {
+            return None;
+        }
+        let mut config = match self.scale {
+            Scale::Paper => output_gain::OutputGainConfig::paper(),
+            Scale::Quick => output_gain::OutputGainConfig::quick(),
+        };
+        if let Some(batch) = self.overrides.batch {
+            config.batch = batch;
+        }
+        if let Some(seed) = self.overrides.seed {
+            config.seed = Seed(seed);
+        }
+        if let Some(sigma) = self.overrides.sigma_f {
+            config.fabrication = config.fabrication.with_sigma_f(sigma);
+        }
+        Some(config)
+    }
+
     /// Executes the scenario against `hub`.
     ///
     /// The result is a pure function of the scenario description: the
@@ -347,19 +410,7 @@ impl Scenario {
                 ExperimentData::Table2(table2::run(&config))
             }
             ExperimentKind::OutputGain => {
-                let mut config = match self.scale {
-                    Scale::Paper => output_gain::OutputGainConfig::paper(),
-                    Scale::Quick => output_gain::OutputGainConfig::quick(),
-                };
-                if let Some(batch) = o.batch {
-                    config.batch = batch;
-                }
-                if let Some(seed) = o.seed {
-                    config.seed = Seed(seed);
-                }
-                if let Some(sigma) = o.sigma_f {
-                    config.fabrication = config.fabrication.with_sigma_f(sigma);
-                }
+                let config = self.output_gain_config().expect("kind is OutputGain");
                 ExperimentData::OutputGain(output_gain::run(&config))
             }
         }

@@ -1,34 +1,54 @@
-//! The work-stealing scenario scheduler.
+//! The work-stealing scenario scheduler, with intra-scenario sharding.
 //!
-//! Scenarios are distributed round-robin onto per-worker deques; each
+//! Work units are *shard tasks*: at `shards = 1` (the default) each
+//! scenario is one task, exactly as in the original scheduler. At
+//! higher shard counts a scenario splits into several tasks the
+//! workers interleave freely with other scenarios' tasks:
+//!
+//! * **system shards** — Fig. 8/9/10 scenarios partition their
+//!   resolved system set into contiguous slices, each evaluated as an
+//!   ordinary (restricted) scenario;
+//! * **trial-range shards** — output-gain scenarios partition their
+//!   Monte Carlo batches into [`TrialRange`]s of batch-global trial
+//!   indices;
+//! * every other kind stays whole (a single task).
+//!
+//! Tasks are distributed round-robin onto per-worker deques; each
 //! worker drains its own deque from the front and, when empty, steals
-//! from the back of the most-loaded other deque. Workers are scoped
-//! threads ([`std::thread::scope`]), so scenario results borrow nothing
-//! with `'static` lifetimes and a panic in any worker propagates.
+//! from the back of another deque. Workers are scoped threads
+//! ([`std::thread::scope`]), so results borrow nothing with `'static`
+//! lifetimes and a panic in any worker propagates.
 //!
 //! ## Determinism
 //!
-//! The schedule decides only *where and when* a scenario runs, never
-//! *what it computes*: every scenario derives its random streams from
-//! its own configuration, shared-cache entries are pure functions of
-//! the cache key (initialized exactly once via per-entry `OnceLock`),
-//! and results land in a slot indexed by scenario position. A batch
-//! therefore produces bit-identical results for any worker count —
+//! The schedule — worker count *and* shard count — decides only *where
+//! and when* work runs, never *what it computes*: every scenario
+//! derives its random streams from its own configuration, trial `i` of
+//! a Monte Carlo batch always derives from `seed.split(i)` regardless
+//! of which shard simulates it, shared-cache entries are pure
+//! functions of the cache key (initialized exactly once via per-entry
+//! `OnceLock`), and shard outputs are recombined by a deterministic
+//! merge in shard order (contiguous slices ⇒ the single-pass order).
+//! A batch therefore produces bit-identical results for any
+//! `(workers, shards)` pair —
 //! [`RunReport`](crate::report::RunReport) serialization included.
 //!
 //! Inner parallelism is budgeted: with `W` workers on `H` hardware
-//! threads, each scenario's Monte Carlo fabrication gets `max(1, H/W)`
+//! threads, each task's Monte Carlo fabrication gets `max(1, H/W)`
 //! threads (unless the scenario pins its own count), so one scenario
 //! saturates the machine at `W = 1` while wide batches hand each
-//! scenario a fair share at `W = H`.
+//! task a fair share at `W = H`.
 
 use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use chipletqc::experiments::output_gain::{self, OutputGainConfig, OutputGainShard};
+use chipletqc::experiments::{fig10, fig8, fig9};
 use chipletqc::lab::CacheHub;
+use chipletqc_yield::monte_carlo::TrialRange;
 
-use crate::scenario::{ExperimentData, Scenario};
+use crate::scenario::{ExperimentData, ExperimentKind, Scenario};
 
 /// The result of one executed scenario.
 #[derive(Debug, Clone)]
@@ -38,10 +58,10 @@ pub struct ScenarioResult {
     /// The scenario that ran (with the scheduler's worker budget
     /// applied).
     pub scenario: Scenario,
-    /// The typed experiment output.
+    /// The typed experiment output (merged across shards).
     pub data: ExperimentData,
-    /// Wall-clock execution time (not part of any deterministic
-    /// artifact).
+    /// Summed wall-clock execution time of the scenario's shards (not
+    /// part of any deterministic artifact).
     pub wall: Duration,
 }
 
@@ -49,12 +69,39 @@ pub struct ScenarioResult {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scheduler {
     workers: usize,
+    shards: usize,
+}
+
+/// One schedulable unit of work: a shard of a scenario.
+#[derive(Debug, Clone)]
+enum ShardTask {
+    /// Run the scenario as-is (whole, or restricted to a system
+    /// slice).
+    Run(Scenario),
+    /// Simulate a trial-range slice of an output-gain Monte Carlo.
+    OutputGainTrials { config: OutputGainConfig, mono: TrialRange, chiplet: TrialRange },
+}
+
+/// The output of one shard task.
+#[derive(Debug, Clone)]
+enum ShardOutput {
+    Data(ExperimentData),
+    OutputGainPartial(OutputGainShard),
 }
 
 impl Scheduler {
-    /// A scheduler with `workers` threads (clamped to at least 1).
+    /// A scheduler with `workers` threads (clamped to at least 1) and
+    /// no intra-scenario sharding.
     pub fn new(workers: usize) -> Scheduler {
-        Scheduler { workers: workers.max(1) }
+        Scheduler { workers: workers.max(1), shards: 1 }
+    }
+
+    /// Returns a copy splitting each shardable scenario into up to
+    /// `shards` tasks (clamped to at least 1). Results are
+    /// bit-identical for every shard count.
+    #[must_use]
+    pub fn with_shards(self, shards: usize) -> Scheduler {
+        Scheduler { shards: shards.max(1), ..self }
     }
 
     /// The configured worker count.
@@ -62,11 +109,56 @@ impl Scheduler {
         self.workers
     }
 
-    /// Fabrication threads each scenario may use so that `workers`
-    /// concurrent scenarios share the hardware fairly.
+    /// The configured per-scenario shard cap.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Fabrication threads each task may use so that `workers`
+    /// concurrent tasks share the hardware fairly.
     fn inner_workers(&self) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
         (hw / self.workers).max(1)
+    }
+
+    /// Splits one (budgeted) scenario into at most `self.shards`
+    /// tasks. Slices are contiguous and non-empty, so merging outputs
+    /// in shard order reproduces the single-pass order.
+    fn plan(&self, scenario: &Scenario) -> Vec<ShardTask> {
+        if self.shards <= 1 {
+            return vec![ShardTask::Run(scenario.clone())];
+        }
+        match scenario.kind {
+            ExperimentKind::Fig8 | ExperimentKind::Fig9 | ExperimentKind::Fig10 => {
+                let systems = scenario.resolved_systems().expect("lab kinds have systems");
+                if systems.len() <= 1 {
+                    return vec![ShardTask::Run(scenario.clone())];
+                }
+                let per = systems.len().div_ceil(self.shards.min(systems.len()));
+                systems
+                    .chunks(per)
+                    .map(|slice| ShardTask::Run(scenario.with_systems(slice.to_vec())))
+                    .collect()
+            }
+            ExperimentKind::OutputGain => {
+                let config = scenario.output_gain_config().expect("kind is OutputGain");
+                // Both batches must split into the same shard count.
+                let n = self.shards.min(config.batch.max(1)).min(config.chiplet_batch().max(1));
+                if n <= 1 {
+                    return vec![ShardTask::Run(scenario.clone())];
+                }
+                TrialRange::split(config.batch, n)
+                    .into_iter()
+                    .zip(TrialRange::split(config.chiplet_batch(), n))
+                    .map(|(mono, chiplet)| ShardTask::OutputGainTrials {
+                        config,
+                        mono,
+                        chiplet,
+                    })
+                    .collect()
+            }
+            _ => vec![ShardTask::Run(scenario.clone())],
+        }
     }
 
     /// Executes every scenario, sharing intermediates through `hub`,
@@ -93,43 +185,119 @@ impl Scheduler {
             })
             .collect();
 
+        // Flatten shard plans; `spans[i]` is jobs[i]'s task range.
+        let mut tasks: Vec<ShardTask> = Vec::new();
+        let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let plan = self.plan(job);
+            let start = tasks.len();
+            tasks.extend(plan);
+            spans.push(start..tasks.len());
+        }
+
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..self.workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (index, _) in jobs.iter().enumerate() {
+        for index in 0..tasks.len() {
             queues[index % self.workers].lock().expect("queue poisoned").push_back(index);
         }
-        let slots: Vec<OnceLock<ScenarioResult>> =
-            jobs.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<(ShardOutput, Duration)>> =
+            tasks.iter().map(|_| OnceLock::new()).collect();
 
         std::thread::scope(|scope| {
             for me in 0..self.workers {
                 let queues = &queues;
                 let slots = &slots;
-                let jobs = &jobs;
+                let tasks = &tasks;
                 scope.spawn(move || {
                     while let Some(index) = next_job(queues, me) {
                         let started = Instant::now();
-                        let data = jobs[index].run(hub);
-                        let result = ScenarioResult {
-                            index,
-                            scenario: jobs[index].clone(),
-                            data,
-                            wall: started.elapsed(),
+                        let output = match &tasks[index] {
+                            ShardTask::Run(scenario) => ShardOutput::Data(scenario.run(hub)),
+                            ShardTask::OutputGainTrials { config, mono, chiplet } => {
+                                ShardOutput::OutputGainPartial(output_gain::run_shard(
+                                    config, *mono, *chiplet,
+                                ))
+                            }
                         };
-                        slots[index].set(result).expect("job executed twice");
+                        slots[index]
+                            .set((output, started.elapsed()))
+                            .expect("task executed twice");
                     }
                 });
             }
         });
 
         chipletqc_yield::monte_carlo::set_default_workers(None);
-        slots.into_iter().map(|slot| slot.into_inner().expect("every job completed")).collect()
+        let mut outputs: Vec<Option<(ShardOutput, Duration)>> = slots
+            .into_iter()
+            .map(|slot| Some(slot.into_inner().expect("task completed")))
+            .collect();
+        jobs.into_iter()
+            .zip(spans)
+            .enumerate()
+            .map(|(index, (scenario, span))| {
+                let mut shard_outputs = Vec::with_capacity(span.len());
+                let mut wall = Duration::ZERO;
+                for slot in &mut outputs[span] {
+                    let (output, elapsed) = slot.take().expect("span taken once");
+                    shard_outputs.push(output);
+                    wall += elapsed;
+                }
+                let data = merge_shards(&scenario, shard_outputs);
+                ScenarioResult { index, scenario, data, wall }
+            })
+            .collect()
     }
 }
 
 impl Default for Scheduler {
     fn default() -> Scheduler {
         Scheduler::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+/// Recombines a scenario's shard outputs, in shard order, into the
+/// dataset a single-pass run produces — bit-identical, because slices
+/// are contiguous and every per-system / per-trial value is a pure
+/// function of the scenario configuration.
+fn merge_shards(scenario: &Scenario, outputs: Vec<ShardOutput>) -> ExperimentData {
+    // Unsharded scenarios pass their data through untouched.
+    if outputs.len() == 1 {
+        if let Some(ShardOutput::Data(data)) = outputs.into_iter().next() {
+            return data;
+        }
+        unreachable!("single-task plans always produce ShardOutput::Data");
+    }
+    match scenario.kind {
+        ExperimentKind::Fig8 => {
+            ExperimentData::Fig8(fig8::Fig8Data::merge(outputs.into_iter().map(|o| match o {
+                ShardOutput::Data(ExperimentData::Fig8(d)) => d,
+                other => panic!("fig8 shard produced {other:?}"),
+            })))
+        }
+        ExperimentKind::Fig9 => {
+            ExperimentData::Fig9(fig9::Fig9Data::merge(outputs.into_iter().map(|o| match o {
+                ShardOutput::Data(ExperimentData::Fig9(d)) => d,
+                other => panic!("fig9 shard produced {other:?}"),
+            })))
+        }
+        ExperimentKind::Fig10 => ExperimentData::Fig10(fig10::Fig10Data::merge(
+            outputs.into_iter().map(|o| match o {
+                ShardOutput::Data(ExperimentData::Fig10(d)) => d,
+                other => panic!("fig10 shard produced {other:?}"),
+            }),
+        )),
+        ExperimentKind::OutputGain => {
+            let config = scenario.output_gain_config().expect("kind is OutputGain");
+            ExperimentData::OutputGain(output_gain::from_shards(
+                &config,
+                outputs.into_iter().map(|o| match o {
+                    ShardOutput::OutputGainPartial(shard) => shard,
+                    other => panic!("output-gain shard produced {other:?}"),
+                }),
+            ))
+        }
+        other => panic!("kind {other:?} cannot be sharded"),
     }
 }
 
@@ -152,7 +320,7 @@ fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{ExperimentKind, Overrides, Scale, SystemSpec};
+    use crate::scenario::{Overrides, Scale, SystemSpec};
 
     fn tiny(kind: ExperimentKind, name: &str) -> Scenario {
         Scenario {
@@ -202,5 +370,66 @@ mod tests {
             (ExperimentData::Fig8(a), ExperimentData::Fig8(b)) => assert_eq!(a, b),
             other => panic!("wrong kinds: {other:?}"),
         }
+    }
+
+    #[test]
+    fn sharded_results_match_unsharded_results() {
+        // Three-system fig8 + trial-ranged output gain: every shard
+        // count must reproduce the shards = 1 data bit-for-bit.
+        let fig8 = Scenario {
+            overrides: Overrides {
+                batch: Some(100),
+                systems: Some(vec![
+                    SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 },
+                    SystemSpec { chiplet_qubits: 10, rows: 2, cols: 3 },
+                    SystemSpec { chiplet_qubits: 10, rows: 3, cols: 3 },
+                ]),
+                ..Overrides::default()
+            },
+            ..tiny(ExperimentKind::Fig8, "fig8")
+        };
+        let batch = vec![fig8, tiny(ExperimentKind::OutputGain, "gain")];
+        let baseline = Scheduler::new(2).run(&batch, &CacheHub::new());
+        for shards in [2, 3, 8] {
+            let sharded = Scheduler::new(2).with_shards(shards).run(&batch, &CacheHub::new());
+            for (a, b) in baseline.iter().zip(&sharded) {
+                assert_eq!(a.data, b.data, "{}: diverged at {shards} shards", a.scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unshardable_kinds_run_whole_at_any_shard_count() {
+        let scenario = Scenario {
+            name: "table2".into(),
+            kind: ExperimentKind::Table2,
+            scale: Scale::Quick,
+            overrides: Overrides { max_system_qubits: Some(60), ..Overrides::default() },
+        };
+        let plain = Scheduler::new(1).run(std::slice::from_ref(&scenario), &CacheHub::new());
+        let sharded = Scheduler::new(2)
+            .with_shards(4)
+            .run(std::slice::from_ref(&scenario), &CacheHub::new());
+        assert_eq!(plain[0].data, sharded[0].data);
+    }
+
+    #[test]
+    fn sharding_still_fabricates_each_product_once_per_hub() {
+        let hub = CacheHub::new();
+        let fig8 = Scenario {
+            overrides: Overrides {
+                batch: Some(100),
+                systems: Some(vec![
+                    SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 },
+                    SystemSpec { chiplet_qubits: 10, rows: 2, cols: 3 },
+                ]),
+                ..Overrides::default()
+            },
+            ..tiny(ExperimentKind::Fig8, "fig8")
+        };
+        Scheduler::new(4).with_shards(2).run(&[fig8], &hub);
+        // One chiplet size; two mono sizes (40q and 60q).
+        assert_eq!(hub.fabrication_stats().chiplet_fabrications, 1);
+        assert_eq!(hub.fabrication_stats().mono_fabrications, 2);
     }
 }

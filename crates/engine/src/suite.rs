@@ -1,6 +1,7 @@
-//! Predefined scenario batches.
+//! Predefined scenario batches and sweeps.
 
 use crate::scenario::{ExperimentKind, Scale, Scenario};
+use crate::sweep::Sweep;
 
 /// The entire paper figure suite (Figs. 3b–10, Table II, output gain)
 /// as one scenario batch, in the paper's presentation order.
@@ -14,9 +15,30 @@ pub fn paper_suite(scale: Scale) -> Vec<Scenario> {
     ExperimentKind::ALL.into_iter().map(|kind| Scenario::new(kind, scale)).collect()
 }
 
+/// The checked-in chiplet design-space demo sweep — the identical
+/// description the CLI and the CI determinism job run from
+/// `examples/sweeps/chiplet_grid.sweep` (grid × link ratio × σ_f ×
+/// seed, 24 scenarios at quick scale).
+pub fn demo_sweep() -> Sweep {
+    Sweep::parse(include_str!("../../../examples/sweeps/chiplet_grid.sweep"))
+        .expect("checked-in sweep parses")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn demo_sweep_expands_to_24_unique_scenarios() {
+        let sweep = demo_sweep();
+        assert_eq!(sweep.expanded_len(), 24);
+        let scenarios = sweep.expand();
+        assert_eq!(scenarios.len(), 24);
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
 
     #[test]
     fn suite_covers_every_kind_once() {

@@ -1,0 +1,539 @@
+//! Sweep descriptions: axes over the chiplet design space that expand
+//! deterministically into scenario batches.
+//!
+//! The paper's results are fixed points in a much larger chiplet
+//! design space — chiplet grid size × inter-chiplet link ratio ×
+//! fabrication precision σ_f (MECH, arXiv:2305.05149, maps that wider
+//! space). A [`Sweep`] makes such grids first-class engine inputs: a
+//! small line-oriented text format (read from a file or a CLI flag)
+//! names one experiment kind plus up to five axes, and
+//! [`Sweep::expand`] produces the Cartesian product as a
+//! `Vec<Scenario>` ready for the scheduler.
+//!
+//! ## Format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! name       = demo          # scenario-name prefix (default: kind)
+//! kind       = fig8          # any --list name (default: fig8)
+//! scale      = quick         # quick | paper   (default: quick)
+//! grid       = 10q2x2, 10q2x3+10q3x3   # chiplet size 'q' rows 'x' cols;
+//!                                      # '+' groups systems into one scenario
+//! link_ratio = 1, 2.5        # e_link/e_chip overrides
+//! sigma_f    = 0.014, 0.02   # fabrication precision overrides (GHz)
+//! batch      = 120           # Monte Carlo batch overrides
+//! seed       = 7, 8          # root-seed overrides
+//! ```
+//!
+//! Every `key = value` line is one axis (`grid`, `link_ratio`,
+//! `sigma_f`, `batch`, `seed`) or one fixed field (`name`, `kind`,
+//! `scale`). Axis values are comma-separated and must be unique within
+//! their axis; an absent axis contributes no override and no product
+//! factor. An axis the chosen kind does not consume is rejected
+//! ([`Sweep::validate`]): `seed` applies to every kind, `batch` to the
+//! Monte Carlo kinds (fig4/fig6/fig8/fig9/fig10/output_gain),
+//! `sigma_f` to fig6/fig8/fig9/fig10/output_gain, `grid` to
+//! fig8/fig9/fig10/table2, and `link_ratio` to fig8/fig10 (fig9
+//! sweeps its own panel ratios).
+//!
+//! ## Determinism contract
+//!
+//! Expansion is a pure function of the sweep: scenarios appear in the
+//! documented axis-nesting order (`grid` outermost, then `link_ratio`,
+//! `sigma_f`, `batch`, `seed`), scenario names embed every set axis
+//! value so a valid sweep never produces duplicate names, and
+//! [`Sweep::to_text`] formats a sweep that re-parses ([`Sweep::parse`])
+//! into one with the identical expansion — the properties the sweep
+//! test harness pins down.
+
+use chipletqc_topology::family::ChipletSpec;
+
+use crate::scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
+
+/// A sweep: one experiment kind plus axes over the chiplet design
+/// space, expanding into the Cartesian-product scenario batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Scenario-name prefix (defaults to the kind's name).
+    pub name: String,
+    /// The experiment every expanded scenario runs.
+    pub kind: ExperimentKind,
+    /// Base configuration scale.
+    pub scale: Scale,
+    /// System-set axis: each entry is the full system set of one
+    /// scenario (usually a single grid; `+`-joined groups evaluate
+    /// several systems in one scenario).
+    pub grids: Vec<Vec<SystemSpec>>,
+    /// `e_link/e_chip` axis.
+    pub link_ratios: Vec<f64>,
+    /// Fabrication-precision σ_f axis (GHz).
+    pub sigma_fs: Vec<f64>,
+    /// Monte Carlo batch-size axis.
+    pub batches: Vec<usize>,
+    /// Root-seed axis.
+    pub seeds: Vec<u64>,
+}
+
+impl Sweep {
+    /// An axis-less sweep of `kind` at `scale` (expands to the one
+    /// unmodified scenario).
+    pub fn new(kind: ExperimentKind, scale: Scale) -> Sweep {
+        Sweep {
+            name: kind.name().to_string(),
+            kind,
+            scale,
+            grids: Vec::new(),
+            link_ratios: Vec::new(),
+            sigma_fs: Vec::new(),
+            batches: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// The number of scenarios [`Sweep::expand`] produces: the product
+    /// of the non-empty axis lengths.
+    pub fn expanded_len(&self) -> usize {
+        [
+            self.grids.len(),
+            self.link_ratios.len(),
+            self.sigma_fs.len(),
+            self.batches.len(),
+            self.seeds.len(),
+        ]
+        .into_iter()
+        .filter(|&n| n > 0)
+        .product()
+    }
+
+    /// Checks the invariants expansion relies on: a filesystem-safe
+    /// name (scenario names become artifact file names), axis values
+    /// unique within each axis (so names are unique), finite floats,
+    /// constructible grids without repeated systems, and — because a
+    /// silently ignored axis would expand into identically-valued
+    /// scenarios labeled as distinct design points — only axes the
+    /// chosen kind actually consumes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty()
+            || self.name.starts_with(['.', '-'])
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        {
+            return Err(format!(
+                "bad name `{}` (allowed: [A-Za-z0-9_.-], not starting with '.' or '-')",
+                self.name
+            ));
+        }
+        for group in &self.grids {
+            if group.is_empty() {
+                return Err("grid: empty system group".into());
+            }
+            for spec in group {
+                ChipletSpec::with_qubits(spec.chiplet_qubits)
+                    .map_err(|e| format!("grid: chiplet size {}: {e}", spec.chiplet_qubits))?;
+                if spec.rows == 0 || spec.cols == 0 {
+                    return Err(format!(
+                        "grid: degenerate module grid {}x{}",
+                        spec.rows, spec.cols
+                    ));
+                }
+            }
+            check_unique("grid group", group, fmt_system)?;
+        }
+        for v in self.link_ratios.iter().chain(&self.sigma_fs) {
+            if !v.is_finite() {
+                return Err(format!("non-finite axis value {v}"));
+            }
+        }
+        self.check_axes_apply()?;
+        check_unique("grid", &self.grids, |g| fmt_grid_group(g))?;
+        check_unique("link_ratio", &self.link_ratios, |v| fmt_f64(*v))?;
+        check_unique("sigma_f", &self.sigma_fs, |v| fmt_f64(*v))?;
+        check_unique("batch", &self.batches, usize::to_string)?;
+        check_unique("seed", &self.seeds, u64::to_string)?;
+        Ok(())
+    }
+
+    /// Rejects non-empty axes the kind's [`Scenario::run`] arm never
+    /// reads (the `seed` axis applies to every kind). Fig. 9 rejects
+    /// the scalar `link_ratio` because its panels sweep their own
+    /// ratio list.
+    fn check_axes_apply(&self) -> Result<(), String> {
+        use ExperimentKind as K;
+        let reject = |axis: &str, len: usize, applies: bool| -> Result<(), String> {
+            if len > 0 && !applies {
+                return Err(format!(
+                    "{axis}: axis has no effect on kind {} (the expansion would repeat \
+                     identical scenarios under distinct names)",
+                    self.kind.name()
+                ));
+            }
+            Ok(())
+        };
+        let k = self.kind;
+        reject(
+            "grid",
+            self.grids.len(),
+            matches!(k, K::Fig8 | K::Fig9 | K::Fig10 | K::Table2),
+        )?;
+        reject("link_ratio", self.link_ratios.len(), matches!(k, K::Fig8 | K::Fig10))?;
+        reject(
+            "sigma_f",
+            self.sigma_fs.len(),
+            matches!(k, K::Fig6 | K::Fig8 | K::Fig9 | K::Fig10 | K::OutputGain),
+        )?;
+        reject(
+            "batch",
+            self.batches.len(),
+            matches!(k, K::Fig4 | K::Fig6 | K::Fig8 | K::Fig9 | K::Fig10 | K::OutputGain),
+        )?;
+        Ok(())
+    }
+
+    /// Expands the sweep into its scenario batch: the Cartesian
+    /// product of the non-empty axes in the documented nesting order
+    /// (`grid` outermost, then `link_ratio`, `sigma_f`, `batch`,
+    /// `seed`), each scenario named `{name}/{axis values}`.
+    ///
+    /// Expansion is a pure function of the sweep — same sweep, same
+    /// scenarios in the same order — and a [valid](Sweep::validate)
+    /// sweep never produces two scenarios with the same name or
+    /// overrides.
+    pub fn expand(&self) -> Vec<Scenario> {
+        // An absent axis contributes one "unset" (None) point so the
+        // product loop stays uniform without multiplying the count.
+        fn axis<T: Clone>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().cloned().map(Some).collect()
+            }
+        }
+
+        let mut scenarios = Vec::with_capacity(self.expanded_len());
+        for grid in axis(&self.grids) {
+            for ratio in axis(&self.link_ratios) {
+                for sigma in axis(&self.sigma_fs) {
+                    for batch in axis(&self.batches) {
+                        for seed in axis(&self.seeds) {
+                            let mut parts: Vec<String> = Vec::new();
+                            if let Some(g) = &grid {
+                                parts.push(format!("g{}", fmt_grid_group(g)));
+                            }
+                            if let Some(r) = ratio {
+                                parts.push(format!("r{}", fmt_f64(r)));
+                            }
+                            if let Some(f) = sigma {
+                                parts.push(format!("f{}", fmt_f64(f)));
+                            }
+                            if let Some(b) = batch {
+                                parts.push(format!("b{b}"));
+                            }
+                            if let Some(s) = seed {
+                                parts.push(format!("s{s}"));
+                            }
+                            let name = if parts.is_empty() {
+                                self.name.clone()
+                            } else {
+                                format!("{}/{}", self.name, parts.join("_"))
+                            };
+                            scenarios.push(Scenario {
+                                name,
+                                kind: self.kind,
+                                scale: self.scale,
+                                overrides: Overrides {
+                                    batch,
+                                    seed,
+                                    link_ratio: ratio,
+                                    sigma_f: sigma,
+                                    systems: grid.clone(),
+                                    ..Overrides::default()
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    /// Parses the line-oriented sweep format (see the module docs for
+    /// the grammar) and [validates](Sweep::validate) the result.
+    pub fn parse(text: &str) -> Result<Sweep, String> {
+        let mut sweep = Sweep::new(ExperimentKind::Fig8, Scale::Quick);
+        let mut named = false;
+        let mut seen_keys: Vec<String> = Vec::new();
+        for (number, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| format!("line {}: {message}", number + 1);
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| err(format!("expected `key = value`, got `{line}`")))?;
+            if seen_keys.iter().any(|k| k == key) {
+                return Err(err(format!("duplicate key `{key}`")));
+            }
+            seen_keys.push(key.to_string());
+            match key {
+                "name" => {
+                    // Charset is enforced by `validate` below.
+                    sweep.name = value.to_string();
+                    named = true;
+                }
+                "kind" => {
+                    sweep.kind = ExperimentKind::parse(value)
+                        .ok_or_else(|| err(format!("unknown kind `{value}`")))?;
+                    if !named {
+                        sweep.name = sweep.kind.name().to_string();
+                    }
+                }
+                "scale" => {
+                    sweep.scale = match value {
+                        "quick" => Scale::Quick,
+                        "paper" => Scale::Paper,
+                        other => return Err(err(format!("unknown scale `{other}`"))),
+                    };
+                }
+                "grid" => {
+                    sweep.grids = split_values(value)
+                        .map(parse_grid_group)
+                        .collect::<Result<_, _>>()
+                        .map_err(err)?;
+                }
+                "link_ratio" => {
+                    sweep.link_ratios = parse_axis(value, "link_ratio").map_err(err)?;
+                }
+                "sigma_f" => {
+                    sweep.sigma_fs = parse_axis(value, "sigma_f").map_err(err)?;
+                }
+                "batch" => {
+                    sweep.batches = parse_axis(value, "batch").map_err(err)?;
+                }
+                "seed" => {
+                    sweep.seeds = parse_axis(value, "seed").map_err(err)?;
+                }
+                other => return Err(err(format!("unknown key `{other}`"))),
+            }
+        }
+        sweep.validate()?;
+        Ok(sweep)
+    }
+
+    /// Formats the sweep canonically: parsing the result yields a
+    /// sweep with the identical [`Sweep::expand`] output.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# chipletqc-engine sweep\n");
+        out.push_str(&format!("name = {}\n", self.name));
+        out.push_str(&format!("kind = {}\n", self.kind.name()));
+        out.push_str(&format!("scale = {}\n", self.scale.name()));
+        let axis = |out: &mut String, key: &str, values: Vec<String>| {
+            if !values.is_empty() {
+                out.push_str(&format!("{key} = {}\n", values.join(", ")));
+            }
+        };
+        axis(&mut out, "grid", self.grids.iter().map(|g| fmt_grid_group(g)).collect());
+        axis(&mut out, "link_ratio", self.link_ratios.iter().map(|v| fmt_f64(*v)).collect());
+        axis(&mut out, "sigma_f", self.sigma_fs.iter().map(|v| fmt_f64(*v)).collect());
+        axis(&mut out, "batch", self.batches.iter().map(usize::to_string).collect());
+        axis(&mut out, "seed", self.seeds.iter().map(u64::to_string).collect());
+        out
+    }
+}
+
+/// Formats an `f64` via Rust's shortest round-trip formatting — the
+/// canonical axis-value spelling (injective on distinct values, exact
+/// on re-parse).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Formats one system canonically (`10q2x2`).
+fn fmt_system(spec: &SystemSpec) -> String {
+    format!("{}q{}x{}", spec.chiplet_qubits, spec.rows, spec.cols)
+}
+
+/// Formats one system group canonically (`10q2x2` / `10q2x2+10q3x3`).
+fn fmt_grid_group(group: &[SystemSpec]) -> String {
+    group.iter().map(fmt_system).collect::<Vec<_>>().join("+")
+}
+
+fn split_values(value: &str) -> impl Iterator<Item = &str> {
+    value.split(',').map(str::trim).filter(|v| !v.is_empty())
+}
+
+fn parse_axis<T: std::str::FromStr>(value: &str, key: &str) -> Result<Vec<T>, String> {
+    split_values(value)
+        .map(|v| v.parse().map_err(|_| format!("{key}: bad value `{v}`")))
+        .collect()
+}
+
+/// Parses one grid-axis entry: `+`-joined `{chiplet}q{rows}x{cols}`
+/// system descriptions.
+fn parse_grid_group(entry: &str) -> Result<Vec<SystemSpec>, String> {
+    entry
+        .split('+')
+        .map(str::trim)
+        .map(|system| {
+            let bad = || format!("grid: bad system `{system}` (want e.g. 10q2x2)");
+            let (chiplet, grid) = system.split_once('q').ok_or_else(bad)?;
+            let (rows, cols) = grid.split_once('x').ok_or_else(bad)?;
+            Ok(SystemSpec {
+                chiplet_qubits: chiplet.parse().map_err(|_| bad())?,
+                rows: rows.parse().map_err(|_| bad())?,
+                cols: cols.parse().map_err(|_| bad())?,
+            })
+        })
+        .collect()
+}
+
+fn check_unique<T>(axis: &str, values: &[T], fmt: impl Fn(&T) -> String) -> Result<(), String> {
+    let mut seen: Vec<String> = Vec::with_capacity(values.len());
+    for value in values {
+        let formatted = fmt(value);
+        if seen.contains(&formatted) {
+            return Err(format!("{axis}: duplicate value {formatted}"));
+        }
+        seen.push(formatted);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Sweep {
+        Sweep {
+            name: "demo".into(),
+            grids: vec![
+                vec![SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 }],
+                vec![
+                    SystemSpec { chiplet_qubits: 10, rows: 2, cols: 3 },
+                    SystemSpec { chiplet_qubits: 20, rows: 2, cols: 2 },
+                ],
+            ],
+            link_ratios: vec![1.0, 2.5],
+            sigma_fs: vec![0.014],
+            batches: vec![120],
+            seeds: vec![7, 8],
+            ..Sweep::new(ExperimentKind::Fig8, Scale::Quick)
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_nesting_order() {
+        let sweep = demo();
+        let scenarios = sweep.expand();
+        assert_eq!(scenarios.len(), sweep.expanded_len());
+        assert_eq!(scenarios.len(), 8, "2 grids x 2 ratios x 1 sigma x 1 batch x 2 seeds");
+        // Innermost axis (seed) varies fastest.
+        assert_eq!(scenarios[0].name, "demo/g10q2x2_r1_f0.014_b120_s7");
+        assert_eq!(scenarios[1].name, "demo/g10q2x2_r1_f0.014_b120_s8");
+        assert_eq!(scenarios[2].name, "demo/g10q2x2_r2.5_f0.014_b120_s7");
+        assert_eq!(scenarios[4].name, "demo/g10q2x3+20q2x2_r1_f0.014_b120_s7");
+        // Overrides carry the axis values.
+        assert_eq!(scenarios[0].overrides.seed, Some(7));
+        assert_eq!(scenarios[0].overrides.batch, Some(120));
+        assert_eq!(scenarios[0].overrides.link_ratio, Some(1.0));
+        assert_eq!(scenarios[0].overrides.sigma_f, Some(0.014));
+        assert_eq!(
+            scenarios[4].overrides.systems.as_deref().unwrap().len(),
+            2,
+            "grouped grids evaluate several systems in one scenario"
+        );
+        // Names are unique.
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len());
+    }
+
+    #[test]
+    fn empty_axes_contribute_nothing() {
+        let sweep = Sweep::new(ExperimentKind::OutputGain, Scale::Paper);
+        assert!(sweep.validate().is_ok());
+        assert_eq!(sweep.expanded_len(), 1);
+        let scenarios = sweep.expand();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].name, "output_gain");
+        assert_eq!(scenarios[0].overrides, Overrides::default());
+        assert_eq!(scenarios[0].scale, Scale::Paper);
+    }
+
+    #[test]
+    fn axes_the_kind_ignores_are_rejected() {
+        // Every kind accepts a seed axis.
+        for kind in ExperimentKind::ALL {
+            let sweep = Sweep { seeds: vec![1, 2], ..Sweep::new(kind, Scale::Quick) };
+            assert!(sweep.validate().is_ok(), "{kind:?} rejects seeds");
+        }
+        // An output-gain "grid sweep" would repeat one measurement
+        // under eight distinct names — reject it loudly instead.
+        let sweep = Sweep {
+            grids: vec![vec![SystemSpec { chiplet_qubits: 10, rows: 2, cols: 2 }]],
+            ..Sweep::new(ExperimentKind::OutputGain, Scale::Quick)
+        };
+        let error = sweep.validate().expect_err("grid must not apply to output_gain");
+        assert!(error.contains("no effect"), "{error}");
+        // Fig. 9 panels sweep their own ratio list; the scalar ratio
+        // axis never reaches them.
+        let sweep =
+            Sweep { link_ratios: vec![1.0], ..Sweep::new(ExperimentKind::Fig9, Scale::Quick) };
+        assert!(sweep.validate().is_err());
+        // Batch on the compile-only kinds is meaningless.
+        let sweep =
+            Sweep { batches: vec![100], ..Sweep::new(ExperimentKind::Table2, Scale::Quick) };
+        assert!(sweep.validate().is_err());
+    }
+
+    #[test]
+    fn text_round_trips_through_the_parser() {
+        let sweep = demo();
+        let reparsed = Sweep::parse(&sweep.to_text()).expect("canonical text parses");
+        assert_eq!(reparsed, sweep);
+        assert_eq!(reparsed.expand(), sweep.expand());
+    }
+
+    #[test]
+    fn parser_accepts_comments_whitespace_and_defaults() {
+        let sweep = Sweep::parse(
+            "# a demo\n\nkind = fig9   # trailing comment\n  grid=10q2x2 , 10q3x3\n",
+        )
+        .unwrap();
+        assert_eq!(sweep.kind, ExperimentKind::Fig9);
+        assert_eq!(sweep.scale, Scale::Quick);
+        assert_eq!(sweep.name, "fig9", "name defaults to the kind");
+        assert_eq!(sweep.grids.len(), 2);
+        assert_eq!(sweep.expanded_len(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for (text, needle) in [
+            ("bogus line", "key = value"),
+            ("kind = fig99", "unknown kind"),
+            ("scale = medium", "unknown scale"),
+            ("color = red", "unknown key"),
+            ("grid = 10q2x2\ngrid = 10q3x3", "duplicate key"),
+            ("seed = 1, 1", "duplicate value"),
+            ("link_ratio = 1, one", "bad value"),
+            ("grid = 10x2x2", "bad system"),
+            ("grid = 11q2x2", "chiplet size 11"),
+            ("grid = 10q0x2", "degenerate"),
+            ("grid = 10q2x2+10q2x2", "duplicate value"),
+            ("name = a/b", "bad name"),
+            ("name = ..", "bad name"),
+            ("name = -x", "bad name"),
+            ("kind = output_gain\ngrid = 10q2x2", "no effect"),
+            ("kind = fig9\nlink_ratio = 2", "no effect"),
+        ] {
+            let error = Sweep::parse(text).expect_err(text);
+            assert!(error.contains(needle), "`{text}` -> `{error}`");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Golden-file regression: the canonical `RunReport` JSON of a small
+//! sweep is checked in under `tests/golden/` and every worker *and*
+//! shard configuration must reproduce it byte-for-byte — extending the
+//! determinism smoke test into a fixture that also catches accidental
+//! changes to report contents (schema drift, float formatting,
+//! artifact naming, scenario values).
+//!
+//! To regenerate after an *intentional* report change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p chipletqc-engine --test golden
+//! ```
+//!
+//! then re-run without the variable and commit the new fixture.
+
+use chipletqc::lab::CacheHub;
+use chipletqc_engine::report::RunReport;
+use chipletqc_engine::scheduler::Scheduler;
+use chipletqc_engine::sweep::Sweep;
+
+const GOLDEN: &str = include_str!("golden/run_report.json");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_report.json");
+
+/// The fixture's sweep: two fig8 scenarios (one a two-system group, so
+/// shard counts above 1 actually slice something) at quick scale.
+fn golden_sweep() -> Sweep {
+    Sweep::parse(
+        "name = golden\n\
+         kind = fig8\n\
+         scale = quick\n\
+         grid = 10q2x2, 10q2x3+10q3x3\n\
+         link_ratio = 1\n\
+         batch = 120\n\
+         seed = 7\n",
+    )
+    .expect("golden sweep parses")
+}
+
+fn report_at(workers: usize, shards: usize) -> String {
+    let hub = CacheHub::new();
+    let results =
+        Scheduler::new(workers).with_shards(shards).run(&golden_sweep().expand(), &hub);
+    RunReport::from_results(&results, hub.fabrication_stats()).to_json()
+}
+
+#[test]
+fn run_report_matches_the_checked_in_golden_at_1_2_and_8_workers() {
+    let baseline = report_at(1, 1);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &baseline).expect("write golden fixture");
+        eprintln!("regenerated {GOLDEN_PATH}; re-run without UPDATE_GOLDEN");
+        return;
+    }
+    for (workers, shards) in [(1, 1), (2, 2), (8, 3)] {
+        assert_eq!(
+            report_at(workers, shards),
+            GOLDEN,
+            "report at workers = {workers}, shards = {shards} diverged from tests/golden/run_report.json \
+             (if the change is intentional, regenerate with UPDATE_GOLDEN=1)"
+        );
+    }
+}

@@ -12,7 +12,9 @@
 //!   devices);
 //! * [`monte_carlo`] — deterministic, multi-threaded batch simulation;
 //!   also produces the surviving *collision-free bin* with its sampled
-//!   frequencies, which the assembly crate consumes;
+//!   frequencies, which the assembly crate consumes, and supports
+//!   splitting a batch into [`TrialRange`] shards whose merged results
+//!   are bit-identical to a single full-batch run;
 //! * [`sweep`] — yield-vs-size curve generation for the Fig. 4 and
 //!   Fig. 8 reproductions;
 //! * [`analytic`] — an independence-approximation analytic estimator
@@ -43,5 +45,5 @@ pub mod monte_carlo;
 pub mod sweep;
 
 pub use fabrication::FabricationParams;
-pub use monte_carlo::{fabricate_collision_free, simulate_yield, YieldEstimate};
+pub use monte_carlo::{fabricate_collision_free, simulate_yield, TrialRange, YieldEstimate};
 pub use sweep::YieldCurve;

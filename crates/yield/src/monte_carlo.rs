@@ -4,6 +4,15 @@
 //! results are bit-identical regardless of thread count, and any
 //! individual device of a batch can be re-derived in isolation (useful
 //! when debugging a rare collision pattern).
+//!
+//! ## Trial-range sharding
+//!
+//! Because trial `i` depends only on `(seed, i)`, a batch can be split
+//! into disjoint [`TrialRange`]s and simulated anywhere — different
+//! threads, scheduler shards, or processes — then recombined with
+//! [`YieldEstimate::merge`] (or by concatenating bins in range order)
+//! into exactly the result a single full-batch run produces. This is
+//! the primitive behind the engine's intra-scenario sharding.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -38,6 +47,16 @@ impl YieldEstimate {
     pub fn confidence95(&self) -> (f64, f64) {
         wilson_interval(self.survivors, self.batch)
     }
+
+    /// Combines estimates of **disjoint** trial ranges of the same
+    /// batch: survivor and trial counts add. Merging every shard of a
+    /// [`TrialRange::split`] reproduces the full-batch estimate
+    /// exactly.
+    pub fn merge(parts: impl IntoIterator<Item = YieldEstimate>) -> YieldEstimate {
+        parts.into_iter().fold(YieldEstimate { survivors: 0, batch: 0 }, |acc, p| {
+            YieldEstimate { survivors: acc.survivors + p.survivors, batch: acc.batch + p.batch }
+        })
+    }
 }
 
 impl std::fmt::Display for YieldEstimate {
@@ -46,13 +65,78 @@ impl std::fmt::Display for YieldEstimate {
     }
 }
 
+/// A contiguous, half-open range `[start, end)` of trial indices
+/// within a Monte Carlo batch.
+///
+/// Trial `i` is always fabricated from `seed.split(i)` with `i` the
+/// *batch-global* index, so the work of a batch can be partitioned
+/// into ranges, simulated independently (even in other processes), and
+/// merged back — with results bit-identical to a single full-batch
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrialRange {
+    /// First trial index (inclusive).
+    pub start: usize,
+    /// One past the last trial index (exclusive).
+    pub end: usize,
+}
+
+impl TrialRange {
+    /// The full range of a batch: `[0, batch)`.
+    pub fn full(batch: usize) -> TrialRange {
+        TrialRange { start: 0, end: batch }
+    }
+
+    /// The number of trials in the range.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the range contains no trials.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Partitions `[0, batch)` into at most `shards` contiguous,
+    /// non-empty ranges of near-equal length (earlier ranges take the
+    /// remainder), in ascending order.
+    ///
+    /// Requesting more shards than trials yields one range per trial —
+    /// never an empty shard. A zero-trial batch yields a single empty
+    /// range so every batch has at least one schedulable shard.
+    pub fn split(batch: usize, shards: usize) -> Vec<TrialRange> {
+        let shards = shards.clamp(1, batch.max(1));
+        let base = batch / shards;
+        let remainder = batch % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for i in 0..shards {
+            let len = base + usize::from(i < remainder);
+            ranges.push(TrialRange { start, end: start + len });
+            start += len;
+        }
+        ranges
+    }
+}
+
+impl std::fmt::Display for TrialRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Trials processed per work-queue claim (and the granularity below
+/// which extra workers would idle).
+const CHUNK: usize = 16;
+
 /// Process-wide default worker count (0 = unset, use the hardware
 /// heuristic). See [`set_default_workers`].
 static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the process-wide default fabrication worker count, used
 /// whenever a call site does not pass an explicit count (like a global
-/// thread-pool size). `None` restores the hardware heuristic.
+/// thread-pool size). `None` (or `Some(0)`) restores the hardware
+/// heuristic.
 ///
 /// The engine's scenario scheduler sets this to divide hardware
 /// between concurrent scenarios. Worker count never affects results
@@ -62,19 +146,24 @@ pub fn set_default_workers(workers: Option<usize>) {
     DEFAULT_WORKERS.store(workers.unwrap_or(0), Ordering::Relaxed);
 }
 
-/// Picks a worker count for a batch: an explicit request wins, then
-/// the process-wide default, otherwise one thread per ~64 devices,
-/// capped by hardware parallelism.
-fn worker_count(batch: usize, requested: Option<usize>) -> usize {
-    if let Some(n) = requested {
-        return n.max(1);
+/// Picks a worker count for `trials` trials: an explicit *nonzero*
+/// request wins, then the process-wide default, otherwise one thread
+/// per ~64 devices capped by hardware parallelism. A requested `0`
+/// means "unset" and falls through to the default, exactly like
+/// `None`. Every path is capped so no spawned worker could find the
+/// queue already drained (`workers > trials` never spawns idle
+/// threads).
+fn worker_count(trials: usize, requested: Option<usize>) -> usize {
+    let cap = trials.div_ceil(CHUNK).max(1);
+    if let Some(n) = requested.filter(|&n| n > 0) {
+        return n.min(cap);
     }
     let default = DEFAULT_WORKERS.load(Ordering::Relaxed);
     if default > 0 {
-        return default;
+        return default.min(cap);
     }
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    hw.min(batch / 64).max(1)
+    hw.min(trials / 64).max(1).min(cap)
 }
 
 /// Simulates the collision-free yield of `device` over a fabrication
@@ -120,33 +209,47 @@ pub fn simulate_yield_with_workers(
     seed: Seed,
     workers: Option<usize>,
 ) -> YieldEstimate {
+    simulate_yield_range(device, fab, params, TrialRange::full(batch), seed, workers)
+}
+
+/// Simulates only the trials of `range` (batch-global indices; trial
+/// `i` derives from `seed.split(i)` exactly as in a full-batch run).
+/// The returned estimate's `batch` is the range length, so merging the
+/// estimates of every shard of a [`TrialRange::split`] with
+/// [`YieldEstimate::merge`] reproduces the full-batch
+/// [`simulate_yield`] result exactly.
+pub fn simulate_yield_range(
+    device: &Device,
+    fab: &FabricationParams,
+    params: &CollisionParams,
+    range: TrialRange,
+    seed: Seed,
+    workers: Option<usize>,
+) -> YieldEstimate {
     let survivors = AtomicUsize::new(0);
-    let next = AtomicUsize::new(0);
-    let workers = worker_count(batch, workers);
+    let next = AtomicUsize::new(range.start);
+    let workers = worker_count(range.len(), workers);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                const CHUNK: usize = 16;
-                loop {
-                    let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                    if start >= batch {
-                        break;
-                    }
-                    let end = (start + CHUNK).min(batch);
-                    let mut local = 0;
-                    for i in start..end {
-                        let mut rng = seed.split(i as u64).rng();
-                        let freqs = fab.sample(device, &mut rng);
-                        if is_collision_free(device, &freqs, params) {
-                            local += 1;
-                        }
-                    }
-                    survivors.fetch_add(local, Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= range.end {
+                    break;
                 }
+                let end = (start + CHUNK).min(range.end);
+                let mut local = 0;
+                for i in start..end {
+                    let mut rng = seed.split(i as u64).rng();
+                    let freqs = fab.sample(device, &mut rng);
+                    if is_collision_free(device, &freqs, params) {
+                        local += 1;
+                    }
+                }
+                survivors.fetch_add(local, Ordering::Relaxed);
             });
         }
     });
-    YieldEstimate { survivors: survivors.into_inner(), batch }
+    YieldEstimate { survivors: survivors.into_inner(), batch: range.len() }
 }
 
 /// Fabricates a batch and returns the **collision-free bin**: the
@@ -177,21 +280,35 @@ pub fn fabricate_collision_free_with_workers(
     seed: Seed,
     workers: Option<usize>,
 ) -> Vec<Frequencies> {
-    let workers = worker_count(batch, workers);
-    let next = AtomicUsize::new(0);
+    fabricate_collision_free_range(device, fab, params, TrialRange::full(batch), seed, workers)
+}
+
+/// Fabricates only the trials of `range` (batch-global indices) and
+/// returns its collision-free survivors in trial order. Concatenating
+/// the bins of every shard of a [`TrialRange::split`] in range order
+/// reproduces the full-batch [`fabricate_collision_free`] bin exactly.
+pub fn fabricate_collision_free_range(
+    device: &Device,
+    fab: &FabricationParams,
+    params: &CollisionParams,
+    range: TrialRange,
+    seed: Seed,
+    workers: Option<usize>,
+) -> Vec<Frequencies> {
+    let workers = worker_count(range.len(), workers);
+    let next = AtomicUsize::new(range.start);
     let mut per_worker: Vec<Vec<(usize, Frequencies)>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    const CHUNK: usize = 16;
                     let mut kept = Vec::new();
                     loop {
                         let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                        if start >= batch {
+                        if start >= range.end {
                             break;
                         }
-                        let end = (start + CHUNK).min(batch);
+                        let end = (start + CHUNK).min(range.end);
                         for i in start..end {
                             let mut rng = seed.split(i as u64).rng();
                             let freqs = fab.sample(device, &mut rng);
@@ -219,6 +336,10 @@ mod tests {
     fn params() -> CollisionParams {
         CollisionParams::paper()
     }
+
+    /// Serializes tests that mutate the process-wide default worker
+    /// count (cargo runs tests of a binary concurrently).
+    static DEFAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn zero_variation_yields_everything() {
@@ -350,5 +471,124 @@ mod tests {
         let est = simulate_yield(&device, &fab, &params(), 0, Seed(1));
         assert_eq!(est.fraction(), 0.0);
         assert_eq!(est.to_string(), "0/0 = 0.000");
+    }
+
+    #[test]
+    fn zero_workers_falls_back_to_the_process_default() {
+        let _guard = DEFAULT_LOCK.lock().unwrap();
+        // An explicit `Some(0)` must behave exactly like `None`: use
+        // the process-wide default when one is set, else the hardware
+        // heuristic — never a hard-coded single worker.
+        set_default_workers(Some(3));
+        assert_eq!(worker_count(1000, Some(0)), worker_count(1000, None));
+        assert_eq!(worker_count(1000, Some(0)), 3);
+        set_default_workers(None);
+        assert_eq!(worker_count(1000, Some(0)), worker_count(1000, None));
+
+        // And `Some(0)` produces the same results as `None`.
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let with_zero =
+            simulate_yield_with_workers(&device, &fab, &params(), 200, Seed(13), Some(0));
+        let with_none =
+            simulate_yield_with_workers(&device, &fab, &params(), 200, Seed(13), None);
+        assert_eq!(with_zero, with_none);
+    }
+
+    #[test]
+    fn more_workers_than_trials_spawns_no_empty_shards() {
+        let _guard = DEFAULT_LOCK.lock().unwrap();
+        // 10 trials fit one chunk: whatever the request or default, at
+        // most one worker is needed (and results never change).
+        assert_eq!(worker_count(10, Some(64)), 1);
+        assert_eq!(worker_count(0, Some(64)), 1);
+        set_default_workers(Some(64));
+        assert_eq!(worker_count(10, None), 1);
+        set_default_workers(None);
+        // 33 trials span three chunks: requests are capped there.
+        assert_eq!(worker_count(33, Some(64)), 3);
+        assert_eq!(worker_count(33, Some(2)), 2);
+
+        let device = ChipletSpec::with_qubits(10).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let narrow =
+            simulate_yield_with_workers(&device, &fab, &params(), 10, Seed(17), Some(1));
+        let wide =
+            simulate_yield_with_workers(&device, &fab, &params(), 10, Seed(17), Some(64));
+        assert_eq!(narrow, wide);
+        let bin_narrow = fabricate_collision_free_with_workers(
+            &device,
+            &fab,
+            &params(),
+            10,
+            Seed(17),
+            Some(1),
+        );
+        let bin_wide = fabricate_collision_free_with_workers(
+            &device,
+            &fab,
+            &params(),
+            10,
+            Seed(17),
+            Some(64),
+        );
+        assert_eq!(bin_narrow, bin_wide);
+    }
+
+    #[test]
+    fn trial_range_split_partitions_without_empty_shards() {
+        for (batch, shards) in [(100, 1), (100, 3), (100, 7), (5, 8), (1, 4), (16, 16)] {
+            let ranges = TrialRange::split(batch, shards);
+            assert!(ranges.len() <= shards.max(1), "batch {batch} shards {shards}");
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, batch);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap in {ranges:?}");
+            }
+            for r in &ranges {
+                assert!(!r.is_empty(), "empty shard in {ranges:?}");
+            }
+            assert_eq!(ranges.iter().map(TrialRange::len).sum::<usize>(), batch);
+        }
+        // Zero-trial batches keep a single (empty) schedulable shard.
+        assert_eq!(TrialRange::split(0, 4), vec![TrialRange { start: 0, end: 0 }]);
+        // Shards = 0 is treated as 1.
+        assert_eq!(TrialRange::split(64, 0), vec![TrialRange::full(64)]);
+    }
+
+    #[test]
+    fn sharded_ranges_merge_to_the_full_batch_result() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let full = simulate_yield(&device, &fab, &params(), 250, Seed(23));
+        let full_bin = fabricate_collision_free(&device, &fab, &params(), 250, Seed(23));
+        for shards in [2, 3, 8] {
+            let ranges = TrialRange::split(250, shards);
+            let merged = YieldEstimate::merge(ranges.iter().map(|&r| {
+                simulate_yield_range(&device, &fab, &params(), r, Seed(23), Some(1))
+            }));
+            assert_eq!(merged, full, "estimate diverged at {shards} shards");
+            let merged_bin: Vec<_> = ranges
+                .iter()
+                .flat_map(|&r| {
+                    fabricate_collision_free_range(
+                        &device,
+                        &fab,
+                        &params(),
+                        r,
+                        Seed(23),
+                        Some(1),
+                    )
+                })
+                .collect();
+            assert_eq!(merged_bin, full_bin, "bin diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn merge_of_nothing_is_the_empty_estimate() {
+        assert_eq!(YieldEstimate::merge([]), YieldEstimate { survivors: 0, batch: 0 });
+        let one = YieldEstimate { survivors: 3, batch: 10 };
+        assert_eq!(YieldEstimate::merge([one]), one);
     }
 }
