@@ -9,6 +9,7 @@
 //! assembler consumes.
 
 use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use chipletqc_math::rng::Seed;
 use chipletqc_noise::assign::{EdgeNoise, NoiseModel};
 use chipletqc_topology::device::Device;
@@ -85,6 +86,50 @@ impl KgdBin {
     }
 }
 
+/// Binary persistence for the result store: frequencies, noise, and
+/// the summary `eavg`. Decoding re-derives `eavg` from the noise and
+/// rejects entries where the stored summary disagrees (bit-rot in
+/// either field), so a decoded chiplet always satisfies
+/// `eavg == noise.eavg()`.
+impl Codec for CharacterizedChiplet {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.freqs.encode(w);
+        self.noise.encode(w);
+        w.put_f64(self.eavg);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<CharacterizedChiplet, CodecError> {
+        let freqs = Frequencies::decode(r)?;
+        let noise = EdgeNoise::decode(r)?;
+        let eavg = r.get_f64()?;
+        if eavg.to_bits() != noise.eavg().to_bits() {
+            return Err(CodecError::Invalid(format!(
+                "stored eavg {eavg} disagrees with noise ({})",
+                noise.eavg()
+            )));
+        }
+        Ok(CharacterizedChiplet { freqs, noise, eavg })
+    }
+}
+
+/// Binary persistence for the result store: the chiplet sequence in
+/// bin order. Decoding verifies the best-first sort invariant instead
+/// of silently re-sorting — an out-of-order entry is corruption and is
+/// treated as such.
+impl Codec for KgdBin {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_seq(&self.chiplets);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<KgdBin, CodecError> {
+        let chiplets: Vec<CharacterizedChiplet> = r.get_seq()?;
+        if !chiplets.windows(2).all(|w| w[0].eavg <= w[1].eavg) {
+            return Err(CodecError::Invalid("bin is not sorted best-first".into()));
+        }
+        Ok(KgdBin { chiplets })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +191,28 @@ mod tests {
         reversed.reverse();
         let rebuilt = KgdBin::from_chiplets(reversed);
         assert_eq!(rebuilt, kgd);
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_tampering() {
+        use chipletqc_math::codec::{decode_from_slice, encode_to_vec};
+        let (device, bin) = sample_bin(40);
+        let model = NoiseModel::paper(Seed(1));
+        let kgd = KgdBin::characterize(&device, bin, &model, Seed(6));
+        let bytes = encode_to_vec(&kgd);
+        assert_eq!(decode_from_slice::<KgdBin>(&bytes).unwrap(), kgd);
+        // An unsorted bin is corruption, not something to repair.
+        let mut reversed: Vec<CharacterizedChiplet> = kgd.chiplets().to_vec();
+        reversed.reverse();
+        let unsorted = encode_to_vec(&reversed);
+        assert!(decode_from_slice::<KgdBin>(&unsorted).is_err());
+        // A stored eavg that disagrees with its noise is rejected.
+        let mut lying = kgd.chiplets().to_vec();
+        lying[0].eavg += 1e-9;
+        let tampered = encode_to_vec(&lying[0]);
+        assert!(decode_from_slice::<CharacterizedChiplet>(&tampered).is_err());
+        // Truncation anywhere is an error, never a panic.
+        assert!(decode_from_slice::<KgdBin>(&bytes[..bytes.len() / 2]).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! device's ideal plan; [`Frequencies::ideal`] produces the zero-variation
 //! reference assignment.
 
+use chipletqc_math::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use chipletqc_topology::device::Device;
 use chipletqc_topology::plan::FrequencyPlan;
 use chipletqc_topology::qubit::QubitId;
@@ -117,6 +118,28 @@ impl Frequencies {
     pub fn as_slice(&self) -> &[f64] {
         &self.freqs
     }
+
+    /// All anharmonicities as a slice (qubit-id order).
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+}
+
+/// Binary persistence for the result store: frequencies then
+/// anharmonicities, each as a length-prefixed `f64` slice. Decoding
+/// re-validates through [`Frequencies::new`], so a corrupted entry
+/// (length mismatch, non-finite bits) is an error, never a bad value.
+impl Codec for Frequencies {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64_slice(&self.freqs);
+        w.put_f64_slice(&self.alphas);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Frequencies, CodecError> {
+        let freqs = r.get_f64_vec()?;
+        let alphas = r.get_f64_vec()?;
+        Frequencies::new(freqs, alphas).map_err(|e| CodecError::Invalid(e.to_string()))
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +193,23 @@ mod tests {
     fn accessors() {
         let freqs = Frequencies::with_uniform_alpha(vec![5.0, 5.06], -0.3).unwrap();
         assert_eq!(freqs.as_slice(), &[5.0, 5.06]);
+        assert_eq!(freqs.alphas(), &[-0.3, -0.3]);
         assert!(!freqs.is_empty());
         assert!(Frequencies::with_uniform_alpha(vec![], -0.3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_corruption() {
+        use chipletqc_math::codec::{decode_from_slice, encode_to_vec};
+        let freqs =
+            Frequencies::new(vec![5.0, 5.061234567891234], vec![-0.33, -0.331]).unwrap();
+        let bytes = encode_to_vec(&freqs);
+        assert_eq!(decode_from_slice::<Frequencies>(&bytes).unwrap(), freqs);
+        // Truncation is an error.
+        assert!(decode_from_slice::<Frequencies>(&bytes[..bytes.len() - 1]).is_err());
+        // A NaN bit pattern fails validation.
+        let mut bad = bytes.clone();
+        bad[8..16].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(decode_from_slice::<Frequencies>(&bad).is_err());
     }
 }

@@ -10,6 +10,7 @@
 use chipletqc_assembly::output_model::OutputModel;
 use chipletqc_collision::criteria::CollisionParams;
 use chipletqc_math::rng::Seed;
+use chipletqc_store::Store;
 use chipletqc_topology::family::{ChipletSpec, MonolithicSpec};
 use chipletqc_yield::fabrication::FabricationParams;
 use chipletqc_yield::monte_carlo::{simulate_yield_range, TrialRange, YieldEstimate};
@@ -57,6 +58,16 @@ impl OutputGainConfig {
     /// The equal-wafer-area chiplet batch: `B · q_m / q_c`.
     pub fn chiplet_batch(&self) -> usize {
         self.batch * self.monolithic_qubits / self.chiplet_qubits
+    }
+
+    /// The batch-independent key under which this configuration's raw
+    /// Monte Carlo tallies persist in the result store: everything
+    /// that pins a trial's outcome (root seed, fabrication model,
+    /// collision thresholds). The derived seed stream and device are
+    /// named by the per-call `stream` label, the trial range by the
+    /// store's canonical chunks.
+    pub fn trial_key(&self) -> String {
+        format!("s{}|f{:?}|c{:?}", self.seed.0, self.fabrication, self.collision)
     }
 }
 
@@ -129,26 +140,59 @@ pub fn run_shard(
     mono_range: TrialRange,
     chiplet_range: TrialRange,
 ) -> OutputGainShard {
+    run_shard_in(config, mono_range, chiplet_range, None)
+}
+
+/// [`run_shard`] with an optional persistent result store: tallies are
+/// served from the store's canonical chunks where warm and persisted
+/// where cold, keyed by `(trial_key, seed stream, TrialRange)`.
+/// Results are bit-identical with or without a store — the store only
+/// decides whether trials are simulated or recalled.
+pub fn run_shard_in(
+    config: &OutputGainConfig,
+    mono_range: TrialRange,
+    chiplet_range: TrialRange,
+    store: Option<&Store>,
+) -> OutputGainShard {
     let mono_device =
         MonolithicSpec::with_qubits(config.monolithic_qubits).expect("valid size").build();
     let chiplet_device =
         ChipletSpec::with_qubits(config.chiplet_qubits).expect("valid size").build();
-    OutputGainShard {
-        mono: simulate_yield_range(
-            &mono_device,
+    let tally = |device: &chipletqc_topology::device::Device,
+                 stream: String,
+                 range: TrialRange,
+                 seed: Seed| match store {
+        Some(store) => store.yield_range_cached(
+            &config.trial_key(),
+            &stream,
+            device,
             &config.fabrication,
             &config.collision,
-            mono_range,
-            config.seed.split(1),
+            range,
+            seed,
             None,
         ),
-        chiplet: simulate_yield_range(
-            &chiplet_device,
+        None => simulate_yield_range(
+            device,
             &config.fabrication,
             &config.collision,
+            range,
+            seed,
+            None,
+        ),
+    };
+    OutputGainShard {
+        mono: tally(
+            &mono_device,
+            format!("og-mono-{}q", config.monolithic_qubits),
+            mono_range,
+            config.seed.split(1),
+        ),
+        chiplet: tally(
+            &chiplet_device,
+            format!("og-chiplet-{}q", config.chiplet_qubits),
             chiplet_range,
             config.seed.split(2),
-            None,
         ),
     }
 }
@@ -188,10 +232,17 @@ pub fn from_shards(
 
 /// Measures yields and evaluates Eq. 1.
 pub fn run(config: &OutputGainConfig) -> OutputGainData {
-    let shard = run_shard(
+    run_in(config, None)
+}
+
+/// [`run`] through an optional persistent result store (see
+/// [`run_shard_in`]).
+pub fn run_in(config: &OutputGainConfig, store: Option<&Store>) -> OutputGainData {
+    let shard = run_shard_in(
         config,
         TrialRange::full(config.batch),
         TrialRange::full(config.chiplet_batch()),
+        store,
     );
     from_shards(config, [shard])
 }

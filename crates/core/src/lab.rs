@@ -43,14 +43,20 @@ use chipletqc_assembly::assembler::{Assembler, AssemblyOutcome, AssemblyParams};
 use chipletqc_assembly::kgd::KgdBin;
 use chipletqc_collision::criteria::CollisionParams;
 use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use chipletqc_math::rng::Seed;
 use chipletqc_math::stats::mean;
 use chipletqc_noise::assign::{EdgeNoise, NoiseModel};
+use chipletqc_store::envelope::Encoding;
+use chipletqc_store::products::KIND_MONO_POP;
+use chipletqc_store::{EntryKey, Store, StoreStats};
 use chipletqc_topology::device::Device;
 use chipletqc_topology::family::{ChipletSpec, MonolithicSpec};
 use chipletqc_topology::mcm::McmSpec;
 use chipletqc_yield::fabrication::FabricationParams;
-use chipletqc_yield::monte_carlo::{fabricate_collision_free_with_workers, YieldEstimate};
+use chipletqc_yield::monte_carlo::{
+    fabricate_collision_free_with_workers, TrialRange, YieldEstimate,
+};
 
 /// How MCM and monolithic populations are matched before averaging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -146,6 +152,16 @@ impl LabConfig {
             self.batch, self.seed.0, self.fabrication, self.collision
         )
     }
+
+    /// The *batch-independent* part of [`LabConfig::cache_key`]: what
+    /// pins the outcome of an individual Monte Carlo trial (trial `i`
+    /// depends only on the derived seed and `i`, never on how many
+    /// trials surround it). This keys the store's chunked raw-bin
+    /// entries, so runs with different batch sizes still share every
+    /// canonical chunk they have in common.
+    pub fn trial_key(&self) -> String {
+        format!("s{}|f{:?}|c{:?}", self.seed.0, self.fabrication, self.collision)
+    }
 }
 
 impl Default for LabConfig {
@@ -175,6 +191,42 @@ impl MonoPopulation {
     }
 }
 
+/// Binary persistence for the result store: the device is recorded as
+/// its qubit count (monolithic devices are a pure function of size)
+/// and rebuilt on decode; estimate and members round-trip bit-exactly.
+/// Decoding re-validates that the members cover the device and match
+/// the estimate, so a stale or corrupt entry is an error (= a store
+/// miss), never a wrong population.
+impl Codec for MonoPopulation {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.device.num_qubits());
+        self.estimate.encode(w);
+        w.put_seq(&self.members);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<MonoPopulation, CodecError> {
+        let qubits = r.get_usize()?;
+        let estimate = YieldEstimate::decode(r)?;
+        let members: Vec<(Frequencies, EdgeNoise)> = r.get_seq()?;
+        let device = MonolithicSpec::with_qubits(qubits)
+            .map_err(|e| CodecError::Invalid(format!("monolithic size {qubits}: {e}")))?
+            .build();
+        if members.len() != estimate.survivors {
+            return Err(CodecError::Invalid(format!(
+                "{} members but estimate counts {} survivors",
+                members.len(),
+                estimate.survivors
+            )));
+        }
+        for (freqs, noise) in &members {
+            if freqs.len() != device.num_qubits() || noise.len() != device.edges().len() {
+                return Err(CodecError::Invalid("member does not cover the device".into()));
+            }
+        }
+        Ok(MonoPopulation { device, estimate, members })
+    }
+}
+
 /// A cache slot that is initialized exactly once, even under races:
 /// the map lock is held only to find the slot, never while computing.
 type Slot<T> = Arc<OnceLock<Arc<T>>>;
@@ -188,12 +240,21 @@ fn slot<K: std::hash::Hash + Eq + Clone, T>(
 
 /// Link-independent caches shared between sibling labs (and, through a
 /// [`CacheHub`], between labs of concurrent scenarios).
+///
+/// When a persistent [`Store`] is attached (via
+/// [`CacheHub::with_store`]), it sits *under* these caches as a
+/// read-through/write-behind layer: each per-entry `OnceLock` init
+/// first consults the store, and computes (then persists) only on a
+/// miss. In-process semantics are unchanged — every product is still
+/// materialized at most once per hub, and its bytes are identical with
+/// a cold store, a warm store, or no store at all.
 #[derive(Debug, Default)]
 struct SharedCaches {
     chiplet_bins: Mutex<HashMap<usize, Slot<KgdBin>>>,
     mono_pops: Mutex<HashMap<usize, Slot<MonoPopulation>>>,
     chiplet_fabrications: AtomicUsize,
     mono_fabrications: AtomicUsize,
+    store: Option<Arc<Store>>,
 }
 
 /// Counters of how many fabrication campaigns actually ran — the
@@ -224,17 +285,57 @@ impl FabricationStats {
 #[derive(Debug, Clone, Default)]
 pub struct CacheHub {
     inner: Arc<Mutex<HashMap<String, Arc<SharedCaches>>>>,
+    store: Option<Arc<Store>>,
 }
 
 impl CacheHub {
-    /// Creates an empty hub.
+    /// Creates an empty hub with no persistent store.
     pub fn new() -> CacheHub {
         CacheHub::default()
     }
 
+    /// Returns a hub backed by a persistent result store: every lab
+    /// created through this hub reads products through the store and
+    /// persists what it computes (subject to the store's
+    /// [`CacheMode`](chipletqc_store::CacheMode)).
+    ///
+    /// Must be called before labs are created — entries already handed
+    /// out keep the store configuration they were created with.
+    #[must_use]
+    pub fn with_store(self, store: Store) -> CacheHub {
+        CacheHub { inner: self.inner, store: Some(Arc::new(store)) }
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// The persistent store's session counters (zeros when no store is
+    /// attached, so reports have a stable shape either way).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Joins the store's outstanding background writes (no-op without
+    /// a store). Call before reading [`CacheHub::store_stats`] for a
+    /// final tally or before another process opens the directory.
+    pub fn flush_store(&self) {
+        if let Some(store) = &self.store {
+            store.flush();
+        }
+    }
+
     fn shared_for(&self, config: &LabConfig) -> Arc<SharedCaches> {
         Arc::clone(
-            self.inner.lock().expect("hub poisoned").entry(config.cache_key()).or_default(),
+            self.inner.lock().expect("hub poisoned").entry(config.cache_key()).or_insert_with(
+                || {
+                    Arc::new(SharedCaches {
+                        store: self.store.clone(),
+                        ..SharedCaches::default()
+                    })
+                },
+            ),
         )
     }
 
@@ -313,28 +414,64 @@ impl Lab {
         }
     }
 
+    /// Fabricates the raw collision-free bin for `device`, through the
+    /// persistent store's chunked raw-bin entries when one is attached
+    /// (identical results either way; the store only skips trials it
+    /// has already seen).
+    fn fabricate_raw_bin(&self, device: &Device, stream: &str, seed: Seed) -> Vec<Frequencies> {
+        match &self.shared.store {
+            Some(store) => store.fabricate_bin_cached(
+                &self.config.trial_key(),
+                stream,
+                device,
+                &self.config.fabrication,
+                &self.config.collision,
+                TrialRange::full(self.config.batch),
+                seed,
+                self.config.yield_workers,
+            ),
+            None => fabricate_collision_free_with_workers(
+                device,
+                &self.config.fabrication,
+                &self.config.collision,
+                self.config.batch,
+                seed,
+                self.config.yield_workers,
+            ),
+        }
+    }
+
     /// The KGD-characterized collision-free bin for a chiplet design
-    /// (cached; computed at most once across all sharing labs).
+    /// (cached; computed at most once across all sharing labs, and
+    /// served whole from the persistent store when warm — skipping the
+    /// fabrication campaign entirely).
     pub fn chiplet_bin(&self, chiplet: ChipletSpec) -> Arc<KgdBin> {
         let key = chiplet.num_qubits();
         let cell = slot(&self.shared.chiplet_bins, &key);
         Arc::clone(cell.get_or_init(|| {
+            let cache_key = self.config.cache_key();
+            if let Some(store) = &self.shared.store {
+                if let Some(bin) = store.get_kgd_bin(&cache_key, key) {
+                    return Arc::new(bin);
+                }
+            }
             self.shared.chiplet_fabrications.fetch_add(1, Ordering::Relaxed);
             let device = chiplet.build();
-            let raw = fabricate_collision_free_with_workers(
+            let raw = self.fabricate_raw_bin(
                 &device,
-                &self.config.fabrication,
-                &self.config.collision,
-                self.config.batch,
+                &format!("chiplet-fab-{key}q"),
                 self.config.seed.split_str("chiplet-fab").split(key as u64),
-                self.config.yield_workers,
             );
-            Arc::new(KgdBin::characterize(
+            let bin = Arc::new(KgdBin::characterize(
                 &device,
                 raw,
                 &self.noise,
                 self.config.seed.split_str("chiplet-kgd").split(key as u64),
-            ))
+            ));
+            if let Some(store) = &self.shared.store {
+                store.put_kgd_bin(&cache_key, key, Arc::clone(&bin));
+            }
+            bin
         }))
     }
 
@@ -347,17 +484,24 @@ impl Lab {
     pub fn mono_population(&self, qubits: usize) -> Arc<MonoPopulation> {
         let cell = slot(&self.shared.mono_pops, &qubits);
         Arc::clone(cell.get_or_init(|| {
+            let entry_key =
+                || EntryKey::new(self.config.cache_key(), KIND_MONO_POP, format!("{qubits}q"));
+            if let Some(store) = &self.shared.store {
+                if let Some(payload) = store.get(&entry_key()) {
+                    match chipletqc_math::codec::decode_from_slice::<MonoPopulation>(&payload) {
+                        Ok(pop) => return Arc::new(pop),
+                        Err(_) => store.count_invalid_payload(),
+                    }
+                }
+            }
             self.shared.mono_fabrications.fetch_add(1, Ordering::Relaxed);
             let device = MonolithicSpec::with_qubits(qubits)
                 .unwrap_or_else(|e| panic!("monolithic size {qubits}: {e}"))
                 .build();
-            let survivors = fabricate_collision_free_with_workers(
+            let survivors = self.fabricate_raw_bin(
                 &device,
-                &self.config.fabrication,
-                &self.config.collision,
-                self.config.batch,
+                &format!("mono-fab-{qubits}q"),
                 self.config.seed.split_str("mono-fab").split(qubits as u64),
-                self.config.yield_workers,
             );
             let estimate =
                 YieldEstimate { survivors: survivors.len(), batch: self.config.batch };
@@ -371,7 +515,14 @@ impl Lab {
                     (freqs, noise)
                 })
                 .collect();
-            Arc::new(MonoPopulation { device, estimate, members })
+            let pop = Arc::new(MonoPopulation { device, estimate, members });
+            if let Some(store) = &self.shared.store {
+                let for_writer = Arc::clone(&pop);
+                store.put_with(&entry_key(), Encoding::Binary, move || {
+                    chipletqc_math::codec::encode_to_vec(&*for_writer)
+                });
+            }
+            pop
         }))
     }
 
@@ -558,6 +709,63 @@ mod tests {
             hub.fabrication_stats(),
             FabricationStats { chiplet_fabrications: 1, mono_fabrications: 0 }
         );
+    }
+
+    #[test]
+    fn warm_store_reproduces_products_bit_identically_without_fabrication() {
+        use chipletqc_store::CacheMode;
+        let dir = std::env::temp_dir()
+            .join(format!("chipletqc-lab-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let chiplet = ChipletSpec::with_qubits(10).unwrap();
+
+        // Cold: compute and persist.
+        let hub = CacheHub::new().with_store(Store::open(&dir, CacheMode::ReadWrite).unwrap());
+        let lab = Lab::new_in(LabConfig::quick(), &hub);
+        let bin_cold = lab.chiplet_bin(chiplet);
+        let pop_cold = lab.mono_population(40);
+        assert_eq!(hub.fabrication_stats().total(), 2);
+        assert!(hub.store_stats().writes >= 2, "{:?}", hub.store_stats());
+        hub.flush_store();
+
+        // Warm: an independent hub over the same directory recalls
+        // everything and fabricates nothing.
+        let hub2 = CacheHub::new().with_store(Store::open(&dir, CacheMode::ReadWrite).unwrap());
+        let lab2 = Lab::new_in(LabConfig::quick(), &hub2);
+        assert_eq!(*lab2.chiplet_bin(chiplet), *bin_cold);
+        assert_eq!(*lab2.mono_population(40), *pop_cold);
+        assert_eq!(hub2.fabrication_stats().total(), 0, "warm run must not fabricate");
+        assert_eq!(hub2.store_stats().hits, 2);
+        assert_eq!(hub2.store_stats().writes, 0);
+
+        // A store-less lab agrees bit-for-bit, so persistence can
+        // never change results.
+        let plain = Lab::new(LabConfig::quick());
+        assert_eq!(*plain.chiplet_bin(chiplet), *bin_cold);
+        assert_eq!(*plain.mono_population(40), *pop_cold);
+
+        // A different configuration shares nothing.
+        let other = Lab::new_in(LabConfig::quick().with_seed(Seed(1)), &hub2);
+        other.chiplet_bin(chiplet);
+        assert_eq!(hub2.fabrication_stats().chiplet_fabrications, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mono_population_codec_round_trips() {
+        use chipletqc_math::codec::{decode_from_slice, encode_to_vec};
+        let pop = quick_lab().mono_population(40);
+        let bytes = encode_to_vec(&*pop);
+        let decoded: MonoPopulation = decode_from_slice(&bytes).unwrap();
+        assert_eq!(decoded, *pop);
+        assert!(decode_from_slice::<MonoPopulation>(&bytes[..bytes.len() - 5]).is_err());
+        // A tampered survivor count fails validation.
+        let mut w = chipletqc_math::codec::ByteWriter::new();
+        w.put_usize(40);
+        YieldEstimate { survivors: pop.estimate.survivors + 1, batch: pop.estimate.batch }
+            .encode(&mut w);
+        w.put_seq(&pop.members);
+        assert!(decode_from_slice::<MonoPopulation>(&w.into_bytes()).is_err());
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub use chipletqc_collision;
 pub use chipletqc_math;
 pub use chipletqc_noise;
 pub use chipletqc_sim;
+pub use chipletqc_store;
 pub use chipletqc_topology;
 pub use chipletqc_transpile;
 pub use chipletqc_yield;

@@ -4,30 +4,36 @@
 //! ```text
 //! cargo run --release -p chipletqc-engine -- --workers 8 --quick
 //! cargo run --release -p chipletqc-engine -- --sweep examples/sweeps/chiplet_grid.sweep
+//! cargo run --release -p chipletqc-engine -- store stats --cache-dir /var/cache/chipletqc
 //! ```
 //!
 //! Writes each figure's text artifact plus a deterministic
 //! `run_report.json` under `--out` (default `target/figures`). The
-//! JSON is bit-identical for any `--workers` and `--shards` values;
-//! timings go to stdout only.
+//! JSON is bit-identical for any `--workers` and `--shards` values —
+//! and, apart from the `fabrication`/`store` counter objects, for any
+//! `--cache` state; timings go to stdout only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use chipletqc::lab::CacheHub;
+use chipletqc::report::TextTable;
 use chipletqc_engine::report::{timing_summary, RunReport};
 use chipletqc_engine::scenario::{ExperimentKind, Scale, Scenario};
 use chipletqc_engine::scheduler::Scheduler;
 use chipletqc_engine::suite::paper_suite;
 use chipletqc_engine::sweep::Sweep;
 use chipletqc_math::rng::Seed;
+use chipletqc_store::{CacheMode, Store};
 
 const USAGE: &str = "\
 chipletqc-engine — parallel paper-figure and design-space scenario batches
 
 USAGE:
   chipletqc-engine [OPTIONS]
+  chipletqc-engine store stats --cache-dir DIR
+  chipletqc-engine store gc --cache-dir DIR --max-bytes N
 
 OPTIONS:
   --workers N       scheduler worker threads (default: hardware threads)
@@ -39,10 +45,20 @@ OPTIONS:
   --sweep-text SPEC inline sweep description; ';' separates lines
   --only A,B,..     run only the named scenarios (see --list)
   --seed S          override every scenario's root seed
+  --cache-dir DIR   persistent result store: repeated invocations skip
+                    fabrication entirely (see README \"Result store\")
+  --cache MODE      readwrite | read | write | off (default: readwrite;
+                    all but `off` require --cache-dir)
   --out DIR         artifact directory (default: target/figures)
   --no-files        skip writing artifacts; print the report to stdout
   --list            list the batch's scenario names and exit
   --help            this message
+
+STORE SUBCOMMANDS:
+  store stats       scan the store directory; report entries/bytes by kind
+  store gc          delete oldest entries until the directory holds at
+                    most --max-bytes of entries (a store is a cache;
+                    deleting entries only costs recomputation)
 ";
 
 struct Options {
@@ -52,12 +68,14 @@ struct Options {
     sweep: Option<Sweep>,
     only: Option<Vec<String>>,
     seed: Option<u64>,
+    cache_dir: Option<PathBuf>,
+    cache_mode: Option<CacheMode>,
     out: PathBuf,
     write_files: bool,
     list: bool,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut options = Options {
         workers: None,
         shards: 1,
@@ -65,11 +83,13 @@ fn parse_args() -> Result<Options, String> {
         sweep: None,
         only: None,
         seed: None,
+        cache_dir: None,
+        cache_mode: Some(CacheMode::ReadWrite),
         out: PathBuf::from("target/figures"),
         write_files: true,
         list: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
@@ -105,6 +125,19 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--seed needs a value")?;
                 options.seed = Some(value.parse().map_err(|_| format!("bad --seed {value}"))?);
             }
+            "--cache-dir" => {
+                options.cache_dir =
+                    Some(PathBuf::from(args.next().ok_or("--cache-dir needs a value")?));
+            }
+            "--cache" => {
+                let value = args.next().ok_or("--cache needs a value")?;
+                options.cache_mode = match value.as_str() {
+                    "off" => None,
+                    mode => Some(CacheMode::parse(mode).ok_or(format!(
+                        "bad --cache {mode} (want readwrite, read, write, or off)"
+                    ))?),
+                };
+            }
             "--out" => {
                 options.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
@@ -117,11 +150,94 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument {other} (try --help)")),
         }
     }
+    // A non-default mode without a directory is a configuration
+    // mistake — except `off`, which just confirms the no-store
+    // default. (`readwrite` without a directory is indistinguishable
+    // from the default and also means "no store".)
+    if options.cache_dir.is_none()
+        && matches!(options.cache_mode, Some(CacheMode::Read | CacheMode::Write))
+    {
+        return Err("--cache needs --cache-dir (only `--cache off` works without)".into());
+    }
     Ok(options)
 }
 
+/// The `store stats` / `store gc` subcommands: offline inspection and
+/// garbage collection of a result-store directory.
+fn store_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let action = args.next().ok_or("store: need an action (stats | gc)")?;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut max_bytes: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                cache_dir =
+                    Some(PathBuf::from(args.next().ok_or("--cache-dir needs a value")?));
+            }
+            "--max-bytes" => {
+                let value = args.next().ok_or("--max-bytes needs a value")?;
+                max_bytes =
+                    Some(value.parse().map_err(|_| format!("bad --max-bytes {value}"))?);
+            }
+            other => return Err(format!("store {action}: unknown argument {other}")),
+        }
+    }
+    let dir = cache_dir.ok_or("store: --cache-dir is required")?;
+    // Inspection/maintenance must not conjure a store out of a typo'd
+    // path (Store::open create_dir_all's its root for run-time use).
+    if !dir.is_dir() {
+        return Err(format!("store: no result store at {} (not a directory)", dir.display()));
+    }
+    let store =
+        Store::open(&dir, CacheMode::ReadWrite).map_err(|e| format!("open {dir:?}: {e}"))?;
+    match action.as_str() {
+        "stats" => {
+            let stats = store.disk_stats().map_err(|e| format!("scan {dir:?}: {e}"))?;
+            println!("result store at {}", store.root().display());
+            let mut table = TextTable::new(["kind", "entries", "bytes"]);
+            for (kind, entries, bytes) in &stats.kinds {
+                table.row([kind.clone(), entries.to_string(), bytes.to_string()]);
+            }
+            table.row(["total".into(), stats.entries.to_string(), stats.bytes.to_string()]);
+            print!("{table}");
+            if stats.corrupt > 0 {
+                println!(
+                    "{} unreadable file(s) (treated as misses; gc reaps them)",
+                    stats.corrupt
+                );
+            }
+            Ok(())
+        }
+        "gc" => {
+            let budget = max_bytes.ok_or("store gc: --max-bytes is required")?;
+            let report = store.gc(budget).map_err(|e| format!("gc {dir:?}: {e}"))?;
+            println!(
+                "store gc: {} of {} entries removed, {} of {} bytes reclaimed (budget {})",
+                report.removed_entries,
+                report.scanned_entries,
+                report.removed_bytes,
+                report.scanned_bytes,
+                budget
+            );
+            Ok(())
+        }
+        other => Err(format!("store: unknown action {other} (want stats | gc)")),
+    }
+}
+
 fn main() -> ExitCode {
-    let options = match parse_args() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("store") {
+        args.next();
+        return match store_cli(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let options = match parse_args(args) {
         Ok(options) => options,
         Err(message) => {
             eprintln!("error: {message}");
@@ -182,12 +298,28 @@ fn main() -> ExitCode {
     );
     println!("{}", "=".repeat(72));
 
-    let hub = CacheHub::new();
+    let hub = match (&options.cache_dir, options.cache_mode) {
+        (Some(dir), Some(mode)) => match Store::open(dir, mode) {
+            Ok(store) => {
+                println!("result store: {} ({})", dir.display(), mode.name());
+                CacheHub::new().with_store(store)
+            }
+            Err(error) => {
+                eprintln!("error: open result store {}: {error}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => CacheHub::new(),
+    };
     let started = Instant::now();
     let results = scheduler.run(&suite, &hub);
     let batch_wall = started.elapsed();
 
-    let report = RunReport::from_results(&results, hub.fabrication_stats());
+    // Join write-behind store traffic before the counters are read so
+    // the report (and any process that opens the directory next) sees
+    // the final state.
+    hub.flush_store();
+    let report = RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
     print!("{}", timing_summary(&results, scheduler.workers()));
     println!("  {:<24} {:>9.3}s (batch wall clock)", "elapsed", batch_wall.as_secs_f64());
     let stats = hub.fabrication_stats();
@@ -195,14 +327,32 @@ fn main() -> ExitCode {
         "fabrication campaigns: {} chiplet, {} monolithic (shared across scenarios)",
         stats.chiplet_fabrications, stats.mono_fabrications
     );
+    if hub.store().is_some() {
+        let store = hub.store_stats();
+        println!(
+            "result store: {} hit(s), {} miss(es), {} write(s), {} invalid",
+            store.hits, store.misses, store.writes, store.invalid
+        );
+    }
 
     if options.write_files {
         if let Err(error) = std::fs::create_dir_all(&options.out) {
             eprintln!("error: create {}: {error}", options.out.display());
             return ExitCode::FAILURE;
         }
+        // RunReport guarantees unique artifact names; this check is
+        // the engine's own defense against ever silently overwriting
+        // one artifact with another (or with the report itself).
+        let mut written: std::collections::HashSet<PathBuf> = std::collections::HashSet::new();
         for (name, contents) in report.artifacts() {
             let path = options.out.join(name);
+            if !written.insert(path.clone()) {
+                eprintln!(
+                    "error: two artifacts resolve to {} — refusing to overwrite",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
             // Sweep scenario names contain '/', nesting artifacts in
             // per-sweep subdirectories.
             if let Some(parent) = path.parent() {
@@ -218,6 +368,10 @@ fn main() -> ExitCode {
             println!("wrote {} ({} bytes)", path.display(), contents.len());
         }
         let path = options.out.join("run_report.json");
+        if written.contains(&path) {
+            eprintln!("error: an artifact shadows {} — refusing to overwrite", path.display());
+            return ExitCode::FAILURE;
+        }
         let json = report.to_json();
         if let Err(error) = std::fs::write(&path, &json) {
             eprintln!("error: write {}: {error}", path.display());

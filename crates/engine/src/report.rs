@@ -12,12 +12,16 @@
 use chipletqc::experiments::headline::Headline;
 use chipletqc::lab::FabricationStats;
 use chipletqc::report::Json;
+use chipletqc_store::StoreStats;
 
 use crate::scenario::ExperimentData;
 use crate::scheduler::ScenarioResult;
 
 /// Report format version (bump on breaking shape changes).
-pub const REPORT_SCHEMA: u64 = 1;
+///
+/// Version history: 1 — initial; 2 — top-level `store` object
+/// (persistent result-store session counters).
+pub const REPORT_SCHEMA: u64 = 2;
 
 /// The deterministic report of one scenario batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +36,19 @@ impl RunReport {
     /// When the batch contains Fig. 8 and Fig. 9 results, the paper's
     /// headline numbers are composed from them (plus Fig. 10 when
     /// present) exactly as `all_figures` historically did.
-    pub fn from_results(results: &[ScenarioResult], stats: FabricationStats) -> RunReport {
+    ///
+    /// The `store` counters come from the hub's persistent result
+    /// store ([`chipletqc::lab::CacheHub::store_stats`]; zeros when no
+    /// store is attached, so the report's shape never depends on cache
+    /// configuration). They — and the fabrication counters, which a
+    /// warm store drives to zero — are the only fields that may differ
+    /// between a cold run, a warm run, and a store-less run of the
+    /// same batch; everything else is bit-identical.
+    pub fn from_results(
+        results: &[ScenarioResult],
+        stats: FabricationStats,
+        store: StoreStats,
+    ) -> RunReport {
         let mut artifacts: Vec<(String, String)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         let mut scenarios = Vec::new();
@@ -42,7 +58,11 @@ impl RunReport {
             // scenarios (sweep expansions, custom batches) always
             // prefix their scenario name so every artifact is
             // attributable by file name alone, with an index fallback
-            // should scenario names themselves collide.
+            // should scenario names themselves collide. The fallback
+            // *re-checks* the taken set and keeps prepending the index
+            // until the name is free — a scenario literally named like
+            // an earlier fallback (e.g. `2-a` next to two `a`s) must
+            // not silently overwrite its artifact on disk.
             let canonical = result.scenario.name == result.scenario.kind.name();
             let files: Vec<(String, String)> = result
                 .data
@@ -54,10 +74,11 @@ impl RunReport {
                     } else {
                         format!("{}-{}", result.scenario.name, name)
                     };
-                    if seen.contains(&unique) {
+                    while !seen.insert(unique.clone()) {
+                        // Deterministic and terminating: the name
+                        // grows every round.
                         unique = format!("{}-{}", result.index, unique);
                     }
-                    seen.insert(unique.clone());
                     (unique, contents)
                 })
                 .collect();
@@ -101,6 +122,14 @@ impl RunReport {
                 Json::obj()
                     .field("chiplet_campaigns", stats.chiplet_fabrications)
                     .field("mono_campaigns", stats.mono_fabrications),
+            )
+            .field(
+                "store",
+                Json::obj()
+                    .field("hits", store.hits)
+                    .field("misses", store.misses)
+                    .field("writes", store.writes)
+                    .field("invalid", store.invalid),
             )
             .field(
                 "artifact_contents",
@@ -191,11 +220,15 @@ mod tests {
     fn report_includes_headline_and_artifacts() {
         let hub = CacheHub::new();
         let results = Scheduler::new(2).run(&tiny_batch(), &hub);
-        let report = RunReport::from_results(&results, hub.fabrication_stats());
+        let report =
+            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"headline\""));
         assert!(json.contains("\"best_eavg_ratio\""));
+        // The store object is present (zeroed) even without a store.
+        assert!(json.contains("\"store\""));
+        assert!(json.contains("\"hits\": 0"));
         let names: Vec<&str> = report.artifacts().iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["fig8.txt", "fig9.txt", "headline.txt"]);
         let summary = timing_summary(&results, 2);
@@ -211,7 +244,8 @@ mod tests {
         let mut batch = tiny_batch();
         batch[1] = Scenario { name: "fig8-again".into(), ..batch[0].clone() };
         let results = Scheduler::new(2).run(&batch, &hub);
-        let report = RunReport::from_results(&results, hub.fabrication_stats());
+        let report =
+            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
         let names: Vec<&str> = report.artifacts().iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["fig8.txt", "fig8-again-fig8.txt"]);
         assert_eq!(
@@ -222,11 +256,37 @@ mod tests {
     }
 
     #[test]
+    fn index_fallback_rechecks_the_taken_set() {
+        // Regression: scenarios `2-a`, `a`, `a` (all the same kind).
+        // The duplicate at index 2 falls back to `2-a-fig8.txt` —
+        // which the *scenario named* `2-a` already owns. The old code
+        // inserted it anyway, and the engine then wrote the same path
+        // twice, silently overwriting the first artifact.
+        let hub = CacheHub::new();
+        let base = tiny_batch().remove(0);
+        let batch = vec![
+            Scenario { name: "2-a".into(), ..base.clone() },
+            Scenario { name: "a".into(), ..base.clone() },
+            Scenario { name: "a".into(), ..base },
+        ];
+        let results = Scheduler::new(2).run(&batch, &hub);
+        let report =
+            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+        let names: Vec<&str> = report.artifacts().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["2-a-fig8.txt", "a-fig8.txt", "2-2-a-fig8.txt"]);
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "artifact names must be unique");
+    }
+
+    #[test]
     fn headline_needs_fig8_and_fig9() {
         let hub = CacheHub::new();
         let results = Scheduler::new(1).run(&tiny_batch()[..1], &hub);
         assert!(compose_headline(&results).is_none());
-        let report = RunReport::from_results(&results, hub.fabrication_stats());
+        let report =
+            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
         assert!(report.to_json().contains("\"headline\": null"));
     }
 }

@@ -15,6 +15,7 @@ use chipletqc::report::Json;
 use chipletqc_math::rng::Seed;
 use chipletqc_topology::family::ChipletSpec;
 use chipletqc_topology::mcm::McmSpec;
+use chipletqc_topology::plan::FrequencyPlan;
 
 /// Run scale for a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -137,6 +138,10 @@ pub struct Overrides {
     pub comparison: Option<ComparisonMode>,
     /// Fabrication precision σ_f (GHz).
     pub sigma_f: Option<f64>,
+    /// Ideal-plan detuning step (GHz; the Fig. 4 axis). For the
+    /// Monte Carlo kinds this replaces the frequency plan; for Fig. 4
+    /// itself it narrows the panel set to the one step.
+    pub detuning_step: Option<f64>,
     /// Keep only systems whose chiplet has at most this many qubits.
     pub max_chiplet_qubits: Option<usize>,
     /// Keep only systems with at most this many total qubits.
@@ -165,6 +170,9 @@ impl Overrides {
         }
         if let Some(sigma) = self.sigma_f {
             lab.fabrication = lab.fabrication.with_sigma_f(sigma);
+        }
+        if let Some(step) = self.detuning_step {
+            lab.fabrication = lab.fabrication.with_plan(FrequencyPlan::with_step(step));
         }
         lab.yield_workers = self.yield_workers;
         lab
@@ -203,6 +211,9 @@ impl Overrides {
         }
         if let Some(s) = self.sigma_f {
             obj = obj.field("sigma_f", s);
+        }
+        if let Some(d) = self.detuning_step {
+            obj = obj.field("detuning_step", d);
         }
         if let Some(m) = self.max_chiplet_qubits {
             obj = obj.field("max_chiplet_qubits", m);
@@ -307,6 +318,9 @@ impl Scenario {
         if let Some(sigma) = self.overrides.sigma_f {
             config.fabrication = config.fabrication.with_sigma_f(sigma);
         }
+        if let Some(step) = self.overrides.detuning_step {
+            config.fabrication = config.fabrication.with_plan(FrequencyPlan::with_step(step));
+        }
         Some(config)
     }
 
@@ -335,6 +349,9 @@ impl Scenario {
                 if let Some(seed) = o.seed {
                     config.seed = Seed(seed);
                 }
+                if let Some(step) = o.detuning_step {
+                    config.steps = vec![step];
+                }
                 ExperimentData::Fig4(fig4::run(&config))
             }
             ExperimentKind::Fig6 => {
@@ -350,6 +367,10 @@ impl Scenario {
                 }
                 if let Some(sigma) = o.sigma_f {
                     config.fabrication = config.fabrication.with_sigma_f(sigma);
+                }
+                if let Some(step) = o.detuning_step {
+                    config.fabrication =
+                        config.fabrication.with_plan(FrequencyPlan::with_step(step));
                 }
                 if let Some(max) = o.max_chiplet_qubits {
                     config.chiplet_qubits = config.chiplet_qubits.min(max);
@@ -411,7 +432,10 @@ impl Scenario {
             }
             ExperimentKind::OutputGain => {
                 let config = self.output_gain_config().expect("kind is OutputGain");
-                ExperimentData::OutputGain(output_gain::run(&config))
+                ExperimentData::OutputGain(output_gain::run_in(
+                    &config,
+                    hub.store().map(|s| s.as_ref()),
+                ))
             }
         }
     }

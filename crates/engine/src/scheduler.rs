@@ -214,8 +214,11 @@ impl Scheduler {
                         let output = match &tasks[index] {
                             ShardTask::Run(scenario) => ShardOutput::Data(scenario.run(hub)),
                             ShardTask::OutputGainTrials { config, mono, chiplet } => {
-                                ShardOutput::OutputGainPartial(output_gain::run_shard(
-                                    config, *mono, *chiplet,
+                                ShardOutput::OutputGainPartial(output_gain::run_shard_in(
+                                    config,
+                                    *mono,
+                                    *chiplet,
+                                    hub.store().map(|s| s.as_ref()),
                                 ))
                             }
                         };

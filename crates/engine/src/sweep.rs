@@ -21,18 +21,24 @@
 //!                                      # '+' groups systems into one scenario
 //! link_ratio = 1, 2.5        # e_link/e_chip overrides
 //! sigma_f    = 0.014, 0.02   # fabrication precision overrides (GHz)
+//! detuning   = 0.05, 0.06    # ideal-plan detuning-step overrides (GHz)
+//! mode       = match, all    # population comparison mode overrides
 //! batch      = 120           # Monte Carlo batch overrides
 //! seed       = 7, 8          # root-seed overrides
 //! ```
 //!
 //! Every `key = value` line is one axis (`grid`, `link_ratio`,
-//! `sigma_f`, `batch`, `seed`) or one fixed field (`name`, `kind`,
-//! `scale`). Axis values are comma-separated and must be unique within
-//! their axis; an absent axis contributes no override and no product
-//! factor. An axis the chosen kind does not consume is rejected
-//! ([`Sweep::validate`]): `seed` applies to every kind, `batch` to the
-//! Monte Carlo kinds (fig4/fig6/fig8/fig9/fig10/output_gain),
-//! `sigma_f` to fig6/fig8/fig9/fig10/output_gain, `grid` to
+//! `sigma_f`, `detuning`, `mode`, `batch`, `seed`) or one fixed field
+//! (`name`, `kind`, `scale`). Axis values are comma-separated and must
+//! be unique within their axis; an absent axis contributes no override
+//! and no product factor. An axis the chosen kind does not consume is
+//! rejected ([`Sweep::validate`]): `seed` applies to every kind,
+//! `batch` to the Monte Carlo kinds
+//! (fig4/fig6/fig8/fig9/fig10/output_gain), `sigma_f` to
+//! fig6/fig8/fig9/fig10/output_gain, `detuning` to the kinds whose
+//! frequency plan matters (fig4 — where it narrows the panel set to
+//! the one step — plus fig6/fig8/fig9/fig10/output_gain), `mode` to
+//! the population-comparison kinds (fig8/fig9/fig10), `grid` to
 //! fig8/fig9/fig10/table2, and `link_ratio` to fig8/fig10 (fig9
 //! sweeps its own panel ratios).
 //!
@@ -40,12 +46,13 @@
 //!
 //! Expansion is a pure function of the sweep: scenarios appear in the
 //! documented axis-nesting order (`grid` outermost, then `link_ratio`,
-//! `sigma_f`, `batch`, `seed`), scenario names embed every set axis
-//! value so a valid sweep never produces duplicate names, and
-//! [`Sweep::to_text`] formats a sweep that re-parses ([`Sweep::parse`])
-//! into one with the identical expansion — the properties the sweep
-//! test harness pins down.
+//! `sigma_f`, `detuning`, `mode`, `batch`, `seed`), scenario names
+//! embed every set axis value so a valid sweep never produces
+//! duplicate names, and [`Sweep::to_text`] formats a sweep that
+//! re-parses ([`Sweep::parse`]) into one with the identical expansion
+//! — the properties the sweep test harness pins down.
 
+use chipletqc::lab::ComparisonMode;
 use chipletqc_topology::family::ChipletSpec;
 
 use crate::scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
@@ -68,6 +75,10 @@ pub struct Sweep {
     pub link_ratios: Vec<f64>,
     /// Fabrication-precision σ_f axis (GHz).
     pub sigma_fs: Vec<f64>,
+    /// Ideal-plan detuning-step axis (GHz; must be positive).
+    pub detunings: Vec<f64>,
+    /// Population comparison-mode axis.
+    pub modes: Vec<ComparisonMode>,
     /// Monte Carlo batch-size axis.
     pub batches: Vec<usize>,
     /// Root-seed axis.
@@ -85,6 +96,8 @@ impl Sweep {
             grids: Vec::new(),
             link_ratios: Vec::new(),
             sigma_fs: Vec::new(),
+            detunings: Vec::new(),
+            modes: Vec::new(),
             batches: Vec::new(),
             seeds: Vec::new(),
         }
@@ -97,6 +110,8 @@ impl Sweep {
             self.grids.len(),
             self.link_ratios.len(),
             self.sigma_fs.len(),
+            self.detunings.len(),
+            self.modes.len(),
             self.batches.len(),
             self.seeds.len(),
         ]
@@ -141,15 +156,25 @@ impl Sweep {
             }
             check_unique("grid group", group, fmt_system)?;
         }
-        for v in self.link_ratios.iter().chain(&self.sigma_fs) {
+        for v in self.link_ratios.iter().chain(&self.sigma_fs).chain(&self.detunings) {
             if !v.is_finite() {
                 return Err(format!("non-finite axis value {v}"));
+            }
+        }
+        for step in &self.detunings {
+            // `FrequencyPlan::with_step` requires a positive step;
+            // catch it here with a line-level error instead of a
+            // panic mid-run.
+            if *step <= 0.0 {
+                return Err(format!("detuning: step must be positive, got {step}"));
             }
         }
         self.check_axes_apply()?;
         check_unique("grid", &self.grids, |g| fmt_grid_group(g))?;
         check_unique("link_ratio", &self.link_ratios, |v| fmt_f64(*v))?;
         check_unique("sigma_f", &self.sigma_fs, |v| fmt_f64(*v))?;
+        check_unique("detuning", &self.detunings, |v| fmt_f64(*v))?;
+        check_unique("mode", &self.modes, |m| fmt_mode(*m).to_string())?;
         check_unique("batch", &self.batches, usize::to_string)?;
         check_unique("seed", &self.seeds, u64::to_string)?;
         Ok(())
@@ -184,6 +209,12 @@ impl Sweep {
             matches!(k, K::Fig6 | K::Fig8 | K::Fig9 | K::Fig10 | K::OutputGain),
         )?;
         reject(
+            "detuning",
+            self.detunings.len(),
+            matches!(k, K::Fig4 | K::Fig6 | K::Fig8 | K::Fig9 | K::Fig10 | K::OutputGain),
+        )?;
+        reject("mode", self.modes.len(), matches!(k, K::Fig8 | K::Fig9 | K::Fig10))?;
+        reject(
             "batch",
             self.batches.len(),
             matches!(k, K::Fig4 | K::Fig6 | K::Fig8 | K::Fig9 | K::Fig10 | K::OutputGain),
@@ -193,8 +224,9 @@ impl Sweep {
 
     /// Expands the sweep into its scenario batch: the Cartesian
     /// product of the non-empty axes in the documented nesting order
-    /// (`grid` outermost, then `link_ratio`, `sigma_f`, `batch`,
-    /// `seed`), each scenario named `{name}/{axis values}`.
+    /// (`grid` outermost, then `link_ratio`, `sigma_f`, `detuning`,
+    /// `mode`, `batch`, `seed`), each scenario named
+    /// `{name}/{axis values}`.
     ///
     /// Expansion is a pure function of the sweep — same sweep, same
     /// scenarios in the same order — and a [valid](Sweep::validate)
@@ -215,42 +247,54 @@ impl Sweep {
         for grid in axis(&self.grids) {
             for ratio in axis(&self.link_ratios) {
                 for sigma in axis(&self.sigma_fs) {
-                    for batch in axis(&self.batches) {
-                        for seed in axis(&self.seeds) {
-                            let mut parts: Vec<String> = Vec::new();
-                            if let Some(g) = &grid {
-                                parts.push(format!("g{}", fmt_grid_group(g)));
+                    for step in axis(&self.detunings) {
+                        for mode in axis(&self.modes) {
+                            for batch in axis(&self.batches) {
+                                for seed in axis(&self.seeds) {
+                                    let mut parts: Vec<String> = Vec::new();
+                                    if let Some(g) = &grid {
+                                        parts.push(format!("g{}", fmt_grid_group(g)));
+                                    }
+                                    if let Some(r) = ratio {
+                                        parts.push(format!("r{}", fmt_f64(r)));
+                                    }
+                                    if let Some(f) = sigma {
+                                        parts.push(format!("f{}", fmt_f64(f)));
+                                    }
+                                    if let Some(d) = step {
+                                        parts.push(format!("d{}", fmt_f64(d)));
+                                    }
+                                    if let Some(m) = mode {
+                                        parts.push(format!("m{}", fmt_mode(m)));
+                                    }
+                                    if let Some(b) = batch {
+                                        parts.push(format!("b{b}"));
+                                    }
+                                    if let Some(s) = seed {
+                                        parts.push(format!("s{s}"));
+                                    }
+                                    let name = if parts.is_empty() {
+                                        self.name.clone()
+                                    } else {
+                                        format!("{}/{}", self.name, parts.join("_"))
+                                    };
+                                    scenarios.push(Scenario {
+                                        name,
+                                        kind: self.kind,
+                                        scale: self.scale,
+                                        overrides: Overrides {
+                                            batch,
+                                            seed,
+                                            link_ratio: ratio,
+                                            sigma_f: sigma,
+                                            detuning_step: step,
+                                            comparison: mode,
+                                            systems: grid.clone(),
+                                            ..Overrides::default()
+                                        },
+                                    });
+                                }
                             }
-                            if let Some(r) = ratio {
-                                parts.push(format!("r{}", fmt_f64(r)));
-                            }
-                            if let Some(f) = sigma {
-                                parts.push(format!("f{}", fmt_f64(f)));
-                            }
-                            if let Some(b) = batch {
-                                parts.push(format!("b{b}"));
-                            }
-                            if let Some(s) = seed {
-                                parts.push(format!("s{s}"));
-                            }
-                            let name = if parts.is_empty() {
-                                self.name.clone()
-                            } else {
-                                format!("{}/{}", self.name, parts.join("_"))
-                            };
-                            scenarios.push(Scenario {
-                                name,
-                                kind: self.kind,
-                                scale: self.scale,
-                                overrides: Overrides {
-                                    batch,
-                                    seed,
-                                    link_ratio: ratio,
-                                    sigma_f: sigma,
-                                    systems: grid.clone(),
-                                    ..Overrides::default()
-                                },
-                            });
                         }
                     }
                 }
@@ -311,6 +355,15 @@ impl Sweep {
                 "sigma_f" => {
                     sweep.sigma_fs = parse_axis(value, "sigma_f").map_err(err)?;
                 }
+                "detuning" => {
+                    sweep.detunings = parse_axis(value, "detuning").map_err(err)?;
+                }
+                "mode" => {
+                    sweep.modes = split_values(value)
+                        .map(parse_mode)
+                        .collect::<Result<_, _>>()
+                        .map_err(err)?;
+                }
                 "batch" => {
                     sweep.batches = parse_axis(value, "batch").map_err(err)?;
                 }
@@ -339,6 +392,8 @@ impl Sweep {
         axis(&mut out, "grid", self.grids.iter().map(|g| fmt_grid_group(g)).collect());
         axis(&mut out, "link_ratio", self.link_ratios.iter().map(|v| fmt_f64(*v)).collect());
         axis(&mut out, "sigma_f", self.sigma_fs.iter().map(|v| fmt_f64(*v)).collect());
+        axis(&mut out, "detuning", self.detunings.iter().map(|v| fmt_f64(*v)).collect());
+        axis(&mut out, "mode", self.modes.iter().map(|m| fmt_mode(*m).to_string()).collect());
         axis(&mut out, "batch", self.batches.iter().map(usize::to_string).collect());
         axis(&mut out, "seed", self.seeds.iter().map(u64::to_string).collect());
         out
@@ -350,6 +405,23 @@ impl Sweep {
 /// on re-parse).
 fn fmt_f64(v: f64) -> String {
     format!("{v}")
+}
+
+/// The canonical comparison-mode axis spelling.
+fn fmt_mode(mode: ComparisonMode) -> &'static str {
+    match mode {
+        ComparisonMode::MatchMonolithicCount => "match",
+        ComparisonMode::AllAssembled => "all",
+    }
+}
+
+/// Parses one comparison-mode axis value.
+fn parse_mode(value: &str) -> Result<ComparisonMode, String> {
+    match value {
+        "match" => Ok(ComparisonMode::MatchMonolithicCount),
+        "all" => Ok(ComparisonMode::AllAssembled),
+        other => Err(format!("mode: bad value `{other}` (want match or all)")),
+    }
 }
 
 /// Formats one system canonically (`10q2x2`).
@@ -466,11 +538,54 @@ mod tests {
     }
 
     #[test]
+    fn detuning_and_mode_axes_expand_with_overrides() {
+        let sweep = Sweep {
+            name: "dm".into(),
+            detunings: vec![0.05, 0.06],
+            modes: vec![ComparisonMode::MatchMonolithicCount, ComparisonMode::AllAssembled],
+            seeds: vec![7],
+            ..Sweep::new(ExperimentKind::Fig8, Scale::Quick)
+        };
+        sweep.validate().expect("valid sweep");
+        let scenarios = sweep.expand();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(scenarios[0].name, "dm/d0.05_mmatch_s7");
+        assert_eq!(scenarios[1].name, "dm/d0.05_mall_s7");
+        assert_eq!(scenarios[2].name, "dm/d0.06_mmatch_s7");
+        assert_eq!(scenarios[3].name, "dm/d0.06_mall_s7");
+        assert_eq!(scenarios[0].overrides.detuning_step, Some(0.05));
+        assert_eq!(scenarios[1].overrides.comparison, Some(ComparisonMode::AllAssembled));
+        // The canonical text round-trips the new axes too.
+        let reparsed = Sweep::parse(&sweep.to_text()).expect("canonical text parses");
+        assert_eq!(reparsed, sweep);
+        assert_eq!(reparsed.expand(), scenarios);
+    }
+
+    #[test]
     fn axes_the_kind_ignores_are_rejected() {
         // Every kind accepts a seed axis.
         for kind in ExperimentKind::ALL {
             let sweep = Sweep { seeds: vec![1, 2], ..Sweep::new(kind, Scale::Quick) };
             assert!(sweep.validate().is_ok(), "{kind:?} rejects seeds");
+        }
+        // Detuning steps reach every Monte Carlo kind through the
+        // frequency plan (or, for fig4, the panel set) — but mean
+        // nothing to the calibration/compile-only kinds.
+        for kind in [ExperimentKind::Fig3b, ExperimentKind::Fig7, ExperimentKind::Table2] {
+            let sweep = Sweep { detunings: vec![0.06], ..Sweep::new(kind, Scale::Quick) };
+            assert!(sweep.validate().is_err(), "{kind:?} must reject detuning");
+        }
+        let sweep =
+            Sweep { detunings: vec![0.06], ..Sweep::new(ExperimentKind::Fig4, Scale::Quick) };
+        assert!(sweep.validate().is_ok(), "fig4 consumes detuning");
+        // Comparison mode only matters where MCM and monolithic
+        // populations are matched.
+        for kind in [ExperimentKind::Fig4, ExperimentKind::Fig6, ExperimentKind::OutputGain] {
+            let sweep = Sweep {
+                modes: vec![ComparisonMode::AllAssembled],
+                ..Sweep::new(kind, Scale::Quick)
+            };
+            assert!(sweep.validate().is_err(), "{kind:?} must reject mode");
         }
         // An output-gain "grid sweep" would repeat one measurement
         // under eight distinct names — reject it loudly instead.
@@ -531,6 +646,13 @@ mod tests {
             ("name = -x", "bad name"),
             ("kind = output_gain\ngrid = 10q2x2", "no effect"),
             ("kind = fig9\nlink_ratio = 2", "no effect"),
+            ("kind = table2\ndetuning = 0.06", "no effect"),
+            ("kind = fig4\nmode = match", "no effect"),
+            ("detuning = 0", "must be positive"),
+            ("detuning = -0.06", "must be positive"),
+            ("detuning = 0.05, 0.05", "duplicate value"),
+            ("mode = maybe", "bad value"),
+            ("mode = match, match", "duplicate value"),
         ] {
             let error = Sweep::parse(text).expect_err(text);
             assert!(error.contains(needle), "`{text}` -> `{error}`");

@@ -21,6 +21,9 @@
 //!   almost immediately, so they are reported as `log10`).
 //! * [`histogram`] — fixed-width binning used by the empirical
 //!   detuning→infidelity model of Fig. 7.
+//! * [`codec`] — the deterministic binary codec behind the
+//!   `chipletqc-store` persistent result store (the workspace builds
+//!   without crates.io access, so no `serde`).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod combinatorics;
 pub mod dist;
 pub mod histogram;

@@ -12,6 +12,7 @@
 use rand::Rng;
 
 use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use chipletqc_math::rng::Seed;
 use chipletqc_math::stats::mean;
 use chipletqc_topology::device::{Device, EdgeKind};
@@ -156,6 +157,24 @@ impl EdgeNoise {
     }
 }
 
+/// Binary persistence for the result store: one length-prefixed `f64`
+/// slice. Decoding re-checks the `[0, 1)` domain so a corrupted entry
+/// surfaces as an error instead of tripping the
+/// [`EdgeNoise::from_infidelities`] assertion.
+impl Codec for EdgeNoise {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64_slice(&self.infidelities);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<EdgeNoise, CodecError> {
+        let infidelities = r.get_f64_vec()?;
+        if !infidelities.iter().all(|e| (0.0..1.0).contains(e)) {
+            return Err(CodecError::Invalid("edge infidelity outside [0, 1)".into()));
+        }
+        Ok(EdgeNoise { infidelities })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +251,18 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1)")]
     fn from_infidelities_rejects_out_of_range() {
         EdgeNoise::from_infidelities(vec![1.5]);
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_out_of_range() {
+        use chipletqc_math::codec::{decode_from_slice, encode_to_vec};
+        let noise = EdgeNoise::from_infidelities(vec![0.01, 0.5, 1.0 - f64::EPSILON]);
+        let bytes = encode_to_vec(&noise);
+        assert_eq!(decode_from_slice::<EdgeNoise>(&bytes).unwrap(), noise);
+        let mut bad = bytes.clone();
+        bad[8..16].copy_from_slice(&1.5f64.to_le_bytes());
+        assert!(decode_from_slice::<EdgeNoise>(&bad).is_err());
+        assert!(decode_from_slice::<EdgeNoise>(&bytes[..7]).is_err());
     }
 
     #[test]

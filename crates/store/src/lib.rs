@@ -1,0 +1,657 @@
+//! # chipletqc-store
+//!
+//! A persistent, content-addressed result store: repeated engine
+//! invocations reuse expensive fabrication and characterization
+//! products instead of recomputing them.
+//!
+//! Every figure in the paper reconsumes the same intermediates —
+//! collision-free KGD chiplet bins, monolithic survivor populations,
+//! Monte Carlo yield tallies. Within one process the `chipletqc`
+//! `CacheHub` deduplicates them; this crate extends that guarantee
+//! *across processes*: products are keyed by
+//! `LabConfig::cache_key()`-style strings that pin everything
+//! determining their bytes, so any run that agrees on the key is
+//! guaranteed to agree on the product, and a warm store serves results
+//! that are bit-identical to a cold computation.
+//!
+//! ## Key layout
+//!
+//! An [`EntryKey`] is `(cache_key, kind, detail)`:
+//!
+//! * `kgd-bin` — a whole characterized chiplet bin; detail is the
+//!   chiplet size, cache key is the lab's (batch, seed, fabrication,
+//!   collision) key.
+//! * `mono-pop` — a whole noise-assigned monolithic population; detail
+//!   is the system size (payload encoded by `chipletqc`, which owns
+//!   the type).
+//! * `raw-bin` — the collision-free survivors of one canonical
+//!   [`TrialRange`] chunk, with batch-global trial indices; keyed by a
+//!   *batch-independent* fabrication key, so runs with different batch
+//!   sizes still share every chunk they have in common.
+//! * `tally` — the survivor count of one canonical chunk (JSON
+//!   payload), same batch-independent keying.
+//!
+//! Entries are addressed on disk by a hash of the logical key
+//! (`objects/<2-hex>/<32-hex>.cqs`); the envelope stores the full key,
+//! so a hash collision reads as a miss, never as the wrong product.
+//!
+//! ## Merge-on-read
+//!
+//! Ranged products (`raw-bin`, `tally`) are persisted per canonical
+//! chunk ([`products::CHUNK_TRIALS`] trials, aligned). A read for any
+//! [`TrialRange`] decomposes into chunk pieces, serves the pieces it
+//! finds, simulates only the holes (as contiguous super-ranges), and
+//! recombines — [`YieldEstimate::merge`] for tallies, range-ordered
+//! concatenation for bins. Differently-sharded (and even
+//! differently-batched) runs therefore interoperate: trial `i` depends
+//! only on `(seed, i)`, never on who simulated it.
+//!
+//! ## Durability and corruption
+//!
+//! Writes go to a temp file in the same directory and are published
+//! with an atomic rename; readers see an old entry or a new entry,
+//! never a partial one. Opening validates magic, version, checksum,
+//! and the full key, and decoding re-validates product invariants; any
+//! failure counts as a miss (plus an `invalid` counter) and the value
+//! is recomputed. The store is a cache, not a database: deleting any
+//! or all of it is always safe.
+//!
+//! [`TrialRange`]: chipletqc_yield::monte_carlo::TrialRange
+//! [`YieldEstimate::merge`]: chipletqc_yield::monte_carlo::YieldEstimate::merge
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod products;
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+use envelope::{fnv1a64, Encoding, FNV_OFFSET_BASIS};
+
+/// File extension of store entries.
+const ENTRY_EXT: &str = "cqs";
+
+/// Prefix of in-flight temp files (never opened by readers; orphans
+/// are reaped by [`Store::gc`]).
+const TMP_PREFIX: &str = ".tmp-";
+
+/// Cap on simultaneously in-flight background writes (and on the
+/// writer-handle registry): a burst of puts beyond this blocks on the
+/// oldest write instead of spawning without bound.
+const MAX_INFLIGHT_WRITES: usize = 32;
+
+/// Temp files younger than this are presumed to belong to a live
+/// writer in some process and are left alone by [`Store::gc`]; older
+/// ones are orphans from a crashed writer.
+const TMP_ORPHAN_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// How the store participates in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Serve hits and persist misses (the default).
+    #[default]
+    ReadWrite,
+    /// Serve hits; never write (e.g. a read-only shared cache).
+    Read,
+    /// Never serve hits; persist everything computed (cache warming
+    /// that must not trust existing entries).
+    Write,
+}
+
+impl CacheMode {
+    /// Parses the engine's `--cache` spelling. `off` is not a mode —
+    /// it means "no store at all" and is handled by the caller.
+    pub fn parse(s: &str) -> Option<CacheMode> {
+        match s {
+            "readwrite" => Some(CacheMode::ReadWrite),
+            "read" => Some(CacheMode::Read),
+            "write" => Some(CacheMode::Write),
+            _ => None,
+        }
+    }
+
+    /// Whether reads may be served from the store.
+    pub fn reads(self) -> bool {
+        matches!(self, CacheMode::ReadWrite | CacheMode::Read)
+    }
+
+    /// Whether computed products are persisted.
+    pub fn writes(self) -> bool {
+        matches!(self, CacheMode::ReadWrite | CacheMode::Write)
+    }
+
+    /// The canonical lowercase spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheMode::ReadWrite => "readwrite",
+            CacheMode::Read => "read",
+            CacheMode::Write => "write",
+        }
+    }
+}
+
+/// The logical key of one store entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EntryKey {
+    /// The configuration key pinning everything that determines the
+    /// product's bytes (a `LabConfig::cache_key()`-style string).
+    pub cache_key: String,
+    /// The product kind (`kgd-bin`, `mono-pop`, `raw-bin`, `tally`).
+    pub kind: &'static str,
+    /// The product coordinate within the configuration (size, stream,
+    /// trial range).
+    pub detail: String,
+}
+
+impl EntryKey {
+    /// Creates a key.
+    pub fn new(
+        cache_key: impl Into<String>,
+        kind: &'static str,
+        detail: impl Into<String>,
+    ) -> EntryKey {
+        EntryKey { cache_key: cache_key.into(), kind, detail: detail.into() }
+    }
+
+    /// The full logical key string stored in (and verified against)
+    /// the envelope. The separator cannot appear in sane keys, so
+    /// distinct components never alias.
+    pub fn logical(&self) -> String {
+        format!("{}\u{1f}{}\u{1f}{}", self.kind, self.cache_key, self.detail)
+    }
+
+    /// The content hash addressing this key on disk: 128 bits from two
+    /// independently-seeded FNV-1a passes, hex-encoded. Collisions are
+    /// astronomically unlikely and harmless anyway — the envelope
+    /// carries the full key and a mismatch reads as a miss.
+    pub fn hash(&self) -> String {
+        let logical = self.logical();
+        let a = fnv1a64(logical.as_bytes(), FNV_OFFSET_BASIS);
+        // Second pass from a different basis (the first hash), giving
+        // an independent 64 bits over the same bytes.
+        let b = fnv1a64(logical.as_bytes(), a ^ 0x9E37_79B9_7F4A_7C15);
+        format!("{a:016x}{b:016x}")
+    }
+}
+
+impl std::fmt::Display for EntryKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}] @ {}", self.kind, self.detail, self.cache_key)
+    }
+}
+
+/// Session counters: what this process asked of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Reads served from disk.
+    pub hits: u64,
+    /// Reads that found nothing usable (includes `invalid`).
+    pub misses: u64,
+    /// Entries persisted.
+    pub writes: u64,
+    /// Entries found but rejected (corrupt, stale version, key
+    /// mismatch, failed product validation).
+    pub invalid: u64,
+}
+
+/// On-disk totals from a directory scan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Readable entries.
+    pub entries: u64,
+    /// Total bytes of readable entries.
+    pub bytes: u64,
+    /// Entry and byte counts per product kind, sorted by kind.
+    pub kinds: Vec<(String, u64, u64)>,
+    /// Files that failed to open as entries.
+    pub corrupt: u64,
+}
+
+/// What a [`Store::gc`] sweep did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Entries found before the sweep.
+    pub scanned_entries: u64,
+    /// Bytes found before the sweep.
+    pub scanned_bytes: u64,
+    /// Entries deleted (oldest first).
+    pub removed_entries: u64,
+    /// Bytes reclaimed.
+    pub removed_bytes: u64,
+}
+
+/// One memoized payload slot: initialized at most once per process
+/// even under concurrent requests, exactly like the lab caches'
+/// per-entry `OnceLock`s.
+type MemoSlot = std::sync::Arc<std::sync::OnceLock<std::sync::Arc<Vec<u8>>>>;
+
+/// A persistent, content-addressed result store rooted at a directory.
+///
+/// Thread-safe: reads are lock-free file opens, writes are published
+/// by background threads with atomic renames. Share it with `Arc`.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    mode: CacheMode,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    invalid: AtomicU64,
+    tmp_counter: AtomicU64,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+    /// In-process dedupe for chunked ranged products: concurrent
+    /// requests for the same canonical chunk (e.g. trial-range shards
+    /// of one scenario racing on different workers) resolve to one
+    /// disk read or one computation. Keyed by the entry's logical key.
+    /// Retains each touched chunk's encoded payload for the store's
+    /// lifetime — the same retention policy as the in-process lab
+    /// caches; a long-lived service process should bound both
+    /// (ROADMAP: service mode).
+    ranged_memo: Mutex<HashMap<String, MemoSlot>>,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>, mode: CacheMode) -> io::Result<Store> {
+        let root = dir.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        Ok(Store {
+            root,
+            mode,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+            writers: Mutex::new(Vec::new()),
+            ranged_memo: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    fn entry_path(&self, key: &EntryKey) -> PathBuf {
+        let hash = key.hash();
+        self.root.join("objects").join(&hash[..2]).join(format!("{hash}.{ENTRY_EXT}"))
+    }
+
+    /// Reads and fully validates the entry under `key`, returning its
+    /// payload. `None` — a miss — covers: mode forbids reads, no file,
+    /// unreadable file, failed envelope validation, or a key mismatch
+    /// (stale/foreign entry under the same hash).
+    pub fn get(&self, key: &EntryKey) -> Option<Vec<u8>> {
+        if !self.mode.reads() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let bytes = match std::fs::read(self.entry_path(key)) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.invalid.fetch_add(1, Ordering::Relaxed);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match envelope::open(&bytes) {
+            Ok(env) if env.kind == key.kind && env.key == key.logical() => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(env.payload)
+            }
+            _ => {
+                self.invalid.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists `payload` under `key` (no-op unless the mode writes).
+    ///
+    /// The write happens *behind* the caller: encoding into the
+    /// envelope and all file I/O run on a background thread, so the
+    /// computed product is available to the pipeline immediately.
+    /// [`Store::flush`] (or drop) joins outstanding writes.
+    pub fn put(&self, key: &EntryKey, encoding: Encoding, payload: Vec<u8>) {
+        self.put_with(key, encoding, move || payload);
+    }
+
+    /// [`Store::put`] with the payload produced lazily on the writer
+    /// thread — use this to move product *encoding* off the compute
+    /// path too.
+    pub fn put_with<F>(&self, key: &EntryKey, encoding: Encoding, payload: F)
+    where
+        F: FnOnce() -> Vec<u8> + Send + 'static,
+    {
+        if !self.mode.writes() {
+            return;
+        }
+        let final_path = self.entry_path(key);
+        let tmp_name = format!(
+            "{TMP_PREFIX}{}-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+            key.hash()
+        );
+        let tmp_path = final_path.with_file_name(tmp_name);
+        let kind = key.kind;
+        let logical = key.logical();
+        let work = move || -> io::Result<()> {
+            let bytes = envelope::seal(kind, &logical, encoding, &payload());
+            if let Some(parent) = final_path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&tmp_path, &bytes)?;
+            std::fs::rename(&tmp_path, &final_path)
+        };
+        // Best-effort cache write: an I/O failure (or a failure to
+        // spawn the writer) loses only future reuse, never
+        // correctness.
+        if let Ok(handle) =
+            std::thread::Builder::new().name("store-writer".into()).spawn(move || {
+                let _ = work();
+            })
+        {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+            let mut writers = self.writers.lock().expect("writer registry poisoned");
+            // Keep the registry (and the live thread count) bounded:
+            // reap finished writers opportunistically, and if a burst
+            // of puts outruns the disk, block on the oldest in-flight
+            // write before queuing another.
+            writers.retain(|h| !h.is_finished());
+            while writers.len() >= MAX_INFLIGHT_WRITES {
+                let _ = writers.remove(0).join();
+            }
+            writers.push(handle);
+        }
+    }
+
+    /// The validated payload under `key`, computed (and persisted)
+    /// exactly once per process even under concurrent callers — the
+    /// once-per-entry primitive behind the chunked ranged products.
+    ///
+    /// The first caller for a key consults the disk (counting one hit
+    /// or miss); on a miss — or a payload `validate` rejects — it runs
+    /// `compute` and persists the result behind the read. Every later
+    /// caller (and every concurrent one, which blocks on the first) is
+    /// served from memory with no further disk traffic, so session
+    /// counters are a pure function of the distinct keys consulted,
+    /// never of worker or shard scheduling.
+    pub fn get_or_compute_once(
+        &self,
+        key: &EntryKey,
+        encoding: Encoding,
+        validate: impl Fn(&[u8]) -> bool,
+        compute: impl FnOnce() -> Vec<u8>,
+    ) -> std::sync::Arc<Vec<u8>> {
+        let slot = {
+            let mut memo = self.ranged_memo.lock().expect("memo poisoned");
+            std::sync::Arc::clone(memo.entry(key.logical()).or_default())
+        };
+        std::sync::Arc::clone(slot.get_or_init(|| {
+            if let Some(payload) = self.get(key) {
+                if validate(&payload) {
+                    return std::sync::Arc::new(payload);
+                }
+                self.count_invalid_payload();
+            }
+            let payload = compute();
+            self.put(key, encoding, payload.clone());
+            std::sync::Arc::new(payload)
+        }))
+    }
+
+    /// Joins every outstanding background write. Call before reading
+    /// another process's view of the directory (or before exiting, if
+    /// the drop order is not obvious).
+    pub fn flush(&self) {
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.writers.lock().expect("writer registry poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// This process's session counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+        }
+    }
+
+    fn scan(&self) -> io::Result<Vec<(PathBuf, u64, std::time::SystemTime)>> {
+        let mut files = Vec::new();
+        let objects = self.root.join("objects");
+        for shard in std::fs::read_dir(&objects)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let meta = entry.metadata()?;
+                if meta.is_file() {
+                    let modified = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    files.push((entry.path(), meta.len(), modified));
+                }
+            }
+        }
+        Ok(files)
+    }
+
+    /// Scans the directory and summarizes its contents by kind.
+    pub fn disk_stats(&self) -> io::Result<DiskStats> {
+        let mut stats = DiskStats::default();
+        let mut kinds: HashMap<String, (u64, u64)> = HashMap::new();
+        for (path, size, _) in self.scan()? {
+            if is_tmp(&path) {
+                continue;
+            }
+            match std::fs::read(&path).ok().and_then(|b| envelope::open(&b).ok()) {
+                Some(env) => {
+                    stats.entries += 1;
+                    stats.bytes += size;
+                    let slot = kinds.entry(env.kind).or_default();
+                    slot.0 += 1;
+                    slot.1 += size;
+                }
+                None => stats.corrupt += 1,
+            }
+        }
+        stats.kinds =
+            kinds.into_iter().map(|(kind, (entries, bytes))| (kind, entries, bytes)).collect();
+        stats.kinds.sort();
+        Ok(stats)
+    }
+
+    /// Deletes oldest entries (by modification time, ties broken by
+    /// file name for determinism) until the directory holds at most
+    /// `max_bytes` of entries. Temp files older than an hour are
+    /// orphans from crashed writers and are reaped; younger ones may
+    /// belong to another process's in-flight write and are left
+    /// alone. The store is a cache, so any entry is safe to delete at
+    /// any time.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        self.flush();
+        let now = std::time::SystemTime::now();
+        let mut report = GcReport::default();
+        let mut entries = Vec::new();
+        for (path, size, modified) in self.scan()? {
+            if is_tmp(&path) {
+                let age = now.duration_since(modified).unwrap_or_default();
+                if age >= TMP_ORPHAN_AGE {
+                    let _ = std::fs::remove_file(&path);
+                }
+                continue;
+            }
+            report.scanned_entries += 1;
+            report.scanned_bytes += size;
+            entries.push((path, size, modified));
+        }
+        entries.sort_by(|a, b| (a.2, a.0.as_os_str()).cmp(&(b.2, b.0.as_os_str())));
+        let mut total = report.scanned_bytes;
+        for (path, size, _) in entries {
+            if total <= max_bytes {
+                break;
+            }
+            std::fs::remove_file(&path)?;
+            total -= size;
+            report.removed_entries += 1;
+            report.removed_bytes += size;
+        }
+        Ok(report)
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+fn is_tmp(path: &Path) -> bool {
+    path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with(TMP_PREFIX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("chipletqc-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(detail: &str) -> EntryKey {
+        EntryKey::new("b400|s2022", "tally", detail)
+    }
+
+    #[test]
+    fn put_flush_get_round_trips() {
+        let root = temp_root("roundtrip");
+        let store = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        assert_eq!(store.get(&key("a")), None);
+        store.put(&key("a"), Encoding::Binary, b"hello".to_vec());
+        store.flush();
+        assert_eq!(store.get(&key("a")).as_deref(), Some(&b"hello"[..]));
+        assert_eq!(store.stats(), StoreStats { hits: 1, misses: 1, writes: 1, invalid: 0 });
+        // A second store over the same directory sees the entry.
+        let other = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        assert_eq!(other.get(&key("a")).as_deref(), Some(&b"hello"[..]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn modes_gate_reads_and_writes() {
+        let root = temp_root("modes");
+        let rw = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        rw.put(&key("x"), Encoding::Binary, b"v".to_vec());
+        rw.flush();
+
+        let read_only = Store::open(&root, CacheMode::Read).unwrap();
+        assert!(read_only.get(&key("x")).is_some());
+        read_only.put(&key("y"), Encoding::Binary, b"w".to_vec());
+        read_only.flush();
+        assert_eq!(read_only.stats().writes, 0);
+        assert!(rw.get(&key("y")).is_none(), "read mode must not have written");
+
+        let write_only = Store::open(&root, CacheMode::Write).unwrap();
+        assert!(write_only.get(&key("x")).is_none(), "write mode never serves hits");
+        assert_eq!(write_only.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_stale_and_mismatched_entries_are_misses() {
+        let root = temp_root("corrupt");
+        let store = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        store.put(&key("c"), Encoding::Binary, b"payload".to_vec());
+        store.flush();
+        let path = store.entry_path(&key("c"));
+
+        // Truncation.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert_eq!(store.get(&key("c")), None);
+        assert_eq!(store.stats().invalid, 1);
+
+        // Bit flip.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(store.get(&key("c")), None);
+
+        // A valid envelope written under a different logical key
+        // (simulated hash collision / stale rename): also a miss.
+        let foreign = envelope::seal("tally", "some-other-key", Encoding::Binary, b"payload");
+        std::fs::write(&path, foreign).unwrap();
+        assert_eq!(store.get(&key("c")), None);
+        assert_eq!(store.stats().invalid, 3);
+
+        // Restoring the original bytes restores the hit.
+        std::fs::write(&path, &full).unwrap();
+        assert!(store.get(&key("c")).is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let a = EntryKey::new("ck", "tally", "s/0-10");
+        let b = EntryKey::new("ck", "raw-bin", "s/0-10");
+        let c = EntryKey::new("ck2", "tally", "s/0-10");
+        assert_ne!(a.hash(), b.hash());
+        assert_ne!(a.hash(), c.hash());
+        assert_ne!(a.logical(), b.logical());
+        assert!(a.to_string().contains("tally"));
+    }
+
+    #[test]
+    fn disk_stats_and_gc_enforce_budget() {
+        let root = temp_root("gc");
+        let store = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        for i in 0..6 {
+            store.put(&key(&format!("e{i}")), Encoding::Binary, vec![0u8; 100]);
+        }
+        store.flush();
+        let stats = store.disk_stats().unwrap();
+        assert_eq!(stats.entries, 6);
+        assert_eq!(stats.corrupt, 0);
+        assert_eq!(stats.kinds.len(), 1);
+        assert_eq!(stats.kinds[0].0, "tally");
+        assert_eq!(stats.kinds[0].1, 6);
+        assert!(stats.bytes > 600);
+
+        let per_entry = stats.bytes / 6;
+        let report = store.gc(per_entry * 3).unwrap();
+        assert_eq!(report.scanned_entries, 6);
+        assert!(report.removed_entries >= 3, "{report:?}");
+        let after = store.disk_stats().unwrap();
+        assert!(after.bytes <= per_entry * 3);
+        // gc(0) empties the store; everything is recomputable.
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.scanned_entries, report.removed_entries);
+        assert_eq!(store.disk_stats().unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use chipletqc_collision::checker::is_collision_free;
 use chipletqc_collision::criteria::CollisionParams;
 use chipletqc_collision::frequencies::Frequencies;
+use chipletqc_math::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use chipletqc_math::rng::Seed;
 use chipletqc_math::stats::wilson_interval;
 use chipletqc_topology::device::Device;
@@ -62,6 +63,26 @@ impl YieldEstimate {
 impl std::fmt::Display for YieldEstimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}/{} = {:.3}", self.survivors, self.batch, self.fraction())
+    }
+}
+
+/// Binary persistence for the result store: `survivors` then `batch`.
+/// Decoding rejects tallies claiming more survivors than trials.
+impl Codec for YieldEstimate {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.survivors);
+        w.put_usize(self.batch);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<YieldEstimate, CodecError> {
+        let survivors = r.get_usize()?;
+        let batch = r.get_usize()?;
+        if survivors > batch {
+            return Err(CodecError::Invalid(format!(
+                "{survivors} survivors of {batch} trials"
+            )));
+        }
+        Ok(YieldEstimate { survivors, batch })
     }
 }
 
@@ -122,6 +143,23 @@ impl TrialRange {
 impl std::fmt::Display for TrialRange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Binary persistence for the result store: `start` then `end`.
+impl Codec for TrialRange {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.start);
+        w.put_usize(self.end);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<TrialRange, CodecError> {
+        let start = r.get_usize()?;
+        let end = r.get_usize()?;
+        if end < start {
+            return Err(CodecError::Invalid(format!("range end {end} before start {start}")));
+        }
+        Ok(TrialRange { start, end })
     }
 }
 
@@ -283,6 +321,30 @@ pub fn fabricate_collision_free_with_workers(
     fabricate_collision_free_range(device, fab, params, TrialRange::full(batch), seed, workers)
 }
 
+/// The batch-global indices of the collision-free trials of `range`,
+/// in ascending order — the tally [`simulate_yield_range`] counts,
+/// with enough information to re-slice it into arbitrary sub-ranges
+/// (`est.survivors == indices within the sub-range`). The result
+/// store's chunked tally entries are built on this.
+///
+/// Delegates to [`fabricate_collision_free_indexed_range`] so there is
+/// exactly one implementation of the trial loop: the sampled
+/// frequencies are transient (callers pass chunk-sized ranges), and a
+/// tally can never disagree with the bin of the same range.
+pub fn collision_free_trial_indices(
+    device: &Device,
+    fab: &FabricationParams,
+    params: &CollisionParams,
+    range: TrialRange,
+    seed: Seed,
+    workers: Option<usize>,
+) -> Vec<usize> {
+    fabricate_collision_free_indexed_range(device, fab, params, range, seed, workers)
+        .into_iter()
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Fabricates only the trials of `range` (batch-global indices) and
 /// returns its collision-free survivors in trial order. Concatenating
 /// the bins of every shard of a [`TrialRange::split`] in range order
@@ -295,6 +357,27 @@ pub fn fabricate_collision_free_range(
     seed: Seed,
     workers: Option<usize>,
 ) -> Vec<Frequencies> {
+    fabricate_collision_free_indexed_range(device, fab, params, range, seed, workers)
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect()
+}
+
+/// [`fabricate_collision_free_range`] keeping each survivor's
+/// batch-global trial index, in trial order.
+///
+/// The indices are what let one contiguous fabrication run be split
+/// back into sub-range bins (the result store persists canonical
+/// chunk-sized bin pieces even when it simulates several missing
+/// chunks as a single contiguous range).
+pub fn fabricate_collision_free_indexed_range(
+    device: &Device,
+    fab: &FabricationParams,
+    params: &CollisionParams,
+    range: TrialRange,
+    seed: Seed,
+    workers: Option<usize>,
+) -> Vec<(usize, Frequencies)> {
     let workers = worker_count(range.len(), workers);
     let next = AtomicUsize::new(range.start);
     let mut per_worker: Vec<Vec<(usize, Frequencies)>> = Vec::new();
@@ -325,7 +408,7 @@ pub fn fabricate_collision_free_range(
     });
     let mut all: Vec<(usize, Frequencies)> = per_worker.into_iter().flatten().collect();
     all.sort_by_key(|(i, _)| *i);
-    all.into_iter().map(|(_, f)| f).collect()
+    all
 }
 
 #[cfg(test)]
@@ -583,6 +666,65 @@ mod tests {
                 .collect();
             assert_eq!(merged_bin, full_bin, "bin diverged at {shards} shards");
         }
+    }
+
+    #[test]
+    fn indexed_range_carries_batch_global_trial_indices() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let range = TrialRange { start: 40, end: 120 };
+        let indexed = fabricate_collision_free_indexed_range(
+            &device,
+            &fab,
+            &params(),
+            range,
+            Seed(23),
+            Some(2),
+        );
+        assert!(indexed.iter().all(|(i, _)| range.start <= *i && *i < range.end));
+        assert!(indexed.windows(2).all(|w| w[0].0 < w[1].0), "indices not ascending");
+        let plain =
+            fabricate_collision_free_range(&device, &fab, &params(), range, Seed(23), Some(3));
+        assert_eq!(indexed.into_iter().map(|(_, f)| f).collect::<Vec<_>>(), plain);
+    }
+
+    #[test]
+    fn survivor_indices_match_tally_and_bin() {
+        let device = ChipletSpec::with_qubits(20).unwrap().build();
+        let fab = FabricationParams::state_of_the_art();
+        let range = TrialRange { start: 30, end: 250 };
+        let indices =
+            collision_free_trial_indices(&device, &fab, &params(), range, Seed(23), Some(3));
+        let est = simulate_yield_range(&device, &fab, &params(), range, Seed(23), Some(1));
+        assert_eq!(indices.len(), est.survivors);
+        assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        let indexed = fabricate_collision_free_indexed_range(
+            &device,
+            &fab,
+            &params(),
+            range,
+            Seed(23),
+            Some(2),
+        );
+        assert_eq!(indexed.iter().map(|(i, _)| *i).collect::<Vec<_>>(), indices);
+        // Sub-range tallies are exactly the indices within the slice.
+        let sub = TrialRange { start: 100, end: 200 };
+        let sub_est = simulate_yield_range(&device, &fab, &params(), sub, Seed(23), Some(1));
+        let clipped = indices.iter().filter(|i| sub.start <= **i && **i < sub.end).count();
+        assert_eq!(clipped, sub_est.survivors);
+    }
+
+    #[test]
+    fn codec_round_trips_and_validates() {
+        use chipletqc_math::codec::{decode_from_slice, encode_to_vec};
+        let est = YieldEstimate { survivors: 7, batch: 10 };
+        assert_eq!(decode_from_slice::<YieldEstimate>(&encode_to_vec(&est)).unwrap(), est);
+        let bad = encode_to_vec(&YieldEstimate { survivors: 11, batch: 10 });
+        assert!(decode_from_slice::<YieldEstimate>(&bad).is_err());
+        let range = TrialRange { start: 16, end: 64 };
+        assert_eq!(decode_from_slice::<TrialRange>(&encode_to_vec(&range)).unwrap(), range);
+        let inverted = encode_to_vec(&(64usize, 16usize));
+        assert!(decode_from_slice::<TrialRange>(&inverted).is_err());
     }
 
     #[test]
