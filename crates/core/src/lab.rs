@@ -274,6 +274,19 @@ impl FabricationStats {
     pub fn total(&self) -> usize {
         self.chiplet_fabrications + self.mono_fabrications
     }
+
+    /// The campaigns run since `earlier` was snapshotted — the
+    /// per-submission view a long-lived service reports, where the
+    /// hub's counters only ever grow across batches.
+    #[must_use]
+    pub fn since(&self, earlier: FabricationStats) -> FabricationStats {
+        FabricationStats {
+            chiplet_fabrications: self
+                .chiplet_fabrications
+                .saturating_sub(earlier.chiplet_fabrications),
+            mono_fabrications: self.mono_fabrications.saturating_sub(earlier.mono_fabrications),
+        }
+    }
 }
 
 /// A registry of [`SharedCaches`] keyed by cache-relevant
@@ -286,6 +299,11 @@ impl FabricationStats {
 pub struct CacheHub {
     inner: Arc<Mutex<HashMap<String, Arc<SharedCaches>>>>,
     store: Option<Arc<Store>>,
+    /// Campaign counts carried over from caches dropped by
+    /// [`CacheHub::clear`], so [`CacheHub::fabrication_stats`] stays
+    /// monotonic across resets — the property per-batch deltas
+    /// ([`FabricationStats::since`]) rely on.
+    retired: Arc<Mutex<FabricationStats>>,
 }
 
 impl CacheHub {
@@ -303,7 +321,7 @@ impl CacheHub {
     /// out keep the store configuration they were created with.
     #[must_use]
     pub fn with_store(self, store: Store) -> CacheHub {
-        CacheHub { inner: self.inner, store: Some(Arc::new(store)) }
+        CacheHub { store: Some(Arc::new(store)), ..self }
     }
 
     /// The attached persistent store, if any.
@@ -339,15 +357,40 @@ impl CacheHub {
         )
     }
 
-    /// Aggregate fabrication counters across every cache in the hub.
+    /// Aggregate fabrication counters across every cache in the hub,
+    /// including campaigns whose caches [`CacheHub::clear`] has since
+    /// dropped — the counters only ever grow.
     pub fn fabrication_stats(&self) -> FabricationStats {
         let inner = self.inner.lock().expect("hub poisoned");
-        let mut stats = FabricationStats::default();
+        let mut stats = *self.retired.lock().expect("retired counters poisoned");
         for caches in inner.values() {
             stats.chiplet_fabrications += caches.chiplet_fabrications.load(Ordering::Relaxed);
             stats.mono_fabrications += caches.mono_fabrications.load(Ordering::Relaxed);
         }
         stats
+    }
+
+    /// Drops every warm in-memory product — the shared
+    /// fabrication/characterization caches and the attached store's
+    /// in-process memo — while keeping the store attachment and the
+    /// cumulative fabrication counters.
+    ///
+    /// This is the long-lived service's memory-pressure valve: the hub
+    /// behaves as freshly constructed (plus any persistent store), so
+    /// the next batch recomputes or re-reads from disk. Results are
+    /// unaffected — cached values are pure functions of their keys.
+    /// Call it between batches, not while a scheduler is running.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("hub poisoned");
+        let mut retired = self.retired.lock().expect("retired counters poisoned");
+        for caches in inner.values() {
+            retired.chiplet_fabrications += caches.chiplet_fabrications.load(Ordering::Relaxed);
+            retired.mono_fabrications += caches.mono_fabrications.load(Ordering::Relaxed);
+        }
+        inner.clear();
+        if let Some(store) = &self.store {
+            store.clear_memo();
+        }
     }
 }
 
@@ -748,6 +791,56 @@ mod tests {
         let other = Lab::new_in(LabConfig::quick().with_seed(Seed(1)), &hub2);
         other.chiplet_bin(chiplet);
         assert_eq!(hub2.fabrication_stats().chiplet_fabrications, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_drops_products_but_keeps_counters_monotonic() {
+        let hub = CacheHub::new();
+        let chiplet = ChipletSpec::with_qubits(10).unwrap();
+        let bin = Lab::new_in(LabConfig::quick(), &hub).chiplet_bin(chiplet);
+        let before = hub.fabrication_stats();
+        assert_eq!(before.chiplet_fabrications, 1);
+
+        hub.clear();
+        assert_eq!(hub.fabrication_stats(), before, "clear keeps cumulative counters");
+
+        // A fresh lab refabricates (no store attached) — a new object,
+        // but bit-identical contents.
+        let bin2 = Lab::new_in(LabConfig::quick(), &hub).chiplet_bin(chiplet);
+        assert!(!Arc::ptr_eq(&bin, &bin2), "clear must drop the cached product");
+        assert_eq!(*bin, *bin2, "recomputation is bit-identical");
+        let after = hub.fabrication_stats();
+        assert_eq!(after.chiplet_fabrications, 2);
+        assert_eq!(
+            after.since(before),
+            FabricationStats { chiplet_fabrications: 1, mono_fabrications: 0 },
+            "per-batch deltas survive a reset"
+        );
+        assert_eq!(FabricationStats::default().since(after), FabricationStats::default());
+    }
+
+    #[test]
+    fn clear_with_store_rereads_from_disk_instead_of_fabricating() {
+        use chipletqc_store::CacheMode;
+        let dir = std::env::temp_dir()
+            .join(format!("chipletqc-lab-clear-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hub = CacheHub::new().with_store(Store::open(&dir, CacheMode::ReadWrite).unwrap());
+        let chiplet = ChipletSpec::with_qubits(10).unwrap();
+        let bin = Lab::new_in(LabConfig::quick(), &hub).chiplet_bin(chiplet);
+        hub.flush_store();
+        let snapshot = (hub.fabrication_stats(), hub.store_stats());
+
+        hub.clear();
+        let bin2 = Lab::new_in(LabConfig::quick(), &hub).chiplet_bin(chiplet);
+        assert_eq!(*bin, *bin2);
+        assert_eq!(
+            hub.fabrication_stats().since(snapshot.0).total(),
+            0,
+            "the store still serves the product after a reset"
+        );
+        assert!(hub.store_stats().since(snapshot.1).hits >= 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

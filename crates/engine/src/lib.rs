@@ -25,10 +25,16 @@
 //!   batch deterministically: bit-identical JSON at any worker *and
 //!   shard* count;
 //! * [`suite`] — predefined batches, starting with the full paper
-//!   figure suite.
+//!   figure suite;
+//! * [`protocol`] / [`service`] — **service mode**: a framed wire
+//!   format for batch submissions, and a long-lived daemon that runs
+//!   them over a Unix domain socket against one warm
+//!   [`CacheHub`](chipletqc::lab::CacheHub), so repeated submissions
+//!   skip fabrication without touching disk.
 //!
-//! The `chipletqc-engine` binary wires these together as a CLI and
-//! replaces the old serial `all_figures` regeneration pass.
+//! The `chipletqc-engine` binary wires these together as a CLI
+//! (one-shot runs, `store` maintenance, `serve`/`submit` service
+//! mode) and replaces the old serial `all_figures` regeneration pass.
 //!
 //! # Quickstart
 //!
@@ -54,14 +60,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod protocol;
 pub mod report;
 pub mod scenario;
 pub mod scheduler;
+#[cfg(unix)]
+pub mod service;
 pub mod suite;
 pub mod sweep;
 
 pub use report::RunReport;
 pub use scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
 pub use scheduler::{ScenarioResult, Scheduler};
-pub use suite::paper_suite;
+pub use suite::{paper_suite, resolve_batch};
 pub use sweep::Sweep;

@@ -1,17 +1,22 @@
 //! The `chipletqc-engine` CLI: run the paper figure suite, a filtered
-//! subset, or a design-space sweep as one parallel scenario batch.
+//! subset, or a design-space sweep as one parallel scenario batch —
+//! one-shot, or against a long-lived service daemon.
 //!
 //! ```text
 //! cargo run --release -p chipletqc-engine -- --workers 8 --quick
 //! cargo run --release -p chipletqc-engine -- --sweep examples/sweeps/chiplet_grid.sweep
 //! cargo run --release -p chipletqc-engine -- store stats --cache-dir /var/cache/chipletqc
+//! cargo run --release -p chipletqc-engine -- serve --socket /tmp/chipletqc.sock
+//! cargo run --release -p chipletqc-engine -- submit --socket /tmp/chipletqc.sock \
+//!     --sweep examples/sweeps/chiplet_grid.sweep > report.json
 //! ```
 //!
 //! Writes each figure's text artifact plus a deterministic
 //! `run_report.json` under `--out` (default `target/figures`). The
 //! JSON is bit-identical for any `--workers` and `--shards` values —
 //! and, apart from the `fabrication`/`store` counter objects, for any
-//! `--cache` state; timings go to stdout only.
+//! `--cache` state and for daemon-submitted runs of the same batch;
+//! timings go to stdout (one-shot) or stderr (`submit`) only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,10 +24,12 @@ use std::time::Instant;
 
 use chipletqc::lab::CacheHub;
 use chipletqc::report::TextTable;
+use chipletqc_engine::protocol::{parse_count, Request, Response, Submission};
 use chipletqc_engine::report::{timing_summary, RunReport};
-use chipletqc_engine::scenario::{ExperimentKind, Scale, Scenario};
+use chipletqc_engine::scenario::{ExperimentKind, Scale};
 use chipletqc_engine::scheduler::Scheduler;
-use chipletqc_engine::suite::paper_suite;
+use chipletqc_engine::service::{self, Service, ServiceConfig};
+use chipletqc_engine::suite::resolve_batch;
 use chipletqc_engine::sweep::Sweep;
 use chipletqc_math::rng::Seed;
 use chipletqc_store::{CacheMode, Store};
@@ -34,6 +41,10 @@ USAGE:
   chipletqc-engine [OPTIONS]
   chipletqc-engine store stats --cache-dir DIR
   chipletqc-engine store gc --cache-dir DIR --max-bytes N
+  chipletqc-engine serve --socket PATH [--cache-dir DIR] [--cache MODE]
+                         [--workers N] [--shards N]
+  chipletqc-engine submit --socket PATH [BATCH OPTIONS] [--reset]
+  chipletqc-engine submit --socket PATH --shutdown
 
 OPTIONS:
   --workers N       scheduler worker threads (default: hardware threads)
@@ -59,8 +70,20 @@ STORE SUBCOMMANDS:
   store gc          delete oldest entries until the directory holds at
                     most --max-bytes of entries (a store is a cache;
                     deleting entries only costs recomputation)
+
+SERVICE MODE (see README \"Service mode\"):
+  serve             long-lived daemon on a Unix socket: one warm cache
+                    hub for its whole lifetime, so repeated submissions
+                    skip fabrication without touching disk; SIGTERM or
+                    `submit --shutdown` drains in-flight batches first
+  submit            send one batch (--sweep/--sweep-text/--only/--quick,
+                    --workers/--shards/--seed as above) to a daemon;
+                    timing lines go to stderr, the deterministic report
+                    JSON to stdout. --reset drops the daemon's warm
+                    in-memory caches first; --shutdown stops the daemon
 ";
 
+#[derive(Debug)]
 struct Options {
     workers: Option<usize>,
     shards: usize,
@@ -68,11 +91,73 @@ struct Options {
     sweep: Option<Sweep>,
     only: Option<Vec<String>>,
     seed: Option<u64>,
-    cache_dir: Option<PathBuf>,
-    cache_mode: Option<CacheMode>,
+    cache: CacheFlags,
     out: PathBuf,
     write_files: bool,
     list: bool,
+}
+
+/// The `--cache-dir`/`--cache` flag pair, shared by the one-shot CLI
+/// and `serve` so both parse and validate cache wiring identically.
+/// Construct with [`CacheFlags::new`] (read-write default) — there is
+/// deliberately no `Default`, whose all-`None` value would mean
+/// `--cache off`.
+#[derive(Debug)]
+struct CacheFlags {
+    dir: Option<PathBuf>,
+    /// `None` = `--cache off`; defaults to read-write.
+    mode: Option<CacheMode>,
+}
+
+impl CacheFlags {
+    fn new() -> CacheFlags {
+        CacheFlags { dir: None, mode: Some(CacheMode::ReadWrite) }
+    }
+
+    fn set_dir(&mut self, value: String) {
+        self.dir = Some(PathBuf::from(value));
+    }
+
+    fn set_mode(&mut self, value: &str) -> Result<(), String> {
+        self.mode =
+            match value {
+                "off" => None,
+                mode => Some(CacheMode::parse(mode).ok_or(format!(
+                    "bad --cache {mode} (want readwrite, read, write, or off)"
+                ))?),
+            };
+        Ok(())
+    }
+
+    /// Rejects the two contradictory combinations: a read/write mode
+    /// with nowhere to read or write, and `off` alongside a directory
+    /// that would otherwise be silently ignored.
+    fn validate(&self) -> Result<(), String> {
+        if self.dir.is_none() && matches!(self.mode, Some(CacheMode::Read | CacheMode::Write)) {
+            return Err("--cache needs --cache-dir (only `--cache off` works without)".into());
+        }
+        if self.mode.is_none() && self.dir.is_some() {
+            return Err(
+                "--cache off conflicts with --cache-dir (drop one: `off` means no store)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Opens the store when both a directory and a mode are
+    /// configured, announcing it on stdout.
+    fn open_store(&self) -> Result<Option<Store>, String> {
+        match (&self.dir, self.mode) {
+            (Some(dir), Some(mode)) => {
+                let store = Store::open(dir, mode)
+                    .map_err(|e| format!("open result store {}: {e}", dir.display()))?;
+                println!("result store: {} ({})", dir.display(), mode.name());
+                Ok(Some(store))
+            }
+            _ => Ok(None),
+        }
+    }
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -83,23 +168,36 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         sweep: None,
         only: None,
         seed: None,
-        cache_dir: None,
-        cache_mode: Some(CacheMode::ReadWrite),
+        cache: CacheFlags::new(),
         out: PathBuf::from("target/figures"),
         write_files: true,
         list: false,
+    };
+    // `--sweep` and `--sweep-text` both define the whole batch; a
+    // command line giving both is contradictory, so reject it instead
+    // of letting the later flag silently win.
+    let mut sweep_flag: Option<&'static str> = None;
+    let mut set_sweep = |options: &mut Options, flag: &'static str, sweep: Sweep| {
+        match sweep_flag.replace(flag) {
+            None => {
+                options.sweep = Some(sweep);
+                Ok(())
+            }
+            Some(earlier) => Err(format!(
+                "{flag} conflicts with {earlier} (give exactly one batch description)"
+            )),
+        }
     };
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => {
                 let value = args.next().ok_or("--workers needs a value")?;
-                options.workers =
-                    Some(value.parse().map_err(|_| format!("bad --workers {value}"))?);
+                options.workers = Some(parse_count("--workers", &value)?);
             }
             "--shards" => {
                 let value = args.next().ok_or("--shards needs a value")?;
-                options.shards = value.parse().map_err(|_| format!("bad --shards {value}"))?;
+                options.shards = parse_count("--shards", &value)?;
             }
             "--quick" => options.scale = Scale::Quick,
             "--paper" => options.scale = Scale::Paper,
@@ -107,15 +205,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                 let path = args.next().ok_or("--sweep needs a file path")?;
                 let text = std::fs::read_to_string(&path)
                     .map_err(|error| format!("read {path}: {error}"))?;
-                options.sweep =
-                    Some(Sweep::parse(&text).map_err(|error| format!("{path}: {error}"))?);
+                let sweep = Sweep::parse(&text).map_err(|error| format!("{path}: {error}"))?;
+                set_sweep(&mut options, "--sweep", sweep)?;
             }
             "--sweep-text" => {
                 let spec = args.next().ok_or("--sweep-text needs a value")?;
-                options.sweep = Some(
-                    Sweep::parse(&spec.replace(';', "\n"))
-                        .map_err(|error| format!("--sweep-text: {error}"))?,
-                );
+                let sweep = Sweep::parse(&spec.replace(';', "\n"))
+                    .map_err(|error| format!("--sweep-text: {error}"))?;
+                set_sweep(&mut options, "--sweep-text", sweep)?;
             }
             "--only" => {
                 let value = args.next().ok_or("--only needs a value")?;
@@ -126,17 +223,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                 options.seed = Some(value.parse().map_err(|_| format!("bad --seed {value}"))?);
             }
             "--cache-dir" => {
-                options.cache_dir =
-                    Some(PathBuf::from(args.next().ok_or("--cache-dir needs a value")?));
+                options.cache.set_dir(args.next().ok_or("--cache-dir needs a value")?);
             }
             "--cache" => {
-                let value = args.next().ok_or("--cache needs a value")?;
-                options.cache_mode = match value.as_str() {
-                    "off" => None,
-                    mode => Some(CacheMode::parse(mode).ok_or(format!(
-                        "bad --cache {mode} (want readwrite, read, write, or off)"
-                    ))?),
-                };
+                options.cache.set_mode(&args.next().ok_or("--cache needs a value")?)?;
             }
             "--out" => {
                 options.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
@@ -150,15 +240,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             other => return Err(format!("unknown argument {other} (try --help)")),
         }
     }
-    // A non-default mode without a directory is a configuration
-    // mistake — except `off`, which just confirms the no-store
-    // default. (`readwrite` without a directory is indistinguishable
-    // from the default and also means "no store".)
-    if options.cache_dir.is_none()
-        && matches!(options.cache_mode, Some(CacheMode::Read | CacheMode::Write))
-    {
-        return Err("--cache needs --cache-dir (only `--cache off` works without)".into());
-    }
+    options.cache.validate()?;
     Ok(options)
 }
 
@@ -225,11 +307,200 @@ fn store_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     }
 }
 
+/// SIGTERM/SIGINT → drain-and-exit flag for `serve`. The handler only
+/// performs an atomic store (async-signal-safe); the daemon's accept
+/// loop polls the flag and finishes any in-flight batch before
+/// exiting, so a `kill` is as graceful as `submit --shutdown`.
+mod shutdown_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// The C `signal(2)` entry point std already links.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn handle(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: replaces the SIGTERM/SIGINT dispositions with a
+        // handler that does one atomic store and returns.
+        unsafe {
+            signal(SIGTERM, handle);
+            signal(SIGINT, handle);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// The `serve` subcommand: bind the socket, hold one warm hub, and
+/// run batches until shutdown.
+fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut cache = CacheFlags::new();
+    let mut workers: Option<usize> = None;
+    let mut shards: usize = 1;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(args.next().ok_or("--socket needs a value")?));
+            }
+            "--cache-dir" => {
+                cache.set_dir(args.next().ok_or("--cache-dir needs a value")?);
+            }
+            "--cache" => {
+                cache.set_mode(&args.next().ok_or("--cache needs a value")?)?;
+            }
+            "--workers" => {
+                let value = args.next().ok_or("--workers needs a value")?;
+                workers = Some(parse_count("--workers", &value)?);
+            }
+            "--shards" => {
+                let value = args.next().ok_or("--shards needs a value")?;
+                shards = parse_count("--shards", &value)?;
+            }
+            other => return Err(format!("serve: unknown argument {other} (try --help)")),
+        }
+    }
+    let socket = socket.ok_or("serve: --socket is required")?;
+    cache.validate()?;
+    let store = cache.open_store()?;
+    let config = ServiceConfig {
+        socket: socket.clone(),
+        default_workers: workers,
+        default_shards: shards,
+    };
+    let service =
+        Service::bind(config, store).map_err(|e| format!("bind {}: {e}", socket.display()))?;
+    shutdown_signal::install();
+    println!("chipletqc-engine serve :: listening on {}", socket.display());
+    println!("stop with `chipletqc-engine submit --socket {} --shutdown`", socket.display());
+    let summary = service
+        .run(shutdown_signal::requested)
+        .map_err(|e| format!("serve {}: {e}", socket.display()))?;
+    println!(
+        "chipletqc-engine serve :: drained; {} batch(es), {} scenario(s), {} rejected",
+        summary.batches, summary.scenarios, summary.rejected
+    );
+    Ok(())
+}
+
+/// The `submit` subcommand: send one batch (or a shutdown request) to
+/// a running daemon. Timing lines go to stderr; the deterministic
+/// report JSON is the only stdout output, so `submit ... > report.json`
+/// captures exactly what a one-shot `--out` run would have written.
+fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut submission = Submission::default();
+    let mut shutdown = false;
+    let mut sweep_flag: Option<&'static str> = None;
+    let mut set_sweep =
+        |submission: &mut Submission, flag: &'static str, text: String| match sweep_flag
+            .replace(flag)
+        {
+            None => {
+                // Parse locally for an early, well-located error; the
+                // daemon re-parses authoritatively.
+                Sweep::parse(&text).map_err(|error| format!("{flag}: {error}"))?;
+                submission.sweep_text = Some(text);
+                Ok(())
+            }
+            Some(earlier) => Err(format!(
+                "{flag} conflicts with {earlier} (give exactly one batch description)"
+            )),
+        };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(args.next().ok_or("--socket needs a value")?));
+            }
+            "--sweep" => {
+                let path = args.next().ok_or("--sweep needs a file path")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|error| format!("read {path}: {error}"))?;
+                set_sweep(&mut submission, "--sweep", text)?;
+            }
+            "--sweep-text" => {
+                let spec = args.next().ok_or("--sweep-text needs a value")?;
+                set_sweep(&mut submission, "--sweep-text", spec.replace(';', "\n"))?;
+            }
+            "--only" => {
+                let value = args.next().ok_or("--only needs a value")?;
+                submission.only =
+                    Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--quick" => submission.scale = Some(Scale::Quick),
+            "--paper" => submission.scale = Some(Scale::Paper),
+            "--workers" => {
+                let value = args.next().ok_or("--workers needs a value")?;
+                submission.workers = Some(parse_count("--workers", &value)?);
+            }
+            "--shards" => {
+                let value = args.next().ok_or("--shards needs a value")?;
+                submission.shards = Some(parse_count("--shards", &value)?);
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                submission.seed =
+                    Some(value.parse().map_err(|_| format!("bad --seed {value}"))?);
+            }
+            "--reset" => submission.reset = true,
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("submit: unknown argument {other} (try --help)")),
+        }
+    }
+    let socket = socket.ok_or("submit: --socket is required")?;
+    // `--shutdown` is a request of its own; batch flags alongside it
+    // would be silently discarded, so reject the combination (the
+    // same silent-winner bug class as --sweep + --sweep-text).
+    if shutdown && submission != Submission::default() {
+        return Err("--shutdown conflicts with batch options (send the batch first, \
+                    then shut down with a bare `submit --socket PATH --shutdown`)"
+            .into());
+    }
+    let request = if shutdown { Request::Shutdown } else { Request::Submit(submission) };
+    let response = service::request(&socket, &request).map_err(|e| e.to_string())?;
+    match response {
+        Response::ShuttingDown => {
+            eprintln!("daemon at {} is shutting down", socket.display());
+            Ok(())
+        }
+        Response::Report { batch, timing, report } => {
+            eprint!("{timing}");
+            eprintln!("batch {batch} done.");
+            print!("{report}");
+            Ok(())
+        }
+        Response::Error(message) => Err(format!("daemon rejected the submission: {message}")),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
-    if args.peek().map(String::as_str) == Some("store") {
-        args.next();
-        return match store_cli(args) {
+    let subcommand = match args.peek().map(String::as_str) {
+        Some(name @ ("store" | "serve" | "submit")) => {
+            let name = name.to_string();
+            args.next();
+            Some(name)
+        }
+        _ => None,
+    };
+    if let Some(name) = subcommand {
+        let result = match name.as_str() {
+            "store" => store_cli(args),
+            "serve" => serve_cli(args),
+            _ => submit_cli(args),
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("error: {message}");
@@ -261,23 +532,19 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mut suite: Vec<Scenario> = match &options.sweep {
-        Some(sweep) => sweep.expand(),
-        None => paper_suite(options.scale),
+    let suite = match resolve_batch(
+        options.sweep.as_ref(),
+        options.scale,
+        options.only.as_deref(),
+        options.seed,
+    ) {
+        Ok(suite) => suite,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
     };
-    if let Some(only) = &options.only {
-        for name in only {
-            if !suite.iter().any(|s| &s.name == name) {
-                eprintln!("error: unknown scenario {name} (try --list)");
-                return ExitCode::FAILURE;
-            }
-        }
-        suite.retain(|s| only.contains(&s.name));
-    }
     if let Some(seed) = options.seed {
-        for scenario in &mut suite {
-            scenario.overrides.seed = Some(seed);
-        }
         println!("root seed override: {}", Seed(seed));
     }
 
@@ -298,18 +565,13 @@ fn main() -> ExitCode {
     );
     println!("{}", "=".repeat(72));
 
-    let hub = match (&options.cache_dir, options.cache_mode) {
-        (Some(dir), Some(mode)) => match Store::open(dir, mode) {
-            Ok(store) => {
-                println!("result store: {} ({})", dir.display(), mode.name());
-                CacheHub::new().with_store(store)
-            }
-            Err(error) => {
-                eprintln!("error: open result store {}: {error}", dir.display());
-                return ExitCode::FAILURE;
-            }
-        },
-        _ => CacheHub::new(),
+    let hub = match options.cache.open_store() {
+        Ok(Some(store)) => CacheHub::new().with_store(store),
+        Ok(None) => CacheHub::new(),
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
     };
     let started = Instant::now();
     let results = scheduler.run(&suite, &hub);
@@ -383,4 +645,48 @@ fn main() -> ExitCode {
     }
     println!("done.");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Options, String> {
+        parse_args(line.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn zero_workers_and_zero_shards_are_rejected() {
+        // Regression: `--shards 0` used to parse as a plain usize and
+        // produce a degenerate schedule the scheduler silently
+        // clamped.
+        for (line, flag) in [("--shards 0", "--shards"), ("--workers 0", "--workers")] {
+            let error = parse(line).expect_err(line);
+            assert_eq!(error, format!("bad {flag} 0 (must be at least 1)"));
+        }
+        assert_eq!(parse("--shards 4").unwrap().shards, 4);
+        assert_eq!(parse("--workers 2").unwrap().workers, Some(2));
+    }
+
+    #[test]
+    fn conflicting_sweep_sources_are_rejected() {
+        // Regression: the later flag used to silently win.
+        let error = parse("--sweep-text kind=fig8 --sweep-text kind=fig9").expect_err("dup");
+        assert!(error.contains("conflicts with --sweep-text"), "{error}");
+        let sweep = parse("--sweep-text kind=fig4").unwrap().sweep.unwrap();
+        assert_eq!(sweep.kind, ExperimentKind::Fig4);
+    }
+
+    #[test]
+    fn cache_off_with_a_cache_dir_is_rejected() {
+        // Regression: the directory used to be silently ignored,
+        // leaving the user believing their runs were cached.
+        let error = parse("--cache off --cache-dir /tmp/store").expect_err("conflict");
+        assert!(error.contains("--cache off conflicts with --cache-dir"), "{error}");
+        let error = parse("--cache-dir /tmp/store --cache off").expect_err("either order");
+        assert!(error.contains("--cache off conflicts with --cache-dir"), "{error}");
+        assert!(parse("--cache off").is_ok());
+        assert!(parse("--cache-dir /tmp/store").is_ok());
+        assert!(parse("--cache read").is_err(), "read/write still need a directory");
+    }
 }

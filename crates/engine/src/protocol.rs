@@ -1,0 +1,479 @@
+//! The service-mode wire protocol: framed batch submissions and
+//! responses over any byte stream (in practice a Unix domain socket).
+//!
+//! The format reuses the repo's line-oriented idioms — a version line,
+//! `key = value` header lines, a blank line, then length-prefixed
+//! payload bytes — so it needs nothing beyond `std` and is trivial to
+//! speak from a shell (`socat`) or a test. Sweep descriptions travel
+//! verbatim in the payload: they are already the engine's canonical
+//! batch description ([`crate::sweep::Sweep`]), which makes them the
+//! natural wire format for batch submission.
+//!
+//! ## Frames
+//!
+//! A **request** is either a submission or a shutdown:
+//!
+//! ```text
+//! chipletqc/1 submit
+//! workers = 4            # optional; scheduler threads for this batch
+//! shards = 2             # optional; per-scenario shard cap
+//! seed = 9               # optional; root-seed override
+//! scale = quick          # optional; paper-suite scale (default paper)
+//! only = fig8,fig9       # optional; paper-suite scenario filter
+//! reset = true           # optional; drop warm in-memory caches first
+//! sweep-bytes = 123      # present iff a sweep description follows
+//! <blank line>
+//! <123 bytes of sweep text>
+//! ```
+//!
+//! ```text
+//! chipletqc/1 shutdown
+//! <blank line>
+//! ```
+//!
+//! A **response** is a report, a shutdown acknowledgement, or an
+//! error:
+//!
+//! ```text
+//! chipletqc/1 ok
+//! batch = 3              # daemon-assigned submission id
+//! timing-bytes = 210     # schedule-dependent timing lines
+//! report-bytes = 4096    # the deterministic RunReport JSON
+//! <blank line>
+//! <210 bytes of timing><4096 bytes of report>
+//! ```
+//!
+//! ```text
+//! chipletqc/1 ok
+//! shutdown = true
+//! <blank line>
+//! ```
+//!
+//! ```text
+//! chipletqc/1 error
+//! message-bytes = 17
+//! <blank line>
+//! unknown kind `x9`
+//! ```
+//!
+//! Every frame is self-delimiting, so one connection carries exactly
+//! one request and one response and either side may close afterwards.
+
+use std::io::{self, BufRead, Read, Write};
+
+use crate::scenario::Scale;
+
+/// The protocol version line prefix; bump on breaking frame changes.
+pub const VERSION: &str = "chipletqc/1";
+
+/// Refuse absurd payload sizes before allocating (a corrupt or hostile
+/// header must not OOM the daemon). Reports of realistic batches are
+/// far below this.
+const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+
+/// Cap on one frame-head line. Header lines are tiny (`only` lists are
+/// the longest realistic ones); a peer streaming bytes with no newline
+/// must hit this cap, not the daemon's memory.
+const MAX_HEAD_LINE: usize = 64 * 1024;
+
+/// Cap on the number of frame-head header lines, for the same reason.
+const MAX_HEADERS: usize = 64;
+
+/// One batch submission: what a one-shot CLI invocation would run,
+/// minus process-lifetime options (output directory, cache wiring —
+/// those belong to the daemon).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Submission {
+    /// A sweep description in the [`crate::sweep`] text format;
+    /// `None` submits the paper suite.
+    pub sweep_text: Option<String>,
+    /// Scenario filter applied to the expanded batch — paper-suite
+    /// names, or a sweep's expanded scenario names when a sweep is
+    /// given. A name the batch does not contain rejects the whole
+    /// submission, exactly like the one-shot CLI's `--only`.
+    pub only: Option<Vec<String>>,
+    /// Paper-suite scale; `None` keeps the daemon's default (paper).
+    pub scale: Option<Scale>,
+    /// Scheduler worker threads for this batch; `None` keeps the
+    /// daemon's default.
+    pub workers: Option<usize>,
+    /// Per-scenario shard cap for this batch; `None` keeps the
+    /// daemon's default.
+    pub shards: Option<usize>,
+    /// Root-seed override applied to every scenario in the batch.
+    pub seed: Option<u64>,
+    /// Drop the daemon's warm in-memory caches before running (the
+    /// persistent store, if any, stays attached): a memory-pressure
+    /// valve for long-lived daemons. Results are unaffected.
+    pub reset: bool,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a batch and return its report.
+    Submit(Submission),
+    /// Finish in-flight work, acknowledge, and exit.
+    Shutdown,
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A completed batch.
+    Report {
+        /// Daemon-assigned submission id (1-based, monotonic).
+        batch: u64,
+        /// Schedule-dependent timing lines (never part of the report).
+        timing: String,
+        /// The deterministic `RunReport` JSON — byte-identical to a
+        /// one-shot CLI run of the same batch apart from the
+        /// `fabrication`/`store` counter objects, which hold this
+        /// submission's deltas.
+        report: String,
+    },
+    /// The daemon accepted a shutdown request and is draining.
+    ShuttingDown,
+    /// The submission was rejected (parse error, unknown scenario,
+    /// bad option). The daemon stays up.
+    Error(String),
+}
+
+/// Writes one request frame.
+pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
+    match request {
+        Request::Submit(s) => {
+            writeln!(w, "{VERSION} submit")?;
+            if let Some(workers) = s.workers {
+                writeln!(w, "workers = {workers}")?;
+            }
+            if let Some(shards) = s.shards {
+                writeln!(w, "shards = {shards}")?;
+            }
+            if let Some(seed) = s.seed {
+                writeln!(w, "seed = {seed}")?;
+            }
+            if let Some(scale) = s.scale {
+                writeln!(w, "scale = {}", scale.name())?;
+            }
+            if let Some(only) = &s.only {
+                writeln!(w, "only = {}", only.join(","))?;
+            }
+            if s.reset {
+                writeln!(w, "reset = true")?;
+            }
+            if let Some(text) = &s.sweep_text {
+                writeln!(w, "sweep-bytes = {}", text.len())?;
+            }
+            w.write_all(b"\n")?;
+            if let Some(text) = &s.sweep_text {
+                w.write_all(text.as_bytes())?;
+            }
+        }
+        Request::Shutdown => {
+            write!(w, "{VERSION} shutdown\n\n")?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes one response frame.
+pub fn write_response(w: &mut impl Write, response: &Response) -> io::Result<()> {
+    match response {
+        Response::Report { batch, timing, report } => {
+            writeln!(w, "{VERSION} ok")?;
+            writeln!(w, "batch = {batch}")?;
+            writeln!(w, "timing-bytes = {}", timing.len())?;
+            write!(w, "report-bytes = {}\n\n", report.len())?;
+            w.write_all(timing.as_bytes())?;
+            w.write_all(report.as_bytes())?;
+        }
+        Response::ShuttingDown => {
+            write!(w, "{VERSION} ok\nshutdown = true\n\n")?;
+        }
+        Response::Error(message) => {
+            writeln!(w, "{VERSION} error")?;
+            write!(w, "message-bytes = {}\n\n", message.len())?;
+            w.write_all(message.as_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads one request frame.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Request> {
+    let (verb, headers) = read_frame_head(r)?;
+    match verb.as_str() {
+        "submit" => {
+            let mut submission = Submission::default();
+            for (key, value) in &headers {
+                match key.as_str() {
+                    "workers" => {
+                        submission.workers = Some(parse_count(key, value).map_err(bad)?);
+                    }
+                    "shards" => {
+                        submission.shards = Some(parse_count(key, value).map_err(bad)?);
+                    }
+                    "seed" => {
+                        submission.seed =
+                            Some(value.parse().map_err(|_| bad(format!("bad seed {value}")))?);
+                    }
+                    "scale" => {
+                        submission.scale = Some(match value.as_str() {
+                            "quick" => Scale::Quick,
+                            "paper" => Scale::Paper,
+                            other => return Err(bad(format!("unknown scale {other}"))),
+                        });
+                    }
+                    "only" => {
+                        submission.only =
+                            Some(value.split(',').map(|s| s.trim().to_string()).collect());
+                    }
+                    "reset" => {
+                        submission.reset = match value.as_str() {
+                            "true" => true,
+                            "false" => false,
+                            other => {
+                                return Err(bad(format!(
+                                    "bad reset {other} (want true or false)"
+                                )))
+                            }
+                        };
+                    }
+                    "sweep-bytes" => {
+                        let len = parse_len(value)?;
+                        submission.sweep_text = Some(read_utf8(r, len, "sweep text")?);
+                    }
+                    other => return Err(bad(format!("unknown request header `{other}`"))),
+                }
+            }
+            Ok(Request::Submit(submission))
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(bad(format!("unknown request verb `{other}`"))),
+    }
+}
+
+/// Reads one response frame.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let (verb, headers) = read_frame_head(r)?;
+    let header = |key: &str| headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+    match verb.as_str() {
+        "ok" => {
+            if header("shutdown") == Some("true") {
+                return Ok(Response::ShuttingDown);
+            }
+            let batch = header("batch")
+                .ok_or_else(|| bad("response is missing `batch`".into()))?
+                .parse()
+                .map_err(|_| bad("bad batch id".into()))?;
+            let timing_len = parse_len(
+                header("timing-bytes")
+                    .ok_or_else(|| bad("response is missing `timing-bytes`".into()))?,
+            )?;
+            let report_len = parse_len(
+                header("report-bytes")
+                    .ok_or_else(|| bad("response is missing `report-bytes`".into()))?,
+            )?;
+            let timing = read_utf8(r, timing_len, "timing")?;
+            let report = read_utf8(r, report_len, "report")?;
+            Ok(Response::Report { batch, timing, report })
+        }
+        "error" => {
+            let len = parse_len(
+                header("message-bytes")
+                    .ok_or_else(|| bad("error response is missing `message-bytes`".into()))?,
+            )?;
+            Ok(Response::Error(read_utf8(r, len, "error message")?))
+        }
+        other => Err(bad(format!("unknown response verb `{other}`"))),
+    }
+}
+
+/// Reads the version line and the `key = value` headers up to the
+/// blank separator line. Payload bytes (if any) remain unread.
+fn read_frame_head(r: &mut impl BufRead) -> io::Result<(String, Vec<(String, String)>)> {
+    let line = read_head_line(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-frame"))?;
+    let mut parts = line.splitn(2, ' ');
+    let version = parts.next().unwrap_or("");
+    if version != VERSION {
+        return Err(bad(format!("unsupported protocol `{version}` (want {VERSION})")));
+    }
+    let verb = parts.next().unwrap_or("").to_string();
+    let mut headers = Vec::new();
+    loop {
+        let line = read_head_line(r)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "frame head truncated")
+        })?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad(format!("more than {MAX_HEADERS} header lines")));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .ok_or_else(|| bad(format!("expected `key = value`, got `{line}`")))?;
+        headers.push((key, value));
+    }
+    Ok((verb, headers))
+}
+
+/// Reads one newline-terminated frame-head line, capped at
+/// [`MAX_HEAD_LINE`] bytes so a peer streaming garbage with no newline
+/// cannot grow daemon memory without bound. `None` means EOF before
+/// any byte of the line.
+fn read_head_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut bytes = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            if bytes.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "line truncated"));
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(at) => (&buf[..at], true),
+            None => (buf, false),
+        };
+        if bytes.len() + chunk.len() > MAX_HEAD_LINE {
+            return Err(bad(format!("frame-head line exceeds the {MAX_HEAD_LINE}-byte cap")));
+        }
+        bytes.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(done);
+        r.consume(consumed);
+        if done {
+            let line =
+                String::from_utf8(bytes).map_err(|_| bad("frame head is not UTF-8".into()))?;
+            return Ok(Some(line));
+        }
+    }
+}
+
+fn read_utf8(r: &mut impl Read, len: usize, what: &str) -> io::Result<String> {
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| bad(format!("{what} is not UTF-8")))
+}
+
+fn parse_len(value: &str) -> io::Result<usize> {
+    let len: usize = value.parse().map_err(|_| bad(format!("bad byte length {value}")))?;
+    if len > MAX_PAYLOAD {
+        return Err(bad(format!("payload of {len} bytes exceeds the {MAX_PAYLOAD} cap")));
+    }
+    Ok(len)
+}
+
+/// Parses a worker/shard count, rejecting 0 — a zero parses as a
+/// plain `usize` but produces a degenerate schedule. The single
+/// definition shared by the wire protocol and the CLI flags, so the
+/// daemon and the one-shot binary reject the same input with the same
+/// message.
+pub fn parse_count(key: &str, value: &str) -> Result<usize, String> {
+    let count: usize = value.parse().map_err(|_| format!("bad {key} {value}"))?;
+    if count == 0 {
+        return Err(format!("bad {key} 0 (must be at least 1)"));
+    }
+    Ok(count)
+}
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: &Request) -> Request {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, request).unwrap();
+        read_request(&mut io::BufReader::new(&bytes[..])).unwrap()
+    }
+
+    fn round_trip_response(response: &Response) -> Response {
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, response).unwrap();
+        read_response(&mut io::BufReader::new(&bytes[..])).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let full = Request::Submit(Submission {
+            sweep_text: Some("kind = fig8\nseed = 7, 8\n".into()),
+            only: Some(vec!["fig8".into(), "fig9".into()]),
+            scale: Some(Scale::Quick),
+            workers: Some(4),
+            shards: Some(2),
+            seed: Some(9),
+            reset: true,
+        });
+        assert_eq!(round_trip_request(&full), full);
+        let minimal = Request::Submit(Submission::default());
+        assert_eq!(round_trip_request(&minimal), minimal);
+        assert_eq!(round_trip_request(&Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let report = Response::Report {
+            batch: 3,
+            timing: "2 scenario(s) on 4 worker(s)\n".into(),
+            report: "{\n  \"schema\": 2\n}".into(),
+        };
+        assert_eq!(round_trip_response(&report), report);
+        assert_eq!(round_trip_response(&Response::ShuttingDown), Response::ShuttingDown);
+        let error = Response::Error("unknown kind `x9`".into());
+        assert_eq!(round_trip_response(&error), error);
+    }
+
+    #[test]
+    fn zero_counts_are_rejected_at_the_frame_boundary() {
+        for header in ["workers", "shards"] {
+            let frame = format!("{VERSION} submit\n{header} = 0\n\n");
+            let error = read_request(&mut io::BufReader::new(frame.as_bytes())).unwrap_err();
+            assert!(error.to_string().contains("at least 1"), "{error}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        for frame in [
+            "",                                                            // EOF
+            "chipletqc/0 submit\n\n",                                      // wrong version
+            "chipletqc/1 dance\n\n",                                       // unknown verb
+            "chipletqc/1 submit\nbogus line\n\n",                          // no key = value
+            "chipletqc/1 submit\ncolor = red\n\n",                         // unknown header
+            "chipletqc/1 submit\nreset = yes\n\n", // reset: true/false only
+            "chipletqc/1 submit\nworkers = 0\n\n", // degenerate schedule
+            "chipletqc/1 submit\nsweep-bytes = 99\n\n", // truncated payload
+            "chipletqc/1 submit\nsweep-bytes = 999999999999999999999\n\n", // absurd length
+        ] {
+            assert!(
+                read_request(&mut io::BufReader::new(frame.as_bytes())).is_err(),
+                "`{frame}` should not parse"
+            );
+        }
+        assert!(read_response(&mut io::BufReader::new(&b"chipletqc/1 ok\n\n"[..])).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_heads_are_rejected_not_buffered() {
+        // A peer streaming bytes with no newline must hit the line
+        // cap, not the daemon's memory.
+        let no_newline = format!("{VERSION} submit\n{}", "x".repeat(MAX_HEAD_LINE + 10));
+        let error = read_request(&mut io::BufReader::new(no_newline.as_bytes())).unwrap_err();
+        assert!(error.to_string().contains("cap"), "{error}");
+        // Likewise endless header lines.
+        let mut many = format!("{VERSION} submit\n");
+        for i in 0..=MAX_HEADERS {
+            many.push_str(&format!("seed = {i}\n"));
+        }
+        many.push('\n');
+        let error = read_request(&mut io::BufReader::new(many.as_bytes())).unwrap_err();
+        assert!(error.to_string().contains("header lines"), "{error}");
+    }
+}

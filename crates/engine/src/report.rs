@@ -173,6 +173,51 @@ pub fn compose_headline(results: &[ScenarioResult]) -> Option<Headline> {
     Some(Headline::from_data(fig8, fig9, fig10))
 }
 
+/// The service daemon's timing header for one submission: the
+/// ordinary [`timing_summary`] under a `batch N` heading, so a
+/// client's log lines stay attributable to their submission when a
+/// daemon serves many. Schedule-dependent, like every timing — never
+/// part of [`RunReport`].
+pub fn batch_timing_summary(batch: u64, results: &[ScenarioResult], workers: usize) -> String {
+    format!("batch {batch}: {}", timing_summary(results, workers))
+}
+
+/// Removes the top-level `fabrication` and `store` counter objects
+/// from a pretty-printed report — exactly the fields cache state (a
+/// cold store, a warm store, no store, or in service mode a warm hub)
+/// is allowed to affect. Two runs of the same batch must agree on the
+/// rest byte-for-byte; the determinism tests and CI jobs compare
+/// reports through this filter.
+///
+/// # Panics
+///
+/// Panics if the input does not contain both counter objects in
+/// [`RunReport::to_json`]'s pretty-printed shape — stripping nothing
+/// would silently weaken the comparison.
+pub fn strip_counter_objects(json: &str) -> String {
+    let mut out = String::new();
+    let mut stripped = 0;
+    let mut skipping = false;
+    for line in json.lines() {
+        if line == "  \"fabrication\": {" || line == "  \"store\": {" {
+            skipping = true;
+            stripped += 1;
+            continue;
+        }
+        if skipping {
+            if line == "  }," || line == "  }" {
+                skipping = false;
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    assert!(!skipping, "counter object never closed");
+    assert_eq!(stripped, 2, "expected both counter objects in a report");
+    out
+}
+
 /// A human-readable (schedule-dependent) timing summary: per-scenario
 /// wall clock plus the batch total. Never part of [`RunReport`].
 pub fn timing_summary(results: &[ScenarioResult], workers: usize) -> String {
@@ -278,6 +323,38 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "artifact names must be unique");
+    }
+
+    #[test]
+    fn strip_counter_objects_removes_exactly_the_counters() {
+        let hub = CacheHub::new();
+        let results = Scheduler::new(2).run(&tiny_batch(), &hub);
+        let report =
+            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+        let json = report.to_json();
+        let stripped = strip_counter_objects(&json);
+        assert!(!stripped.contains("\"fabrication\""));
+        assert!(!stripped.contains("\"store\""));
+        assert!(stripped.contains("\"scenarios\""));
+        assert!(stripped.contains("\"artifact_contents\""));
+        // Reports that differ only in counters agree after stripping —
+        // the comparison every cache-transparency test relies on.
+        let zeroed = RunReport::from_results(
+            &results,
+            FabricationStats::default(),
+            StoreStats::default(),
+        );
+        assert_ne!(zeroed.to_json(), json);
+        assert_eq!(strip_counter_objects(&zeroed.to_json()), stripped);
+    }
+
+    #[test]
+    fn batch_timing_summary_prefixes_the_batch_id() {
+        let hub = CacheHub::new();
+        let results = Scheduler::new(2).run(&tiny_batch()[..1], &hub);
+        let timing = batch_timing_summary(7, &results, 2);
+        assert!(timing.starts_with("batch 7: 1 scenario(s) on 2 worker(s)"), "{timing}");
+        assert!(timing.contains("fig8"));
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Service mode: a long-lived engine daemon with a warm [`CacheHub`].
+//!
+//! A one-shot CLI invocation pays process startup, store scans, and a
+//! stone-cold in-memory cache on every run, even when the on-disk
+//! store is warm. [`Service`] amortizes all of that: it listens on a
+//! Unix domain socket, accepts batch submissions in the
+//! [`protocol`](crate::protocol) frame format, and runs each through
+//! the ordinary [`Scheduler`](crate::scheduler::Scheduler) against
+//! **one hub held for the daemon's whole lifetime**. The second
+//! submission of an overlapping sweep performs zero fabrication
+//! campaigns *without even touching disk* — every product is already
+//! in memory.
+//!
+//! ## Contract
+//!
+//! * Each submission resolves through the same
+//!   [`resolve_batch`](crate::suite::resolve_batch) path as the
+//!   one-shot CLI and honors its own `workers`/`shards`, so the
+//!   returned `RunReport` is byte-identical to a one-shot run of the
+//!   same batch — apart from the `fabrication`/`store` counter
+//!   objects, which report this submission's *deltas* (the hub's
+//!   counters are monotonic across batches;
+//!   [`FabricationStats::since`](chipletqc::lab::FabricationStats::since)
+//!   /
+//!   [`StoreStats::since`](chipletqc_store::StoreStats::since)
+//!   rebase them).
+//! * Submissions run one at a time, in arrival order, on the
+//!   scheduler's own worker pool — one batch already saturates the
+//!   machine, and serial execution keeps the global Monte Carlo
+//!   worker budget race-free.
+//! * Shutdown — a `shutdown` frame or the binary's SIGTERM flag —
+//!   drains the in-flight batch before the listener closes and the
+//!   socket file is removed. A rejected submission (parse error,
+//!   unknown scenario) answers with an error frame and leaves the
+//!   daemon up.
+//! * A submission may ask for a [`CacheHub::clear`] first (`reset`),
+//!   bounding a long-lived daemon's memory without restarting it.
+
+use std::io::{self, BufReader, BufWriter};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use chipletqc::lab::{CacheHub, FabricationStats};
+use chipletqc_store::{Store, StoreStats};
+
+use crate::protocol::{read_request, write_response, Request, Response, Submission};
+use crate::report::{batch_timing_summary, RunReport};
+use crate::scenario::Scale;
+use crate::scheduler::Scheduler;
+use crate::suite::resolve_batch;
+use crate::sweep::Sweep;
+
+/// How often the accept loop wakes to poll the stop condition while no
+/// client is connected (the listener runs non-blocking so a SIGTERM
+/// flag is honored promptly instead of waiting for the next client).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// How long the daemon waits for a connected client to deliver its
+/// request frame. Requests are small and sent in one burst, so this is
+/// generous; without it a single idle connection (a port probe, a
+/// client stopped mid-frame) would wedge the synchronous daemon — and
+/// block shutdown — until the peer went away.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The Unix domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Default scheduler worker threads for submissions that set none
+    /// (`None` uses the hardware thread count).
+    pub default_workers: Option<usize>,
+    /// Default per-scenario shard cap for submissions that set none.
+    pub default_shards: usize,
+}
+
+impl ServiceConfig {
+    /// A configuration listening on `socket` with hardware-default
+    /// workers and no sharding.
+    pub fn new(socket: impl Into<PathBuf>) -> ServiceConfig {
+        ServiceConfig { socket: socket.into(), default_workers: None, default_shards: 1 }
+    }
+}
+
+/// What one daemon lifetime did — returned by [`Service::run`] for
+/// logging and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceSummary {
+    /// Batches executed successfully.
+    pub batches: u64,
+    /// Submissions rejected with an error frame.
+    pub rejected: u64,
+    /// Total scenarios executed across all batches.
+    pub scenarios: u64,
+}
+
+/// A bound, not-yet-running engine daemon. [`Service::run`] consumes
+/// it; the socket file is removed when the service drops.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    listener: UnixListener,
+    hub: CacheHub,
+    summary: ServiceSummary,
+}
+
+impl Service {
+    /// Binds the listening socket and prepares the lifetime hub
+    /// (optionally backed by a persistent store).
+    ///
+    /// A left-over socket file from a crashed daemon is detected — a
+    /// connection attempt to it fails — and replaced; a *live* daemon
+    /// on the same path is an `AddrInUse` error.
+    pub fn bind(config: ServiceConfig, store: Option<Store>) -> io::Result<Service> {
+        if config.socket.exists() {
+            match UnixStream::connect(&config.socket) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("{} already has a live daemon", config.socket.display()),
+                    ));
+                }
+                // Only a refused connection proves nothing is
+                // listening (a crashed daemon's leftover file). Any
+                // other failure — e.g. a busy daemon whose listen
+                // backlog is full — must NOT be read as "stale": that
+                // would delete a live daemon's socket out from under
+                // its clients.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                    std::fs::remove_file(&config.socket)?;
+                }
+                Err(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!(
+                            "{} exists and may belong to a live daemon ({e}); \
+                             remove it manually if the daemon is gone",
+                            config.socket.display()
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(parent) = config.socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        let hub = match store {
+            Some(store) => CacheHub::new().with_store(store),
+            None => CacheHub::new(),
+        };
+        Ok(Service { config, listener, hub, summary: ServiceSummary::default() })
+    }
+
+    /// The socket path the service is listening on.
+    pub fn socket(&self) -> &std::path::Path {
+        &self.config.socket
+    }
+
+    /// Serves submissions until a `shutdown` frame arrives or
+    /// `should_stop` returns true (the binary points this at its
+    /// SIGTERM flag; tests pass `|| false` and use the frame). The
+    /// in-flight batch always completes and is answered before the
+    /// loop exits — shutdown drains, it never aborts.
+    pub fn run(mut self, should_stop: impl Fn() -> bool) -> io::Result<ServiceSummary> {
+        self.listener.set_nonblocking(true)?;
+        let mut shutdown = false;
+        while !shutdown && !should_stop() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // The accepted stream must block: request handling
+                    // is synchronous.
+                    stream.set_nonblocking(false)?;
+                    shutdown = self.handle(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Outstanding store writes land before the directory is handed
+        // back (to a next daemon, or to one-shot runs).
+        self.hub.flush_store();
+        Ok(self.summary)
+    }
+
+    /// Handles one connection (one request, one response). Returns
+    /// true when the client asked the daemon to shut down. I/O errors
+    /// on a single connection are logged and dropped — a client that
+    /// disconnects mid-frame must not take the daemon down.
+    fn handle(&mut self, stream: UnixStream) -> bool {
+        // Bound how long an unresponsive client can monopolize the
+        // synchronous daemon; responses get no timeout (a report may
+        // be large and the client slow to drain it).
+        let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
+        let mut reader = BufReader::new(&stream);
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            // A connection closed before any frame is not a bad
+            // submission — it is how liveness probes (including
+            // `Service::bind` checking for a live daemon) look. Drop
+            // it silently instead of answering into a dead socket.
+            Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => return false,
+            Err(error) => {
+                self.summary.rejected += 1;
+                self.respond(&stream, &Response::Error(format!("bad request: {error}")));
+                return false;
+            }
+        };
+        match request {
+            Request::Shutdown => {
+                self.respond(&stream, &Response::ShuttingDown);
+                true
+            }
+            Request::Submit(submission) => {
+                let response = match self.run_batch(&submission) {
+                    Ok(response) => response,
+                    Err(message) => {
+                        self.summary.rejected += 1;
+                        Response::Error(message)
+                    }
+                };
+                self.respond(&stream, &response);
+                false
+            }
+        }
+    }
+
+    fn respond(&self, stream: &UnixStream, response: &Response) {
+        let mut writer = BufWriter::new(stream);
+        if let Err(error) = write_response(&mut writer, response) {
+            eprintln!("chipletqc-engine serve: dropping reply: {error}");
+        }
+    }
+
+    /// Runs one submitted batch through the scheduler against the
+    /// lifetime hub and builds its report frame.
+    fn run_batch(&mut self, submission: &Submission) -> Result<Response, String> {
+        let sweep = match &submission.sweep_text {
+            Some(text) => Some(Sweep::parse(text).map_err(|e| format!("sweep: {e}"))?),
+            None => None,
+        };
+        let suite = resolve_batch(
+            sweep.as_ref(),
+            submission.scale.unwrap_or(Scale::Paper),
+            submission.only.as_deref(),
+            submission.seed,
+        )?;
+        if submission.reset {
+            self.hub.clear();
+        }
+        let workers = submission.workers.or(self.config.default_workers);
+        let scheduler = workers
+            .map_or_else(Scheduler::default, Scheduler::new)
+            .with_shards(submission.shards.unwrap_or(self.config.default_shards));
+
+        // Per-submission counters: the hub's totals are monotonic
+        // across batches, so rebase both counter objects on a
+        // snapshot. A warm-hub resubmission then reports zero
+        // fabrications and zero store traffic — the observable for
+        // "no recomputation, and no disk either".
+        let fabrication_before = self.hub.fabrication_stats();
+        let store_before = self.hub.store_stats();
+        let results = scheduler.run(&suite, &self.hub);
+        self.hub.flush_store();
+        let fabrication: FabricationStats =
+            self.hub.fabrication_stats().since(fabrication_before);
+        let store: StoreStats = self.hub.store_stats().since(store_before);
+
+        self.summary.batches += 1;
+        self.summary.scenarios += results.len() as u64;
+        let batch = self.summary.batches;
+        let report = RunReport::from_results(&results, fabrication, store);
+        Ok(Response::Report {
+            batch,
+            timing: batch_timing_summary(batch, &results, scheduler.workers()),
+            report: report.to_json(),
+        })
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.config.socket);
+    }
+}
+
+/// Connects to a daemon at `socket`, sends one request, and returns
+/// the response — the client side of the protocol, shared by the
+/// `submit` subcommand and the tests.
+pub fn request(socket: &std::path::Path, request: &Request) -> io::Result<Response> {
+    let stream = UnixStream::connect(socket).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!("connect {} (is `chipletqc-engine serve` running?): {e}", socket.display()),
+        )
+    })?;
+    crate::protocol::write_request(&mut BufWriter::new(&stream), request)?;
+    crate::protocol::read_response(&mut BufReader::new(&stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn temp_socket(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("chipletqc-svc-{tag}-{}.sock", std::process::id()))
+    }
+
+    /// A tiny one-scenario sweep so unit tests stay fast; the
+    /// integration test exercises a real multi-scenario batch.
+    const TINY: &str = "name = tiny\nkind = fig8\ngrid = 10q2x2\nbatch = 100\nseed = 7\n";
+
+    #[test]
+    fn binding_replaces_stale_sockets_but_not_live_daemons() {
+        let socket = temp_socket("stale");
+        std::fs::write(&socket, b"stale non-socket file").unwrap();
+        let service = Service::bind(ServiceConfig::new(&socket), None).expect("replace stale");
+        assert!(socket.exists());
+        assert_eq!(
+            Service::bind(ServiceConfig::new(&socket), None).unwrap_err().kind(),
+            io::ErrorKind::AddrInUse,
+            "a live listener must not be displaced"
+        );
+        drop(service);
+        assert!(!socket.exists(), "drop removes the socket file");
+    }
+
+    #[test]
+    fn submissions_run_and_shutdown_drains() {
+        let socket = temp_socket("roundtrip");
+        let service = Service::bind(ServiceConfig::new(&socket), None).unwrap();
+        let handle = std::thread::spawn(move || service.run(|| false).unwrap());
+
+        let submission = Submission {
+            sweep_text: Some(TINY.into()),
+            workers: Some(2),
+            ..Submission::default()
+        };
+        let first = request(&socket, &Request::Submit(submission.clone())).unwrap();
+        let Response::Report { batch, timing, report } = first else {
+            panic!("expected a report, got {first:?}");
+        };
+        assert_eq!(batch, 1);
+        assert!(timing.starts_with("batch 1: 1 scenario(s) on 2 worker(s)"), "{timing}");
+        assert!(report.contains("\"tiny/g10q2x2_b100_s7\""));
+        assert!(!report.contains("\"chiplet_campaigns\": 0"), "first batch fabricates");
+
+        // Same batch again: the warm hub serves everything.
+        let second = request(&socket, &Request::Submit(submission)).unwrap();
+        let Response::Report { batch, report, .. } = second else {
+            panic!("expected a report, got {second:?}");
+        };
+        assert_eq!(batch, 2);
+        assert!(report.contains("\"chiplet_campaigns\": 0"), "warm batch must not fabricate");
+        assert!(report.contains("\"mono_campaigns\": 0"));
+
+        // A bad submission answers with an error and keeps serving.
+        let bad =
+            Submission { sweep_text: Some("kind = bogus\n".into()), ..Default::default() };
+        let error = request(&socket, &Request::Submit(bad)).unwrap();
+        assert!(
+            matches!(error, Response::Error(ref m) if m.contains("unknown kind")),
+            "{error:?}"
+        );
+        let missing =
+            Submission { only: Some(vec!["not-a-scenario".into()]), ..Default::default() };
+        let error = request(&socket, &Request::Submit(missing)).unwrap();
+        assert!(matches!(error, Response::Error(ref m) if m.contains("unknown scenario")));
+
+        assert_eq!(request(&socket, &Request::Shutdown).unwrap(), Response::ShuttingDown);
+        let summary = handle.join().unwrap();
+        assert_eq!(summary, ServiceSummary { batches: 2, rejected: 2, scenarios: 2 });
+        assert!(!socket.exists(), "shutdown removes the socket file");
+    }
+
+    #[test]
+    fn stop_flag_ends_the_accept_loop() {
+        let socket = temp_socket("sigterm");
+        let service = Service::bind(ServiceConfig::new(&socket), None).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle =
+            std::thread::spawn(move || service.run(move || flag.load(Ordering::SeqCst)));
+        std::thread::sleep(Duration::from_millis(60));
+        stop.store(true, Ordering::SeqCst);
+        let summary = handle.join().unwrap().unwrap();
+        assert_eq!(summary, ServiceSummary::default());
+        assert!(!socket.exists());
+    }
+}

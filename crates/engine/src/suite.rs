@@ -24,6 +24,40 @@ pub fn demo_sweep() -> Sweep {
         .expect("checked-in sweep parses")
 }
 
+/// Resolves a batch description — a sweep, or the paper suite at
+/// `scale` filtered by `only` — into the scenario list the scheduler
+/// runs, with an optional root-seed override applied.
+///
+/// This is the single definition of "what does this batch run" shared
+/// by the one-shot CLI and the service daemon: both paths construct
+/// byte-identical suites, which is what makes a daemon-submitted
+/// batch's report comparable to a one-shot run of the same batch.
+pub fn resolve_batch(
+    sweep: Option<&Sweep>,
+    scale: Scale,
+    only: Option<&[String]>,
+    seed: Option<u64>,
+) -> Result<Vec<Scenario>, String> {
+    let mut suite: Vec<Scenario> = match sweep {
+        Some(sweep) => sweep.expand(),
+        None => paper_suite(scale),
+    };
+    if let Some(only) = only {
+        for name in only {
+            if !suite.iter().any(|s| &s.name == name) {
+                return Err(format!("unknown scenario {name} (try --list)"));
+            }
+        }
+        suite.retain(|s| only.contains(&s.name));
+    }
+    if let Some(seed) = seed {
+        for scenario in &mut suite {
+            scenario.overrides.seed = Some(seed);
+        }
+    }
+    Ok(suite)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,6 +72,23 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn resolve_batch_matches_the_cli_semantics() {
+        // Paper suite, filtered and seed-overridden.
+        let only = vec!["fig8".to_string(), "fig9".to_string()];
+        let suite = resolve_batch(None, Scale::Quick, Some(&only), Some(9)).unwrap();
+        assert_eq!(suite.len(), 2);
+        assert!(suite.iter().all(|s| s.overrides.seed == Some(9)));
+        // Unknown names are rejected, not silently dropped.
+        let missing = vec!["fig8".to_string(), "not-a-scenario".to_string()];
+        let error = resolve_batch(None, Scale::Quick, Some(&missing), None).unwrap_err();
+        assert!(error.contains("unknown scenario not-a-scenario"), "{error}");
+        // A sweep replaces the suite (and ignores scale, like the CLI).
+        let sweep = demo_sweep();
+        let suite = resolve_batch(Some(&sweep), Scale::Paper, None, None).unwrap();
+        assert_eq!(suite, sweep.expand());
     }
 
     #[test]

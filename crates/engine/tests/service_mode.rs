@@ -1,0 +1,167 @@
+//! Service mode's load-bearing contract, pinned end to end:
+//!
+//! 1. **Daemon transparency** — a daemon-submitted batch's `RunReport`
+//!    is byte-identical to a one-shot run of the same batch, apart
+//!    from the `fabrication`/`store` counter objects (which hold the
+//!    submission's deltas);
+//! 2. **The warm hub makes repeats free** — a second submission of the
+//!    same sweep reports zero fabrication campaigns *and zero store
+//!    traffic*: every product is served from the daemon's memory
+//!    without touching disk;
+//! 3. per-batch `workers`/`shards` are honored without changing the
+//!    report, and shutdown drains cleanly (socket removed, summary
+//!    accounted).
+
+#![cfg(unix)]
+
+use std::sync::mpsc;
+
+use chipletqc::lab::CacheHub;
+use chipletqc_engine::protocol::{Request, Response, Submission};
+use chipletqc_engine::report::{strip_counter_objects, RunReport};
+use chipletqc_engine::scheduler::Scheduler;
+use chipletqc_engine::service::{self, Service, ServiceConfig, ServiceSummary};
+use chipletqc_engine::suite::resolve_batch;
+use chipletqc_engine::sweep::Sweep;
+use chipletqc_store::{CacheMode, Store};
+
+/// A small two-scenario sweep covering both persisted-product paths
+/// (lab products via fig8, tally chunks via nothing here — kept small
+/// so the test stays fast; the CI `service-smoke` job replays the full
+/// checked-in example sweep against a real daemon process).
+const SWEEP: &str = "name = svc\n\
+                     kind = fig8\n\
+                     scale = quick\n\
+                     grid = 10q2x2, 10q2x3\n\
+                     batch = 120\n\
+                     seed = 7\n";
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("chipletqc-svcmode-{tag}-{}", std::process::id()))
+}
+
+fn submit(socket: &std::path::Path, submission: Submission) -> (u64, String, String) {
+    match service::request(socket, &Request::Submit(submission)).expect("submit") {
+        Response::Report { batch, timing, report } => (batch, timing, report),
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+/// Pulls one `"counter": N` value out of a pretty-printed report.
+fn counter(report: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = report.find(&needle).unwrap_or_else(|| panic!("no {key} in report"));
+    report[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn daemon_reports_match_one_shot_and_repeats_are_free() {
+    let socket = temp_path("determinism.sock");
+    let store_dir = temp_path("determinism-store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let store = Store::open(&store_dir, CacheMode::ReadWrite).expect("open store");
+    let service = Service::bind(ServiceConfig::new(&socket), Some(store)).expect("bind");
+    let (summary_tx, summary_rx) = mpsc::channel::<ServiceSummary>();
+    let daemon = std::thread::spawn(move || {
+        summary_tx.send(service.run(|| false).expect("serve")).unwrap();
+    });
+
+    let submission = |workers, shards| Submission {
+        sweep_text: Some(SWEEP.into()),
+        workers: Some(workers),
+        shards: Some(shards),
+        ..Submission::default()
+    };
+
+    // First submission: cold store, so the daemon fabricates and
+    // persists.
+    let (batch1, timing1, report1) = submit(&socket, submission(2, 1));
+    assert_eq!(batch1, 1);
+    assert!(timing1.starts_with("batch 1: 2 scenario(s) on 2 worker(s)"), "{timing1}");
+    assert!(counter(&report1, "chiplet_campaigns") > 0, "cold submission fabricates");
+    assert!(counter(&report1, "writes") > 0, "cold submission persists");
+
+    // Second submission of the same sweep — different schedule, warm
+    // hub: zero fabrication campaigns AND zero store traffic. The
+    // products never leave the daemon's memory.
+    let (batch2, _, report2) = submit(&socket, submission(3, 2));
+    assert_eq!(batch2, 2);
+    for key in ["chiplet_campaigns", "mono_campaigns", "hits", "misses", "writes", "invalid"] {
+        assert_eq!(counter(&report2, key), 0, "warm submission must report {key} = 0");
+    }
+
+    // Both submissions agree with a one-shot run of the identical
+    // batch, byte for byte, modulo the counter objects.
+    let sweep = Sweep::parse(SWEEP).expect("sweep parses");
+    let suite = resolve_batch(Some(&sweep), Default::default(), None, None).expect("batch");
+    let hub = CacheHub::new();
+    let results = Scheduler::new(2).run(&suite, &hub);
+    let one_shot =
+        RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats()).to_json();
+    assert_eq!(
+        strip_counter_objects(&report1),
+        strip_counter_objects(&one_shot),
+        "daemon batch diverged from the one-shot CLI run"
+    );
+    assert_eq!(
+        strip_counter_objects(&report2),
+        strip_counter_objects(&report1),
+        "repeat submission diverged"
+    );
+    // The counters themselves differ (cold vs warm), so the stripping
+    // above is load-bearing.
+    assert_ne!(report1, report2);
+
+    // A `reset` submission drops the warm memory but re-reads from the
+    // persistent store — still zero fabrications, now with hits.
+    let reset = Submission { reset: true, ..submission(2, 1) };
+    let (_, _, report3) = submit(&socket, reset);
+    assert_eq!(counter(&report3, "chiplet_campaigns"), 0, "store still warm after reset");
+    assert_eq!(counter(&report3, "mono_campaigns"), 0);
+    assert!(counter(&report3, "hits") > 0, "reset forces re-reads from disk");
+    assert_eq!(strip_counter_objects(&report3), strip_counter_objects(&report1));
+
+    // Shutdown drains and accounts for everything.
+    assert_eq!(
+        service::request(&socket, &Request::Shutdown).expect("shutdown"),
+        Response::ShuttingDown
+    );
+    daemon.join().expect("daemon thread");
+    let summary = summary_rx.recv().expect("summary");
+    assert_eq!(summary, ServiceSummary { batches: 3, rejected: 0, scenarios: 6 });
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn storeless_daemon_still_reuses_its_warm_hub() {
+    // Without any persistent store the warm hub alone must make the
+    // second submission free — the pure in-memory half of the
+    // contract.
+    let socket = temp_path("storeless.sock");
+    let service = Service::bind(ServiceConfig::new(&socket), None).expect("bind");
+    let daemon = std::thread::spawn(move || service.run(|| false).expect("serve"));
+
+    let submission = Submission {
+        sweep_text: Some(SWEEP.into()),
+        workers: Some(2),
+        ..Submission::default()
+    };
+    let (_, _, cold) = submit(&socket, submission.clone());
+    assert!(counter(&cold, "chiplet_campaigns") > 0);
+    assert_eq!(counter(&cold, "writes"), 0, "no store, no writes");
+    let (_, _, warm) = submit(&socket, submission);
+    assert_eq!(counter(&warm, "chiplet_campaigns"), 0);
+    assert_eq!(counter(&warm, "mono_campaigns"), 0);
+    assert_eq!(strip_counter_objects(&warm), strip_counter_objects(&cold));
+
+    service::request(&socket, &Request::Shutdown).expect("shutdown");
+    daemon.join().expect("daemon thread");
+}

@@ -11,7 +11,7 @@
 //!    merge-on-read interop).
 
 use chipletqc::lab::CacheHub;
-use chipletqc_engine::report::RunReport;
+use chipletqc_engine::report::{strip_counter_objects, RunReport};
 use chipletqc_engine::scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
 use chipletqc_engine::scheduler::Scheduler;
 use chipletqc_engine::sweep::Sweep;
@@ -66,27 +66,9 @@ fn run(workers: usize, shards: usize, hub: &CacheHub) -> (String, usize, u64, u6
 }
 
 /// Removes the two top-level counter objects — exactly the fields the
-/// store is allowed to affect — from the pretty-printed report.
+/// store is allowed to affect — via the engine's shared helper.
 fn strip_counters(json: &str) -> String {
-    let mut out = String::new();
-    let mut skipping = false;
-    for line in json.lines() {
-        if line == "  \"fabrication\": {" || line == "  \"store\": {" {
-            skipping = true;
-            continue;
-        }
-        if skipping {
-            if line == "  }," || line == "  }" {
-                skipping = false;
-            }
-            continue;
-        }
-        out.push_str(line);
-        out.push('\n');
-    }
-    assert!(!skipping, "counter object never closed");
-    assert!(out.len() < json.len(), "nothing was stripped");
-    out
+    strip_counter_objects(json)
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {

@@ -200,6 +200,21 @@ pub struct StoreStats {
     pub invalid: u64,
 }
 
+impl StoreStats {
+    /// The traffic since `earlier` was snapshotted — the
+    /// per-submission view a long-lived service reports against one
+    /// shared store, whose session counters only ever grow.
+    #[must_use]
+    pub fn since(&self, earlier: StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            writes: self.writes.saturating_sub(earlier.writes),
+            invalid: self.invalid.saturating_sub(earlier.invalid),
+        }
+    }
+}
+
 /// On-disk totals from a directory scan.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DiskStats {
@@ -437,7 +452,16 @@ impl Store {
         }
     }
 
-    fn scan(&self) -> io::Result<Vec<(PathBuf, u64, std::time::SystemTime)>> {
+    /// Drops the in-process memo of chunked ranged payloads (which
+    /// otherwise retains every touched chunk for the store's
+    /// lifetime). Entries on disk are untouched; the next request for
+    /// a chunk re-reads or recomputes it. A long-lived service calls
+    /// this between batches to bound memory.
+    pub fn clear_memo(&self) {
+        self.ranged_memo.lock().expect("memo poisoned").clear();
+    }
+
+    fn scan(&self) -> io::Result<Vec<ScannedFile>> {
         let mut files = Vec::new();
         let objects = self.root.join("objects");
         for shard in std::fs::read_dir(&objects)? {
@@ -449,8 +473,15 @@ impl Store {
                 let entry = entry?;
                 let meta = entry.metadata()?;
                 if meta.is_file() {
-                    let modified = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                    files.push((entry.path(), meta.len(), modified));
+                    // An unreadable mtime is recorded as unknown, NOT
+                    // as UNIX_EPOCH: mapping it to "infinitely old"
+                    // made gc reap a temp file right out from under a
+                    // live writer in another process.
+                    files.push(ScannedFile {
+                        path: entry.path(),
+                        len: meta.len(),
+                        modified: meta.modified().ok(),
+                    });
                 }
             }
         }
@@ -461,17 +492,17 @@ impl Store {
     pub fn disk_stats(&self) -> io::Result<DiskStats> {
         let mut stats = DiskStats::default();
         let mut kinds: HashMap<String, (u64, u64)> = HashMap::new();
-        for (path, size, _) in self.scan()? {
-            if is_tmp(&path) {
+        for file in self.scan()? {
+            if is_tmp(&file.path) {
                 continue;
             }
-            match std::fs::read(&path).ok().and_then(|b| envelope::open(&b).ok()) {
+            match std::fs::read(&file.path).ok().and_then(|b| envelope::open(&b).ok()) {
                 Some(env) => {
                     stats.entries += 1;
-                    stats.bytes += size;
+                    stats.bytes += file.len;
                     let slot = kinds.entry(env.kind).or_default();
                     slot.0 += 1;
-                    slot.1 += size;
+                    slot.1 += file.len;
                 }
                 None => stats.corrupt += 1,
             }
@@ -485,40 +516,95 @@ impl Store {
     /// Deletes oldest entries (by modification time, ties broken by
     /// file name for determinism) until the directory holds at most
     /// `max_bytes` of entries. Temp files older than an hour are
-    /// orphans from crashed writers and are reaped; younger ones may
-    /// belong to another process's in-flight write and are left
-    /// alone. The store is a cache, so any entry is safe to delete at
-    /// any time.
+    /// orphans from crashed writers and are reaped; younger ones — and
+    /// any whose age cannot be read — may belong to another process's
+    /// in-flight write and are left alone. The store is a cache, so
+    /// any entry is safe to delete at any time.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
         self.flush();
-        let now = std::time::SystemTime::now();
-        let mut report = GcReport::default();
-        let mut entries = Vec::new();
-        for (path, size, modified) in self.scan()? {
-            if is_tmp(&path) {
-                let age = now.duration_since(modified).unwrap_or_default();
-                if age >= TMP_ORPHAN_AGE {
-                    let _ = std::fs::remove_file(&path);
-                }
-                continue;
-            }
-            report.scanned_entries += 1;
-            report.scanned_bytes += size;
-            entries.push((path, size, modified));
+        let plan = plan_gc(self.scan()?, max_bytes, std::time::SystemTime::now());
+        for path in &plan.reap_tmp {
+            let _ = std::fs::remove_file(path);
         }
-        entries.sort_by(|a, b| (a.2, a.0.as_os_str()).cmp(&(b.2, b.0.as_os_str())));
-        let mut total = report.scanned_bytes;
-        for (path, size, _) in entries {
-            if total <= max_bytes {
-                break;
-            }
-            std::fs::remove_file(&path)?;
-            total -= size;
+        let mut report = plan.report;
+        for (path, size) in &plan.delete {
+            std::fs::remove_file(path)?;
             report.removed_entries += 1;
             report.removed_bytes += size;
         }
         Ok(report)
     }
+}
+
+/// One file found by a directory scan. `modified` is `None` when the
+/// filesystem cannot report an mtime — distinct from "very old", which
+/// is what gc safety hinges on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScannedFile {
+    path: PathBuf,
+    len: u64,
+    modified: Option<std::time::SystemTime>,
+}
+
+/// What one gc sweep will do. Split from the I/O so the deletion
+/// policy — orphan detection, oldest-first order, the deterministic
+/// path tie-break — is testable on fabricated scans.
+#[derive(Debug, Default)]
+struct GcPlan {
+    /// Orphaned temp files to reap (best-effort).
+    reap_tmp: Vec<PathBuf>,
+    /// Entries to delete, in deletion order.
+    delete: Vec<(PathBuf, u64)>,
+    /// Scan totals (removal counts are filled in as deletions land).
+    report: GcReport,
+}
+
+/// Decides a gc sweep over a scan snapshot.
+///
+/// * A temp file is an orphan only when its mtime is *known* to be at
+///   least [`TMP_ORPHAN_AGE`] old. An unreadable mtime is treated as
+///   young — the file may belong to a live writer in another process,
+///   and reaping it would yank the file out from under that writer.
+/// * Entries are deleted oldest-first until the budget is met, with
+///   equal mtimes (common after a batch write) broken by path so the
+///   order is deterministic; unknown-mtime entries are treated as
+///   youngest and deleted last.
+fn plan_gc(files: Vec<ScannedFile>, max_bytes: u64, now: std::time::SystemTime) -> GcPlan {
+    let mut plan = GcPlan::default();
+    let mut entries = Vec::new();
+    for file in files {
+        if is_tmp(&file.path) {
+            let orphaned = file
+                .modified
+                .and_then(|m| now.duration_since(m).ok())
+                .is_some_and(|age| age >= TMP_ORPHAN_AGE);
+            if orphaned {
+                plan.reap_tmp.push(file.path);
+            }
+            continue;
+        }
+        plan.report.scanned_entries += 1;
+        plan.report.scanned_bytes += file.len;
+        entries.push(file);
+    }
+    // Oldest first; `None` (unknown mtime) sorts after every known
+    // mtime; the path tie-break keeps equal-mtime order deterministic.
+    entries.sort_by(|a, b| {
+        (a.modified.is_none(), a.modified, a.path.as_os_str()).cmp(&(
+            b.modified.is_none(),
+            b.modified,
+            b.path.as_os_str(),
+        ))
+    });
+    let mut total = plan.report.scanned_bytes;
+    for file in entries {
+        if total <= max_bytes {
+            break;
+        }
+        total -= file.len;
+        plan.delete.push((file.path, file.len));
+    }
+    plan
 }
 
 impl Drop for Store {
@@ -652,6 +738,134 @@ mod tests {
         let report = store.gc(0).unwrap();
         assert_eq!(report.scanned_entries, report.removed_entries);
         assert_eq!(store.disk_stats().unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_leaves_young_temp_files_alone() {
+        // A live writer's in-flight temp file (young mtime) must
+        // survive a concurrent gc in another process.
+        let root = temp_root("tmp-live");
+        let store = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        let tmp = root.join("objects").join("ab");
+        std::fs::create_dir_all(&tmp).unwrap();
+        let tmp = tmp.join(format!("{TMP_PREFIX}123-0-deadbeef"));
+        std::fs::write(&tmp, b"half-written").unwrap();
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.scanned_entries, 0, "temp files are not entries");
+        assert!(tmp.exists(), "young temp file reaped out from under a live writer");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    fn scanned(name: &str, len: u64, mtime_secs: Option<u64>) -> ScannedFile {
+        ScannedFile {
+            path: PathBuf::from(format!("objects/ab/{name}")),
+            len,
+            modified: mtime_secs
+                .map(|s| std::time::UNIX_EPOCH + std::time::Duration::from_secs(s)),
+        }
+    }
+
+    #[test]
+    fn gc_plan_treats_unreadable_temp_mtime_as_young() {
+        // Regression: an mtime-error temp file used to map to
+        // UNIX_EPOCH — infinitely old — and get reaped while its
+        // writer was still alive. Unknown age must mean "presumed
+        // live", alongside genuinely young files; only a *known* old
+        // mtime marks an orphan.
+        let now = std::time::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        let plan = plan_gc(
+            vec![
+                scanned(&format!("{TMP_PREFIX}no-mtime"), 10, None),
+                scanned(&format!("{TMP_PREFIX}young"), 10, Some(999_990)),
+                scanned(&format!("{TMP_PREFIX}orphan"), 10, Some(1_000_000 - 3601)),
+            ],
+            0,
+            now,
+        );
+        let reaped: Vec<&str> =
+            plan.reap_tmp.iter().map(|p| p.file_name().unwrap().to_str().unwrap()).collect();
+        assert_eq!(reaped, [format!("{TMP_PREFIX}orphan")]);
+        assert!(plan.delete.is_empty(), "temp files never count as entries");
+    }
+
+    #[test]
+    fn gc_plan_breaks_mtime_ties_by_path_and_defers_unknown_mtimes() {
+        // Equal mtimes are the common case after a batch write; the
+        // documented deterministic order is oldest first, ties by
+        // file name, unknown mtimes last.
+        let now = std::time::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        let plan = plan_gc(
+            vec![
+                scanned("b-tied", 10, Some(500)),
+                scanned("unknown-age", 10, None),
+                scanned("a-tied", 10, Some(500)),
+                scanned("newer", 10, Some(900)),
+                scanned("oldest", 10, Some(100)),
+            ],
+            0,
+            now,
+        );
+        let order: Vec<&str> =
+            plan.delete.iter().map(|(p, _)| p.file_name().unwrap().to_str().unwrap()).collect();
+        assert_eq!(order, ["oldest", "a-tied", "b-tied", "newer", "unknown-age"]);
+        assert_eq!(plan.report.scanned_entries, 5);
+        assert_eq!(plan.report.scanned_bytes, 50);
+
+        // A budget stops deletion as soon as the total fits: only the
+        // two oldest go, and the tie-break decides which "tied" file
+        // survives.
+        let plan = plan_gc(
+            vec![scanned("b-tied", 10, Some(500)), scanned("a-tied", 10, Some(500))],
+            10,
+            now,
+        );
+        assert_eq!(plan.delete.len(), 1);
+        assert!(plan.delete[0].0.ends_with("a-tied"));
+    }
+
+    #[test]
+    fn stats_since_and_memo_clearing_support_long_lived_services() {
+        let root = temp_root("service");
+        let store = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        store.put(&key("a"), Encoding::Binary, b"v".to_vec());
+        store.flush();
+        let snapshot = store.stats();
+        assert!(store.get(&key("a")).is_some());
+        assert_eq!(
+            store.stats().since(snapshot),
+            StoreStats { hits: 1, misses: 0, writes: 0, invalid: 0 }
+        );
+        assert_eq!(StoreStats::default().since(store.stats()), StoreStats::default());
+
+        // The ranged memo serves repeats without disk reads; clearing
+        // it forces the next request back through `get` (another hit).
+        let payload = store.get_or_compute_once(
+            &key("m"),
+            Encoding::Binary,
+            |_| true,
+            || b"chunk".to_vec(),
+        );
+        assert_eq!(*payload, b"chunk".to_vec());
+        store.flush();
+        let before = store.stats();
+        let again = store.get_or_compute_once(
+            &key("m"),
+            Encoding::Binary,
+            |_| true,
+            || panic!("memoized chunk must not recompute"),
+        );
+        assert_eq!(*again, b"chunk".to_vec());
+        assert_eq!(store.stats().since(before), StoreStats::default());
+        store.clear_memo();
+        let reread = store.get_or_compute_once(
+            &key("m"),
+            Encoding::Binary,
+            |_| true,
+            || panic!("persisted chunk must re-read, not recompute"),
+        );
+        assert_eq!(*reread, b"chunk".to_vec());
+        assert_eq!(store.stats().since(before).hits, 1);
         let _ = std::fs::remove_dir_all(&root);
     }
 }
