@@ -28,10 +28,11 @@ use chipletqc_engine::protocol::{parse_count, Request, Response, Submission};
 use chipletqc_engine::report::{timing_summary, RunReport};
 use chipletqc_engine::scenario::{ExperimentKind, Scale};
 use chipletqc_engine::scheduler::Scheduler;
-use chipletqc_engine::service::{self, Service, ServiceConfig};
+use chipletqc_engine::service::{self, Endpoint, Service, ServiceConfig};
 use chipletqc_engine::suite::resolve_batch;
 use chipletqc_engine::sweep::Sweep;
 use chipletqc_math::rng::Seed;
+use chipletqc_store::remote::RemoteBackend;
 use chipletqc_store::{CacheMode, Store};
 
 const USAGE: &str = "\
@@ -41,10 +42,12 @@ USAGE:
   chipletqc-engine [OPTIONS]
   chipletqc-engine store stats --cache-dir DIR
   chipletqc-engine store gc --cache-dir DIR --max-bytes N
-  chipletqc-engine serve --socket PATH [--cache-dir DIR] [--cache MODE]
-                         [--workers N] [--shards N]
-  chipletqc-engine submit --socket PATH [BATCH OPTIONS] [--reset]
-  chipletqc-engine submit --socket PATH --shutdown
+  chipletqc-engine serve (--socket PATH | --listen HOST:PORT --token-file F | both)
+                         [--cache-dir DIR] [--cache MODE]
+                         [--store-peer HOST:PORT] [--workers N] [--shards N]
+  chipletqc-engine submit (--socket PATH | --connect HOST:PORT --token-file F)
+                          [BATCH OPTIONS] [--reset]
+  chipletqc-engine submit (--socket PATH | --connect HOST:PORT --token-file F) --shutdown
 
 OPTIONS:
   --workers N       scheduler worker threads (default: hardware threads)
@@ -60,6 +63,12 @@ OPTIONS:
                     fabrication entirely (see README \"Result store\")
   --cache MODE      readwrite | read | write | off (default: readwrite;
                     all but `off` require --cache-dir)
+  --store-peer H:P  read-through network tier under the store: local
+                    misses are served by the daemon at HOST:PORT and
+                    persisted locally (needs --cache-dir + --token-file;
+                    see README \"Remote service mode\")
+  --token-file F    file holding the shared authentication token
+                    (trimmed; a shared secret for trusted networks)
   --out DIR         artifact directory (default: target/figures)
   --no-files        skip writing artifacts; print the report to stdout
   --list            list the batch's scenario names and exit
@@ -71,13 +80,16 @@ STORE SUBCOMMANDS:
                     most --max-bytes of entries (a store is a cache;
                     deleting entries only costs recomputation)
 
-SERVICE MODE (see README \"Service mode\"):
-  serve             long-lived daemon on a Unix socket: one warm cache
-                    hub for its whole lifetime, so repeated submissions
-                    skip fabrication without touching disk; SIGTERM or
+SERVICE MODE (see README \"Service mode\" and \"Remote service mode\"):
+  serve             long-lived daemon: one warm cache hub for its whole
+                    lifetime, so repeated submissions skip fabrication
+                    without touching disk. --socket serves local Unix
+                    clients; --listen HOST:PORT serves remote clients
+                    and store peers (requires --token-file). SIGTERM or
                     `submit --shutdown` drains in-flight batches first
   submit            send one batch (--sweep/--sweep-text/--only/--quick,
-                    --workers/--shards/--seed as above) to a daemon;
+                    --workers/--shards/--seed as above) to a daemon at
+                    --socket PATH or --connect HOST:PORT (+--token-file);
                     timing lines go to stderr, the deterministic report
                     JSON to stdout. --reset drops the daemon's warm
                     in-memory caches first; --shutdown stops the daemon
@@ -92,26 +104,29 @@ struct Options {
     only: Option<Vec<String>>,
     seed: Option<u64>,
     cache: CacheFlags,
+    token_file: Option<String>,
     out: PathBuf,
     write_files: bool,
     list: bool,
 }
 
-/// The `--cache-dir`/`--cache` flag pair, shared by the one-shot CLI
-/// and `serve` so both parse and validate cache wiring identically.
-/// Construct with [`CacheFlags::new`] (read-write default) — there is
-/// deliberately no `Default`, whose all-`None` value would mean
-/// `--cache off`.
+/// The `--cache-dir`/`--cache`/`--store-peer` flag set, shared by the
+/// one-shot CLI and `serve` so both parse and validate cache wiring
+/// identically. Construct with [`CacheFlags::new`] (read-write
+/// default) — there is deliberately no `Default`, whose all-`None`
+/// value would mean `--cache off`.
 #[derive(Debug)]
 struct CacheFlags {
     dir: Option<PathBuf>,
     /// `None` = `--cache off`; defaults to read-write.
     mode: Option<CacheMode>,
+    /// A peer daemon's `HOST:PORT`, attached as a read-through tier.
+    peer: Option<String>,
 }
 
 impl CacheFlags {
     fn new() -> CacheFlags {
-        CacheFlags { dir: None, mode: Some(CacheMode::ReadWrite) }
+        CacheFlags { dir: None, mode: Some(CacheMode::ReadWrite), peer: None }
     }
 
     fn set_dir(&mut self, value: String) {
@@ -129,9 +144,10 @@ impl CacheFlags {
         Ok(())
     }
 
-    /// Rejects the two contradictory combinations: a read/write mode
-    /// with nowhere to read or write, and `off` alongside a directory
-    /// that would otherwise be silently ignored.
+    /// Rejects the contradictory combinations: a read/write mode with
+    /// nowhere to read or write, `off` alongside a directory that
+    /// would otherwise be silently ignored, and a peer tier with no
+    /// local tier to read through into.
     fn validate(&self) -> Result<(), String> {
         if self.dir.is_none() && matches!(self.mode, Some(CacheMode::Read | CacheMode::Write)) {
             return Err("--cache needs --cache-dir (only `--cache off` works without)".into());
@@ -142,21 +158,68 @@ impl CacheFlags {
                     .into(),
             );
         }
+        if self.peer.is_some() && (self.dir.is_none() || self.mode.is_none()) {
+            return Err("--store-peer needs a local store tier to read through into \
+                        (give --cache-dir, and not --cache off)"
+                .into());
+        }
+        if self.peer.is_some() && self.mode.is_some_and(|mode| !mode.reads()) {
+            return Err("--store-peer is dead under --cache write (the peer is a read \
+                        tier, and write mode never reads)"
+                .into());
+        }
         Ok(())
     }
 
     /// Opens the store when both a directory and a mode are
-    /// configured, announcing it on stdout.
-    fn open_store(&self) -> Result<Option<Store>, String> {
+    /// configured, attaching the peer tier when one is named,
+    /// announcing it all on stdout. `token` is required iff a peer is
+    /// configured (peers listen on TCP, which always authenticates).
+    fn open_store(&self, token: Option<&str>) -> Result<Option<Store>, String> {
         match (&self.dir, self.mode) {
             (Some(dir), Some(mode)) => {
-                let store = Store::open(dir, mode)
+                let mut store = Store::open(dir, mode)
                     .map_err(|e| format!("open result store {}: {e}", dir.display()))?;
-                println!("result store: {} ({})", dir.display(), mode.name());
+                if let Some(peer) = &self.peer {
+                    let token = token
+                        .ok_or("--store-peer needs --token-file (peer daemons authenticate)")?;
+                    store = store.with_peer(std::sync::Arc::new(RemoteBackend::new(
+                        peer.clone(),
+                        Some(token.to_string()),
+                    )));
+                    println!(
+                        "result store: {} ({}) <- peer {peer}",
+                        dir.display(),
+                        mode.name()
+                    );
+                } else {
+                    println!("result store: {} ({})", dir.display(), mode.name());
+                }
                 Ok(Some(store))
             }
             _ => Ok(None),
         }
+    }
+}
+
+/// Reads a shared-token file: the first non-empty line,
+/// whitespace-trimmed (later lines are free for comments or key ids).
+/// An empty file is rejected — an empty token would make the
+/// handshake decorative — and so is a token over the wire cap:
+/// serving with one would lock out every client (the daemon-side
+/// `hello` parser refuses oversized tokens before comparing), with
+/// the failure misattributed to the clients.
+fn read_token_file(path: &str) -> Result<String, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    match raw.lines().map(str::trim).find(|line| !line.is_empty()) {
+        Some(token) if token.len() > chipletqc_store::remote::MAX_TOKEN => Err(format!(
+            "{path}: token is {} bytes; the protocol caps tokens at {} (generate a \
+             shorter one)",
+            token.len(),
+            chipletqc_store::remote::MAX_TOKEN
+        )),
+        Some(token) => Ok(token.to_string()),
+        None => Err(format!("{path}: token file is empty")),
     }
 }
 
@@ -169,6 +232,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         only: None,
         seed: None,
         cache: CacheFlags::new(),
+        token_file: None,
         out: PathBuf::from("target/figures"),
         write_files: true,
         list: false,
@@ -228,6 +292,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--cache" => {
                 options.cache.set_mode(&args.next().ok_or("--cache needs a value")?)?;
             }
+            "--store-peer" => {
+                options.cache.peer = Some(args.next().ok_or("--store-peer needs a value")?);
+            }
+            "--token-file" => {
+                options.token_file = Some(args.next().ok_or("--token-file needs a value")?);
+            }
             "--out" => {
                 options.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
@@ -241,6 +311,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         }
     }
     options.cache.validate()?;
+    // A token with nothing to authenticate to would be read and
+    // silently dropped; reject it like every other dead flag combo.
+    if options.token_file.is_some() && options.cache.peer.is_none() {
+        return Err("--token-file is only used with --store-peer here (give both, \
+                    or drop --token-file)"
+            .into());
+    }
     Ok(options)
 }
 
@@ -342,10 +419,13 @@ mod shutdown_signal {
     }
 }
 
-/// The `serve` subcommand: bind the socket, hold one warm hub, and
-/// run batches until shutdown.
+/// The `serve` subcommand: bind the configured listeners (Unix socket
+/// and/or authenticated TCP), hold one warm hub — optionally
+/// store-backed, optionally peered — and run batches until shutdown.
 fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut socket: Option<PathBuf> = None;
+    let mut listen: Option<String> = None;
+    let mut token_file: Option<String> = None;
     let mut cache = CacheFlags::new();
     let mut workers: Option<usize> = None;
     let mut shards: usize = 1;
@@ -353,6 +433,15 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         match arg.as_str() {
             "--socket" => {
                 socket = Some(PathBuf::from(args.next().ok_or("--socket needs a value")?));
+            }
+            "--listen" => {
+                listen = Some(args.next().ok_or("--listen needs a HOST:PORT value")?);
+            }
+            "--token-file" => {
+                token_file = Some(args.next().ok_or("--token-file needs a value")?);
+            }
+            "--store-peer" => {
+                cache.peer = Some(args.next().ok_or("--store-peer needs a value")?);
             }
             "--cache-dir" => {
                 cache.set_dir(args.next().ok_or("--cache-dir needs a value")?);
@@ -371,25 +460,54 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             other => return Err(format!("serve: unknown argument {other} (try --help)")),
         }
     }
-    let socket = socket.ok_or("serve: --socket is required")?;
+    if socket.is_none() && listen.is_none() {
+        return Err("serve: give --socket PATH, --listen HOST:PORT, or both".into());
+    }
+    if listen.is_some() && token_file.is_none() {
+        return Err("serve: --listen requires --token-file (TCP clients authenticate \
+                    with the shared token)"
+            .into());
+    }
+    // A token with neither a TCP listener nor a store peer gates
+    // nothing — Unix clients are never required to present one — so
+    // accepting it would be the silent-dead-flag class this CLI
+    // rejects everywhere else.
+    if token_file.is_some() && listen.is_none() && cache.peer.is_none() {
+        return Err("serve: --token-file is only used with --listen or --store-peer \
+                    (Unix clients are trusted via filesystem permissions)"
+            .into());
+    }
     cache.validate()?;
-    let store = cache.open_store()?;
+    let token = token_file.as_deref().map(read_token_file).transpose()?;
+    let store = cache.open_store(token.as_deref())?;
     let config = ServiceConfig {
         socket: socket.clone(),
+        listen,
+        token,
         default_workers: workers,
         default_shards: shards,
     };
-    let service =
-        Service::bind(config, store).map_err(|e| format!("bind {}: {e}", socket.display()))?;
+    let service = Service::bind(config, store).map_err(|e| format!("bind: {e}"))?;
     shutdown_signal::install();
-    println!("chipletqc-engine serve :: listening on {}", socket.display());
-    println!("stop with `chipletqc-engine submit --socket {} --shutdown`", socket.display());
-    let summary = service
-        .run(shutdown_signal::requested)
-        .map_err(|e| format!("serve {}: {e}", socket.display()))?;
+    if let Some(socket) = &socket {
+        println!("chipletqc-engine serve :: listening on {}", socket.display());
+        println!(
+            "stop with `chipletqc-engine submit --socket {} --shutdown`",
+            socket.display()
+        );
+    }
+    if let Some(addr) = service.tcp_addr() {
+        println!("chipletqc-engine serve :: listening on tcp {addr} (token required)");
+    }
+    let summary = service.run(shutdown_signal::requested).map_err(|e| format!("serve: {e}"))?;
     println!(
-        "chipletqc-engine serve :: drained; {} batch(es), {} scenario(s), {} rejected",
-        summary.batches, summary.scenarios, summary.rejected
+        "chipletqc-engine serve :: drained; {} batch(es), {} scenario(s), {} rejected, \
+         {} store peer request(s), {} dropped repl(ies)",
+        summary.batches,
+        summary.scenarios,
+        summary.rejected,
+        summary.store_requests,
+        summary.dropped_replies
     );
     Ok(())
 }
@@ -400,6 +518,8 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
 /// captures exactly what a one-shot `--out` run would have written.
 fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut socket: Option<PathBuf> = None;
+    let mut connect: Option<String> = None;
+    let mut token_file: Option<String> = None;
     let mut submission = Submission::default();
     let mut shutdown = false;
     let mut sweep_flag: Option<&'static str> = None;
@@ -422,6 +542,12 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         match arg.as_str() {
             "--socket" => {
                 socket = Some(PathBuf::from(args.next().ok_or("--socket needs a value")?));
+            }
+            "--connect" => {
+                connect = Some(args.next().ok_or("--connect needs a HOST:PORT value")?);
+            }
+            "--token-file" => {
+                token_file = Some(args.next().ok_or("--token-file needs a value")?);
             }
             "--sweep" => {
                 let path = args.next().ok_or("--sweep needs a file path")?;
@@ -458,20 +584,48 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             other => return Err(format!("submit: unknown argument {other} (try --help)")),
         }
     }
-    let socket = socket.ok_or("submit: --socket is required")?;
+    let endpoint = match (socket, connect) {
+        (Some(_), Some(_)) => {
+            return Err("submit: --socket conflicts with --connect (give exactly one \
+                        daemon address)"
+                .into())
+        }
+        (Some(socket), None) => {
+            // A token alongside --socket would be read and silently
+            // dropped (Unix clients never authenticate) — the same
+            // silent-winner bug class as --sweep + --sweep-text.
+            if token_file.is_some() {
+                return Err("submit: --token-file is only used with --connect (Unix \
+                            sockets are trusted via filesystem permissions)"
+                    .into());
+            }
+            Endpoint::Unix(socket)
+        }
+        (None, Some(addr)) => {
+            let token_file = token_file
+                .as_deref()
+                .ok_or("submit: --connect requires --token-file (TCP daemons authenticate)")?;
+            Endpoint::Tcp { addr, token: read_token_file(token_file)? }
+        }
+        (None, None) => return Err("submit: give --socket PATH or --connect HOST:PORT".into()),
+    };
     // `--shutdown` is a request of its own; batch flags alongside it
     // would be silently discarded, so reject the combination (the
     // same silent-winner bug class as --sweep + --sweep-text).
     if shutdown && submission != Submission::default() {
         return Err("--shutdown conflicts with batch options (send the batch first, \
-                    then shut down with a bare `submit --socket PATH --shutdown`)"
+                    then shut down with a bare `submit --shutdown`)"
             .into());
     }
     let request = if shutdown { Request::Shutdown } else { Request::Submit(submission) };
-    let response = service::request(&socket, &request).map_err(|e| e.to_string())?;
+    let response = service::request_endpoint(&endpoint, &request).map_err(|e| e.to_string())?;
+    let described = match &endpoint {
+        Endpoint::Unix(path) => path.display().to_string(),
+        Endpoint::Tcp { addr, .. } => addr.clone(),
+    };
     match response {
         Response::ShuttingDown => {
-            eprintln!("daemon at {} is shutting down", socket.display());
+            eprintln!("daemon at {described} is shutting down");
             Ok(())
         }
         Response::Report { batch, timing, report } => {
@@ -565,7 +719,17 @@ fn main() -> ExitCode {
     );
     println!("{}", "=".repeat(72));
 
-    let hub = match options.cache.open_store() {
+    let token = match &options.token_file {
+        Some(path) => match read_token_file(path) {
+            Ok(token) => Some(token),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let hub = match options.cache.open_store(token.as_deref()) {
         Ok(Some(store)) => CacheHub::new().with_store(store),
         Ok(None) => CacheHub::new(),
         Err(message) => {
@@ -688,5 +852,28 @@ mod tests {
         assert!(parse("--cache off").is_ok());
         assert!(parse("--cache-dir /tmp/store").is_ok());
         assert!(parse("--cache read").is_err(), "read/write still need a directory");
+    }
+
+    #[test]
+    fn dead_store_peer_and_token_combinations_are_rejected() {
+        // A peer tier needs a local tier to populate, and a token
+        // needs something to authenticate to — every other combination
+        // used to be a silently-dropped flag.
+        let error = parse("--store-peer h:1 --token-file t").expect_err("no local tier");
+        assert!(error.contains("--store-peer needs a local store tier"), "{error}");
+        let error =
+            parse("--store-peer h:1 --cache off --cache-dir /d --token-file t").unwrap_err();
+        assert!(error.contains("conflicts"), "{error}");
+        let error = parse("--token-file t").expect_err("token with nothing to talk to");
+        assert!(error.contains("--token-file is only used with --store-peer"), "{error}");
+        // A peer under a never-reading store would silently never be
+        // consulted.
+        let error =
+            parse("--store-peer h:1 --cache-dir /d --cache write --token-file t").unwrap_err();
+        assert!(error.contains("dead under --cache write"), "{error}");
+        assert!(parse("--store-peer h:1 --cache-dir /d --cache read --token-file t").is_ok());
+        let ok = parse("--store-peer h:1 --cache-dir /d --token-file t").unwrap();
+        assert_eq!(ok.cache.peer.as_deref(), Some("h:1"));
+        assert_eq!(ok.token_file.as_deref(), Some("t"));
     }
 }

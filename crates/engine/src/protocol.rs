@@ -1,17 +1,34 @@
 //! The service-mode wire protocol: framed batch submissions and
-//! responses over any byte stream (in practice a Unix domain socket).
+//! responses over any byte stream — a Unix domain socket, or TCP
+//! between hosts.
 //!
-//! The format reuses the repo's line-oriented idioms — a version line,
-//! `key = value` header lines, a blank line, then length-prefixed
-//! payload bytes — so it needs nothing beyond `std` and is trivial to
-//! speak from a shell (`socat`) or a test. Sweep descriptions travel
-//! verbatim in the payload: they are already the engine's canonical
-//! batch description ([`crate::sweep::Sweep`]), which makes them the
-//! natural wire format for batch submission.
+//! The frame grammar (version line, `key = value` header lines, a
+//! blank line, then length-prefixed payload bytes) is defined once in
+//! [`chipletqc_store::wire`] and shared with the store peer protocol
+//! ([`chipletqc_store::remote`]); this module speaks the engine's
+//! verbs over it. Sweep descriptions travel verbatim in the payload:
+//! they are already the engine's canonical batch description
+//! ([`crate::sweep::Sweep`]), which makes them the natural wire format
+//! for batch submission.
 //!
 //! ## Frames
 //!
-//! A **request** is either a submission or a shutdown:
+//! An optional authentication preamble precedes any request on a
+//! connection to a daemon that requires a shared token (TCP daemons
+//! always do; see [`chipletqc_store::remote::write_hello`] for the
+//! frame):
+//!
+//! ```text
+//! chipletqc/1 hello
+//! token-bytes = 24
+//! <blank line>
+//! <24 bytes of token>
+//! ```
+//!
+//! A **request** is a submission, a shutdown, or one of the store peer
+//! verbs (`store-get` / `store-put` / `store-list`, parsed by
+//! [`chipletqc_store::remote`] and answered from the daemon's local
+//! store tier):
 //!
 //! ```text
 //! chipletqc/1 submit
@@ -59,25 +76,14 @@
 //! Every frame is self-delimiting, so one connection carries exactly
 //! one request and one response and either side may close afterwards.
 
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, Write};
+
+use chipletqc_store::remote::{self, StoreRequest};
+use chipletqc_store::wire::{self, bad, header, parse_len, read_utf8};
 
 use crate::scenario::Scale;
 
-/// The protocol version line prefix; bump on breaking frame changes.
-pub const VERSION: &str = "chipletqc/1";
-
-/// Refuse absurd payload sizes before allocating (a corrupt or hostile
-/// header must not OOM the daemon). Reports of realistic batches are
-/// far below this.
-const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
-
-/// Cap on one frame-head line. Header lines are tiny (`only` lists are
-/// the longest realistic ones); a peer streaming bytes with no newline
-/// must hit this cap, not the daemon's memory.
-const MAX_HEAD_LINE: usize = 64 * 1024;
-
-/// Cap on the number of frame-head header lines, for the same reason.
-const MAX_HEADERS: usize = 64;
+pub use chipletqc_store::wire::VERSION;
 
 /// One batch submission: what a one-shot CLI invocation would run,
 /// minus process-lifetime options (output directory, cache wiring —
@@ -111,8 +117,14 @@ pub struct Submission {
 /// A client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// Authentication preamble: the presented shared token. Precedes
+    /// the real request on the same connection; mandatory on TCP.
+    Hello(String),
     /// Run a batch and return its report.
     Submit(Submission),
+    /// A store peer request, answered from the daemon's local store
+    /// tier with a [`chipletqc_store::remote::StoreReply`] frame.
+    Store(StoreRequest),
     /// Finish in-flight work, acknowledge, and exit.
     Shutdown,
 }
@@ -173,6 +185,8 @@ pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
         Request::Shutdown => {
             write!(w, "{VERSION} shutdown\n\n")?;
         }
+        Request::Hello(token) => return remote::write_hello(w, token),
+        Request::Store(request) => return remote::write_store_request(w, request),
     }
     w.flush()
 }
@@ -202,8 +216,12 @@ pub fn write_response(w: &mut impl Write, response: &Response) -> io::Result<()>
 
 /// Reads one request frame.
 pub fn read_request(r: &mut impl BufRead) -> io::Result<Request> {
-    let (verb, headers) = read_frame_head(r)?;
+    let (verb, headers) = wire::read_frame_head(r)?;
+    if let Some(request) = remote::parse_store_request(&verb, &headers, r)? {
+        return Ok(Request::Store(request));
+    }
     match verb.as_str() {
+        "hello" => Ok(Request::Hello(remote::parse_hello(&headers, r)?)),
         "submit" => {
             let mut submission = Submission::default();
             for (key, value) in &headers {
@@ -256,23 +274,22 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Request> {
 
 /// Reads one response frame.
 pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
-    let (verb, headers) = read_frame_head(r)?;
-    let header = |key: &str| headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+    let (verb, headers) = wire::read_frame_head(r)?;
     match verb.as_str() {
         "ok" => {
-            if header("shutdown") == Some("true") {
+            if header(&headers, "shutdown") == Some("true") {
                 return Ok(Response::ShuttingDown);
             }
-            let batch = header("batch")
+            let batch = header(&headers, "batch")
                 .ok_or_else(|| bad("response is missing `batch`".into()))?
                 .parse()
                 .map_err(|_| bad("bad batch id".into()))?;
             let timing_len = parse_len(
-                header("timing-bytes")
+                header(&headers, "timing-bytes")
                     .ok_or_else(|| bad("response is missing `timing-bytes`".into()))?,
             )?;
             let report_len = parse_len(
-                header("report-bytes")
+                header(&headers, "report-bytes")
                     .ok_or_else(|| bad("response is missing `report-bytes`".into()))?,
             )?;
             let timing = read_utf8(r, timing_len, "timing")?;
@@ -281,90 +298,13 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
         }
         "error" => {
             let len = parse_len(
-                header("message-bytes")
+                header(&headers, "message-bytes")
                     .ok_or_else(|| bad("error response is missing `message-bytes`".into()))?,
             )?;
             Ok(Response::Error(read_utf8(r, len, "error message")?))
         }
         other => Err(bad(format!("unknown response verb `{other}`"))),
     }
-}
-
-/// Reads the version line and the `key = value` headers up to the
-/// blank separator line. Payload bytes (if any) remain unread.
-fn read_frame_head(r: &mut impl BufRead) -> io::Result<(String, Vec<(String, String)>)> {
-    let line = read_head_line(r)?
-        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-frame"))?;
-    let mut parts = line.splitn(2, ' ');
-    let version = parts.next().unwrap_or("");
-    if version != VERSION {
-        return Err(bad(format!("unsupported protocol `{version}` (want {VERSION})")));
-    }
-    let verb = parts.next().unwrap_or("").to_string();
-    let mut headers = Vec::new();
-    loop {
-        let line = read_head_line(r)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "frame head truncated")
-        })?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(bad(format!("more than {MAX_HEADERS} header lines")));
-        }
-        let (key, value) = line
-            .split_once('=')
-            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
-            .ok_or_else(|| bad(format!("expected `key = value`, got `{line}`")))?;
-        headers.push((key, value));
-    }
-    Ok((verb, headers))
-}
-
-/// Reads one newline-terminated frame-head line, capped at
-/// [`MAX_HEAD_LINE`] bytes so a peer streaming garbage with no newline
-/// cannot grow daemon memory without bound. `None` means EOF before
-/// any byte of the line.
-fn read_head_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
-    let mut bytes = Vec::new();
-    loop {
-        let buf = r.fill_buf()?;
-        if buf.is_empty() {
-            if bytes.is_empty() {
-                return Ok(None);
-            }
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "line truncated"));
-        }
-        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
-            Some(at) => (&buf[..at], true),
-            None => (buf, false),
-        };
-        if bytes.len() + chunk.len() > MAX_HEAD_LINE {
-            return Err(bad(format!("frame-head line exceeds the {MAX_HEAD_LINE}-byte cap")));
-        }
-        bytes.extend_from_slice(chunk);
-        let consumed = chunk.len() + usize::from(done);
-        r.consume(consumed);
-        if done {
-            let line =
-                String::from_utf8(bytes).map_err(|_| bad("frame head is not UTF-8".into()))?;
-            return Ok(Some(line));
-        }
-    }
-}
-
-fn read_utf8(r: &mut impl Read, len: usize, what: &str) -> io::Result<String> {
-    let mut bytes = vec![0u8; len];
-    r.read_exact(&mut bytes)?;
-    String::from_utf8(bytes).map_err(|_| bad(format!("{what} is not UTF-8")))
-}
-
-fn parse_len(value: &str) -> io::Result<usize> {
-    let len: usize = value.parse().map_err(|_| bad(format!("bad byte length {value}")))?;
-    if len > MAX_PAYLOAD {
-        return Err(bad(format!("payload of {len} bytes exceeds the {MAX_PAYLOAD} cap")));
-    }
-    Ok(len)
 }
 
 /// Parses a worker/shard count, rejecting 0 — a zero parses as a
@@ -378,10 +318,6 @@ pub fn parse_count(key: &str, value: &str) -> Result<usize, String> {
         return Err(format!("bad {key} 0 (must be at least 1)"));
     }
     Ok(count)
-}
-
-fn bad(message: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
 #[cfg(test)]
@@ -415,6 +351,27 @@ mod tests {
         let minimal = Request::Submit(Submission::default());
         assert_eq!(round_trip_request(&minimal), minimal);
         assert_eq!(round_trip_request(&Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn hello_and_store_requests_round_trip_through_the_one_reader() {
+        // The daemon reads every verb — submissions, the hello
+        // preamble, and the store peer verbs — through the single
+        // `read_request` entry point.
+        use chipletqc_store::envelope::Encoding;
+        use chipletqc_store::EntryKey;
+        for request in [
+            Request::Hello("a shared token".into()),
+            Request::Store(StoreRequest::Get(EntryKey::new("ck|b400", "tally", "s/0-512"))),
+            Request::Store(StoreRequest::Put {
+                key: EntryKey::new("ck|b400", "kgd-bin", "10q"),
+                encoding: Encoding::Binary,
+                payload: vec![1, 2, 3],
+            }),
+            Request::Store(StoreRequest::List),
+        ] {
+            assert_eq!(round_trip_request(&request), request);
+        }
     }
 
     #[test]
@@ -464,12 +421,12 @@ mod tests {
     fn oversized_frame_heads_are_rejected_not_buffered() {
         // A peer streaming bytes with no newline must hit the line
         // cap, not the daemon's memory.
-        let no_newline = format!("{VERSION} submit\n{}", "x".repeat(MAX_HEAD_LINE + 10));
+        let no_newline = format!("{VERSION} submit\n{}", "x".repeat(wire::MAX_HEAD_LINE + 10));
         let error = read_request(&mut io::BufReader::new(no_newline.as_bytes())).unwrap_err();
         assert!(error.to_string().contains("cap"), "{error}");
         // Likewise endless header lines.
         let mut many = format!("{VERSION} submit\n");
-        for i in 0..=MAX_HEADERS {
+        for i in 0..=wire::MAX_HEADERS {
             many.push_str(&format!("seed = {i}\n"));
         }
         many.push('\n');

@@ -3,13 +3,22 @@
 //! A one-shot CLI invocation pays process startup, store scans, and a
 //! stone-cold in-memory cache on every run, even when the on-disk
 //! store is warm. [`Service`] amortizes all of that: it listens on a
-//! Unix domain socket, accepts batch submissions in the
-//! [`protocol`](crate::protocol) frame format, and runs each through
-//! the ordinary [`Scheduler`](crate::scheduler::Scheduler) against
-//! **one hub held for the daemon's whole lifetime**. The second
-//! submission of an overlapping sweep performs zero fabrication
+//! Unix domain socket and/or a TCP address, accepts batch submissions
+//! in the [`protocol`](crate::protocol) frame format, and runs each
+//! through the ordinary [`Scheduler`](crate::scheduler::Scheduler)
+//! against **one hub held for the daemon's whole lifetime**. The
+//! second submission of an overlapping sweep performs zero fabrication
 //! campaigns *without even touching disk* — every product is already
 //! in memory.
+//!
+//! Daemons also serve each other: the store peer verbs
+//! (`store-get`/`store-put`/`store-list`,
+//! [`chipletqc_store::remote`]) are answered from the daemon's local
+//! store tier, so a cold host whose store points at this daemon
+//! ([`Store::with_peer`](chipletqc_store::Store::with_peer)) pulls
+//! KGD bins, mono populations, and Monte Carlo chunks over the wire
+//! instead of fabricating them — the paper's networked-chiplets thesis
+//! applied to the infrastructure.
 //!
 //! ## Contract
 //!
@@ -23,28 +32,60 @@
 //!   [`FabricationStats::since`](chipletqc::lab::FabricationStats::since)
 //!   /
 //!   [`StoreStats::since`](chipletqc_store::StoreStats::since)
-//!   rebase them).
+//!   rebase them). The transport is invisible in the report: Unix and
+//!   TCP submissions of the same batch answer with identical bytes.
 //! * Submissions run one at a time, in arrival order, on the
 //!   scheduler's own worker pool — one batch already saturates the
 //!   machine, and serial execution keeps the global Monte Carlo
 //!   worker budget race-free.
+//! * TCP connections must authenticate with the daemon's shared token
+//!   (a `hello` frame) before any request; the token is a shared
+//!   secret for *trusted networks* — it authenticates, it does not
+//!   encrypt. Unix connections are trusted via filesystem permissions
+//!   and may skip the handshake.
+//! * Every reply is bounded twice: [`RESPONSE_TIMEOUT`] caps each
+//!   write syscall and [`REPLY_DEADLINE`] caps the whole reply (a
+//!   slow-drip client cannot reset the per-syscall timeout forever).
+//!   A client that dies, stalls, or drips while a (possibly large)
+//!   report streams back costs the daemon one dropped reply — counted
+//!   in [`ServiceSummary::dropped_replies`], batch counters already
+//!   retired — never a wedged accept loop.
 //! * Shutdown — a `shutdown` frame or the binary's SIGTERM flag —
 //!   drains the in-flight batch before the listener closes and the
 //!   socket file is removed. A rejected submission (parse error,
-//!   unknown scenario) answers with an error frame and leaves the
-//!   daemon up.
+//!   unknown scenario, bad token) answers with an error frame and
+//!   leaves the daemon up.
 //! * A submission may ask for a [`CacheHub::clear`] first (`reset`),
 //!   bounding a long-lived daemon's memory without restarting it.
+//!
+//! ## Socket takeover
+//!
+//! A left-over socket file from a crashed daemon is detected — a
+//! connection attempt to it is refused — and replaced. The whole
+//! probe-remove-bind sequence runs under an exclusive advisory lock on
+//! a `<socket>.lock` file *held for the daemon's lifetime*, so two
+//! daemons racing for the same path serialize: exactly one wins, the
+//! other sees `AddrInUse`, and a freshly bound live socket can never
+//! be deleted out from under its daemon in the window between the
+//! probe and the bind. The lock file itself is never unlinked
+//! (unlinking would reopen the race); the kernel releases the lock
+//! when the daemon exits, however it exits.
 
-use std::io::{self, BufReader, BufWriter};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use chipletqc::lab::{CacheHub, FabricationStats};
+use chipletqc_store::backend::Lookup;
+use chipletqc_store::remote::{self, StoreReply, StoreRequest};
 use chipletqc_store::{Store, StoreStats};
 
-use crate::protocol::{read_request, write_response, Request, Response, Submission};
+use crate::protocol::{
+    read_request, write_request, write_response, Request, Response, Submission,
+};
 use crate::report::{batch_timing_summary, RunReport};
 use crate::scenario::Scale;
 use crate::scheduler::Scheduler;
@@ -52,7 +93,7 @@ use crate::suite::resolve_batch;
 use crate::sweep::Sweep;
 
 /// How often the accept loop wakes to poll the stop condition while no
-/// client is connected (the listener runs non-blocking so a SIGTERM
+/// client is connected (the listeners run non-blocking so a SIGTERM
 /// flag is honored promptly instead of waiting for the next client).
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
@@ -63,11 +104,107 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// block shutdown — until the peer went away.
 const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// How long one reply *write syscall* may stall before the daemon
+/// abandons the reply. Reports can be large and clients slow, so this
+/// is generous — but it must exist: an unbounded write to a stalled
+/// client would wedge the single-threaded daemon forever, with the
+/// batch's work already done.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Total budget for one whole reply. `SO_SNDTIMEO` only bounds each
+/// write syscall, so a slow-drip client — draining a few bytes just
+/// often enough to keep every syscall under [`RESPONSE_TIMEOUT`] —
+/// could still hold the single-threaded daemon indefinitely; this
+/// cumulative deadline closes that hole. Generous: a healthy client
+/// on any sane link drains a multi-megabyte report in seconds.
+const REPLY_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Total budget for reading one whole request, mirroring
+/// [`REPLY_DEADLINE`] on the read side: `SO_RCVTIMEO` only bounds
+/// each read syscall, so a client dripping one header byte per
+/// interval could otherwise hold the single-threaded daemon in
+/// `read_frame_head` for hours — pre-authentication, on the
+/// network-exposed listener. Requests are small and sent in one
+/// burst; a healthy client never comes near this.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
+
+/// A reader that enforces [`REQUEST_DEADLINE`] across a whole
+/// request: once the deadline passes, every further read fails with
+/// `TimedOut`. Each underlying syscall is still bounded by the
+/// stream's own [`REQUEST_TIMEOUT`].
+struct DeadlineReader<R> {
+    inner: R,
+    deadline: std::time::Instant,
+}
+
+impl<R: Read> DeadlineReader<R> {
+    fn new(inner: R) -> DeadlineReader<R> {
+        DeadlineReader { inner, deadline: std::time::Instant::now() + REQUEST_DEADLINE }
+    }
+}
+
+impl<R: Read> Read for DeadlineReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if std::time::Instant::now() >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("request exceeded its {REQUEST_DEADLINE:?} budget"),
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// A writer that enforces [`REPLY_DEADLINE`] across a whole reply:
+/// once the deadline passes, every further write fails with
+/// `TimedOut` (which [`Service::note_dropped_reply`] classifies as a
+/// stalled client). Each underlying syscall is still bounded by the
+/// stream's own [`RESPONSE_TIMEOUT`], so the worst wedge is one
+/// deadline plus one syscall timeout.
+struct DeadlineWriter<W> {
+    inner: W,
+    deadline: std::time::Instant,
+}
+
+impl<W: Write> DeadlineWriter<W> {
+    fn new(inner: W) -> DeadlineWriter<W> {
+        DeadlineWriter { inner, deadline: std::time::Instant::now() + REPLY_DEADLINE }
+    }
+
+    fn check(&self) -> io::Result<()> {
+        if std::time::Instant::now() >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("reply exceeded its {REPLY_DEADLINE:?} budget"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> Write for DeadlineWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.check()?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.check()?;
+        self.inner.flush()
+    }
+}
+
 /// Daemon configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
-    /// The Unix domain socket path to listen on.
-    pub socket: PathBuf,
+    /// The Unix domain socket path to listen on (local clients).
+    pub socket: Option<PathBuf>,
+    /// The TCP `HOST:PORT` to listen on (remote clients and store
+    /// peers); requires `token`.
+    pub listen: Option<String>,
+    /// The shared authentication token. Mandatory for TCP clients;
+    /// Unix clients may present it but are not required to.
+    pub token: Option<String>,
     /// Default scheduler worker threads for submissions that set none
     /// (`None` uses the hardware thread count).
     pub default_workers: Option<usize>,
@@ -75,11 +212,55 @@ pub struct ServiceConfig {
     pub default_shards: usize,
 }
 
+// Manual: the token is the authentication secret, and `{:?}` output
+// lands in logs (CI uploads the daemon's). Redact it, never print it.
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("socket", &self.socket)
+            .field("listen", &self.listen)
+            .field("token", &self.token.as_ref().map(|_| "[redacted]"))
+            .field("default_workers", &self.default_workers)
+            .field("default_shards", &self.default_shards)
+            .finish()
+    }
+}
+
 impl ServiceConfig {
-    /// A configuration listening on `socket` with hardware-default
-    /// workers and no sharding.
+    /// A configuration listening on the Unix socket `socket` with
+    /// hardware-default workers and no sharding.
     pub fn new(socket: impl Into<PathBuf>) -> ServiceConfig {
-        ServiceConfig { socket: socket.into(), default_workers: None, default_shards: 1 }
+        ServiceConfig {
+            socket: Some(socket.into()),
+            listen: None,
+            token: None,
+            default_workers: None,
+            default_shards: 1,
+        }
+    }
+
+    /// Adds a TCP listener at `addr` (`HOST:PORT`) authenticated by
+    /// the shared `token`.
+    #[must_use]
+    pub fn with_listen(
+        mut self,
+        addr: impl Into<String>,
+        token: impl Into<String>,
+    ) -> ServiceConfig {
+        self.listen = Some(addr.into());
+        self.token = Some(token.into());
+        self
+    }
+
+    /// A TCP-only configuration (no Unix socket).
+    pub fn tcp(addr: impl Into<String>, token: impl Into<String>) -> ServiceConfig {
+        ServiceConfig {
+            socket: None,
+            listen: Some(addr.into()),
+            token: Some(token.into()),
+            default_workers: None,
+            default_shards: 1,
+        }
     }
 }
 
@@ -89,10 +270,73 @@ impl ServiceConfig {
 pub struct ServiceSummary {
     /// Batches executed successfully.
     pub batches: u64,
-    /// Submissions rejected with an error frame.
+    /// Submissions rejected with an error frame (parse errors, unknown
+    /// scenarios, failed authentication).
     pub rejected: u64,
     /// Total scenarios executed across all batches.
     pub scenarios: u64,
+    /// Store peer requests served (`store-get`/`store-put`/
+    /// `store-list`).
+    pub store_requests: u64,
+    /// Replies abandoned because the client died or stalled past the
+    /// write timeout. The work itself is never lost — batch and hub
+    /// counters are retired before the reply is written.
+    pub dropped_replies: u64,
+}
+
+/// One accepted client connection, Unix or TCP — the service handles
+/// both through the same synchronous, frame-at-a-time path.
+#[derive(Debug)]
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    /// Remote connections must authenticate; local (Unix) ones are
+    /// trusted via filesystem permissions.
+    fn is_remote(&self) -> bool {
+        matches!(self, Conn::Tcp(_))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_write_timeout(timeout),
+            Conn::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl Read for &Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => (&mut &*s).read(buf),
+            Conn::Tcp(s) => (&mut &*s).read(buf),
+        }
+    }
+}
+
+impl Write for &Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => (&mut &*s).write(buf),
+            Conn::Tcp(s) => (&mut &*s).write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => (&mut &*s).flush(),
+            Conn::Tcp(s) => (&mut &*s).flush(),
+        }
+    }
 }
 
 /// A bound, not-yet-running engine daemon. [`Service::run`] consumes
@@ -100,25 +344,151 @@ pub struct ServiceSummary {
 #[derive(Debug)]
 pub struct Service {
     config: ServiceConfig,
-    listener: UnixListener,
+    unix: Option<UnixListener>,
+    tcp: Option<TcpListener>,
+    tcp_addr: Option<SocketAddr>,
+    /// The lifetime-held takeover lock (see the module docs); dropping
+    /// it releases the lock however the daemon exits.
+    _lock: Option<File>,
     hub: CacheHub,
     summary: ServiceSummary,
 }
 
+/// The lock file guarding a socket path's probe-remove-bind sequence.
+fn socket_lock_path(socket: &Path) -> PathBuf {
+    let mut name = socket.as_os_str().to_os_string();
+    name.push(".lock");
+    PathBuf::from(name)
+}
+
+/// The one stream operation [`Service::poll_accept`] needs, abstracted
+/// over the two stream types so the accept arms share one non-fatal
+/// error policy.
+trait SetNonblocking: Sized {
+    /// The peer-address type `accept` pairs the stream with.
+    type Addr;
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+}
+
+impl SetNonblocking for UnixStream {
+    type Addr = std::os::unix::net::SocketAddr;
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        UnixStream::set_nonblocking(self, nonblocking)
+    }
+}
+
+impl SetNonblocking for TcpStream {
+    type Addr = SocketAddr;
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpStream::set_nonblocking(self, nonblocking)
+    }
+}
+
+/// Reads and discards whatever request bytes a rejected client
+/// already pipelined (bounded in both bytes and time), so closing the
+/// socket does not RST-destroy the error reply queued behind them.
+/// Only rejection paths pay this; the bound keeps a hostile streamer
+/// from turning it into a hold.
+fn drain_rejected(conn: &Conn) {
+    const DRAIN_BUDGET: usize = 256 * 1024;
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut reader = conn;
+    let mut sink = [0u8; 4096];
+    let mut total = 0;
+    while total < DRAIN_BUDGET {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+/// Constant-time token comparison (length may leak; bytes must not).
+fn token_matches(presented: &str, expected: &str) -> bool {
+    let (p, e) = (presented.as_bytes(), expected.as_bytes());
+    p.len() == e.len() && p.iter().zip(e).fold(0u8, |acc, (a, b)| acc | (a ^ b)) == 0
+}
+
 impl Service {
-    /// Binds the listening socket and prepares the lifetime hub
+    /// Binds the configured listeners and prepares the lifetime hub
     /// (optionally backed by a persistent store).
     ///
-    /// A left-over socket file from a crashed daemon is detected — a
-    /// connection attempt to it fails — and replaced; a *live* daemon
-    /// on the same path is an `AddrInUse` error.
+    /// For the Unix socket: a left-over file from a crashed daemon is
+    /// detected — a connection attempt to it is refused — and
+    /// replaced; a *live* daemon on the same path is an `AddrInUse`
+    /// error. The sequence runs under an exclusive `<socket>.lock`
+    /// held for the daemon's lifetime, so concurrent binders
+    /// serialize instead of racing (see the module docs).
     pub fn bind(config: ServiceConfig, store: Option<Store>) -> io::Result<Service> {
-        if config.socket.exists() {
-            match UnixStream::connect(&config.socket) {
+        if config.socket.is_none() && config.listen.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "service needs a Unix socket path, a TCP listen address, or both",
+            ));
+        }
+        if config.listen.is_some() && config.token.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a TCP listener requires a shared token (clients authenticate with it)",
+            ));
+        }
+        let (unix, lock) = match &config.socket {
+            Some(socket) => {
+                let (listener, lock) = Self::bind_unix(socket)?;
+                (Some(listener), Some(lock))
+            }
+            None => (None, None),
+        };
+        let (tcp, tcp_addr) = match &config.listen {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let local = listener.local_addr()?;
+                (Some(listener), Some(local))
+            }
+            None => (None, None),
+        };
+        let hub = match store {
+            Some(store) => CacheHub::new().with_store(store),
+            None => CacheHub::new(),
+        };
+        Ok(Service {
+            config,
+            unix,
+            tcp,
+            tcp_addr,
+            _lock: lock,
+            hub,
+            summary: ServiceSummary::default(),
+        })
+    }
+
+    /// The probe-remove-bind sequence for the Unix socket, serialized
+    /// by an exclusive lock on `<socket>.lock` that the returned
+    /// handle keeps held for the daemon's lifetime.
+    fn bind_unix(socket: &Path) -> io::Result<(UnixListener, File)> {
+        if let Some(parent) = socket.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let lock_path = socket_lock_path(socket);
+        let lock = File::options().create(true).truncate(false).write(true).open(&lock_path)?;
+        if let Err(error) = lock.try_lock() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!(
+                    "another daemon holds {} ({error}); {} is in use",
+                    lock_path.display(),
+                    socket.display()
+                ),
+            ));
+        }
+        if socket.exists() {
+            match UnixStream::connect(socket) {
                 Ok(_) => {
                     return Err(io::Error::new(
                         io::ErrorKind::AddrInUse,
-                        format!("{} already has a live daemon", config.socket.display()),
+                        format!("{} already has a live daemon", socket.display()),
                     ));
                 }
                 // Only a refused connection proves nothing is
@@ -128,7 +498,7 @@ impl Service {
                 // would delete a live daemon's socket out from under
                 // its clients.
                 Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
-                    std::fs::remove_file(&config.socket)?;
+                    std::fs::remove_file(socket)?;
                 }
                 Err(e) => {
                     return Err(io::Error::new(
@@ -136,28 +506,24 @@ impl Service {
                         format!(
                             "{} exists and may belong to a live daemon ({e}); \
                              remove it manually if the daemon is gone",
-                            config.socket.display()
+                            socket.display()
                         ),
                     ));
                 }
             }
         }
-        if let Some(parent) = config.socket.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let listener = UnixListener::bind(&config.socket)?;
-        let hub = match store {
-            Some(store) => CacheHub::new().with_store(store),
-            None => CacheHub::new(),
-        };
-        Ok(Service { config, listener, hub, summary: ServiceSummary::default() })
+        Ok((UnixListener::bind(socket)?, lock))
     }
 
-    /// The socket path the service is listening on.
-    pub fn socket(&self) -> &std::path::Path {
-        &self.config.socket
+    /// The Unix socket path the service is listening on, if any.
+    pub fn socket(&self) -> Option<&Path> {
+        self.config.socket.as_deref()
+    }
+
+    /// The bound TCP address, if any — with a `:0` listen request this
+    /// is where the kernel actually put the daemon.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
     }
 
     /// Serves submissions until a `shutdown` frame arrives or
@@ -166,21 +532,32 @@ impl Service {
     /// in-flight batch always completes and is answered before the
     /// loop exits — shutdown drains, it never aborts.
     pub fn run(mut self, should_stop: impl Fn() -> bool) -> io::Result<ServiceSummary> {
-        self.listener.set_nonblocking(true)?;
+        if let Some(unix) = &self.unix {
+            unix.set_nonblocking(true)?;
+        }
+        if let Some(tcp) = &self.tcp {
+            tcp.set_nonblocking(true)?;
+        }
         let mut shutdown = false;
         while !shutdown && !should_stop() {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    // The accepted stream must block: request handling
-                    // is synchronous.
-                    stream.set_nonblocking(false)?;
-                    shutdown = self.handle(stream);
+            let mut idle = true;
+            if let Some(unix) = &self.unix {
+                if let Some(stream) = Self::poll_accept(unix.accept(), "unix") {
+                    idle = false;
+                    shutdown = self.handle(Conn::Unix(stream));
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
+            }
+            if shutdown {
+                break;
+            }
+            if let Some(tcp) = &self.tcp {
+                if let Some(stream) = Self::poll_accept(tcp.accept(), "tcp") {
+                    idle = false;
+                    shutdown = self.handle(Conn::Tcp(stream));
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+            }
+            if idle {
+                std::thread::sleep(ACCEPT_POLL);
             }
         }
         // Outstanding store writes land before the directory is handed
@@ -189,33 +566,99 @@ impl Service {
         Ok(self.summary)
     }
 
+    /// Resolves one non-blocking `accept` attempt, switching an
+    /// accepted stream back to blocking. NOTHING on this path may
+    /// kill the daemon: a peer that RSTs out of the backlog
+    /// (`ConnectionAborted`), fd exhaustion (`EMFILE`), or a failed
+    /// `set_nonblocking` on one stream costs a log line and a loop
+    /// iteration — the accept loop stays idle-paced by `ACCEPT_POLL`,
+    /// so even a persistent error cannot spin hot — never the warm
+    /// hub the daemon exists to preserve.
+    fn poll_accept<S: SetNonblocking>(
+        accepted: io::Result<(S, S::Addr)>,
+        listener: &str,
+    ) -> Option<S> {
+        match accepted {
+            Ok((stream, _)) => match stream.set_nonblocking(false) {
+                // The accepted stream must block: request handling is
+                // synchronous.
+                Ok(()) => Some(stream),
+                Err(error) => {
+                    eprintln!(
+                        "chipletqc-engine serve: dropping one {listener} connection \
+                         (set_nonblocking: {error})"
+                    );
+                    None
+                }
+            },
+            Err(error) if error.kind() == io::ErrorKind::WouldBlock => None,
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => None,
+            Err(error) => {
+                eprintln!("chipletqc-engine serve: {listener} accept failed: {error}");
+                None
+            }
+        }
+    }
+
     /// Handles one connection (one request, one response). Returns
     /// true when the client asked the daemon to shut down. I/O errors
     /// on a single connection are logged and dropped — a client that
     /// disconnects mid-frame must not take the daemon down.
-    fn handle(&mut self, stream: UnixStream) -> bool {
+    fn handle(&mut self, conn: Conn) -> bool {
         // Bound how long an unresponsive client can monopolize the
-        // synchronous daemon; responses get no timeout (a report may
-        // be large and the client slow to drain it).
-        let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
-        let mut reader = BufReader::new(&stream);
-        let request = match read_request(&mut reader) {
-            Ok(request) => request,
-            // A connection closed before any frame is not a bad
-            // submission — it is how liveness probes (including
-            // `Service::bind` checking for a live daemon) look. Drop
-            // it silently instead of answering into a dead socket.
-            Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => return false,
-            Err(error) => {
-                self.summary.rejected += 1;
-                self.respond(&stream, &Response::Error(format!("bad request: {error}")));
-                return false;
+        // synchronous daemon — in both directions. The read timeout
+        // covers a client that never finishes its request; the write
+        // timeout covers one that dies or stalls while a large report
+        // streams back (which used to wedge the daemon forever).
+        let _ = conn.set_read_timeout(Some(REQUEST_TIMEOUT));
+        let _ = conn.set_write_timeout(Some(RESPONSE_TIMEOUT));
+        let mut reader = BufReader::new(DeadlineReader::new(&conn));
+        let request = if conn.is_remote() {
+            // TCP: authenticate BEFORE parsing anything with a
+            // payload. Only the hello frame's head and its (small,
+            // capped) token are read pre-auth — an unauthenticated
+            // peer must not be able to make the daemon buffer a
+            // `store-put` payload or sweep text.
+            match self.read_authenticated_request(&conn, &mut reader) {
+                Some(request) => request,
+                None => return false,
             }
+        } else {
+            // Unix: trusted via filesystem permissions; a hello is
+            // optional but verified when presented (and a token the
+            // daemon never configured is accepted and ignored).
+            let mut request = match self.read_one_request(&conn, &mut reader) {
+                Some(request) => request,
+                None => return false,
+            };
+            if let Request::Hello(presented) = &request {
+                if let Some(expected) = &self.config.token {
+                    if !token_matches(presented, expected) {
+                        self.summary.rejected += 1;
+                        self.respond(&conn, &Response::Error("bad token".into()));
+                        return false;
+                    }
+                }
+                request = match self.read_one_request(&conn, &mut reader) {
+                    Some(request) => request,
+                    None => return false,
+                };
+            }
+            request
         };
         match request {
+            Request::Hello(_) => {
+                self.summary.rejected += 1;
+                self.respond(&conn, &Response::Error("unexpected second hello".into()));
+                false
+            }
             Request::Shutdown => {
-                self.respond(&stream, &Response::ShuttingDown);
+                self.respond(&conn, &Response::ShuttingDown);
                 true
+            }
+            Request::Store(request) => {
+                self.handle_store(&conn, request);
+                false
             }
             Request::Submit(submission) => {
                 let response = match self.run_batch(&submission) {
@@ -225,17 +668,154 @@ impl Service {
                         Response::Error(message)
                     }
                 };
-                self.respond(&stream, &response);
+                self.respond(&conn, &response);
                 false
             }
         }
     }
 
-    fn respond(&self, stream: &UnixStream, response: &Response) {
-        let mut writer = BufWriter::new(stream);
-        if let Err(error) = write_response(&mut writer, response) {
-            eprintln!("chipletqc-engine serve: dropping reply: {error}");
+    /// Reads one request frame, answering malformed ones with an
+    /// error frame. `None` means the connection is already dealt with
+    /// (a silent probe, or a rejected frame).
+    fn read_one_request(
+        &mut self,
+        conn: &Conn,
+        reader: &mut impl io::BufRead,
+    ) -> Option<Request> {
+        match read_request(reader) {
+            Ok(request) => Some(request),
+            // A connection closed before any frame is not a bad
+            // submission — it is how liveness probes (including
+            // `Service::bind` checking for a live daemon) look. Drop
+            // it silently instead of answering into a dead socket.
+            Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => None,
+            Err(error) => {
+                self.summary.rejected += 1;
+                self.respond(conn, &Response::Error(format!("bad request: {error}")));
+                None
+            }
         }
+    }
+
+    /// The TCP path: demand a valid `hello` (whose parse is bounded by
+    /// [`chipletqc_store::remote::MAX_TOKEN`]) before reading — or
+    /// allocating — anything else, then read the real request. `None`
+    /// means the connection is already answered or dropped.
+    fn read_authenticated_request(
+        &mut self,
+        conn: &Conn,
+        reader: &mut impl io::BufRead,
+    ) -> Option<Request> {
+        let reject = |service: &mut Service, conn: &Conn, response: &Response| {
+            service.summary.rejected += 1;
+            service.respond(conn, response);
+            // Clients pipeline the hello and the request in one
+            // burst; rejecting at the hello leaves the request bytes
+            // unread, and closing a TCP socket with unread data sends
+            // RST — which can destroy the queued error reply before
+            // the client reads it. Drain what already arrived
+            // (briefly, bounded) so the rejection actually reaches
+            // the peer.
+            drain_rejected(conn);
+        };
+        let (verb, headers) = match chipletqc_store::wire::read_frame_head(reader) {
+            Ok(head) => head,
+            Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(error) => {
+                reject(self, conn, &Response::Error(format!("bad request: {error}")));
+                return None;
+            }
+        };
+        if verb != "hello" {
+            reject(
+                self,
+                conn,
+                &Response::Error(
+                    "authentication required: send a `hello` frame with the daemon's \
+                     shared token first"
+                        .into(),
+                ),
+            );
+            return None;
+        }
+        let presented = match remote::parse_hello(&headers, reader) {
+            Ok(token) => token,
+            Err(error) => {
+                reject(self, conn, &Response::Error(format!("bad request: {error}")));
+                return None;
+            }
+        };
+        // `bind` enforces that a TCP listener always has a token.
+        let expected = self.config.token.as_deref().unwrap_or_default();
+        if !token_matches(&presented, expected) {
+            reject(self, conn, &Response::Error("bad token".into()));
+            return None;
+        }
+        self.read_one_request(conn, reader)
+    }
+
+    /// Serves one store peer request from the daemon's local store
+    /// tier.
+    fn handle_store(&mut self, conn: &Conn, request: StoreRequest) {
+        self.summary.store_requests += 1;
+        let reply = match self.hub.store() {
+            None => StoreReply::Error(
+                "daemon has no result store attached (start it with --cache-dir)".into(),
+            ),
+            Some(store) => match request {
+                StoreRequest::Get(key) => match store.serve_peer_get(&key) {
+                    Lookup::Hit { encoding, payload } => {
+                        StoreReply::Found { encoding, payload }
+                    }
+                    Lookup::Miss | Lookup::Invalid => StoreReply::Missing,
+                },
+                StoreRequest::Put { key, encoding, payload } => {
+                    match store.serve_peer_put(&key, encoding, &payload) {
+                        Ok(()) => StoreReply::Stored,
+                        Err(error) => StoreReply::Error(error.to_string()),
+                    }
+                }
+                StoreRequest::List => match store.serve_peer_list() {
+                    Ok(keys) => StoreReply::Keys(keys),
+                    Err(error) => StoreReply::Error(error.to_string()),
+                },
+            },
+        };
+        let mut writer = BufWriter::new(DeadlineWriter::new(conn));
+        if let Err(error) = remote::write_store_reply(&mut writer, &reply) {
+            self.note_dropped_reply(&error);
+        }
+    }
+
+    /// Writes one response, abandoning it — daemon intact, counters
+    /// already retired — if the client is gone or stalled.
+    fn respond(&mut self, conn: &Conn, response: &Response) {
+        let mut writer = BufWriter::new(DeadlineWriter::new(conn));
+        if let Err(error) = write_response(&mut writer, response) {
+            self.note_dropped_reply(&error);
+        }
+    }
+
+    /// Accounts for a reply the daemon had to abandon. `BrokenPipe`/
+    /// `ConnectionReset` mean the client died; `WouldBlock`/`TimedOut`
+    /// mean it stalled past [`RESPONSE_TIMEOUT`] on one write (a
+    /// blocking socket with `SO_SNDTIMEO` reports either,
+    /// platform-dependent) or dripped past the whole-reply
+    /// [`REPLY_DEADLINE`]. All of
+    /// them abort only this reply: the submission's work and counters
+    /// are already retired, and the daemon keeps serving.
+    fn note_dropped_reply(&mut self, error: &io::Error) {
+        self.summary.dropped_replies += 1;
+        let what = match error.kind() {
+            io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted => "client disconnected before the reply",
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                "client stalled past the reply write timeout"
+            }
+            _ => "reply write failed",
+        };
+        eprintln!("chipletqc-engine serve: {what}; dropping reply ({error})");
     }
 
     /// Runs one submitted batch through the scheduler against the
@@ -286,22 +866,90 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.config.socket);
+        if let Some(socket) = &self.config.socket {
+            let _ = std::fs::remove_file(socket);
+        }
+        // The lock file stays on disk deliberately: unlinking it would
+        // let two later binders lock different inodes under the same
+        // path. The kernel releases the lock itself when `_lock`
+        // drops.
     }
 }
 
-/// Connects to a daemon at `socket`, sends one request, and returns
-/// the response — the client side of the protocol, shared by the
-/// `submit` subcommand and the tests.
-pub fn request(socket: &std::path::Path, request: &Request) -> io::Result<Response> {
-    let stream = UnixStream::connect(socket).map_err(|e| {
-        io::Error::new(
-            e.kind(),
-            format!("connect {} (is `chipletqc-engine serve` running?): {e}", socket.display()),
-        )
-    })?;
-    crate::protocol::write_request(&mut BufWriter::new(&stream), request)?;
-    crate::protocol::read_response(&mut BufReader::new(&stream))
+/// Where a client finds a daemon: the local Unix socket, or a TCP
+/// address plus the daemon's shared token.
+#[derive(Clone)]
+pub enum Endpoint {
+    /// A local daemon's Unix socket path.
+    Unix(PathBuf),
+    /// A (possibly remote) daemon's TCP address and shared token.
+    Tcp {
+        /// `HOST:PORT` of the daemon's `--listen` address.
+        addr: String,
+        /// The shared token the daemon authenticates with.
+        token: String,
+    },
+}
+
+// Manual: redacts the shared token (see `ServiceConfig`'s impl).
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => f.debug_tuple("Unix").field(path).finish(),
+            Endpoint::Tcp { addr, .. } => {
+                f.debug_struct("Tcp").field("addr", addr).field("token", &"[redacted]").finish()
+            }
+        }
+    }
+}
+
+/// Connects to a daemon at `endpoint`, sends one request (preceded by
+/// the authentication preamble on TCP), and returns the response — the
+/// client side of the protocol, shared by the `submit` subcommand and
+/// the tests.
+pub fn request_endpoint(endpoint: &Endpoint, request: &Request) -> io::Result<Response> {
+    match endpoint {
+        Endpoint::Unix(socket) => {
+            let stream = UnixStream::connect(socket).map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!(
+                        "connect {} (is `chipletqc-engine serve` running?): {e}",
+                        socket.display()
+                    ),
+                )
+            })?;
+            write_request(&mut BufWriter::new(&stream), request)?;
+            crate::protocol::read_response(&mut BufReader::new(&stream))
+        }
+        Endpoint::Tcp { addr, token } => {
+            // No stream timeouts at all: the daemon runs batches
+            // synchronously and serially, so both the reply *and* a
+            // request write queued behind another client's long batch
+            // legitimately take as long as those batches — a submit
+            // must wait exactly like the Unix path (which sets no
+            // timeouts) does. Only the dial itself is bounded.
+            let stream = remote::connect(addr, None, None).map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!(
+                        "connect {addr} (is `chipletqc-engine serve --listen` \
+                             running there?): {e}"
+                    ),
+                )
+            })?;
+            let mut writer = BufWriter::new(&stream);
+            remote::write_hello(&mut writer, token)?;
+            write_request(&mut writer, request)?;
+            crate::protocol::read_response(&mut BufReader::new(&stream))
+        }
+    }
+}
+
+/// [`request_endpoint`] for the common local case: one request over
+/// the daemon's Unix socket.
+pub fn request(socket: &Path, request: &Request) -> io::Result<Response> {
+    request_endpoint(&Endpoint::Unix(socket.to_path_buf()), request)
 }
 
 #[cfg(test)]
@@ -331,6 +979,43 @@ mod tests {
         );
         drop(service);
         assert!(!socket.exists(), "drop removes the socket file");
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
+    }
+
+    #[test]
+    fn two_binders_racing_for_one_socket_produce_exactly_one_daemon() {
+        // Regression for the probe-remove-bind TOCTOU: without the
+        // lock, binder B could probe a stale file, lose the race to
+        // binder A's fresh bind, and then delete A's *live* socket.
+        // Under the lock the sequence serializes: every round, exactly
+        // one binder wins and the socket it bound still works.
+        let socket = temp_socket("race");
+        for round in 0..8 {
+            std::fs::write(&socket, b"stale leftover").unwrap();
+            let barrier = Arc::new(std::sync::Barrier::new(2));
+            let winners: Vec<Service> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let socket = socket.clone();
+                        let barrier = Arc::clone(&barrier);
+                        scope.spawn(move || {
+                            barrier.wait();
+                            Service::bind(ServiceConfig::new(&socket), None)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().filter_map(|h| h.join().unwrap().ok()).collect()
+            });
+            assert_eq!(winners.len(), 1, "round {round}: exactly one binder may win");
+            // The winner's socket is live: a probe connects (proving
+            // nothing deleted it out from under the listener).
+            assert!(
+                UnixStream::connect(&socket).is_ok(),
+                "round {round}: winner's socket must be connectable"
+            );
+        }
+        let _ = std::fs::remove_file(&socket);
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
     }
 
     #[test]
@@ -375,10 +1060,178 @@ mod tests {
         let error = request(&socket, &Request::Submit(missing)).unwrap();
         assert!(matches!(error, Response::Error(ref m) if m.contains("unknown scenario")));
 
+        // A store request against a storeless daemon is an error
+        // frame, not a dead daemon.
+        let get = Request::Store(StoreRequest::Get(chipletqc_store::EntryKey::new(
+            "ck", "tally", "s/0-512",
+        )));
+        let error = request(&socket, &get).unwrap();
+        assert!(
+            matches!(error, Response::Error(ref m) if m.contains("no result store")),
+            "{error:?}"
+        );
+
         assert_eq!(request(&socket, &Request::Shutdown).unwrap(), Response::ShuttingDown);
         let summary = handle.join().unwrap();
-        assert_eq!(summary, ServiceSummary { batches: 2, rejected: 2, scenarios: 2 });
+        assert_eq!(
+            summary,
+            ServiceSummary {
+                batches: 2,
+                rejected: 2,
+                scenarios: 2,
+                store_requests: 1,
+                dropped_replies: 0
+            }
+        );
         assert!(!socket.exists(), "shutdown removes the socket file");
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
+    }
+
+    #[test]
+    fn a_client_that_dies_before_its_reply_does_not_take_the_daemon_down() {
+        // The satellite bugfix in miniature: a submission whose client
+        // vanishes before reading the report costs one dropped reply —
+        // with the batch still counted — and the daemon keeps serving.
+        let socket = temp_socket("dead-client");
+        let service = Service::bind(ServiceConfig::new(&socket), None).unwrap();
+        let handle = std::thread::spawn(move || service.run(|| false).unwrap());
+
+        // Send a request, then hang up without reading the response.
+        {
+            let stream = loop {
+                match UnixStream::connect(&socket) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            let submission = Submission {
+                sweep_text: Some(TINY.into()),
+                workers: Some(2),
+                ..Submission::default()
+            };
+            write_request(&mut BufWriter::new(&stream), &Request::Submit(submission)).unwrap();
+            // Drop closes both directions; the daemon's reply write
+            // hits EPIPE (or vanishes into the closed buffer — either
+            // way it must not wedge or kill the daemon).
+        }
+
+        // The daemon is still alive and serving.
+        let alive = request(
+            &socket,
+            &Request::Submit(Submission {
+                sweep_text: Some(TINY.into()),
+                workers: Some(2),
+                ..Submission::default()
+            }),
+        )
+        .unwrap();
+        let Response::Report { batch, report, .. } = alive else {
+            panic!("daemon wedged after a dead client: {alive:?}");
+        };
+        assert_eq!(batch, 2, "the abandoned batch was still counted");
+        assert!(report.contains("\"chiplet_campaigns\": 0"), "its warm hub survived too");
+
+        request(&socket, &Request::Shutdown).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.batches, 2, "counters retired despite the dropped reply");
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
+    }
+
+    #[test]
+    fn tcp_requires_the_shared_token() {
+        let service =
+            Service::bind(ServiceConfig::tcp("127.0.0.1:0", "right token"), None).unwrap();
+        let addr = service.tcp_addr().expect("bound tcp").to_string();
+        let handle = std::thread::spawn(move || service.run(|| false).unwrap());
+
+        let submission = Submission {
+            sweep_text: Some(TINY.into()),
+            workers: Some(2),
+            ..Submission::default()
+        };
+        // No hello at all (a hand-crafted helloless request): rejected.
+        let stream = TcpStream::connect(&addr).unwrap();
+        write_request(&mut BufWriter::new(&stream), &Request::Submit(submission.clone()))
+            .unwrap();
+        let response = crate::protocol::read_response(&mut BufReader::new(&stream)).unwrap();
+        assert!(
+            matches!(response, Response::Error(ref m) if m.contains("authentication required")),
+            "{response:?}"
+        );
+        // Wrong token: rejected.
+        let wrong = request_endpoint(
+            &Endpoint::Tcp { addr: addr.clone(), token: "wrong".into() },
+            &Request::Submit(submission.clone()),
+        )
+        .unwrap();
+        assert!(
+            matches!(wrong, Response::Error(ref m) if m.contains("bad token")),
+            "{wrong:?}"
+        );
+        // Right token: served.
+        let right = Endpoint::Tcp { addr, token: "right token".into() };
+        let served = request_endpoint(&right, &Request::Submit(submission)).unwrap();
+        assert!(matches!(served, Response::Report { .. }), "{served:?}");
+
+        assert_eq!(
+            request_endpoint(&right, &Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        );
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.batches, 1);
+        assert_eq!(summary.rejected, 2);
+    }
+
+    #[test]
+    fn tcp_listen_without_a_token_is_refused_at_bind() {
+        let config = ServiceConfig {
+            socket: None,
+            listen: Some("127.0.0.1:0".into()),
+            token: None,
+            default_workers: None,
+            default_shards: 1,
+        };
+        let error = Service::bind(config, None).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidInput);
+        assert!(error.to_string().contains("token"), "{error}");
+        // And no listener at all is refused too.
+        let nothing = ServiceConfig {
+            socket: None,
+            listen: None,
+            token: None,
+            default_workers: None,
+            default_shards: 1,
+        };
+        assert_eq!(
+            Service::bind(nothing, None).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn deadline_writer_cuts_off_a_dripping_reply() {
+        // SO_SNDTIMEO bounds one syscall; the deadline bounds the
+        // whole reply. Once past it, every write and flush fails as a
+        // stalled client, whatever the kernel buffer would accept.
+        let mut writer = DeadlineWriter {
+            inner: Vec::new(),
+            deadline: std::time::Instant::now() - Duration::from_secs(1),
+        };
+        assert_eq!(writer.write(b"x").unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(writer.flush().unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert!(writer.inner.is_empty(), "nothing may reach the stream past the deadline");
+        let mut live = DeadlineWriter::new(Vec::new());
+        assert_eq!(live.write(b"x").unwrap(), 1);
+        // The read side mirrors it: a dripping request hits the
+        // cumulative budget however gently each syscall behaves.
+        let mut reader = DeadlineReader {
+            inner: &b"chipletqc/1 submit\n"[..],
+            deadline: std::time::Instant::now() - Duration::from_secs(1),
+        };
+        let mut buf = [0u8; 8];
+        assert_eq!(reader.read(&mut buf).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        let mut live = DeadlineReader::new(&b"abc"[..]);
+        assert_eq!(live.read(&mut buf).unwrap(), 3);
     }
 
     #[test]
@@ -394,5 +1247,6 @@ mod tests {
         let summary = handle.join().unwrap().unwrap();
         assert_eq!(summary, ServiceSummary::default());
         assert!(!socket.exists());
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
     }
 }

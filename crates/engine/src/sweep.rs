@@ -310,11 +310,11 @@ impl Sweep {
         let mut named = false;
         let mut seen_keys: Vec<String> = Vec::new();
         for (number, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
+            let err = |message: String| format!("line {}: {message}", number + 1);
+            let line = strip_comment(raw).map_err(err)?.trim();
             if line.is_empty() {
                 continue;
             }
-            let err = |message: String| format!("line {}: {message}", number + 1);
             let (key, value) = line
                 .split_once('=')
                 .map(|(k, v)| (k.trim(), v.trim()))
@@ -432,6 +432,28 @@ fn fmt_system(spec: &SystemSpec) -> String {
 /// Formats one system group canonically (`10q2x2` / `10q2x2+10q3x3`).
 fn fmt_grid_group(group: &[SystemSpec]) -> String {
     group.iter().map(fmt_system).collect::<Vec<_>>().join("+")
+}
+
+/// Strips a `#` comment from one sweep line. A `#` starts a comment
+/// only at line start or after whitespace; a `#` embedded directly in
+/// a value is rejected instead of silently truncating the value — a
+/// future value format containing `#` must fail loudly, not lose its
+/// tail.
+fn strip_comment(raw: &str) -> Result<&str, String> {
+    match raw.find('#') {
+        None => Ok(raw),
+        Some(at) => {
+            let before = &raw[..at];
+            if before.is_empty() || before.ends_with(char::is_whitespace) {
+                Ok(before)
+            } else {
+                Err(format!(
+                    "`#` embedded in a value (put whitespace before `#` to start a comment): \
+                     `{raw}`"
+                ))
+            }
+        }
+    }
 }
 
 fn split_values(value: &str) -> impl Iterator<Item = &str> {
@@ -625,6 +647,29 @@ mod tests {
         assert_eq!(sweep.name, "fig9", "name defaults to the kind");
         assert_eq!(sweep.grids.len(), 2);
         assert_eq!(sweep.expanded_len(), 2);
+    }
+
+    #[test]
+    fn embedded_hash_is_an_error_not_a_silent_truncation() {
+        // Regression: `raw.split('#')` treated ANY `#` as a comment
+        // start, silently truncating a value containing one. Now a
+        // comment needs line start or preceding whitespace, and an
+        // embedded `#` fails loudly.
+        for text in ["batch = 100#late", "name = a#b", "seed = 1,2#3", "kind = fig8# c"] {
+            let error = Sweep::parse(text).expect_err(text);
+            assert!(error.contains('#'), "{error}");
+            assert!(error.contains("line 1"), "{error}");
+        }
+        // Whitespace-introduced comments (and full-line ones) still
+        // work, including `#` inside the comment text itself.
+        let sweep = Sweep::parse(
+            "# leading comment with issue #42\n\
+             kind = fig8 # trailing, see #7\n\
+             batch = 100\t# tab-introduced\n",
+        )
+        .unwrap();
+        assert_eq!(sweep.kind, ExperimentKind::Fig8);
+        assert_eq!(sweep.batches, vec![100]);
     }
 
     #[test]

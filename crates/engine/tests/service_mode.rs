@@ -134,7 +134,10 @@ fn daemon_reports_match_one_shot_and_repeats_are_free() {
     );
     daemon.join().expect("daemon thread");
     let summary = summary_rx.recv().expect("summary");
-    assert_eq!(summary, ServiceSummary { batches: 3, rejected: 0, scenarios: 6 });
+    assert_eq!(
+        summary,
+        ServiceSummary { batches: 3, rejected: 0, scenarios: 6, ..ServiceSummary::default() }
+    );
     assert!(!socket.exists(), "socket file must be removed on shutdown");
 
     let _ = std::fs::remove_dir_all(&store_dir);

@@ -47,6 +47,24 @@ pub enum Encoding {
 }
 
 impl Encoding {
+    /// The canonical lowercase spelling (the wire-protocol header
+    /// value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Binary => "binary",
+            Encoding::Json => "json",
+        }
+    }
+
+    /// Parses the canonical spelling.
+    pub fn parse(s: &str) -> Option<Encoding> {
+        match s {
+            "binary" => Some(Encoding::Binary),
+            "json" => Some(Encoding::Json),
+            _ => None,
+        }
+    }
+
     fn tag(self) -> u8 {
         match self {
             Encoding::Binary => 0,
@@ -150,6 +168,28 @@ pub fn seal(kind: &str, key: &str, encoding: Encoding, payload: &[u8]) -> Vec<u8
     w.into_bytes()
 }
 
+/// Reads just the kind and full logical key from (a prefix of) entry
+/// bytes — magic and version are checked, the checksum and payload
+/// are deliberately NOT: this is the cheap path behind key listing,
+/// where reading and checksumming every payload would make a `list`
+/// cost the whole store in disk I/O. A peeked key is therefore *not*
+/// a validity guarantee; [`open`] (via any `get`) still validates
+/// fully before a payload is served.
+pub fn peek_key(bytes: &[u8]) -> Option<(String, String)> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_bytes(MAGIC.len()).ok()? != MAGIC {
+        return None;
+    }
+    if r.get_u32().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    r.get_u64().ok()?; // checksum — deliberately unverified here
+    r.get_u8().ok()?; // encoding tag
+    let kind = r.get_str().ok()?;
+    let key = r.get_str().ok()?;
+    Some((kind, key))
+}
+
 /// Opens and fully validates envelope bytes.
 pub fn open(bytes: &[u8]) -> Result<Envelope, EnvelopeError> {
     let mut r = ByteReader::new(bytes);
@@ -193,6 +233,27 @@ mod tests {
         assert_eq!(envelope.key, "b400|s2022");
         assert_eq!(envelope.encoding, Encoding::Binary);
         assert_eq!(envelope.payload, b"payload bytes");
+    }
+
+    #[test]
+    fn peek_key_reads_headers_without_payloads() {
+        let bytes = seal("kgd-bin", "b400|s2022\u{1f}10q", Encoding::Binary, &[0u8; 4096]);
+        // The whole key is recoverable from a payload-free prefix…
+        let prefix = &bytes[..64];
+        assert_eq!(peek_key(prefix), Some(("kgd-bin".into(), "b400|s2022\u{1f}10q".into())));
+        // …and survives payload corruption (peeking is optimistic by
+        // design; `open` is where validity is decided)…
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(peek_key(&corrupt).is_some());
+        assert!(open(&corrupt).is_err());
+        // …but not bad magic, foreign versions, or a cut mid-key.
+        assert_eq!(peek_key(b"NOPE"), None);
+        assert_eq!(peek_key(&prefix[..20]), None);
+        let mut foreign = bytes;
+        foreign[4] = 99;
+        assert_eq!(peek_key(&foreign), None);
     }
 
     #[test]

@@ -46,6 +46,18 @@
 //! differently-batched) runs therefore interoperate: trial `i` depends
 //! only on `(seed, i)`, never on who simulated it.
 //!
+//! ## Backends and tiers
+//!
+//! Entry bytes live in [`Backend`]s ([`backend`]): the directory
+//! backend above is the local tier of every [`Store`], and
+//! [`Store::with_peer`] attaches a second, read-through tier — usually
+//! a [`RemoteBackend`](remote::RemoteBackend) speaking the
+//! `store-get`/`store-put`/`store-list` frames ([`remote`]) to a peer
+//! `chipletqc-engine` daemon. A local miss falls through to the peer,
+//! and what the peer serves is persisted locally behind the read, so a
+//! cold host's first run against a warm peer performs zero fabrication
+//! campaigns and warms its own store in the process.
+//!
 //! ## Durability and corruption
 //!
 //! Writes go to a temp file in the same directory and are published
@@ -62,24 +74,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod envelope;
 pub mod products;
+pub mod remote;
+pub mod wire;
 
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use backend::{Backend, DirBackend, Lookup};
 use envelope::{fnv1a64, Encoding, FNV_OFFSET_BASIS};
 
 /// File extension of store entries.
-const ENTRY_EXT: &str = "cqs";
+pub(crate) const ENTRY_EXT: &str = "cqs";
 
 /// Prefix of in-flight temp files (never opened by readers; orphans
 /// are reaped by [`Store::gc`]).
-const TMP_PREFIX: &str = ".tmp-";
+pub(crate) const TMP_PREFIX: &str = ".tmp-";
 
 /// Cap on simultaneously in-flight background writes (and on the
 /// writer-handle registry): a burst of puts beyond this blocks on the
@@ -143,7 +159,7 @@ pub struct EntryKey {
     /// product's bytes (a `LabConfig::cache_key()`-style string).
     pub cache_key: String,
     /// The product kind (`kgd-bin`, `mono-pop`, `raw-bin`, `tally`).
-    pub kind: &'static str,
+    pub kind: String,
     /// The product coordinate within the configuration (size, stream,
     /// trial range).
     pub detail: String,
@@ -153,10 +169,10 @@ impl EntryKey {
     /// Creates a key.
     pub fn new(
         cache_key: impl Into<String>,
-        kind: &'static str,
+        kind: impl Into<String>,
         detail: impl Into<String>,
     ) -> EntryKey {
-        EntryKey { cache_key: cache_key.into(), kind, detail: detail.into() }
+        EntryKey { cache_key: cache_key.into(), kind: kind.into(), detail: detail.into() }
     }
 
     /// The full logical key string stored in (and verified against)
@@ -164,6 +180,22 @@ impl EntryKey {
     /// distinct components never alias.
     pub fn logical(&self) -> String {
         format!("{}\u{1f}{}\u{1f}{}", self.kind, self.cache_key, self.detail)
+    }
+
+    /// Parses a [`EntryKey::logical`] string back into a key — the
+    /// wire spelling the store peer protocol addresses entries by.
+    /// `None` unless the string has exactly the three separated,
+    /// newline-free components.
+    pub fn parse_logical(logical: &str) -> Option<EntryKey> {
+        let mut parts = logical.split('\u{1f}');
+        let (kind, cache_key, detail) = (parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some()
+            || kind.is_empty()
+            || [kind, cache_key, detail].iter().any(|p| p.contains('\n'))
+        {
+            return None;
+        }
+        Some(EntryKey::new(cache_key, kind, detail))
     }
 
     /// The content hash addressing this key on disk: 128 bits from two
@@ -246,19 +278,27 @@ pub struct GcReport {
 /// per-entry `OnceLock`s.
 type MemoSlot = std::sync::Arc<std::sync::OnceLock<std::sync::Arc<Vec<u8>>>>;
 
-/// A persistent, content-addressed result store rooted at a directory.
+/// A persistent, content-addressed result store: cache policy layered
+/// over one or two [`Backend`]s.
+///
+/// The *local* tier is always a [`DirBackend`]; an optional *peer*
+/// tier ([`Store::with_peer`], usually a
+/// [`RemoteBackend`](remote::RemoteBackend)) is consulted read-through
+/// on local misses, and what it serves is persisted locally
+/// write-behind — so a cold host's first run against a warm peer
+/// performs zero fabrication campaigns and leaves its own store warm.
 ///
 /// Thread-safe: reads are lock-free file opens, writes are published
 /// by background threads with atomic renames. Share it with `Arc`.
 #[derive(Debug)]
 pub struct Store {
-    root: PathBuf,
+    local: Arc<DirBackend>,
+    peer: Option<Arc<dyn Backend>>,
     mode: CacheMode,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
     invalid: AtomicU64,
-    tmp_counter: AtomicU64,
     writers: Mutex<Vec<JoinHandle<()>>>,
     /// In-process dedupe for chunked ranged products: concurrent
     /// requests for the same canonical chunk (e.g. trial-range shards
@@ -274,24 +314,32 @@ pub struct Store {
 impl Store {
     /// Opens (creating if needed) a store rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>, mode: CacheMode) -> io::Result<Store> {
-        let root = dir.into();
-        std::fs::create_dir_all(root.join("objects"))?;
         Ok(Store {
-            root,
+            local: Arc::new(DirBackend::open(dir)?),
+            peer: None,
             mode,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             invalid: AtomicU64::new(0),
-            tmp_counter: AtomicU64::new(0),
             writers: Mutex::new(Vec::new()),
             ranged_memo: Mutex::new(HashMap::new()),
         })
     }
 
+    /// Attaches a read-through peer tier: local misses fall through to
+    /// `peer`, and what the peer serves is persisted locally behind
+    /// the read (when the mode writes), so each product crosses the
+    /// network at most once per host.
+    #[must_use]
+    pub fn with_peer(mut self, peer: Arc<dyn Backend>) -> Store {
+        self.peer = Some(peer);
+        self
+    }
+
     /// The store's root directory.
     pub fn root(&self) -> &Path {
-        &self.root
+        self.local.root()
     }
 
     /// The configured mode.
@@ -299,41 +347,59 @@ impl Store {
         self.mode
     }
 
+    /// Whether a peer tier is attached. Peer-level traffic counters
+    /// live on the backend itself
+    /// ([`RemoteBackend::stats`](remote::RemoteBackend::stats)) — the
+    /// store's [`StoreStats`] deliberately keep one shape whether a
+    /// peer is configured or not.
+    pub fn has_peer(&self) -> bool {
+        self.peer.is_some()
+    }
+
+    #[cfg(test)]
     fn entry_path(&self, key: &EntryKey) -> PathBuf {
-        let hash = key.hash();
-        self.root.join("objects").join(&hash[..2]).join(format!("{hash}.{ENTRY_EXT}"))
+        self.local.entry_path(key)
     }
 
     /// Reads and fully validates the entry under `key`, returning its
-    /// payload. `None` — a miss — covers: mode forbids reads, no file,
-    /// unreadable file, failed envelope validation, or a key mismatch
-    /// (stale/foreign entry under the same hash).
+    /// payload. The local tier is consulted first; on a local miss the
+    /// peer tier (if any) is tried, its product counted as a hit and
+    /// persisted locally behind the read. `None` — a miss — covers:
+    /// mode forbids reads, no entry in any tier, or nothing usable
+    /// (corrupt/stale local file, unreachable peer).
     pub fn get(&self, key: &EntryKey) -> Option<Vec<u8>> {
         if !self.mode.reads() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let bytes = match std::fs::read(self.entry_path(key)) {
-            Ok(bytes) => bytes,
-            Err(e) => {
-                if e.kind() != io::ErrorKind::NotFound {
-                    self.invalid.fetch_add(1, Ordering::Relaxed);
-                }
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
-        match envelope::open(&bytes) {
-            Ok(env) if env.kind == key.kind && env.key == key.logical() => {
+        match self.local.get(key) {
+            Lookup::Hit { payload, .. } => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(env.payload)
+                return Some(payload);
             }
-            _ => {
+            Lookup::Miss => {}
+            Lookup::Invalid => {
                 self.invalid.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
             }
         }
+        if let Some(peer) = &self.peer {
+            // A peer miss or failure needs no counting here — the
+            // backend tracks its own traffic — and falls through to
+            // the ordinary miss below.
+            if let Lookup::Hit { encoding, payload } = peer.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Read-through populate: the product lands in the
+                // local tier behind the read, so it crosses the
+                // network at most once per host.
+                if self.mode.writes() {
+                    let populate = payload.clone();
+                    self.put_with(key, encoding, move || populate);
+                }
+                return Some(payload);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Persists `payload` under `key` (no-op unless the mode writes).
@@ -356,24 +422,9 @@ impl Store {
         if !self.mode.writes() {
             return;
         }
-        let final_path = self.entry_path(key);
-        let tmp_name = format!(
-            "{TMP_PREFIX}{}-{}-{}",
-            std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
-            key.hash()
-        );
-        let tmp_path = final_path.with_file_name(tmp_name);
-        let kind = key.kind;
-        let logical = key.logical();
-        let work = move || -> io::Result<()> {
-            let bytes = envelope::seal(kind, &logical, encoding, &payload());
-            if let Some(parent) = final_path.parent() {
-                std::fs::create_dir_all(parent)?;
-            }
-            std::fs::write(&tmp_path, &bytes)?;
-            std::fs::rename(&tmp_path, &final_path)
-        };
+        let local = Arc::clone(&self.local);
+        let key = key.clone();
+        let work = move || -> io::Result<()> { local.put(&key, encoding, &payload()) };
         // Best-effort cache write: an I/O failure (or a failure to
         // spawn the writer) loses only future reuse, never
         // correctness.
@@ -461,9 +512,44 @@ impl Store {
         self.ranged_memo.lock().expect("memo poisoned").clear();
     }
 
+    /// Serves a peer daemon's `store-get`: the *local* tier only (a
+    /// request must never cascade through this host's own peer — in a
+    /// mesh where daemons point at each other, that would loop), with
+    /// outstanding writes joined first so the peer sees everything
+    /// this host has computed. Session counters are untouched: peer
+    /// traffic is the peer's workload, not this host's.
+    pub fn serve_peer_get(&self, key: &EntryKey) -> Lookup {
+        self.flush();
+        self.local.get(key)
+    }
+
+    /// Serves a peer daemon's `store-put` into the local tier
+    /// (rejected unless the mode writes — a read-only store must stay
+    /// read-only for remote writers too).
+    pub fn serve_peer_put(
+        &self,
+        key: &EntryKey,
+        encoding: Encoding,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        if !self.mode.writes() {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("store mode {} does not accept writes", self.mode.name()),
+            ));
+        }
+        self.local.put(key, encoding, payload)
+    }
+
+    /// Serves a peer daemon's `store-list` from the local tier.
+    pub fn serve_peer_list(&self) -> io::Result<Vec<EntryKey>> {
+        self.flush();
+        self.local.list()
+    }
+
     fn scan(&self) -> io::Result<Vec<ScannedFile>> {
         let mut files = Vec::new();
-        let objects = self.root.join("objects");
+        let objects = self.local.root().join("objects");
         for shard in std::fs::read_dir(&objects)? {
             let shard = shard?;
             if !shard.file_type()?.is_dir() {
@@ -613,7 +699,7 @@ impl Drop for Store {
     }
 }
 
-fn is_tmp(path: &Path) -> bool {
+pub(crate) fn is_tmp(path: &Path) -> bool {
     path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with(TMP_PREFIX))
 }
 
@@ -822,6 +908,106 @@ mod tests {
         );
         assert_eq!(plan.delete.len(), 1);
         assert!(plan.delete[0].0.ends_with("a-tied"));
+    }
+
+    /// An in-memory peer: enough [`Backend`] to exercise the
+    /// read-through tier without sockets.
+    #[derive(Debug, Default)]
+    struct MemBackend {
+        entries: Mutex<HashMap<String, (Encoding, Vec<u8>)>>,
+    }
+
+    impl Backend for MemBackend {
+        fn get(&self, key: &EntryKey) -> Lookup {
+            match self.entries.lock().unwrap().get(&key.logical()) {
+                Some((encoding, payload)) => {
+                    Lookup::Hit { encoding: *encoding, payload: payload.clone() }
+                }
+                None => Lookup::Miss,
+            }
+        }
+
+        fn put(&self, key: &EntryKey, encoding: Encoding, payload: &[u8]) -> io::Result<()> {
+            self.entries.lock().unwrap().insert(key.logical(), (encoding, payload.to_vec()));
+            Ok(())
+        }
+
+        fn list(&self) -> io::Result<Vec<EntryKey>> {
+            Ok(self
+                .entries
+                .lock()
+                .unwrap()
+                .keys()
+                .filter_map(|k| EntryKey::parse_logical(k))
+                .collect())
+        }
+    }
+
+    #[test]
+    fn peer_tier_serves_local_misses_and_populates_read_through() {
+        let root = temp_root("peer-tier");
+        let peer = Arc::new(MemBackend::default());
+        peer.put(&key("remote"), Encoding::Binary, b"from-peer").unwrap();
+
+        let store =
+            Store::open(&root, CacheMode::ReadWrite).unwrap().with_peer(Arc::clone(&peer) as _);
+        assert!(store.has_peer());
+        // A local miss falls through to the peer and counts as a hit.
+        assert_eq!(store.get(&key("remote")).as_deref(), Some(&b"from-peer"[..]));
+        assert_eq!(store.stats(), StoreStats { hits: 1, misses: 0, writes: 1, invalid: 0 });
+        // The read-through populate landed locally: drop the peer and
+        // the entry still serves, encoding preserved.
+        store.flush();
+        let local_only = Store::open(&root, CacheMode::ReadWrite).unwrap();
+        assert_eq!(local_only.get(&key("remote")).as_deref(), Some(&b"from-peer"[..]));
+        assert_eq!(
+            local_only.local.get(&key("remote")),
+            Lookup::Hit { encoding: Encoding::Binary, payload: b"from-peer".to_vec() }
+        );
+        // A double miss (local and peer) is one store-level miss.
+        assert_eq!(store.get(&key("nowhere")), None);
+        assert_eq!(store.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn read_mode_uses_the_peer_but_never_populates() {
+        let root = temp_root("peer-readonly");
+        let peer = Arc::new(MemBackend::default());
+        peer.put(&key("r"), Encoding::Json, b"{}").unwrap();
+        let store = Store::open(&root, CacheMode::Read).unwrap().with_peer(peer as _);
+        assert_eq!(store.get(&key("r")).as_deref(), Some(&b"{}"[..]));
+        store.flush();
+        assert_eq!(store.stats().writes, 0);
+        let local_only = Store::open(&root, CacheMode::Read).unwrap();
+        assert_eq!(local_only.get(&key("r")), None, "read mode must not have populated");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn serve_peer_side_respects_mode_and_skips_own_peer() {
+        let root = temp_root("peer-serve");
+        let upstream = Arc::new(MemBackend::default());
+        upstream.put(&key("u"), Encoding::Binary, b"upstream-only").unwrap();
+        let store = Store::open(&root, CacheMode::ReadWrite).unwrap().with_peer(upstream as _);
+        // Serving never cascades through this host's own peer: a mesh
+        // of daemons pointing at each other must not loop.
+        assert_eq!(store.serve_peer_get(&key("u")), Lookup::Miss);
+        // A served put lands locally and is then served back.
+        store.serve_peer_put(&key("p"), Encoding::Json, b"{}").unwrap();
+        assert_eq!(
+            store.serve_peer_get(&key("p")),
+            Lookup::Hit { encoding: Encoding::Json, payload: b"{}".to_vec() }
+        );
+        assert_eq!(store.serve_peer_list().unwrap(), vec![key("p")]);
+        // Peer serving is not this host's workload: session counters
+        // untouched.
+        assert_eq!(store.stats(), StoreStats::default());
+
+        let read_only = Store::open(&root, CacheMode::Read).unwrap();
+        let err = read_only.serve_peer_put(&key("x"), Encoding::Json, b"{}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

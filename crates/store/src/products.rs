@@ -77,7 +77,7 @@ pub fn chunk_cover(range: TrialRange, chunk: usize) -> Vec<TrialRange> {
     (first..last).map(|k| TrialRange { start: k * chunk, end: (k + 1) * chunk }).collect()
 }
 
-fn piece_key(fab_key: &str, kind: &'static str, stream: &str, piece: TrialRange) -> EntryKey {
+fn piece_key(fab_key: &str, kind: &str, stream: &str, piece: TrialRange) -> EntryKey {
     EntryKey::new(fab_key, kind, format!("{stream}/{}-{}", piece.start, piece.end))
 }
 
