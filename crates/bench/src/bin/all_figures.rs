@@ -49,7 +49,12 @@ fn main() {
 
     let hub = CacheHub::new();
     let results = scheduler.run(&suite, &hub);
-    let report = RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+    let report = RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    );
     print!("{}", timing_summary(&results, scheduler.workers()));
 
     for (name, contents) in report.artifacts() {

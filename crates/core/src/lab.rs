@@ -335,6 +335,12 @@ impl CacheHub {
         self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
     }
 
+    /// The store peer tier's transport counters (zeros when no store
+    /// or no peer is attached, mirroring [`CacheHub::store_stats`]).
+    pub fn peer_stats(&self) -> chipletqc_store::remote::PeerStats {
+        self.store.as_ref().and_then(|s| s.peer_stats()).unwrap_or_default()
+    }
+
     /// Joins the store's outstanding background writes (no-op without
     /// a store). Call before reading [`CacheHub::store_stats`] for a
     /// final tally or before another process opens the directory.

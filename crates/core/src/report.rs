@@ -142,6 +142,17 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON text, spliced into the output verbatim
+    /// (compact mode) or re-indented line-by-line (pretty mode).
+    ///
+    /// The text must be what [`Json::to_json`]/[`Json::to_json_pretty`]
+    /// would have produced for the value at nesting level 0 (pretty
+    /// text without the trailing newline). Re-indenting prepends the
+    /// enclosing level's padding to every continuation line, which is
+    /// exactly the recursive writer's output for the same value — this
+    /// is what lets a merger splice serialized fragments from another
+    /// process into a byte-identical document.
+    Raw(String),
 }
 
 impl Json {
@@ -212,6 +223,16 @@ impl Json {
             }
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::Str(s) => write_escaped(out, s),
+            Json::Raw(text) => match indent {
+                // Level-0 pretty text indents continuation lines by
+                // two spaces per nesting level below the root; at
+                // splice level `level` every line sits `level` levels
+                // deeper, so each embedded newline gains that padding.
+                Some(level) if level > 0 => {
+                    out.push_str(&text.replace('\n', &format!("\n{}", "  ".repeat(level))));
+                }
+                _ => out.push_str(text),
+            },
             Json::Arr(items) => {
                 if items.is_empty() {
                     out.push_str("[]");
@@ -391,6 +412,35 @@ mod tests {
         assert_eq!(value.to_json(), compact, "serialization is pure");
         let pretty = value.to_json_pretty();
         assert!(pretty.contains("\n  \"name\": \"fig8\""));
+    }
+
+    #[test]
+    fn raw_splices_byte_identically_to_direct_serialization() {
+        // A fragment with every shape that affects layout: nested
+        // objects/arrays, empties, strings with escapes, numbers.
+        let fragment = Json::obj()
+            .field("mean", 0.815)
+            .field("rows", vec![1.0, 2.5])
+            .field("empty_obj", Json::obj())
+            .field("empty_arr", Json::Arr(vec![]))
+            .field("label", "a\"b\nc")
+            .field("nested", Json::obj().field("deep", Json::obj().field("x", 1.0)));
+        // Documents embedding the fragment directly vs as level-0
+        // pretty text spliced through Raw, at several nesting depths.
+        let direct = Json::obj()
+            .field("top", fragment.clone())
+            .field("deeper", Json::obj().field("inner", fragment.clone()))
+            .field("in_arr", Json::Arr(vec![fragment.clone()]));
+        let mut pretty0 = String::new();
+        fragment.write(&mut pretty0, Some(0));
+        let raw = || Json::Raw(pretty0.clone());
+        let spliced = Json::obj()
+            .field("top", raw())
+            .field("deeper", Json::obj().field("inner", raw()))
+            .field("in_arr", Json::Arr(vec![raw()]));
+        assert_eq!(spliced.to_json_pretty(), direct.to_json_pretty());
+        // Compact mode splices the text verbatim.
+        assert_eq!(Json::Raw("[1,2]".into()).to_json(), "[1,2]");
     }
 
     #[test]

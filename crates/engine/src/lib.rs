@@ -30,7 +30,12 @@
 //!   format for batch submissions, and a long-lived daemon that runs
 //!   them over a Unix domain socket against one warm
 //!   [`CacheHub`](chipletqc::lab::CacheHub), so repeated submissions
-//!   skip fabrication without touching disk.
+//!   skip fabrication without touching disk;
+//! * [`mesh`] — **distributed sweeps**: a coordinator partitions a
+//!   sweep into work units, scatters them to mesh-worker daemons over
+//!   the service protocol, and merges the returned pieces into the
+//!   same byte-identical report a local run produces — with per-unit
+//!   deadlines, retry on worker death, and straggler speculation.
 //!
 //! The `chipletqc-engine` binary wires these together as a CLI
 //! (one-shot runs, `store` maintenance, `serve`/`submit` service
@@ -60,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mesh;
 pub mod protocol;
 pub mod report;
 pub mod scenario;

@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use chipletqc::lab::CacheHub;
 use chipletqc::report::TextTable;
+use chipletqc_engine::mesh::{self, MeshConfig};
 use chipletqc_engine::protocol::{parse_count, Request, Response, Submission};
 use chipletqc_engine::report::{timing_summary, RunReport};
 use chipletqc_engine::scenario::{ExperimentKind, Scale};
@@ -32,6 +33,7 @@ use chipletqc_engine::service::{self, Endpoint, Service, ServiceConfig};
 use chipletqc_engine::suite::resolve_batch;
 use chipletqc_engine::sweep::Sweep;
 use chipletqc_math::rng::Seed;
+use chipletqc_store::backend::Backend as _;
 use chipletqc_store::remote::RemoteBackend;
 use chipletqc_store::{CacheMode, Store};
 
@@ -41,12 +43,18 @@ chipletqc-engine — parallel paper-figure and design-space scenario batches
 USAGE:
   chipletqc-engine [OPTIONS]
   chipletqc-engine store stats --cache-dir DIR
+                               [--store-peer HOST:PORT --token-file F]
   chipletqc-engine store gc --cache-dir DIR --max-bytes N
+  chipletqc-engine store prefetch --cache-dir DIR --store-peer HOST:PORT
+                                  --token-file F
   chipletqc-engine serve (--socket PATH | --listen HOST:PORT --token-file F | both)
                          [--cache-dir DIR] [--cache MODE]
-                         [--store-peer HOST:PORT] [--workers N] [--shards N]
+                         [--store-peer HOST:PORT] [--store-push] [--prefetch]
+                         [--workers N] [--shards N] [--mesh-worker]
   chipletqc-engine submit (--socket PATH | --connect HOST:PORT --token-file F)
                           [BATCH OPTIONS] [--reset]
+  chipletqc-engine submit --mesh W1:P,W2:P[,..] --token-file F --sweep FILE
+                          [BATCH OPTIONS] [--mesh-deadline SECS] [--mesh-units N]
   chipletqc-engine submit (--socket PATH | --connect HOST:PORT --token-file F) --shutdown
 
 OPTIONS:
@@ -67,6 +75,10 @@ OPTIONS:
                     misses are served by the daemon at HOST:PORT and
                     persisted locally (needs --cache-dir + --token-file;
                     see README \"Remote service mode\")
+  --store-push      push replication: locally fabricated results are
+                    also written behind to the store peer, so the
+                    peer's store converges without re-fabrication
+                    (needs --store-peer)
   --token-file F    file holding the shared authentication token
                     (trimmed; a shared secret for trusted networks)
   --out DIR         artifact directory (default: target/figures)
@@ -76,9 +88,14 @@ OPTIONS:
 
 STORE SUBCOMMANDS:
   store stats       scan the store directory; report entries/bytes by kind
+                    (with --store-peer + --token-file, also list the
+                    peer and report the exchange's transport counters)
   store gc          delete oldest entries until the directory holds at
                     most --max-bytes of entries (a store is a cache;
                     deleting entries only costs recomputation)
+  store prefetch    pull every entry the peer lists into the local
+                    store ahead of a run, so cold workers don't pay
+                    read-through misses mid-sweep
 
 SERVICE MODE (see README \"Service mode\" and \"Remote service mode\"):
   serve             long-lived daemon: one warm cache hub for its whole
@@ -86,13 +103,25 @@ SERVICE MODE (see README \"Service mode\" and \"Remote service mode\"):
                     without touching disk. --socket serves local Unix
                     clients; --listen HOST:PORT serves remote clients
                     and store peers (requires --token-file). SIGTERM or
-                    `submit --shutdown` drains in-flight batches first
+                    `submit --shutdown` drains in-flight batches first.
+                    --mesh-worker additionally accepts mesh work claims
+                    (needs --listen); --prefetch warms the store from
+                    its peer before serving
   submit            send one batch (--sweep/--sweep-text/--only/--quick,
                     --workers/--shards/--seed as above) to a daemon at
                     --socket PATH or --connect HOST:PORT (+--token-file);
                     timing lines go to stderr, the deterministic report
                     JSON to stdout. --reset drops the daemon's warm
                     in-memory caches first; --shutdown stops the daemon
+
+DISTRIBUTED SWEEPS (see README \"Distributed sweeps\"):
+  submit --mesh W1:P,W2:P[,..]   scatter a sweep across mesh-worker
+                    daemons and merge a report byte-identical to a
+                    local run (modulo counter objects). Requires
+                    --token-file and a sweep; --mesh-workers-file FILE
+                    reads one address per line instead.
+                    --mesh-deadline SECS bounds each work-unit claim
+                    (default 600); --mesh-units N overrides the carve
 ";
 
 #[derive(Debug)]
@@ -122,11 +151,14 @@ struct CacheFlags {
     mode: Option<CacheMode>,
     /// A peer daemon's `HOST:PORT`, attached as a read-through tier.
     peer: Option<String>,
+    /// `--store-push`: replicate locally fabricated results to the
+    /// peer behind the write.
+    push: bool,
 }
 
 impl CacheFlags {
     fn new() -> CacheFlags {
-        CacheFlags { dir: None, mode: Some(CacheMode::ReadWrite), peer: None }
+        CacheFlags { dir: None, mode: Some(CacheMode::ReadWrite), peer: None, push: false }
     }
 
     fn set_dir(&mut self, value: String) {
@@ -168,6 +200,14 @@ impl CacheFlags {
                         tier, and write mode never reads)"
                 .into());
         }
+        if self.push && self.peer.is_none() {
+            return Err("--store-push needs --store-peer (there is nowhere to push to)".into());
+        }
+        if self.push && self.mode.is_some_and(|mode| !mode.writes()) {
+            return Err("--store-push is dead under --cache read (push rides on local \
+                        writes, and read mode never writes)"
+                .into());
+        }
         Ok(())
     }
 
@@ -183,14 +223,17 @@ impl CacheFlags {
                 if let Some(peer) = &self.peer {
                     let token = token
                         .ok_or("--store-peer needs --token-file (peer daemons authenticate)")?;
-                    store = store.with_peer(std::sync::Arc::new(RemoteBackend::new(
-                        peer.clone(),
-                        Some(token.to_string()),
-                    )));
+                    store = store
+                        .with_peer(std::sync::Arc::new(RemoteBackend::new(
+                            peer.clone(),
+                            Some(token.to_string()),
+                        )))
+                        .with_push(self.push);
                     println!(
-                        "result store: {} ({}) <- peer {peer}",
+                        "result store: {} ({}) {} peer {peer}",
                         dir.display(),
-                        mode.name()
+                        mode.name(),
+                        if self.push { "<->" } else { "<-" }
                     );
                 } else {
                     println!("result store: {} ({})", dir.display(), mode.name());
@@ -295,6 +338,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--store-peer" => {
                 options.cache.peer = Some(args.next().ok_or("--store-peer needs a value")?);
             }
+            "--store-push" => options.cache.push = true,
             "--token-file" => {
                 options.token_file = Some(args.next().ok_or("--token-file needs a value")?);
             }
@@ -321,12 +365,31 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     Ok(options)
 }
 
-/// The `store stats` / `store gc` subcommands: offline inspection and
-/// garbage collection of a result-store directory.
+/// One human-readable line of peer transport counters, shared by
+/// every CLI surface that diagnoses the peer tier.
+fn peer_stats_line(stats: &chipletqc_store::remote::PeerStats) -> String {
+    format!(
+        "store peer: {} hit(s), {} miss(es), {} error(s), {} breaker trip(s), \
+         {} dial(s), {} reused, {} push(es)",
+        stats.hits,
+        stats.misses,
+        stats.errors,
+        stats.trips,
+        stats.dials,
+        stats.reused,
+        stats.pushes
+    )
+}
+
+/// The `store stats` / `store gc` / `store prefetch` subcommands:
+/// offline inspection, garbage collection, and peer warm-up of a
+/// result-store directory.
 fn store_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
-    let action = args.next().ok_or("store: need an action (stats | gc)")?;
+    let action = args.next().ok_or("store: need an action (stats | gc | prefetch)")?;
     let mut cache_dir: Option<PathBuf> = None;
     let mut max_bytes: Option<u64> = None;
+    let mut peer: Option<String> = None;
+    let mut token_file: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--cache-dir" => {
@@ -338,13 +401,36 @@ fn store_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                 max_bytes =
                     Some(value.parse().map_err(|_| format!("bad --max-bytes {value}"))?);
             }
+            "--store-peer" => {
+                peer = Some(args.next().ok_or("--store-peer needs a value")?);
+            }
+            "--token-file" => {
+                token_file = Some(args.next().ok_or("--token-file needs a value")?);
+            }
             other => return Err(format!("store {action}: unknown argument {other}")),
         }
     }
+    // The same dead-flag hygiene as everywhere else: a peer without a
+    // token cannot authenticate, and a token without a peer gates
+    // nothing.
+    if peer.is_some() != token_file.is_some() {
+        return Err(format!(
+            "store {action}: --store-peer and --token-file go together (peer daemons \
+             authenticate)"
+        ));
+    }
+    let backend = match (&peer, &token_file) {
+        (Some(addr), Some(path)) => {
+            Some(RemoteBackend::new(addr.clone(), Some(read_token_file(path)?)))
+        }
+        _ => None,
+    };
     let dir = cache_dir.ok_or("store: --cache-dir is required")?;
     // Inspection/maintenance must not conjure a store out of a typo'd
-    // path (Store::open create_dir_all's its root for run-time use).
-    if !dir.is_dir() {
+    // path (Store::open create_dir_all's its root for run-time use) —
+    // but prefetch exists precisely to populate a fresh replica, so
+    // it creates the directory like a run would.
+    if action != "prefetch" && !dir.is_dir() {
         return Err(format!("store: no result store at {} (not a directory)", dir.display()));
     }
     let store =
@@ -365,9 +451,20 @@ fn store_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                     stats.corrupt
                 );
             }
+            if let Some(backend) = &backend {
+                let listed =
+                    backend.list().map_err(|e| format!("list peer {}: {e}", backend.addr()))?;
+                println!("peer {} lists {} entr(ies)", backend.addr(), listed.len());
+                println!("{}", peer_stats_line(&backend.stats()));
+            }
             Ok(())
         }
         "gc" => {
+            if backend.is_some() {
+                return Err("store gc: --store-peer makes no sense here (gc is local; the \
+                            peer manages its own store)"
+                    .into());
+            }
             let budget = max_bytes.ok_or("store gc: --max-bytes is required")?;
             let report = store.gc(budget).map_err(|e| format!("gc {dir:?}: {e}"))?;
             println!(
@@ -380,7 +477,24 @@ fn store_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             );
             Ok(())
         }
-        other => Err(format!("store: unknown action {other} (want stats | gc)")),
+        "prefetch" => {
+            let backend =
+                backend.ok_or("store prefetch: --store-peer and --token-file are required")?;
+            let addr = backend.addr().to_string();
+            let store = store.with_peer(std::sync::Arc::new(backend));
+            let report =
+                store.prefetch_from_peer().map_err(|e| format!("prefetch from {addr}: {e}"))?;
+            println!(
+                "store prefetch: {} listed by {addr}; {} fetched, {} already present, \
+                 {} failed",
+                report.listed, report.fetched, report.present, report.failed
+            );
+            if let Some(stats) = store.peer_stats() {
+                println!("{}", peer_stats_line(&stats));
+            }
+            Ok(())
+        }
+        other => Err(format!("store: unknown action {other} (want stats | gc | prefetch)")),
     }
 }
 
@@ -429,6 +543,8 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut cache = CacheFlags::new();
     let mut workers: Option<usize> = None;
     let mut shards: usize = 1;
+    let mut mesh_worker = false;
+    let mut prefetch = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => {
@@ -443,6 +559,7 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--store-peer" => {
                 cache.peer = Some(args.next().ok_or("--store-peer needs a value")?);
             }
+            "--store-push" => cache.push = true,
             "--cache-dir" => {
                 cache.set_dir(args.next().ok_or("--cache-dir needs a value")?);
             }
@@ -457,6 +574,8 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                 let value = args.next().ok_or("--shards needs a value")?;
                 shards = parse_count("--shards", &value)?;
             }
+            "--mesh-worker" => mesh_worker = true,
+            "--prefetch" => prefetch = true,
             other => return Err(format!("serve: unknown argument {other} (try --help)")),
         }
     }
@@ -466,6 +585,19 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     if listen.is_some() && token_file.is_none() {
         return Err("serve: --listen requires --token-file (TCP clients authenticate \
                     with the shared token)"
+            .into());
+    }
+    // A mesh worker is claimed over TCP by a remote coordinator; a
+    // Unix-only mesh worker would advertise a capability nothing can
+    // reach.
+    if mesh_worker && listen.is_none() {
+        return Err("serve: --mesh-worker requires --listen (coordinators claim work \
+                    over TCP)"
+            .into());
+    }
+    if prefetch && cache.peer.is_none() {
+        return Err("serve: --prefetch needs --store-peer (there is no one to prefetch \
+                    from)"
             .into());
     }
     // A token with neither a TCP listener nor a store peer gates
@@ -480,12 +612,24 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     cache.validate()?;
     let token = token_file.as_deref().map(read_token_file).transpose()?;
     let store = cache.open_store(token.as_deref())?;
+    if prefetch {
+        // Warm up before binding: a mesh worker that prefetches while
+        // already claimable would pay the read-through misses this
+        // flag exists to avoid.
+        let store = store.as_ref().expect("--prefetch implies a peered store");
+        let report = store.prefetch_from_peer().map_err(|e| format!("prefetch: {e}"))?;
+        println!(
+            "store prefetch: {} listed; {} fetched, {} already present, {} failed",
+            report.listed, report.fetched, report.present, report.failed
+        );
+    }
     let config = ServiceConfig {
         socket: socket.clone(),
         listen,
         token,
         default_workers: workers,
         default_shards: shards,
+        mesh_worker,
     };
     let service = Service::bind(config, store).map_err(|e| format!("bind: {e}"))?;
     shutdown_signal::install();
@@ -497,13 +641,17 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         );
     }
     if let Some(addr) = service.tcp_addr() {
-        println!("chipletqc-engine serve :: listening on tcp {addr} (token required)");
+        println!(
+            "chipletqc-engine serve :: listening on tcp {addr} (token required){}",
+            if mesh_worker { " as a mesh worker" } else { "" }
+        );
     }
     let summary = service.run(shutdown_signal::requested).map_err(|e| format!("serve: {e}"))?;
     println!(
-        "chipletqc-engine serve :: drained; {} batch(es), {} scenario(s), {} rejected, \
-         {} store peer request(s), {} dropped repl(ies)",
+        "chipletqc-engine serve :: drained; {} batch(es), {} work unit(s), {} scenario(s), \
+         {} rejected, {} store peer request(s), {} dropped repl(ies)",
         summary.batches,
+        summary.work_units,
         summary.scenarios,
         summary.rejected,
         summary.store_requests,
@@ -522,6 +670,10 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut token_file: Option<String> = None;
     let mut submission = Submission::default();
     let mut shutdown = false;
+    let mut mesh: Option<Vec<String>> = None;
+    let mut mesh_flag: Option<&'static str> = None;
+    let mut mesh_deadline: Option<u64> = None;
+    let mut mesh_units: Option<usize> = None;
     let mut sweep_flag: Option<&'static str> = None;
     let mut set_sweep =
         |submission: &mut Submission, flag: &'static str, text: String| match sweep_flag
@@ -581,8 +733,89 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             }
             "--reset" => submission.reset = true,
             "--shutdown" => shutdown = true,
+            "--mesh" => {
+                let value = args.next().ok_or("--mesh needs a worker address list")?;
+                if let Some(earlier) = mesh_flag.replace("--mesh") {
+                    return Err(format!(
+                        "--mesh conflicts with {earlier} (give exactly one worker list)"
+                    ));
+                }
+                mesh = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--mesh-workers-file" => {
+                let path = args.next().ok_or("--mesh-workers-file needs a file path")?;
+                if let Some(earlier) = mesh_flag.replace("--mesh-workers-file") {
+                    return Err(format!(
+                        "--mesh-workers-file conflicts with {earlier} (give exactly one \
+                         worker list)"
+                    ));
+                }
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|error| format!("read {path}: {error}"))?;
+                // One address per line; blank lines and '#' comments
+                // keep the file human-maintainable.
+                let workers: Vec<String> = text
+                    .lines()
+                    .map(str::trim)
+                    .filter(|line| !line.is_empty() && !line.starts_with('#'))
+                    .map(str::to_string)
+                    .collect();
+                if workers.is_empty() {
+                    return Err(format!(
+                        "{path}: no worker addresses (one HOST:PORT per line)"
+                    ));
+                }
+                mesh = Some(workers);
+            }
+            "--mesh-deadline" => {
+                let value = args.next().ok_or("--mesh-deadline needs a seconds value")?;
+                mesh_deadline =
+                    Some(
+                        value.parse::<u64>().ok().filter(|&secs| secs > 0).ok_or(format!(
+                            "bad --mesh-deadline {value} (want seconds >= 1)"
+                        ))?,
+                    );
+            }
+            "--mesh-units" => {
+                let value = args.next().ok_or("--mesh-units needs a value")?;
+                mesh_units = Some(parse_count("--mesh-units", &value)?);
+            }
             other => return Err(format!("submit: unknown argument {other} (try --help)")),
         }
+    }
+    if mesh.is_none() && (mesh_deadline.is_some() || mesh_units.is_some()) {
+        return Err("--mesh-deadline/--mesh-units are only used with --mesh or \
+                    --mesh-workers-file"
+            .into());
+    }
+    if let Some(workers) = mesh {
+        // The coordinator runs in this process: no daemon endpoint, no
+        // shutdown/reset semantics to forward.
+        if socket.is_some() || connect.is_some() {
+            return Err("--mesh conflicts with --socket/--connect (the coordinator runs \
+                        in-process and dials the workers itself)"
+                .into());
+        }
+        if shutdown || submission.reset {
+            return Err("--mesh conflicts with --shutdown/--reset (shut workers down \
+                        individually via submit --connect)"
+                .into());
+        }
+        if workers.iter().any(String::is_empty) {
+            return Err("--mesh: empty worker address in the list".into());
+        }
+        let token_file = token_file
+            .as_deref()
+            .ok_or("submit --mesh requires --token-file (mesh workers authenticate)")?;
+        let mut config = MeshConfig::new(workers, read_token_file(token_file)?);
+        if let Some(secs) = mesh_deadline {
+            config.deadline = std::time::Duration::from_secs(secs);
+        }
+        config.units = mesh_units;
+        let run = mesh::run_mesh(&submission, &config)?;
+        eprint!("{}", run.timing);
+        print!("{}", run.report.to_json());
+        return Ok(());
     }
     let endpoint = match (socket, connect) {
         (Some(_), Some(_)) => {
@@ -633,6 +866,11 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             eprintln!("batch {batch} done.");
             print!("{report}");
             Ok(())
+        }
+        Response::WorkResult { .. } => {
+            Err("daemon answered a plain submission with a mesh work result (protocol \
+             confusion — mismatched versions?)"
+                .into())
         }
         Response::Error(message) => Err(format!("daemon rejected the submission: {message}")),
     }
@@ -745,7 +983,12 @@ fn main() -> ExitCode {
     // the report (and any process that opens the directory next) sees
     // the final state.
     hub.flush_store();
-    let report = RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+    let report = RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    );
     print!("{}", timing_summary(&results, scheduler.workers()));
     println!("  {:<24} {:>9.3}s (batch wall clock)", "elapsed", batch_wall.as_secs_f64());
     let stats = hub.fabrication_stats();
@@ -759,6 +1002,9 @@ fn main() -> ExitCode {
             "result store: {} hit(s), {} miss(es), {} write(s), {} invalid",
             store.hits, store.misses, store.writes, store.invalid
         );
+        if options.cache.peer.is_some() {
+            println!("{}", peer_stats_line(&hub.peer_stats()));
+        }
     }
 
     if options.write_files {
@@ -875,5 +1121,19 @@ mod tests {
         let ok = parse("--store-peer h:1 --cache-dir /d --token-file t").unwrap();
         assert_eq!(ok.cache.peer.as_deref(), Some("h:1"));
         assert_eq!(ok.token_file.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn store_push_needs_a_peer_and_a_writing_mode() {
+        // Push rides on local store writes toward the peer; without a
+        // peer (or under a never-writing mode) the flag is dead.
+        let error = parse("--store-push").expect_err("push with no peer");
+        assert!(error.contains("--store-push needs --store-peer"), "{error}");
+        let error =
+            parse("--store-push --store-peer h:1 --cache-dir /d --cache read --token-file t")
+                .unwrap_err();
+        assert!(error.contains("dead under --cache read"), "{error}");
+        let ok = parse("--store-push --store-peer h:1 --cache-dir /d --token-file t").unwrap();
+        assert!(ok.cache.push);
     }
 }

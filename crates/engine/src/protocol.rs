@@ -48,8 +48,22 @@
 //! <blank line>
 //! ```
 //!
-//! A **response** is a report, a shutdown acknowledgement, or an
-//! error:
+//! A **work claim** is the mesh coordinator's request to a worker
+//! daemon: one work unit of a scattered sweep, carried in the exact
+//! `submit` header set (the unit is a sweep plus an `only` filter
+//! naming its scenarios) under its own verb, so a worker can meter
+//! and gate mesh traffic separately from ordinary submissions:
+//!
+//! ```text
+//! chipletqc/1 work-claim
+//! only = sweep/a,sweep/b  # the unit's scenario names
+//! sweep-bytes = 123
+//! <blank line>
+//! <123 bytes of sweep text>
+//! ```
+//!
+//! A **response** is a report, a work result, a shutdown
+//! acknowledgement, or an error:
 //!
 //! ```text
 //! chipletqc/1 ok
@@ -58,6 +72,13 @@
 //! report-bytes = 4096    # the deterministic RunReport JSON
 //! <blank line>
 //! <210 bytes of timing><4096 bytes of report>
+//! ```
+//!
+//! ```text
+//! chipletqc/1 ok
+//! pieces-bytes = 890     # the unit's results in the mesh pieces format
+//! <blank line>
+//! <890 bytes of pieces>
 //! ```
 //!
 //! ```text
@@ -125,6 +146,13 @@ pub enum Request {
     /// A store peer request, answered from the daemon's local store
     /// tier with a [`chipletqc_store::remote::StoreReply`] frame.
     Store(StoreRequest),
+    /// One work unit of a scattered sweep, claimed from a mesh worker
+    /// daemon. Carries the same fields as a submission (the unit is a
+    /// sweep plus an `only` filter naming its scenarios) but is
+    /// answered with a [`Response::WorkResult`] pieces frame instead
+    /// of a full report, and only daemons started as mesh workers
+    /// accept it.
+    WorkClaim(Submission),
     /// Finish in-flight work, acknowledge, and exit.
     Shutdown,
 }
@@ -144,6 +172,15 @@ pub enum Response {
         /// submission's deltas.
         report: String,
     },
+    /// A completed work unit: the per-scenario pieces and counter
+    /// deltas in the mesh pieces format
+    /// ([`crate::mesh::encode_pieces`] /
+    /// [`crate::mesh::decode_pieces`]), which the coordinator merges
+    /// into the batch's deterministic report.
+    WorkResult {
+        /// The unit's results, encoded as pieces text.
+        pieces: String,
+    },
     /// The daemon accepted a shutdown request and is draining.
     ShuttingDown,
     /// The submission was rejected (parse error, unknown scenario,
@@ -154,34 +191,8 @@ pub enum Response {
 /// Writes one request frame.
 pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
     match request {
-        Request::Submit(s) => {
-            writeln!(w, "{VERSION} submit")?;
-            if let Some(workers) = s.workers {
-                writeln!(w, "workers = {workers}")?;
-            }
-            if let Some(shards) = s.shards {
-                writeln!(w, "shards = {shards}")?;
-            }
-            if let Some(seed) = s.seed {
-                writeln!(w, "seed = {seed}")?;
-            }
-            if let Some(scale) = s.scale {
-                writeln!(w, "scale = {}", scale.name())?;
-            }
-            if let Some(only) = &s.only {
-                writeln!(w, "only = {}", only.join(","))?;
-            }
-            if s.reset {
-                writeln!(w, "reset = true")?;
-            }
-            if let Some(text) = &s.sweep_text {
-                writeln!(w, "sweep-bytes = {}", text.len())?;
-            }
-            w.write_all(b"\n")?;
-            if let Some(text) = &s.sweep_text {
-                w.write_all(text.as_bytes())?;
-            }
-        }
+        Request::Submit(s) => write_submission(w, "submit", s)?,
+        Request::WorkClaim(s) => write_submission(w, "work-claim", s)?,
         Request::Shutdown => {
             write!(w, "{VERSION} shutdown\n\n")?;
         }
@@ -189,6 +200,40 @@ pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
         Request::Store(request) => return remote::write_store_request(w, request),
     }
     w.flush()
+}
+
+/// Writes a submission-shaped frame body under `verb` — shared by
+/// `submit` and `work-claim`, whose header sets are identical by
+/// construction (a work unit *is* a submission the coordinator carved
+/// out of a larger one).
+fn write_submission(w: &mut impl Write, verb: &str, s: &Submission) -> io::Result<()> {
+    writeln!(w, "{VERSION} {verb}")?;
+    if let Some(workers) = s.workers {
+        writeln!(w, "workers = {workers}")?;
+    }
+    if let Some(shards) = s.shards {
+        writeln!(w, "shards = {shards}")?;
+    }
+    if let Some(seed) = s.seed {
+        writeln!(w, "seed = {seed}")?;
+    }
+    if let Some(scale) = s.scale {
+        writeln!(w, "scale = {}", scale.name())?;
+    }
+    if let Some(only) = &s.only {
+        writeln!(w, "only = {}", only.join(","))?;
+    }
+    if s.reset {
+        writeln!(w, "reset = true")?;
+    }
+    if let Some(text) = &s.sweep_text {
+        writeln!(w, "sweep-bytes = {}", text.len())?;
+    }
+    w.write_all(b"\n")?;
+    if let Some(text) = &s.sweep_text {
+        w.write_all(text.as_bytes())?;
+    }
+    Ok(())
 }
 
 /// Writes one response frame.
@@ -201,6 +246,11 @@ pub fn write_response(w: &mut impl Write, response: &Response) -> io::Result<()>
             write!(w, "report-bytes = {}\n\n", report.len())?;
             w.write_all(timing.as_bytes())?;
             w.write_all(report.as_bytes())?;
+        }
+        Response::WorkResult { pieces } => {
+            writeln!(w, "{VERSION} ok")?;
+            write!(w, "pieces-bytes = {}\n\n", pieces.len())?;
+            w.write_all(pieces.as_bytes())?;
         }
         Response::ShuttingDown => {
             write!(w, "{VERSION} ok\nshutdown = true\n\n")?;
@@ -222,54 +272,60 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Request> {
     }
     match verb.as_str() {
         "hello" => Ok(Request::Hello(remote::parse_hello(&headers, r)?)),
-        "submit" => {
-            let mut submission = Submission::default();
-            for (key, value) in &headers {
-                match key.as_str() {
-                    "workers" => {
-                        submission.workers = Some(parse_count(key, value).map_err(bad)?);
-                    }
-                    "shards" => {
-                        submission.shards = Some(parse_count(key, value).map_err(bad)?);
-                    }
-                    "seed" => {
-                        submission.seed =
-                            Some(value.parse().map_err(|_| bad(format!("bad seed {value}")))?);
-                    }
-                    "scale" => {
-                        submission.scale = Some(match value.as_str() {
-                            "quick" => Scale::Quick,
-                            "paper" => Scale::Paper,
-                            other => return Err(bad(format!("unknown scale {other}"))),
-                        });
-                    }
-                    "only" => {
-                        submission.only =
-                            Some(value.split(',').map(|s| s.trim().to_string()).collect());
-                    }
-                    "reset" => {
-                        submission.reset = match value.as_str() {
-                            "true" => true,
-                            "false" => false,
-                            other => {
-                                return Err(bad(format!(
-                                    "bad reset {other} (want true or false)"
-                                )))
-                            }
-                        };
-                    }
-                    "sweep-bytes" => {
-                        let len = parse_len(value)?;
-                        submission.sweep_text = Some(read_utf8(r, len, "sweep text")?);
-                    }
-                    other => return Err(bad(format!("unknown request header `{other}`"))),
-                }
-            }
-            Ok(Request::Submit(submission))
-        }
+        "submit" => Ok(Request::Submit(read_submission(&headers, r)?)),
+        "work-claim" => Ok(Request::WorkClaim(read_submission(&headers, r)?)),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!("unknown request verb `{other}`"))),
     }
+}
+
+/// Parses a submission-shaped frame body — the shared reader under
+/// the `submit` and `work-claim` verbs.
+fn read_submission(
+    headers: &[(String, String)],
+    r: &mut impl BufRead,
+) -> io::Result<Submission> {
+    let mut submission = Submission::default();
+    for (key, value) in headers {
+        match key.as_str() {
+            "workers" => {
+                submission.workers = Some(parse_count(key, value).map_err(bad)?);
+            }
+            "shards" => {
+                submission.shards = Some(parse_count(key, value).map_err(bad)?);
+            }
+            "seed" => {
+                submission.seed =
+                    Some(value.parse().map_err(|_| bad(format!("bad seed {value}")))?);
+            }
+            "scale" => {
+                submission.scale = Some(match value.as_str() {
+                    "quick" => Scale::Quick,
+                    "paper" => Scale::Paper,
+                    other => return Err(bad(format!("unknown scale {other}"))),
+                });
+            }
+            "only" => {
+                submission.only =
+                    Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "reset" => {
+                submission.reset = match value.as_str() {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(bad(format!("bad reset {other} (want true or false)")))
+                    }
+                };
+            }
+            "sweep-bytes" => {
+                let len = parse_len(value)?;
+                submission.sweep_text = Some(read_utf8(r, len, "sweep text")?);
+            }
+            other => return Err(bad(format!("unknown request header `{other}`"))),
+        }
+    }
+    Ok(submission)
 }
 
 /// Reads one response frame.
@@ -279,6 +335,10 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
         "ok" => {
             if header(&headers, "shutdown") == Some("true") {
                 return Ok(Response::ShuttingDown);
+            }
+            if let Some(value) = header(&headers, "pieces-bytes") {
+                let len = parse_len(value)?;
+                return Ok(Response::WorkResult { pieces: read_utf8(r, len, "pieces")? });
             }
             let batch = header(&headers, "batch")
                 .ok_or_else(|| bad("response is missing `batch`".into()))?
@@ -351,6 +411,26 @@ mod tests {
         let minimal = Request::Submit(Submission::default());
         assert_eq!(round_trip_request(&minimal), minimal);
         assert_eq!(round_trip_request(&Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn work_claims_round_trip_and_stay_distinct_from_submissions() {
+        let unit = Submission {
+            sweep_text: Some("kind = fig8\nseed = 7, 8\n".into()),
+            only: Some(vec!["sweep/a".into(), "sweep/b".into()]),
+            workers: Some(2),
+            shards: Some(3),
+            ..Submission::default()
+        };
+        let claim = Request::WorkClaim(unit.clone());
+        assert_eq!(round_trip_request(&claim), claim);
+        // The verb, not the header set, distinguishes a claim from a
+        // submission — a worker must never mistake one for the other.
+        assert_ne!(round_trip_request(&claim), Request::Submit(unit));
+        let result = Response::WorkResult { pieces: "chipletqc-pieces/1\ncount = 0\n".into() };
+        assert_eq!(round_trip_response(&result), result);
+        let empty = Response::WorkResult { pieces: String::new() };
+        assert_eq!(round_trip_response(&empty), empty);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use chipletqc::experiments::headline::Headline;
 use chipletqc::lab::FabricationStats;
 use chipletqc::report::Json;
+use chipletqc_store::remote::PeerStats;
 use chipletqc_store::StoreStats;
 
 use crate::scenario::ExperimentData;
@@ -20,14 +21,41 @@ use crate::scheduler::ScenarioResult;
 /// Report format version (bump on breaking shape changes).
 ///
 /// Version history: 1 — initial; 2 — top-level `store` object
-/// (persistent result-store session counters).
-pub const REPORT_SCHEMA: u64 = 2;
+/// (persistent result-store session counters); 3 — `peer` object
+/// nested in `store` (peer-tier transport counters).
+pub const REPORT_SCHEMA: u64 = 3;
 
 /// The deterministic report of one scenario batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     json: Json,
     artifacts: Vec<(String, String)>,
+}
+
+/// One scenario's fully-rendered contribution to a report: the
+/// serialization-ready form [`RunReport::from_entries`] assembles
+/// documents from. [`RunReport::from_results`] derives entries from
+/// in-process results; the mesh merger rebuilds the *same* entries
+/// from worker-returned pieces (with `metrics` spliced as
+/// [`Json::Raw`] pretty text), which is what makes a scattered run's
+/// report byte-identical to a local one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportEntry {
+    /// The scenario's batch index (drives the artifact-name
+    /// collision fallback).
+    pub index: usize,
+    /// The scenario name.
+    pub name: String,
+    /// The experiment kind's canonical name.
+    pub kind_name: String,
+    /// The scale's canonical name.
+    pub scale_name: String,
+    /// The scenario overrides, already rendered.
+    pub overrides: Json,
+    /// The experiment metrics, already rendered.
+    pub metrics: Json,
+    /// Raw artifact `(name, contents)` pairs, pre-uniquing.
+    pub artifacts: Vec<(String, String)>,
 }
 
 impl RunReport {
@@ -48,11 +76,39 @@ impl RunReport {
         results: &[ScenarioResult],
         stats: FabricationStats,
         store: StoreStats,
+        peer: PeerStats,
+    ) -> RunReport {
+        let entries = results
+            .iter()
+            .map(|result| ReportEntry {
+                index: result.index,
+                name: result.scenario.name.clone(),
+                kind_name: result.scenario.kind.name().to_string(),
+                scale_name: result.scenario.scale.name().to_string(),
+                overrides: result.scenario.overrides.to_json(),
+                metrics: result.data.metrics(),
+                artifacts: result.data.artifacts(),
+            })
+            .collect();
+        RunReport::from_entries(entries, compose_headline(results), stats, store, peer)
+    }
+
+    /// Builds the report from pre-rendered [`ReportEntry`]s — the
+    /// common constructor under [`RunReport::from_results`] and the
+    /// mesh merger. Entries must be in batch order; serialization is a
+    /// pure function of them plus the headline and counters, so any
+    /// path producing identical entries produces identical bytes.
+    pub fn from_entries(
+        entries: Vec<ReportEntry>,
+        headline: Option<Headline>,
+        stats: FabricationStats,
+        store: StoreStats,
+        peer: PeerStats,
     ) -> RunReport {
         let mut artifacts: Vec<(String, String)> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         let mut scenarios = Vec::new();
-        for result in results {
+        for entry in entries {
             // Scenarios keep the historical bare file names only when
             // they are the kind's canonical instance; renamed
             // scenarios (sweep expansions, custom batches) always
@@ -63,32 +119,28 @@ impl RunReport {
             // until the name is free — a scenario literally named like
             // an earlier fallback (e.g. `2-a` next to two `a`s) must
             // not silently overwrite its artifact on disk.
-            let canonical = result.scenario.name == result.scenario.kind.name();
-            let files: Vec<(String, String)> = result
-                .data
-                .artifacts()
+            let canonical = entry.name == entry.kind_name;
+            let files: Vec<(String, String)> = entry
+                .artifacts
                 .into_iter()
                 .map(|(name, contents)| {
-                    let mut unique = if canonical {
-                        name
-                    } else {
-                        format!("{}-{}", result.scenario.name, name)
-                    };
+                    let mut unique =
+                        if canonical { name } else { format!("{}-{}", entry.name, name) };
                     while !seen.insert(unique.clone()) {
                         // Deterministic and terminating: the name
                         // grows every round.
-                        unique = format!("{}-{}", result.index, unique);
+                        unique = format!("{}-{}", entry.index, unique);
                     }
                     (unique, contents)
                 })
                 .collect();
             scenarios.push(
                 Json::obj()
-                    .field("name", result.scenario.name.clone())
-                    .field("kind", result.scenario.kind.name())
-                    .field("scale", result.scenario.scale.name())
-                    .field("overrides", result.scenario.overrides.to_json())
-                    .field("metrics", result.data.metrics())
+                    .field("name", entry.name)
+                    .field("kind", entry.kind_name)
+                    .field("scale", entry.scale_name)
+                    .field("overrides", entry.overrides)
+                    .field("metrics", entry.metrics)
                     .field(
                         "artifacts",
                         Json::Arr(
@@ -99,7 +151,6 @@ impl RunReport {
             artifacts.extend(files);
         }
 
-        let headline = compose_headline(results);
         let headline_json = match &headline {
             None => Json::Null,
             Some(h) => Json::obj()
@@ -129,7 +180,18 @@ impl RunReport {
                     .field("hits", store.hits)
                     .field("misses", store.misses)
                     .field("writes", store.writes)
-                    .field("invalid", store.invalid),
+                    .field("invalid", store.invalid)
+                    .field(
+                        "peer",
+                        Json::obj()
+                            .field("hits", peer.hits)
+                            .field("misses", peer.misses)
+                            .field("errors", peer.errors)
+                            .field("trips", peer.trips)
+                            .field("dials", peer.dials)
+                            .field("reused", peer.reused)
+                            .field("pushes", peer.pushes),
+                    ),
             )
             .field(
                 "artifact_contents",
@@ -265,10 +327,14 @@ mod tests {
     fn report_includes_headline_and_artifacts() {
         let hub = CacheHub::new();
         let results = Scheduler::new(2).run(&tiny_batch(), &hub);
-        let report =
-            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+        let report = RunReport::from_results(
+            &results,
+            hub.fabrication_stats(),
+            hub.store_stats(),
+            hub.peer_stats(),
+        );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"headline\""));
         assert!(json.contains("\"best_eavg_ratio\""));
         // The store object is present (zeroed) even without a store.
@@ -289,8 +355,12 @@ mod tests {
         let mut batch = tiny_batch();
         batch[1] = Scenario { name: "fig8-again".into(), ..batch[0].clone() };
         let results = Scheduler::new(2).run(&batch, &hub);
-        let report =
-            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+        let report = RunReport::from_results(
+            &results,
+            hub.fabrication_stats(),
+            hub.store_stats(),
+            hub.peer_stats(),
+        );
         let names: Vec<&str> = report.artifacts().iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["fig8.txt", "fig8-again-fig8.txt"]);
         assert_eq!(
@@ -315,8 +385,12 @@ mod tests {
             Scenario { name: "a".into(), ..base },
         ];
         let results = Scheduler::new(2).run(&batch, &hub);
-        let report =
-            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+        let report = RunReport::from_results(
+            &results,
+            hub.fabrication_stats(),
+            hub.store_stats(),
+            hub.peer_stats(),
+        );
         let names: Vec<&str> = report.artifacts().iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["2-a-fig8.txt", "a-fig8.txt", "2-2-a-fig8.txt"]);
         let mut deduped = names.clone();
@@ -329,8 +403,12 @@ mod tests {
     fn strip_counter_objects_removes_exactly_the_counters() {
         let hub = CacheHub::new();
         let results = Scheduler::new(2).run(&tiny_batch(), &hub);
-        let report =
-            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+        let report = RunReport::from_results(
+            &results,
+            hub.fabrication_stats(),
+            hub.store_stats(),
+            hub.peer_stats(),
+        );
         let json = report.to_json();
         let stripped = strip_counter_objects(&json);
         assert!(!stripped.contains("\"fabrication\""));
@@ -343,9 +421,30 @@ mod tests {
             &results,
             FabricationStats::default(),
             StoreStats::default(),
+            PeerStats::default(),
         );
         assert_ne!(zeroed.to_json(), json);
         assert_eq!(strip_counter_objects(&zeroed.to_json()), stripped);
+        // A nested peer object with non-zero counters strips with the
+        // rest of `store` — its deeper close brace must not end the
+        // skip early and leak counter lines into the comparison.
+        let peered = RunReport::from_results(
+            &results,
+            hub.fabrication_stats(),
+            hub.store_stats(),
+            PeerStats {
+                hits: 3,
+                misses: 1,
+                errors: 2,
+                trips: 1,
+                dials: 4,
+                reused: 9,
+                pushes: 5,
+            },
+        );
+        assert!(peered.to_json().contains("\"peer\""));
+        assert!(peered.to_json().contains("\"reused\": 9"));
+        assert_eq!(strip_counter_objects(&peered.to_json()), stripped);
     }
 
     #[test]
@@ -362,8 +461,12 @@ mod tests {
         let hub = CacheHub::new();
         let results = Scheduler::new(1).run(&tiny_batch()[..1], &hub);
         assert!(compose_headline(&results).is_none());
-        let report =
-            RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats());
+        let report = RunReport::from_results(
+            &results,
+            hub.fabrication_stats(),
+            hub.store_stats(),
+            hub.peer_stats(),
+        );
         assert!(report.to_json().contains("\"headline\": null"));
     }
 }

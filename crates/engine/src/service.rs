@@ -80,15 +80,16 @@ use std::time::Duration;
 
 use chipletqc::lab::{CacheHub, FabricationStats};
 use chipletqc_store::backend::Lookup;
-use chipletqc_store::remote::{self, StoreReply, StoreRequest};
+use chipletqc_store::remote::{self, PeerStats, StoreReply, StoreRequest};
 use chipletqc_store::{Store, StoreStats};
 
+use crate::mesh;
 use crate::protocol::{
     read_request, write_request, write_response, Request, Response, Submission,
 };
 use crate::report::{batch_timing_summary, RunReport};
 use crate::scenario::Scale;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{ScenarioResult, Scheduler};
 use crate::suite::resolve_batch;
 use crate::sweep::Sweep;
 
@@ -128,6 +129,16 @@ const REPLY_DEADLINE: Duration = Duration::from_secs(120);
 /// burst; a healthy client never comes near this.
 const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
 
+/// How long the daemon waits for the *next* frame on a connection
+/// that just completed a store exchange. Store peers hold one
+/// persistent connection and send requests in bursts
+/// ([`chipletqc_store::remote::RemoteBackend`] reuses its dialed
+/// connection), so a short window lets a burst skip per-request
+/// dials and hellos — while an idle peer releases the single-threaded
+/// accept loop promptly. A peer cut off mid-burst transparently
+/// redials: its client side retries once on a fresh connection.
+const STORE_KEEPALIVE: Duration = Duration::from_millis(250);
+
 /// A reader that enforces [`REQUEST_DEADLINE`] across a whole
 /// request: once the deadline passes, every further read fails with
 /// `TimedOut`. Each underlying syscall is still bounded by the
@@ -140,6 +151,13 @@ struct DeadlineReader<R> {
 impl<R: Read> DeadlineReader<R> {
     fn new(inner: R) -> DeadlineReader<R> {
         DeadlineReader { inner, deadline: std::time::Instant::now() + REQUEST_DEADLINE }
+    }
+
+    /// Starts a fresh [`REQUEST_DEADLINE`] budget — called between
+    /// requests on a kept-alive store connection, so each request gets
+    /// the budget one request on a fresh connection would.
+    fn reset(&mut self) {
+        self.deadline = std::time::Instant::now() + REQUEST_DEADLINE;
     }
 }
 
@@ -210,6 +228,11 @@ pub struct ServiceConfig {
     pub default_workers: Option<usize>,
     /// Default per-scenario shard cap for submissions that set none.
     pub default_shards: usize,
+    /// Accept mesh `work-claim` frames (a coordinator scattering a
+    /// sweep across worker daemons). Off by default: a daemon serving
+    /// interactive submissions should not silently double as mesh
+    /// capacity.
+    pub mesh_worker: bool,
 }
 
 // Manual: the token is the authentication secret, and `{:?}` output
@@ -222,6 +245,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("token", &self.token.as_ref().map(|_| "[redacted]"))
             .field("default_workers", &self.default_workers)
             .field("default_shards", &self.default_shards)
+            .field("mesh_worker", &self.mesh_worker)
             .finish()
     }
 }
@@ -236,6 +260,7 @@ impl ServiceConfig {
             token: None,
             default_workers: None,
             default_shards: 1,
+            mesh_worker: false,
         }
     }
 
@@ -260,7 +285,16 @@ impl ServiceConfig {
             token: Some(token.into()),
             default_workers: None,
             default_shards: 1,
+            mesh_worker: false,
         }
+    }
+
+    /// Marks the daemon as a mesh worker: it will accept and execute
+    /// `work-claim` frames from a coordinator.
+    #[must_use]
+    pub fn as_mesh_worker(mut self) -> ServiceConfig {
+        self.mesh_worker = true;
+        self
     }
 }
 
@@ -278,6 +312,9 @@ pub struct ServiceSummary {
     /// Store peer requests served (`store-get`/`store-put`/
     /// `store-list`).
     pub store_requests: u64,
+    /// Mesh work units executed (`work-claim` frames answered with
+    /// pieces).
+    pub work_units: u64,
     /// Replies abandoned because the client died or stalled past the
     /// write timeout. The work itself is never lost — batch and hub
     /// counters are retired before the reply is written.
@@ -600,10 +637,14 @@ impl Service {
         }
     }
 
-    /// Handles one connection (one request, one response). Returns
-    /// true when the client asked the daemon to shut down. I/O errors
-    /// on a single connection are logged and dropped — a client that
-    /// disconnects mid-frame must not take the daemon down.
+    /// Handles one connection. Most requests are one-request,
+    /// one-response; a completed *store* exchange instead keeps the
+    /// connection open for [`STORE_KEEPALIVE`] so a peer's burst of
+    /// requests reuses it (the server side of the store client's
+    /// persistent-connection discipline). Returns true when the
+    /// client asked the daemon to shut down. I/O errors on a single
+    /// connection are logged and dropped — a client that disconnects
+    /// mid-frame must not take the daemon down.
     fn handle(&mut self, conn: Conn) -> bool {
         // Bound how long an unresponsive client can monopolize the
         // synchronous daemon — in both directions. The read timeout
@@ -646,31 +687,73 @@ impl Service {
             }
             request
         };
-        match request {
-            Request::Hello(_) => {
-                self.summary.rejected += 1;
-                self.respond(&conn, &Response::Error("unexpected second hello".into()));
-                false
+        let mut request = request;
+        loop {
+            match request {
+                Request::Hello(_) => {
+                    self.summary.rejected += 1;
+                    self.respond(&conn, &Response::Error("unexpected second hello".into()));
+                    return false;
+                }
+                Request::Shutdown => {
+                    self.respond(&conn, &Response::ShuttingDown);
+                    return true;
+                }
+                Request::Store(request) => {
+                    self.handle_store(&conn, request);
+                }
+                Request::Submit(submission) => {
+                    let response = match self.run_batch(&submission) {
+                        Ok(response) => response,
+                        Err(message) => {
+                            self.summary.rejected += 1;
+                            Response::Error(message)
+                        }
+                    };
+                    self.respond(&conn, &response);
+                    return false;
+                }
+                Request::WorkClaim(submission) => {
+                    let response = match self.run_work_claim(&submission) {
+                        Ok(response) => response,
+                        Err(message) => {
+                            self.summary.rejected += 1;
+                            Response::Error(message)
+                        }
+                    };
+                    self.respond(&conn, &response);
+                    return false;
+                }
             }
-            Request::Shutdown => {
-                self.respond(&conn, &Response::ShuttingDown);
-                true
-            }
-            Request::Store(request) => {
-                self.handle_store(&conn, request);
-                false
-            }
-            Request::Submit(submission) => {
-                let response = match self.run_batch(&submission) {
-                    Ok(response) => response,
-                    Err(message) => {
-                        self.summary.rejected += 1;
-                        Response::Error(message)
-                    }
-                };
-                self.respond(&conn, &response);
-                false
-            }
+            // Only store exchanges fall through to here: give the
+            // peer a short keep-alive window to send another frame on
+            // this (already authenticated) connection, with a fresh
+            // whole-request deadline per frame. Timing out — or any
+            // close — just ends the connection quietly; the client
+            // redials on its next request.
+            let _ = conn.set_read_timeout(Some(STORE_KEEPALIVE));
+            reader.get_mut().reset();
+            request = match read_request(&mut reader) {
+                Ok(next) => {
+                    let _ = conn.set_read_timeout(Some(REQUEST_TIMEOUT));
+                    next
+                }
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        io::ErrorKind::UnexpectedEof
+                            | io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return false;
+                }
+                Err(error) => {
+                    self.summary.rejected += 1;
+                    self.respond(&conn, &Response::Error(format!("bad request: {error}")));
+                    return false;
+                }
+            };
         }
     }
 
@@ -818,9 +901,11 @@ impl Service {
         eprintln!("chipletqc-engine serve: {what}; dropping reply ({error})");
     }
 
-    /// Runs one submitted batch through the scheduler against the
-    /// lifetime hub and builds its report frame.
-    fn run_batch(&mut self, submission: &Submission) -> Result<Response, String> {
+    /// Runs one submission-shaped batch through the scheduler against
+    /// the lifetime hub — the execution path shared by ordinary
+    /// submissions and mesh work claims, which must never drift on
+    /// batch resolution or counter rebasing.
+    fn execute(&mut self, submission: &Submission) -> Result<BatchExecution, String> {
         let sweep = match &submission.sweep_text {
             Some(text) => Some(Sweep::parse(text).map_err(|e| format!("sweep: {e}"))?),
             None => None,
@@ -840,28 +925,63 @@ impl Service {
             .with_shards(submission.shards.unwrap_or(self.config.default_shards));
 
         // Per-submission counters: the hub's totals are monotonic
-        // across batches, so rebase both counter objects on a
+        // across batches, so rebase the counter objects on a
         // snapshot. A warm-hub resubmission then reports zero
         // fabrications and zero store traffic — the observable for
         // "no recomputation, and no disk either".
         let fabrication_before = self.hub.fabrication_stats();
         let store_before = self.hub.store_stats();
+        let peer_before = self.hub.peer_stats();
         let results = scheduler.run(&suite, &self.hub);
         self.hub.flush_store();
-        let fabrication: FabricationStats =
-            self.hub.fabrication_stats().since(fabrication_before);
-        let store: StoreStats = self.hub.store_stats().since(store_before);
-
-        self.summary.batches += 1;
         self.summary.scenarios += results.len() as u64;
+        Ok(BatchExecution {
+            fabrication: self.hub.fabrication_stats().since(fabrication_before),
+            store: self.hub.store_stats().since(store_before),
+            peer: self.hub.peer_stats().since(&peer_before),
+            workers: scheduler.workers(),
+            results,
+        })
+    }
+
+    /// Runs one submitted batch and builds its report frame.
+    fn run_batch(&mut self, submission: &Submission) -> Result<Response, String> {
+        let run = self.execute(submission)?;
+        self.summary.batches += 1;
         let batch = self.summary.batches;
-        let report = RunReport::from_results(&results, fabrication, store);
+        let report =
+            RunReport::from_results(&run.results, run.fabrication, run.store, run.peer);
         Ok(Response::Report {
             batch,
-            timing: batch_timing_summary(batch, &results, scheduler.workers()),
+            timing: batch_timing_summary(batch, &run.results, run.workers),
             report: report.to_json(),
         })
     }
+
+    /// Runs one mesh work claim and builds its pieces frame. Refused
+    /// unless the daemon was started as a mesh worker.
+    fn run_work_claim(&mut self, submission: &Submission) -> Result<Response, String> {
+        if !self.config.mesh_worker {
+            return Err(
+                "daemon is not a mesh worker (start it with `serve --mesh-worker`)".into()
+            );
+        }
+        let run = self.execute(submission)?;
+        self.summary.work_units += 1;
+        let outcome =
+            mesh::outcome_from_results(&run.results, run.fabrication, run.store, run.peer);
+        Ok(Response::WorkResult { pieces: mesh::encode_pieces(&outcome) })
+    }
+}
+
+/// One executed batch, before it is framed as a report or as mesh
+/// pieces.
+struct BatchExecution {
+    results: Vec<ScenarioResult>,
+    fabrication: FabricationStats,
+    store: StoreStats,
+    peer: PeerStats,
+    workers: usize,
 }
 
 impl Drop for Service {
@@ -1077,6 +1197,7 @@ mod tests {
             summary,
             ServiceSummary {
                 batches: 2,
+                work_units: 0,
                 rejected: 2,
                 scenarios: 2,
                 store_requests: 1,
@@ -1190,6 +1311,7 @@ mod tests {
             token: None,
             default_workers: None,
             default_shards: 1,
+            mesh_worker: false,
         };
         let error = Service::bind(config, None).unwrap_err();
         assert_eq!(error.kind(), io::ErrorKind::InvalidInput);
@@ -1201,11 +1323,113 @@ mod tests {
             token: None,
             default_workers: None,
             default_shards: 1,
+            mesh_worker: false,
         };
         assert_eq!(
             Service::bind(nothing, None).unwrap_err().kind(),
             io::ErrorKind::InvalidInput
         );
+    }
+
+    #[test]
+    fn work_claims_are_refused_unless_serving_as_a_mesh_worker() {
+        // A daemon nobody marked as a mesh worker must not silently
+        // join a mesh — the flag is the operator's opt-in.
+        let socket = temp_socket("claim-refused");
+        let service = Service::bind(ServiceConfig::new(&socket), None).unwrap();
+        let handle = std::thread::spawn(move || service.run(|| false).unwrap());
+        let unit = Submission {
+            sweep_text: Some(TINY.into()),
+            workers: Some(2),
+            ..Submission::default()
+        };
+        let refused = request(&socket, &Request::WorkClaim(unit)).unwrap();
+        assert!(
+            matches!(refused, Response::Error(ref m) if m.contains("not a mesh worker")),
+            "{refused:?}"
+        );
+        request(&socket, &Request::Shutdown).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!((summary.work_units, summary.rejected), (0, 1));
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
+    }
+
+    #[test]
+    fn a_mesh_worker_serves_claims_as_pieces_and_counts_them_apart_from_batches() {
+        let socket = temp_socket("claim-served");
+        let service =
+            Service::bind(ServiceConfig::new(&socket).as_mesh_worker(), None).unwrap();
+        let handle = std::thread::spawn(move || service.run(|| false).unwrap());
+        let unit = Submission {
+            sweep_text: Some(TINY.into()),
+            workers: Some(2),
+            ..Submission::default()
+        };
+        let served = request(&socket, &Request::WorkClaim(unit.clone())).unwrap();
+        let Response::WorkResult { pieces } = served else {
+            panic!("expected a work result, got {served:?}");
+        };
+        let outcome = crate::mesh::decode_pieces(&pieces).expect("pieces decode");
+        assert_eq!(outcome.pieces.len(), 1, "TINY is a one-scenario sweep");
+        assert!(
+            outcome.pieces[0].metrics.starts_with('{'),
+            "metrics travel as rendered JSON: {}",
+            outcome.pieces[0].metrics
+        );
+        // The claim ran cold, so its counter deltas show the work.
+        assert!(outcome.fabrication.chiplet_fabrications > 0);
+        // A mesh worker still serves ordinary submissions, counted
+        // separately from work units.
+        let report = request(&socket, &Request::Submit(unit)).unwrap();
+        assert!(matches!(report, Response::Report { .. }), "{report:?}");
+        request(&socket, &Request::Shutdown).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.work_units, 1);
+        assert_eq!(summary.batches, 1);
+        assert_eq!(summary.scenarios, 2, "both paths run through execute()");
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
+    }
+
+    #[test]
+    fn one_connection_serves_a_burst_of_store_requests() {
+        // The server half of the store client's persistent-connection
+        // discipline: after a store reply, the daemon waits
+        // STORE_KEEPALIVE for another frame on the same connection
+        // instead of hanging up, so a burst costs one dial.
+        let dir = std::env::temp_dir()
+            .join(format!("chipletqc-svc-keepalive-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir, chipletqc_store::CacheMode::ReadWrite).unwrap();
+        let socket = temp_socket("keepalive");
+        let service = Service::bind(ServiceConfig::new(&socket), Some(store)).unwrap();
+        let handle = std::thread::spawn(move || service.run(|| false).unwrap());
+
+        let stream = loop {
+            match UnixStream::connect(&socket) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        let mut reader = BufReader::new(&stream);
+        for round in 0..3 {
+            let mut writer = BufWriter::new(&stream);
+            write_request(&mut writer, &Request::Store(StoreRequest::List)).unwrap();
+            drop(writer);
+            let reply = remote::read_store_reply(&mut reader).unwrap();
+            assert!(
+                matches!(reply, StoreReply::Keys(ref keys) if keys.is_empty()),
+                "round {round}: {reply:?}"
+            );
+        }
+        drop(reader);
+        drop(stream);
+
+        request(&socket, &Request::Shutdown).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.store_requests, 3, "all three frames served on one connection");
+        assert_eq!(summary.rejected, 0, "the keep-alive timeout is not an error");
+        let _ = std::fs::remove_file(socket_lock_path(&socket));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -52,7 +52,13 @@ fn small_batch() -> Vec<Scenario> {
 fn report_at(workers: usize) -> String {
     let hub = CacheHub::new();
     let results = Scheduler::new(workers).run(&small_batch(), &hub);
-    RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats()).to_json()
+    RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    )
+    .to_json()
 }
 
 #[test]

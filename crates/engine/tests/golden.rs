@@ -40,7 +40,13 @@ fn report_at(workers: usize, shards: usize) -> String {
     let hub = CacheHub::new();
     let results =
         Scheduler::new(workers).with_shards(shards).run(&golden_sweep().expand(), &hub);
-    RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats()).to_json()
+    RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    )
+    .to_json()
 }
 
 #[test]

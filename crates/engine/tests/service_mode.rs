@@ -102,8 +102,13 @@ fn daemon_reports_match_one_shot_and_repeats_are_free() {
     let suite = resolve_batch(Some(&sweep), Default::default(), None, None).expect("batch");
     let hub = CacheHub::new();
     let results = Scheduler::new(2).run(&suite, &hub);
-    let one_shot =
-        RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats()).to_json();
+    let one_shot = RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    )
+    .to_json();
     assert_eq!(
         strip_counter_objects(&report1),
         strip_counter_objects(&one_shot),

@@ -60,8 +60,13 @@ fn run(workers: usize, shards: usize, hub: &CacheHub) -> (String, usize, u64, u6
     hub.flush_store();
     let fabrication = hub.fabrication_stats().total();
     let store = hub.store_stats();
-    let json =
-        RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats()).to_json();
+    let json = RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    )
+    .to_json();
     (json, fabrication, store.hits, store.writes)
 }
 

@@ -62,7 +62,13 @@ fn batch() -> Vec<Scenario> {
 fn report_at(workers: usize, shards: usize) -> String {
     let hub = CacheHub::new();
     let results = Scheduler::new(workers).with_shards(shards).run(&batch(), &hub);
-    RunReport::from_results(&results, hub.fabrication_stats(), hub.store_stats()).to_json()
+    RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    )
+    .to_json()
 }
 
 #[test]

@@ -60,6 +60,13 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     /// reads — so a listed key is not a validity guarantee:
     /// [`Backend::get`] still fully validates before serving.
     fn list(&self) -> io::Result<Vec<EntryKey>>;
+
+    /// Transport-level counters, for backends that reach a network
+    /// peer ([`RemoteBackend`](crate::remote::RemoteBackend)); `None`
+    /// for purely local backends.
+    fn peer_stats(&self) -> Option<crate::remote::PeerStats> {
+        None
+    }
 }
 
 /// The on-disk directory backend: one envelope file per entry,

@@ -260,6 +260,20 @@ pub struct DiskStats {
     pub corrupt: u64,
 }
 
+/// What one [`Store::prefetch_from_peer`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchReport {
+    /// Keys the peer listed.
+    pub listed: u64,
+    /// Entries pulled and persisted locally.
+    pub fetched: u64,
+    /// Entries already present locally (not transferred).
+    pub present: u64,
+    /// Listed entries the peer then failed to serve (deleted since the
+    /// list, corrupt, transport error) or that failed to persist.
+    pub failed: u64,
+}
+
 /// What a [`Store::gc`] sweep did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GcReport {
@@ -294,6 +308,9 @@ type MemoSlot = std::sync::Arc<std::sync::OnceLock<std::sync::Arc<Vec<u8>>>>;
 pub struct Store {
     local: Arc<DirBackend>,
     peer: Option<Arc<dyn Backend>>,
+    /// Replicate locally-computed entries to the peer write-behind
+    /// ([`Store::with_push`]).
+    push: bool,
     mode: CacheMode,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -317,6 +334,7 @@ impl Store {
         Ok(Store {
             local: Arc::new(DirBackend::open(dir)?),
             peer: None,
+            push: false,
             mode,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -335,6 +353,31 @@ impl Store {
     pub fn with_peer(mut self, peer: Arc<dyn Backend>) -> Store {
         self.peer = Some(peer);
         self
+    }
+
+    /// Enables push replication: entries this host *computes* are also
+    /// sent to the peer write-behind (best-effort, on the same writer
+    /// thread as the local put), so a coordinator's store converges on
+    /// its workers' products without re-fabricating them. Entries that
+    /// arrived *from* the peer (read-through populates) are never
+    /// echoed back. No effect without a peer.
+    #[must_use]
+    pub fn with_push(mut self, push: bool) -> Store {
+        self.push = push;
+        self
+    }
+
+    /// Whether push replication is enabled ([`Store::with_push`]).
+    pub fn pushes(&self) -> bool {
+        self.push && self.peer.is_some()
+    }
+
+    /// Transport-level counters of the peer tier, when the attached
+    /// backend keeps them
+    /// ([`RemoteBackend::stats`](remote::RemoteBackend::stats));
+    /// `None` without a peer.
+    pub fn peer_stats(&self) -> Option<remote::PeerStats> {
+        self.peer.as_ref().and_then(|peer| peer.peer_stats())
     }
 
     /// The store's root directory.
@@ -392,8 +435,10 @@ impl Store {
                 // local tier behind the read, so it crosses the
                 // network at most once per host.
                 if self.mode.writes() {
+                    // Never push a populate: the entry came *from* the
+                    // peer; echoing it back would be pure churn.
                     let populate = payload.clone();
-                    self.put_with(key, encoding, move || populate);
+                    self.spawn_write(key, encoding, move || populate, false);
                 }
                 return Some(payload);
             }
@@ -419,12 +464,34 @@ impl Store {
     where
         F: FnOnce() -> Vec<u8> + Send + 'static,
     {
+        self.spawn_write(key, encoding, payload, self.push);
+    }
+
+    /// The write-behind engine under [`Store::put`]/[`Store::put_with`]
+    /// and the read-through populate — the latter passes `push =
+    /// false` so peer-served entries are never replicated back to
+    /// their source.
+    fn spawn_write<F>(&self, key: &EntryKey, encoding: Encoding, payload: F, push: bool)
+    where
+        F: FnOnce() -> Vec<u8> + Send + 'static,
+    {
         if !self.mode.writes() {
             return;
         }
         let local = Arc::clone(&self.local);
+        let peer = if push { self.peer.clone() } else { None };
         let key = key.clone();
-        let work = move || -> io::Result<()> { local.put(&key, encoding, &payload()) };
+        let work = move || -> io::Result<()> {
+            let payload = payload();
+            let written = local.put(&key, encoding, &payload);
+            if let Some(peer) = peer {
+                // Push replication is as best-effort as the local
+                // write: a rejected or unreachable peer costs the
+                // peer a recomputation, never this run anything.
+                let _ = peer.put(&key, encoding, &payload);
+            }
+            written
+        };
         // Best-effort cache write: an I/O failure (or a failure to
         // spawn the writer) loses only future reuse, never
         // correctness.
@@ -545,6 +612,52 @@ impl Store {
     pub fn serve_peer_list(&self) -> io::Result<Vec<EntryKey>> {
         self.flush();
         self.local.list()
+    }
+
+    /// Pulls every peer-listed entry this host is missing into the
+    /// local tier — `store-list`-driven cache warming, so a cold
+    /// worker pays its transfers up front instead of as read-through
+    /// misses mid-sweep.
+    ///
+    /// Keys are fetched in sorted-logical order (deterministic
+    /// progress under a deterministic peer). Entries are written
+    /// synchronously — when this returns, the local tier holds
+    /// everything fetched. Errors only for "no peer attached", a
+    /// failed `store-list`, or a mode that cannot persist the
+    /// transfers; per-entry failures are counted, not fatal (a peer
+    /// gc'ing mid-prefetch costs re-fetches, never a wrong store).
+    /// Session counters are untouched: prefetch is maintenance, not
+    /// run workload.
+    pub fn prefetch_from_peer(&self) -> io::Result<PrefetchReport> {
+        let peer = self.peer.as_ref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no store peer attached")
+        })?;
+        if !self.mode.writes() {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("store mode {} cannot persist prefetched entries", self.mode.name()),
+            ));
+        }
+        self.flush();
+        let mut keys = peer.list()?;
+        keys.sort_by_key(EntryKey::logical);
+        let mut report = PrefetchReport { listed: keys.len() as u64, ..Default::default() };
+        for key in keys {
+            if matches!(self.local.get(&key), Lookup::Hit { .. }) {
+                report.present += 1;
+                continue;
+            }
+            match peer.get(&key) {
+                Lookup::Hit { encoding, payload } => {
+                    match self.local.put(&key, encoding, &payload) {
+                        Ok(()) => report.fetched += 1,
+                        Err(_) => report.failed += 1,
+                    }
+                }
+                Lookup::Miss | Lookup::Invalid => report.failed += 1,
+            }
+        }
+        Ok(report)
     }
 
     fn scan(&self) -> io::Result<Vec<ScannedFile>> {
@@ -915,6 +1028,7 @@ mod tests {
     #[derive(Debug, Default)]
     struct MemBackend {
         entries: Mutex<HashMap<String, (Encoding, Vec<u8>)>>,
+        puts: AtomicU64,
     }
 
     impl Backend for MemBackend {
@@ -928,6 +1042,7 @@ mod tests {
         }
 
         fn put(&self, key: &EntryKey, encoding: Encoding, payload: &[u8]) -> io::Result<()> {
+            self.puts.fetch_add(1, Ordering::Relaxed);
             self.entries.lock().unwrap().insert(key.logical(), (encoding, payload.to_vec()));
             Ok(())
         }
@@ -1006,6 +1121,76 @@ mod tests {
 
         let read_only = Store::open(&root, CacheMode::Read).unwrap();
         let err = read_only.serve_peer_put(&key("x"), Encoding::Json, b"{}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn push_replication_sends_computed_entries_but_never_echoes_populates() {
+        let root = temp_root("push");
+        let peer = Arc::new(MemBackend::default());
+        peer.put(&key("peer-made"), Encoding::Binary, b"upstream").unwrap();
+        assert_eq!(peer.puts.load(Ordering::Relaxed), 1);
+        let store = Store::open(&root, CacheMode::ReadWrite)
+            .unwrap()
+            .with_peer(Arc::clone(&peer) as _)
+            .with_push(true);
+        assert!(store.pushes());
+        // A locally-computed entry replicates to the peer behind the
+        // write.
+        store.put(&key("computed"), Encoding::Json, b"{}".to_vec());
+        store.flush();
+        assert_eq!(
+            peer.get(&key("computed")),
+            Lookup::Hit { encoding: Encoding::Json, payload: b"{}".to_vec() }
+        );
+        assert_eq!(peer.puts.load(Ordering::Relaxed), 2);
+        // A read-through populate lands locally but is NOT pushed
+        // back to the peer it came from.
+        assert_eq!(store.get(&key("peer-made")).as_deref(), Some(&b"upstream"[..]));
+        store.flush();
+        let local_only = Store::open(&root, CacheMode::Read).unwrap();
+        assert!(local_only.get(&key("peer-made")).is_some(), "populate landed locally");
+        assert_eq!(peer.puts.load(Ordering::Relaxed), 2, "populate echoed back to its source");
+        // Without with_push, nothing replicates.
+        let quiet = Store::open(temp_root("push-off"), CacheMode::ReadWrite)
+            .unwrap()
+            .with_peer(Arc::clone(&peer) as _);
+        assert!(!quiet.pushes());
+        quiet.put(&key("silent"), Encoding::Binary, b"v".to_vec());
+        quiet.flush();
+        assert_eq!(peer.get(&key("silent")), Lookup::Miss);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn prefetch_pulls_only_missing_entries_and_is_synchronous() {
+        let root = temp_root("prefetch");
+        let peer = Arc::new(MemBackend::default());
+        peer.put(&key("warm"), Encoding::Binary, b"already-local").unwrap();
+        peer.put(&key("cold-1"), Encoding::Json, b"{\"a\":1}").unwrap();
+        peer.put(&key("cold-2"), Encoding::Binary, b"bytes").unwrap();
+        let store =
+            Store::open(&root, CacheMode::ReadWrite).unwrap().with_peer(Arc::clone(&peer) as _);
+        store.put(&key("warm"), Encoding::Binary, b"already-local".to_vec());
+        store.flush();
+        let before = store.stats();
+        let report = store.prefetch_from_peer().unwrap();
+        assert_eq!(report, PrefetchReport { listed: 3, fetched: 2, present: 1, failed: 0 });
+        assert_eq!(store.stats().since(before), StoreStats::default(), "maintenance traffic");
+        // Synchronous: a peer-less store over the same directory
+        // serves the transfers immediately, encodings preserved.
+        let local_only = Store::open(&root, CacheMode::Read).unwrap();
+        assert_eq!(local_only.get(&key("cold-1")).as_deref(), Some(&b"{\"a\":1}"[..]));
+        assert_eq!(local_only.get(&key("cold-2")).as_deref(), Some(&b"bytes"[..]));
+        // A second pass finds everything present.
+        let again = store.prefetch_from_peer().unwrap();
+        assert_eq!(again, PrefetchReport { listed: 3, fetched: 0, present: 3, failed: 0 });
+        // No peer, or a mode that cannot persist: loud errors.
+        let no_peer = Store::open(temp_root("prefetch-nopeer"), CacheMode::ReadWrite).unwrap();
+        assert!(no_peer.prefetch_from_peer().is_err());
+        let read_only = Store::open(&root, CacheMode::Read).unwrap().with_peer(peer as _);
+        let err = read_only.prefetch_from_peer().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -49,9 +49,13 @@
 //! <newline-joined logical keys>  <17 bytes of message>
 //! ```
 //!
-//! One connection carries one request and one reply — the same
-//! discipline as the engine's submission protocol, so a backend never
-//! has to reason about connection state.
+//! Every frame is self-contained, so a connection may carry one
+//! exchange (the engine submission protocol's discipline) or many in
+//! sequence: a [`RemoteBackend`] keeps one authenticated connection
+//! per peer and pipelines request/reply pairs over it, reconnecting
+//! (and retrying the request once) when the peer has gone away. The
+//! daemon side mirrors this by serving store frames in a loop until
+//! the client hangs up.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -321,6 +325,33 @@ pub struct PeerStats {
     /// Transport failures and peer-side errors (each costs only a
     /// local recomputation).
     pub errors: u64,
+    /// Times the circuit breaker tripped open.
+    pub trips: u64,
+    /// Fresh connections dialed (including the authentication
+    /// preamble each one pays).
+    pub dials: u64,
+    /// Requests served over an already-open connection — the dials
+    /// and hellos that connection reuse saved.
+    pub reused: u64,
+    /// Entries pushed to the peer (accepted `store-put`s).
+    pub pushes: u64,
+}
+
+impl PeerStats {
+    /// Counter deltas since `earlier` (saturating, like the other
+    /// stats types: counters only grow within a session).
+    #[must_use]
+    pub fn since(&self, earlier: &PeerStats) -> PeerStats {
+        PeerStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            errors: self.errors.saturating_sub(earlier.errors),
+            trips: self.trips.saturating_sub(earlier.trips),
+            dials: self.dials.saturating_sub(earlier.dials),
+            reused: self.reused.saturating_sub(earlier.reused),
+            pushes: self.pushes.saturating_sub(earlier.pushes),
+        }
+    }
 }
 
 /// Consecutive transport failures after which the circuit opens: the
@@ -343,11 +374,23 @@ struct Circuit {
     open_until: Option<std::time::Instant>,
 }
 
+/// One live authenticated connection to the peer. The reader must
+/// persist alongside the writer: it may buffer bytes past the reply
+/// it was asked for, and dropping it between requests would lose
+/// them.
+struct PeerConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
 /// A [`Backend`] served by a peer `chipletqc-engine` daemon over TCP.
 ///
-/// Each call opens one connection, optionally authenticates with the
-/// shared token, sends one frame, and reads one reply — the peer
-/// protocol has no connection state. Transport failures are
+/// The backend keeps one persistent connection: the first request
+/// dials and authenticates, later requests reuse the open connection
+/// (one exchange at a time — requests serialize on it), and a
+/// transport error on a reused connection drops it and retries the
+/// request once on a fresh dial, so a peer daemon restart costs one
+/// redial, not a failed request. Transport failures are
 /// [`Lookup::Invalid`] / `Err`: the tier above treats them as misses,
 /// so an unreachable peer costs recomputation, never a failed run. The
 /// first failure is logged to stderr (once, not per request), and
@@ -360,8 +403,13 @@ pub struct RemoteBackend {
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
+    trips: AtomicU64,
+    dials: AtomicU64,
+    reused: AtomicU64,
+    pushes: AtomicU64,
     logged_failure: AtomicBool,
     circuit: std::sync::Mutex<Circuit>,
+    conn: std::sync::Mutex<Option<PeerConn>>,
 }
 
 // Manual: the token is the shared authentication secret, and `{:?}`
@@ -387,8 +435,13 @@ impl RemoteBackend {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            trips: AtomicU64::new(0),
+            dials: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
             logged_failure: AtomicBool::new(false),
             circuit: std::sync::Mutex::new(Circuit::default()),
+            conn: std::sync::Mutex::new(None),
         }
     }
 
@@ -403,11 +456,39 @@ impl RemoteBackend {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            trips: self.trips.load(Ordering::Relaxed),
+            dials: self.dials.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
         }
     }
 
-    /// One full round-trip: circuit check, connect, authenticate,
-    /// send, read reply. A success closes the circuit; a transport
+    /// Dials and authenticates one fresh connection.
+    fn dial(&self) -> io::Result<PeerConn> {
+        let writer = connect(&self.addr, Some(IO_TIMEOUT), Some(IO_TIMEOUT))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut conn = PeerConn { writer, reader };
+        if let Some(token) = &self.token {
+            write_hello(&mut conn.writer, token)?;
+        }
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        Ok(conn)
+    }
+
+    /// One request/reply pair over an open connection.
+    fn exchange(conn: &mut PeerConn, request: &StoreRequest) -> io::Result<StoreReply> {
+        let mut writer = BufWriter::new(&conn.writer);
+        write_store_request(&mut writer, request)?;
+        drop(writer);
+        read_store_reply(&mut conn.reader)
+    }
+
+    /// One full round-trip: circuit check, then an exchange over the
+    /// persistent connection (dialing and authenticating it first if
+    /// absent). An error on a *reused* connection usually means the
+    /// peer went away since the last exchange — the connection is
+    /// dropped and the request retried once on a fresh dial before
+    /// the failure counts. A success closes the circuit; a transport
     /// error feeds it (reply-level errors like a peer-side rejection
     /// are counted by the caller via [`RemoteBackend::note_failure`]
     /// but do not open the circuit — the peer *is* responding).
@@ -422,16 +503,30 @@ impl RemoteBackend {
                 ),
             ));
         }
-        let attempt = || -> io::Result<StoreReply> {
-            let stream = connect(&self.addr, Some(IO_TIMEOUT), Some(IO_TIMEOUT))?;
-            let mut writer = BufWriter::new(&stream);
-            if let Some(token) = &self.token {
-                write_hello(&mut writer, token)?;
+        // Exchanges serialize on the one connection; concurrent
+        // workers queue here rather than each paying a dial + hello.
+        let mut conn = self.conn.lock().expect("peer connection poisoned");
+        let attempt = |conn: &mut Option<PeerConn>| -> io::Result<StoreReply> {
+            match conn {
+                Some(open) => Self::exchange(open, request),
+                None => {
+                    let open = conn.insert(self.dial()?);
+                    Self::exchange(open, request)
+                }
             }
-            write_store_request(&mut writer, request)?;
-            read_store_reply(&mut BufReader::new(&stream))
         };
-        match attempt() {
+        let was_open = conn.is_some();
+        let mut result = attempt(&mut conn);
+        if result.is_ok() && was_open {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+        }
+        if result.is_err() && was_open {
+            // The cached connection was stale; one fresh dial decides
+            // whether the peer is actually down.
+            *conn = None;
+            result = attempt(&mut conn);
+        }
+        match result {
             Ok(reply) => {
                 let mut circuit = self.circuit.lock().expect("circuit poisoned");
                 circuit.consecutive_failures = 0;
@@ -439,9 +534,13 @@ impl RemoteBackend {
                 Ok(reply)
             }
             Err(error) => {
+                *conn = None;
                 let mut circuit = self.circuit.lock().expect("circuit poisoned");
                 circuit.consecutive_failures += 1;
                 if circuit.consecutive_failures >= CIRCUIT_FAILURES {
+                    if circuit.open_until.is_none() {
+                        self.trips.fetch_add(1, Ordering::Relaxed);
+                    }
                     circuit.open_until = Some(std::time::Instant::now() + CIRCUIT_COOLDOWN);
                 }
                 Err(error)
@@ -517,7 +616,10 @@ impl Backend for RemoteBackend {
         let request =
             StoreRequest::Put { key: key.clone(), encoding, payload: payload.to_vec() };
         match self.round_trip(&request) {
-            Ok(StoreReply::Stored) => Ok(()),
+            Ok(StoreReply::Stored) => {
+                self.pushes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
             Ok(StoreReply::Error(message)) => Err(bad(message)),
             Ok(other) => Err(bad(format!("unexpected store-put reply {other:?}"))),
             Err(error) => Err(error),
@@ -530,6 +632,10 @@ impl Backend for RemoteBackend {
             StoreReply::Error(message) => Err(bad(message)),
             other => Err(bad(format!("unexpected store-list reply {other:?}"))),
         }
+    }
+
+    fn peer_stats(&self) -> Option<PeerStats> {
+        Some(self.stats())
     }
 }
 
@@ -651,5 +757,78 @@ mod tests {
         let error = backend.list().unwrap_err();
         assert!(error.to_string().contains("circuit open"), "{error}");
         assert_eq!(backend.get(&key()), Lookup::Invalid, "fast-fail is still just a miss");
+        assert_eq!(backend.stats().trips, 1, "one opening sequence is one trip");
+    }
+
+    #[test]
+    fn the_persistent_connection_is_reused_and_redialed_after_peer_restart() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let serve = std::thread::spawn(move || {
+            // Connection 1 serves two exchanges then hangs up (a peer
+            // daemon restart); connection 2 serves until client EOF.
+            for (number, conn) in listener.incoming().take(2).enumerate() {
+                let conn = conn.unwrap();
+                let mut reader = io::BufReader::new(conn.try_clone().unwrap());
+                let mut served = 0usize;
+                while let Ok((verb, headers)) = wire::read_frame_head(&mut reader) {
+                    match verb.as_str() {
+                        "hello" => {
+                            assert_eq!(parse_hello(&headers, &mut reader).unwrap(), "t");
+                        }
+                        "store-list" => {
+                            let mut w = &conn;
+                            write_store_reply(&mut w, &StoreReply::Keys(Vec::new())).unwrap();
+                            served += 1;
+                            if number == 0 && served == 2 {
+                                break;
+                            }
+                        }
+                        other => panic!("unexpected verb `{other}`"),
+                    }
+                }
+            }
+        });
+        let backend = RemoteBackend::new(addr, Some("t".into()));
+        for _ in 0..4 {
+            // Request 3 lands on the connection the peer already
+            // closed; the retry-once redial keeps it a success.
+            assert_eq!(backend.list().unwrap(), Vec::new());
+        }
+        drop(backend);
+        serve.join().unwrap();
+    }
+
+    #[test]
+    fn reuse_counters_track_dials_and_reuses() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let serve = std::thread::spawn(move || {
+            let conn = listener.incoming().next().unwrap().unwrap();
+            let mut reader = io::BufReader::new(conn.try_clone().unwrap());
+            while let Ok((verb, headers)) = wire::read_frame_head(&mut reader) {
+                match verb.as_str() {
+                    "hello" => {
+                        parse_hello(&headers, &mut reader).unwrap();
+                    }
+                    _ => {
+                        let mut w = &conn;
+                        write_store_reply(&mut w, &StoreReply::Keys(Vec::new())).unwrap();
+                    }
+                }
+            }
+        });
+        let backend = RemoteBackend::new(addr, Some("t".into()));
+        for _ in 0..3 {
+            backend.list().unwrap();
+        }
+        let stats = backend.stats();
+        assert_eq!(stats.dials, 1, "one dial serves every request");
+        assert_eq!(stats.reused, 2, "requests after the first reuse the connection");
+        assert_eq!(stats.errors, 0);
+        drop(backend);
+        serve.join().unwrap();
     }
 }
