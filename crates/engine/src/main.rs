@@ -25,7 +25,7 @@ use std::time::Instant;
 use chipletqc::lab::CacheHub;
 use chipletqc::report::TextTable;
 use chipletqc_engine::mesh::{self, MeshConfig};
-use chipletqc_engine::protocol::{parse_count, Request, Response, Submission};
+use chipletqc_engine::protocol::{parse_count, Progress, Request, Response, Submission};
 use chipletqc_engine::report::{timing_summary, RunReport};
 use chipletqc_engine::scenario::{ExperimentKind, Scale};
 use chipletqc_engine::scheduler::Scheduler;
@@ -51,6 +51,7 @@ USAGE:
                          [--cache-dir DIR] [--cache MODE]
                          [--store-peer HOST:PORT] [--store-push] [--prefetch]
                          [--workers N] [--shards N] [--mesh-worker]
+                         [--max-inflight N] [--queue-depth N]
   chipletqc-engine submit (--socket PATH | --connect HOST:PORT --token-file F)
                           [BATCH OPTIONS] [--reset]
   chipletqc-engine submit --mesh W1:P,W2:P[,..] --token-file F --sweep FILE
@@ -104,6 +105,12 @@ SERVICE MODE (see README \"Service mode\" and \"Remote service mode\"):
                     clients; --listen HOST:PORT serves remote clients
                     and store peers (requires --token-file). SIGTERM or
                     `submit --shutdown` drains in-flight batches first.
+                    Batches run concurrently against the shared warm
+                    hub: --max-inflight N caps concurrent batches
+                    (default 4), --queue-depth N bounds the admission
+                    queue behind them (default 16; 0 = reject when
+                    full). A submission past both bounds is refused
+                    with a `busy` reply instead of stalling.
                     --mesh-worker additionally accepts mesh work claims
                     (needs --listen); --prefetch warms the store from
                     its peer before serving
@@ -111,8 +118,12 @@ SERVICE MODE (see README \"Service mode\" and \"Remote service mode\"):
                     --workers/--shards/--seed as above) to a daemon at
                     --socket PATH or --connect HOST:PORT (+--token-file);
                     timing lines go to stderr, the deterministic report
-                    JSON to stdout. --reset drops the daemon's warm
-                    in-memory caches first; --shutdown stops the daemon
+                    JSON to stdout. While waiting, the daemon streams
+                    queue-position and task-progress frames (printed to
+                    stderr); Ctrl-C or disconnect cancels the
+                    submission server-side. --reset drops the daemon's
+                    warm in-memory caches first (it waits for other
+                    in-flight batches); --shutdown stops the daemon
 
 DISTRIBUTED SWEEPS (see README \"Distributed sweeps\"):
   submit --mesh W1:P,W2:P[,..]   scatter a sweep across mesh-worker
@@ -545,6 +556,8 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut shards: usize = 1;
     let mut mesh_worker = false;
     let mut prefetch = false;
+    let mut max_inflight = service::DEFAULT_MAX_INFLIGHT;
+    let mut queue_depth = service::DEFAULT_QUEUE_DEPTH;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => {
@@ -576,6 +589,18 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             }
             "--mesh-worker" => mesh_worker = true,
             "--prefetch" => prefetch = true,
+            "--max-inflight" => {
+                let value = args.next().ok_or("--max-inflight needs a value")?;
+                max_inflight = parse_count("--max-inflight", &value)?;
+            }
+            "--queue-depth" => {
+                let value = args.next().ok_or("--queue-depth needs a value")?;
+                // 0 is meaningful here — "no queue, reject when full"
+                // — so this flag takes plain usize, not parse_count.
+                queue_depth = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --queue-depth {value} (want an integer >= 0)"))?;
+            }
             other => return Err(format!("serve: unknown argument {other} (try --help)")),
         }
     }
@@ -630,6 +655,8 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         default_workers: workers,
         default_shards: shards,
         mesh_worker,
+        max_inflight,
+        queue_depth,
     };
     let service = Service::bind(config, store).map_err(|e| format!("bind: {e}"))?;
     shutdown_signal::install();
@@ -649,11 +676,12 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let summary = service.run(shutdown_signal::requested).map_err(|e| format!("serve: {e}"))?;
     println!(
         "chipletqc-engine serve :: drained; {} batch(es), {} work unit(s), {} scenario(s), \
-         {} rejected, {} store peer request(s), {} dropped repl(ies)",
+         {} rejected, {} cancelled, {} store peer request(s), {} dropped repl(ies)",
         summary.batches,
         summary.work_units,
         summary.scenarios,
         summary.rejected,
+        summary.cancelled,
         summary.store_requests,
         summary.dropped_replies
     );
@@ -851,7 +879,18 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             .into());
     }
     let request = if shutdown { Request::Shutdown } else { Request::Submit(submission) };
-    let response = service::request_endpoint(&endpoint, &request).map_err(|e| e.to_string())?;
+    // Progress frames are live status, not part of the deterministic
+    // report: they go to stderr as they arrive.
+    let response =
+        service::request_endpoint_observed(&endpoint, &request, |progress| match progress {
+            Progress::Queued { position } => {
+                eprintln!("queued behind {position} submission(s); waiting for a slot");
+            }
+            Progress::Tasks { done, total } => {
+                eprintln!("progress: {done}/{total} task(s)");
+            }
+        })
+        .map_err(|e| e.to_string())?;
     let described = match &endpoint {
         Endpoint::Unix(path) => path.display().to_string(),
         Endpoint::Tcp { addr, .. } => addr.clone(),
@@ -871,6 +910,18 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             Err("daemon answered a plain submission with a mesh work result (protocol \
              confusion — mismatched versions?)"
                 .into())
+        }
+        Response::Busy { inflight, queued } => Err(format!(
+            "daemon at {described} is busy ({inflight} in flight, {queued} queued; its \
+             admission queue is full — retry later, or raise its --queue-depth)"
+        )),
+        Response::Cancelled => {
+            // `submit` never sends a cancel; a daemon saying so is a
+            // protocol-level surprise worth a hard error.
+            Err(format!("daemon at {described} reported the submission cancelled"))
+        }
+        Response::Progress(_) => {
+            unreachable!("request_endpoint_observed only returns terminal frames")
         }
         Response::Error(message) => Err(format!("daemon rejected the submission: {message}")),
     }

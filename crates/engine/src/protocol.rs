@@ -94,8 +94,55 @@
 //! unknown kind `x9`
 //! ```
 //!
-//! Every frame is self-delimiting, so one connection carries exactly
-//! one request and one response and either side may close afterwards.
+//! A submission may be preceded by any number of **progress** frames
+//! before its terminal response — a queue position while it waits for
+//! an admission slot, then shard-task completion counts while it
+//! runs:
+//!
+//! ```text
+//! chipletqc/1 progress
+//! queued = 2             # submissions ahead of this one
+//! <blank line>
+//! ```
+//!
+//! ```text
+//! chipletqc/1 progress
+//! done = 3               # shard tasks finished so far
+//! total = 8              # shard tasks in the batch
+//! <blank line>
+//! ```
+//!
+//! A daemon whose admission queue is full answers a submission with a
+//! terminal **busy** frame instead of stalling the client:
+//!
+//! ```text
+//! chipletqc/1 busy
+//! inflight = 4           # batches currently running
+//! queued = 16            # submissions already waiting
+//! <blank line>
+//! ```
+//!
+//! A client may retire its own queued or in-flight submission early
+//! with a **cancel** frame on the same connection (closing the
+//! connection cancels too); the daemon acknowledges explicit cancels
+//! terminally:
+//!
+//! ```text
+//! chipletqc/1 cancel
+//! <blank line>
+//! ```
+//!
+//! ```text
+//! chipletqc/1 ok
+//! cancelled = true
+//! <blank line>
+//! ```
+//!
+//! Every frame is self-delimiting. One connection carries one request
+//! and its response stream: zero or more `progress` frames, then
+//! exactly one terminal frame (report, pieces, busy, cancelled,
+//! shutdown acknowledgement, or error), after which either side may
+//! close.
 
 use std::io::{self, BufRead, Write};
 
@@ -153,8 +200,31 @@ pub enum Request {
     /// of a full report, and only daemons started as mesh workers
     /// accept it.
     WorkClaim(Submission),
+    /// Retire this connection's queued or in-flight submission early.
+    /// Sent mid-stream on the submission's own connection; answered
+    /// with [`Response::Cancelled`].
+    Cancel,
     /// Finish in-flight work, acknowledge, and exit.
     Shutdown,
+}
+
+/// A non-terminal progress report streamed before a submission's
+/// terminal response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// The submission is waiting for an admission slot behind
+    /// `position` others (1 = next in line).
+    Queued {
+        /// Submissions ahead of this one in the admission queue.
+        position: u64,
+    },
+    /// The batch is running; `done` of `total` shard tasks finished.
+    Tasks {
+        /// Shard tasks finished so far.
+        done: u64,
+        /// Shard tasks in the batch.
+        total: u64,
+    },
 }
 
 /// A daemon response.
@@ -183,6 +253,20 @@ pub enum Response {
     },
     /// The daemon accepted a shutdown request and is draining.
     ShuttingDown,
+    /// A non-terminal progress report; zero or more precede a
+    /// submission's terminal response on the same connection.
+    Progress(Progress),
+    /// The admission queue is full: a terminal backpressure reply.
+    /// The submission did not run; retry later.
+    Busy {
+        /// Batches running when the submission arrived.
+        inflight: u64,
+        /// Submissions already waiting in the admission queue.
+        queued: u64,
+    },
+    /// Terminal acknowledgement of an explicit [`Request::Cancel`]:
+    /// the submission was retired without running to completion.
+    Cancelled,
     /// The submission was rejected (parse error, unknown scenario,
     /// bad option). The daemon stays up.
     Error(String),
@@ -193,6 +277,9 @@ pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
     match request {
         Request::Submit(s) => write_submission(w, "submit", s)?,
         Request::WorkClaim(s) => write_submission(w, "work-claim", s)?,
+        Request::Cancel => {
+            write!(w, "{VERSION} cancel\n\n")?;
+        }
         Request::Shutdown => {
             write!(w, "{VERSION} shutdown\n\n")?;
         }
@@ -255,6 +342,18 @@ pub fn write_response(w: &mut impl Write, response: &Response) -> io::Result<()>
         Response::ShuttingDown => {
             write!(w, "{VERSION} ok\nshutdown = true\n\n")?;
         }
+        Response::Progress(Progress::Queued { position }) => {
+            write!(w, "{VERSION} progress\nqueued = {position}\n\n")?;
+        }
+        Response::Progress(Progress::Tasks { done, total }) => {
+            write!(w, "{VERSION} progress\ndone = {done}\ntotal = {total}\n\n")?;
+        }
+        Response::Busy { inflight, queued } => {
+            write!(w, "{VERSION} busy\ninflight = {inflight}\nqueued = {queued}\n\n")?;
+        }
+        Response::Cancelled => {
+            write!(w, "{VERSION} ok\ncancelled = true\n\n")?;
+        }
         Response::Error(message) => {
             writeln!(w, "{VERSION} error")?;
             write!(w, "message-bytes = {}\n\n", message.len())?;
@@ -274,6 +373,7 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Request> {
         "hello" => Ok(Request::Hello(remote::parse_hello(&headers, r)?)),
         "submit" => Ok(Request::Submit(read_submission(&headers, r)?)),
         "work-claim" => Ok(Request::WorkClaim(read_submission(&headers, r)?)),
+        "cancel" => Ok(Request::Cancel),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!("unknown request verb `{other}`"))),
     }
@@ -336,6 +436,9 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
             if header(&headers, "shutdown") == Some("true") {
                 return Ok(Response::ShuttingDown);
             }
+            if header(&headers, "cancelled") == Some("true") {
+                return Ok(Response::Cancelled);
+            }
             if let Some(value) = header(&headers, "pieces-bytes") {
                 let len = parse_len(value)?;
                 return Ok(Response::WorkResult { pieces: read_utf8(r, len, "pieces")? });
@@ -355,6 +458,33 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
             let timing = read_utf8(r, timing_len, "timing")?;
             let report = read_utf8(r, report_len, "report")?;
             Ok(Response::Report { batch, timing, report })
+        }
+        "progress" => {
+            if let Some(position) = header(&headers, "queued") {
+                let position =
+                    position.parse().map_err(|_| bad("bad queue position".into()))?;
+                return Ok(Response::Progress(Progress::Queued { position }));
+            }
+            let done = header(&headers, "done")
+                .ok_or_else(|| bad("progress is missing `done`".into()))?
+                .parse()
+                .map_err(|_| bad("bad progress done count".into()))?;
+            let total = header(&headers, "total")
+                .ok_or_else(|| bad("progress is missing `total`".into()))?
+                .parse()
+                .map_err(|_| bad("bad progress total count".into()))?;
+            Ok(Response::Progress(Progress::Tasks { done, total }))
+        }
+        "busy" => {
+            let inflight = header(&headers, "inflight")
+                .ok_or_else(|| bad("busy response is missing `inflight`".into()))?
+                .parse()
+                .map_err(|_| bad("bad inflight count".into()))?;
+            let queued = header(&headers, "queued")
+                .ok_or_else(|| bad("busy response is missing `queued`".into()))?
+                .parse()
+                .map_err(|_| bad("bad queued count".into()))?;
+            Ok(Response::Busy { inflight, queued })
         }
         "error" => {
             let len = parse_len(
@@ -465,6 +595,50 @@ mod tests {
         assert_eq!(round_trip_response(&Response::ShuttingDown), Response::ShuttingDown);
         let error = Response::Error("unknown kind `x9`".into());
         assert_eq!(round_trip_response(&error), error);
+    }
+
+    #[test]
+    fn concurrency_frames_round_trip() {
+        assert_eq!(round_trip_request(&Request::Cancel), Request::Cancel);
+        for response in [
+            Response::Progress(Progress::Queued { position: 1 }),
+            Response::Progress(Progress::Queued { position: u64::MAX }),
+            Response::Progress(Progress::Tasks { done: 0, total: 8 }),
+            Response::Progress(Progress::Tasks { done: 8, total: 8 }),
+            Response::Busy { inflight: 4, queued: 16 },
+            Response::Busy { inflight: 1, queued: 0 },
+            Response::Cancelled,
+        ] {
+            assert_eq!(round_trip_response(&response), response);
+        }
+        // `cancelled = true` and `shutdown = true` share the `ok` verb
+        // but must never be mistaken for one another.
+        assert_ne!(round_trip_response(&Response::Cancelled), Response::ShuttingDown);
+    }
+
+    #[test]
+    fn malformed_concurrency_frames_are_errors_not_panics() {
+        for frame in [
+            "chipletqc/1 progress\n\n",                       // no headers at all
+            "chipletqc/1 progress\ndone = 3\n\n",             // missing total
+            "chipletqc/1 progress\ntotal = 8\n\n",            // missing done
+            "chipletqc/1 progress\nqueued = moose\n\n",       // non-numeric position
+            "chipletqc/1 progress\ndone = -1\ntotal = 8\n\n", // negative count
+            "chipletqc/1 busy\n\n",                           // no headers at all
+            "chipletqc/1 busy\ninflight = 4\n\n",             // missing queued
+            "chipletqc/1 busy\ninflight = x\nqueued = 0\n\n", // non-numeric
+            "chipletqc/1 ok\ncancelled = maybe\n\n",          // not a report either
+        ] {
+            assert!(
+                read_response(&mut io::BufReader::new(frame.as_bytes())).is_err(),
+                "`{frame}` should not parse"
+            );
+        }
+        // A bare cancel request parses; like `shutdown`, it carries no
+        // payload, so it is safe to read from an unauthenticated-sized
+        // buffer.
+        let cancel = read_request(&mut io::BufReader::new(&b"chipletqc/1 cancel\n\n"[..]));
+        assert_eq!(cancel.unwrap(), Request::Cancel);
     }
 
     #[test]

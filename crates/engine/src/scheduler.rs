@@ -13,11 +13,18 @@
 //!   indices;
 //! * every other kind stays whole (a single task).
 //!
-//! Tasks are distributed round-robin onto per-worker deques; each
-//! worker drains its own deque from the front and, when empty, steals
-//! from the back of another deque. Workers are scoped threads
-//! ([`std::thread::scope`]), so results borrow nothing with `'static`
-//! lifetimes and a panic in any worker propagates.
+//! Execution runs on a [`WorkPool`]: a fixed set of worker threads
+//! serving any number of concurrent *batch roots*. Each submitted
+//! batch becomes one root holding its own task queue and per-batch
+//! concurrency cap (the batch's `workers` setting); idle pool workers
+//! pick the next task round-robin **across roots**, so two clients'
+//! batches interleave fairly instead of queueing behind each other.
+//! [`Scheduler::run`] — the one-shot path — is a pool of its own with
+//! a single root, which reproduces the historical serial behavior
+//! exactly (including panic propagation). A root can be cancelled:
+//! pending tasks are dropped, in-flight tasks finish (tasks are pure
+//! and cheap to let complete), and [`BatchHandle::wait`] reports
+//! [`BatchAborted::Cancelled`] instead of results.
 //!
 //! ## Determinism
 //!
@@ -39,8 +46,12 @@
 //! saturates the machine at `W = 1` while wide batches hand each
 //! task a fair share at `W = H`.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::{Mutex, OnceLock};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use chipletqc::experiments::output_gain::{self, OutputGainConfig, OutputGainShard};
@@ -168,88 +179,15 @@ impl Scheduler {
     ///
     /// Propagates any panic raised by a scenario.
     pub fn run(&self, scenarios: &[Scenario], hub: &CacheHub) -> Vec<ScenarioResult> {
-        let inner = self.inner_workers();
-        // Budget inner fabrication threads two ways: the per-scenario
-        // override reaches Lab-based experiments precisely, and the
-        // process-wide default covers every other call into the yield
-        // Monte Carlo (Fig. 4 sweeps, Fig. 6, output gain). Neither
-        // affects results, only thread counts.
-        chipletqc_yield::monte_carlo::set_default_workers(Some(inner));
-        let jobs: Vec<Scenario> = scenarios
-            .iter()
-            .map(|s| {
-                let mut s = s.clone();
-                // Respect an explicit per-scenario pin; otherwise budget.
-                s.overrides.yield_workers = s.overrides.yield_workers.or(Some(inner));
-                s
-            })
-            .collect();
-
-        // Flatten shard plans; `spans[i]` is jobs[i]'s task range.
-        let mut tasks: Vec<ShardTask> = Vec::new();
-        let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(jobs.len());
-        for job in &jobs {
-            let plan = self.plan(job);
-            let start = tasks.len();
-            tasks.extend(plan);
-            spans.push(start..tasks.len());
-        }
-
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..self.workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for index in 0..tasks.len() {
-            queues[index % self.workers].lock().expect("queue poisoned").push_back(index);
-        }
-        let slots: Vec<OnceLock<(ShardOutput, Duration)>> =
-            tasks.iter().map(|_| OnceLock::new()).collect();
-
-        std::thread::scope(|scope| {
-            for me in 0..self.workers {
-                let queues = &queues;
-                let slots = &slots;
-                let tasks = &tasks;
-                scope.spawn(move || {
-                    while let Some(index) = next_job(queues, me) {
-                        let started = Instant::now();
-                        let output = match &tasks[index] {
-                            ShardTask::Run(scenario) => ShardOutput::Data(scenario.run(hub)),
-                            ShardTask::OutputGainTrials { config, mono, chiplet } => {
-                                ShardOutput::OutputGainPartial(output_gain::run_shard_in(
-                                    config,
-                                    *mono,
-                                    *chiplet,
-                                    hub.store().map(|s| s.as_ref()),
-                                ))
-                            }
-                        };
-                        slots[index]
-                            .set((output, started.elapsed()))
-                            .expect("task executed twice");
-                    }
-                });
+        let pool = WorkPool::new(self.workers);
+        let handle = pool.submit(*self, scenarios, hub, None);
+        match handle.wait() {
+            Ok(results) => results,
+            Err(BatchAborted::Panicked(payload)) => resume_unwind(payload),
+            Err(BatchAborted::Cancelled) => {
+                unreachable!("one-shot batches are never cancelled")
             }
-        });
-
-        chipletqc_yield::monte_carlo::set_default_workers(None);
-        let mut outputs: Vec<Option<(ShardOutput, Duration)>> = slots
-            .into_iter()
-            .map(|slot| Some(slot.into_inner().expect("task completed")))
-            .collect();
-        jobs.into_iter()
-            .zip(spans)
-            .enumerate()
-            .map(|(index, (scenario, span))| {
-                let mut shard_outputs = Vec::with_capacity(span.len());
-                let mut wall = Duration::ZERO;
-                for slot in &mut outputs[span] {
-                    let (output, elapsed) = slot.take().expect("span taken once");
-                    shard_outputs.push(output);
-                    wall += elapsed;
-                }
-                let data = merge_shards(&scenario, shard_outputs);
-                ScenarioResult { index, scenario, data, wall }
-            })
-            .collect()
+        }
     }
 }
 
@@ -304,20 +242,369 @@ fn merge_shards(scenario: &Scenario, outputs: Vec<ShardOutput>) -> ExperimentDat
     }
 }
 
-/// Pops from the worker's own deque front, else steals from the back
-/// of another worker's deque.
-///
-/// The steal scan pops under each victim's lock in turn (rather than
-/// picking a victim first and popping later), so a worker only
-/// retires after observing every queue empty — queues are filled once
-/// up front, so an observed-empty queue stays empty.
-fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    if let Some(index) = queues[me].lock().expect("queue poisoned").pop_front() {
-        return Some(index);
+/// Called with `(finished_tasks, total_tasks)` after every task a
+/// batch retires. Invoked under the batch's scheduling lock so
+/// successive calls observe monotonically increasing counts — keep it
+/// cheap and non-blocking (e.g. a channel send).
+pub type ProgressFn = Box<dyn Fn(usize, usize) + Send + Sync>;
+
+/// Why [`BatchHandle::wait`] came back without results.
+#[derive(Debug)]
+pub enum BatchAborted {
+    /// The batch was cancelled; pending tasks never ran.
+    Cancelled,
+    /// A task panicked; the payload is the panic's.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// How many batches currently hold the process-wide inner-thread
+/// budget. The budget only tunes fabrication thread counts (never
+/// results), so last-writer-wins between overlapping batches is fine;
+/// the count exists to clear the default once the *last* batch ends.
+static ACTIVE_BATCHES: AtomicUsize = AtomicUsize::new(0);
+
+fn budget_batch_started(inner: usize) {
+    ACTIVE_BATCHES.fetch_add(1, Ordering::SeqCst);
+    chipletqc_yield::monte_carlo::set_default_workers(Some(inner));
+}
+
+fn budget_batch_ended() {
+    if ACTIVE_BATCHES.fetch_sub(1, Ordering::SeqCst) == 1 {
+        chipletqc_yield::monte_carlo::set_default_workers(None);
     }
-    (0..queues.len())
-        .filter(|&v| v != me)
-        .find_map(|v| queues[v].lock().expect("queue poisoned").pop_back())
+}
+
+/// A fixed set of worker threads executing any number of concurrent
+/// batches ("roots") fairly: idle workers pick the next pending task
+/// round-robin across roots, each root capped at its own `workers`
+/// setting, so a wide batch cannot starve a narrow one.
+pub struct WorkPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a task may have become pickable: a new root, a
+    /// freed cap slot, a removed root, or shutdown.
+    work_ready: Condvar,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Roots with work outstanding; completed roots are removed.
+    roots: Vec<Arc<BatchRoot>>,
+    /// Fairness cursor: the root index the next pick starts from.
+    rotation: usize,
+    shutdown: bool,
+}
+
+/// One submitted batch: its flattened shard tasks plus everything
+/// needed to reassemble ordered results.
+struct BatchRoot {
+    tasks: Vec<ShardTask>,
+    jobs: Vec<Scenario>,
+    /// `spans[i]` is `jobs[i]`'s range in `tasks`.
+    spans: Vec<Range<usize>>,
+    hub: CacheHub,
+    /// At most this many of the root's tasks run at once.
+    cap: usize,
+    cancelled: AtomicBool,
+    progress: Option<ProgressFn>,
+    sched: Mutex<RootSched>,
+    /// Signalled when the root completes (all tasks finished or
+    /// skipped, none running).
+    done: Condvar,
+}
+
+struct RootSched {
+    pending: VecDeque<usize>,
+    running: usize,
+    finished: usize,
+    /// Pending tasks dropped by cancellation or a sibling's panic.
+    skipped: usize,
+    outputs: Vec<Option<(ShardOutput, Duration)>>,
+    panic: Option<Box<dyn Any + Send>>,
+    /// Ensures the inner-thread budget is returned exactly once.
+    budget_released: bool,
+}
+
+impl RootSched {
+    fn complete(&self, total: usize) -> bool {
+        self.finished + self.skipped == total && self.running == 0
+    }
+}
+
+impl WorkPool {
+    /// A pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> WorkPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_ready: Condvar::new(),
+        });
+        let threads = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkPool { shared, threads }
+    }
+
+    /// Submits one batch as a new root and returns a handle to await
+    /// (or cancel) it. `scheduler` supplies the batch's shard plan,
+    /// concurrency cap, and inner-thread budget, exactly as in
+    /// [`Scheduler::run`].
+    pub fn submit(
+        &self,
+        scheduler: Scheduler,
+        scenarios: &[Scenario],
+        hub: &CacheHub,
+        progress: Option<ProgressFn>,
+    ) -> BatchHandle {
+        let inner = scheduler.inner_workers();
+        // Budget inner fabrication threads two ways: the per-scenario
+        // override reaches Lab-based experiments precisely, and the
+        // process-wide default covers every other call into the yield
+        // Monte Carlo (Fig. 4 sweeps, Fig. 6, output gain). Neither
+        // affects results, only thread counts.
+        budget_batch_started(inner);
+        let jobs: Vec<Scenario> = scenarios
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                // Respect an explicit per-scenario pin; otherwise budget.
+                s.overrides.yield_workers = s.overrides.yield_workers.or(Some(inner));
+                s
+            })
+            .collect();
+
+        // Flatten shard plans; `spans[i]` is jobs[i]'s task range.
+        let mut tasks: Vec<ShardTask> = Vec::new();
+        let mut spans: Vec<Range<usize>> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let plan = scheduler.plan(job);
+            let start = tasks.len();
+            tasks.extend(plan);
+            spans.push(start..tasks.len());
+        }
+
+        let total = tasks.len();
+        let root = Arc::new(BatchRoot {
+            sched: Mutex::new(RootSched {
+                pending: (0..total).collect(),
+                running: 0,
+                finished: 0,
+                skipped: 0,
+                outputs: (0..total).map(|_| None).collect(),
+                panic: None,
+                budget_released: false,
+            }),
+            tasks,
+            jobs,
+            spans,
+            hub: hub.clone(),
+            cap: scheduler.workers(),
+            cancelled: AtomicBool::new(false),
+            progress,
+            done: Condvar::new(),
+        });
+        {
+            let mut state = self.shared.state.lock().expect("pool poisoned");
+            state.roots.push(Arc::clone(&root));
+        }
+        self.shared.work_ready.notify_all();
+        // An empty batch is complete at submission; no worker will
+        // ever touch it, so settle it here.
+        if total == 0 {
+            settle(&self.shared, &root);
+        }
+        BatchHandle { root, shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A submitted batch awaiting execution on a [`WorkPool`].
+pub struct BatchHandle {
+    root: Arc<BatchRoot>,
+    shared: Arc<PoolShared>,
+}
+
+impl BatchHandle {
+    /// Total shard tasks in this batch (the denominator of progress
+    /// callbacks).
+    pub fn total_tasks(&self) -> usize {
+        self.root.tasks.len()
+    }
+
+    /// Cancels the batch: pending tasks are dropped, in-flight tasks
+    /// run to completion, and [`BatchHandle::wait`] reports
+    /// [`BatchAborted::Cancelled`]. Idempotent; safe after completion
+    /// (the batch still reports cancelled — cancel wins ties
+    /// deterministically).
+    pub fn cancel(&self) {
+        self.root.cancelled.store(true, Ordering::SeqCst);
+        {
+            let mut sched = self.root.sched.lock().expect("root poisoned");
+            sched.skipped += sched.pending.len();
+            sched.pending.clear();
+        }
+        settle(&self.shared, &self.root);
+    }
+
+    /// Blocks until every task has finished or been skipped, then
+    /// returns results in submission order (or why there are none).
+    pub fn wait(self) -> Result<Vec<ScenarioResult>, BatchAborted> {
+        let mut sched = self.root.sched.lock().expect("root poisoned");
+        while !sched.complete(self.root.tasks.len()) {
+            sched = self.root.done.wait(sched).expect("root poisoned");
+        }
+        if let Some(payload) = sched.panic.take() {
+            return Err(BatchAborted::Panicked(payload));
+        }
+        if sched.skipped > 0 || self.root.cancelled.load(Ordering::SeqCst) {
+            return Err(BatchAborted::Cancelled);
+        }
+        let mut outputs = std::mem::take(&mut sched.outputs);
+        drop(sched);
+        Ok(self
+            .root
+            .jobs
+            .iter()
+            .zip(&self.root.spans)
+            .enumerate()
+            .map(|(index, (scenario, span))| {
+                let mut shard_outputs = Vec::with_capacity(span.len());
+                let mut wall = Duration::ZERO;
+                for slot in &mut outputs[span.clone()] {
+                    let (output, elapsed) = slot.take().expect("span taken once");
+                    shard_outputs.push(output);
+                    wall += elapsed;
+                }
+                let data = merge_shards(scenario, shard_outputs);
+                ScenarioResult { index, scenario: scenario.clone(), data, wall }
+            })
+            .collect())
+    }
+}
+
+/// If `root` has completed, returns its inner-thread budget (once),
+/// removes it from the pool's root list, and wakes waiters.
+fn settle(shared: &PoolShared, root: &Arc<BatchRoot>) {
+    let complete = {
+        let mut sched = root.sched.lock().expect("root poisoned");
+        let complete = sched.complete(root.tasks.len());
+        if complete && !sched.budget_released {
+            sched.budget_released = true;
+            budget_batch_ended();
+        }
+        complete
+    };
+    if complete {
+        root.done.notify_all();
+        let mut state = shared.state.lock().expect("pool poisoned");
+        state.roots.retain(|r| !Arc::ptr_eq(r, root));
+        drop(state);
+        shared.work_ready.notify_all();
+    }
+}
+
+/// Picks the next runnable task: scan roots round-robin from the
+/// rotation cursor, take the front pending task of the first root
+/// under its cap, and advance the cursor past it.
+fn pick(state: &mut PoolState) -> Option<(Arc<BatchRoot>, usize)> {
+    let n = state.roots.len();
+    for i in 0..n {
+        let at = (state.rotation + i) % n;
+        let root = &state.roots[at];
+        let mut sched = root.sched.lock().expect("root poisoned");
+        if sched.running < root.cap {
+            if let Some(index) = sched.pending.pop_front() {
+                sched.running += 1;
+                drop(sched);
+                let root = Arc::clone(root);
+                state.rotation = (at + 1) % n;
+                return Some((root, index));
+            }
+        }
+    }
+    None
+}
+
+fn run_task(task: &ShardTask, hub: &CacheHub) -> ShardOutput {
+    match task {
+        ShardTask::Run(scenario) => ShardOutput::Data(scenario.run(hub)),
+        ShardTask::OutputGainTrials { config, mono, chiplet } => {
+            ShardOutput::OutputGainPartial(output_gain::run_shard_in(
+                config,
+                *mono,
+                *chiplet,
+                hub.store().map(|s| s.as_ref()),
+            ))
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let (root, index) = {
+            let mut state = shared.state.lock().expect("pool poisoned");
+            loop {
+                if state.shutdown && state.roots.is_empty() {
+                    return;
+                }
+                if let Some(job) = pick(&mut state) {
+                    break job;
+                }
+                state = shared.work_ready.wait(state).expect("pool poisoned");
+            }
+        };
+        let started = Instant::now();
+        // Tasks never hold a lock while running, so a panic cannot
+        // poison pool state; it cancels the rest of its own root and
+        // surfaces from `wait` instead.
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| run_task(&root.tasks[index], &root.hub)));
+        {
+            let mut sched = root.sched.lock().expect("root poisoned");
+            sched.running -= 1;
+            match outcome {
+                Ok(output) => {
+                    debug_assert!(sched.outputs[index].is_none(), "task executed twice");
+                    sched.outputs[index] = Some((output, started.elapsed()));
+                    sched.finished += 1;
+                }
+                Err(payload) => {
+                    root.cancelled.store(true, Ordering::SeqCst);
+                    if sched.panic.is_none() {
+                        sched.panic = Some(payload);
+                    }
+                    sched.finished += 1;
+                    sched.skipped += sched.pending.len();
+                    sched.pending.clear();
+                }
+            }
+            if let Some(progress) = &root.progress {
+                progress(sched.finished, root.tasks.len());
+            }
+        }
+        settle(shared, &root);
+        // Even if the root is not complete, this task's cap slot
+        // freed up — another worker may now pick from it.
+        shared.work_ready.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -434,5 +721,79 @@ mod tests {
         // One chiplet size; two mono sizes (40q and 60q).
         assert_eq!(hub.fabrication_stats().chiplet_fabrications, 1);
         assert_eq!(hub.fabrication_stats().mono_fabrications, 2);
+    }
+
+    #[test]
+    fn concurrent_roots_on_one_pool_match_their_serial_runs() {
+        let batch_a =
+            vec![tiny(ExperimentKind::Fig8, "a"), tiny(ExperimentKind::OutputGain, "b")];
+        let batch_b = vec![tiny(ExperimentKind::Fig9, "c"), tiny(ExperimentKind::Fig8, "d")];
+        let serial_a = Scheduler::new(2).run(&batch_a, &CacheHub::new());
+        let serial_b = Scheduler::new(2).run(&batch_b, &CacheHub::new());
+
+        let pool = WorkPool::new(2);
+        let hub = CacheHub::new();
+        let handle_a = pool.submit(Scheduler::new(2), &batch_a, &hub, None);
+        let handle_b = pool.submit(Scheduler::new(2), &batch_b, &hub, None);
+        let got_a = handle_a.wait().expect("batch a completes");
+        let got_b = handle_b.wait().expect("batch b completes");
+
+        for (serial, got) in [(&serial_a, &got_a), (&serial_b, &got_b)] {
+            assert_eq!(serial.len(), got.len());
+            for (s, g) in serial.iter().zip(got.iter()) {
+                assert_eq!(s.index, g.index);
+                assert_eq!(s.data, g.data, "{} diverged under interleaving", s.scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn progress_counts_every_task_and_reaches_the_total() {
+        let batch = vec![
+            tiny(ExperimentKind::Fig8, "a"),
+            tiny(ExperimentKind::Fig8, "b"),
+            tiny(ExperimentKind::Fig9, "c"),
+        ];
+        let pool = WorkPool::new(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let progress: ProgressFn = Box::new(move |done, total| {
+            let _ = tx.send((done, total));
+        });
+        let handle = pool.submit(Scheduler::new(2), &batch, &CacheHub::new(), Some(progress));
+        let total = handle.total_tasks();
+        assert_eq!(total, 3);
+        handle.wait().expect("batch completes");
+        let events: Vec<(usize, usize)> = rx.try_iter().collect();
+        assert_eq!(events.len(), 3);
+        // Emitted under the root's lock, so counts are monotone.
+        assert_eq!(events, vec![(1, 3), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn cancelling_a_root_skips_pending_tasks_and_reports_cancelled() {
+        // One pool worker and cap 1 serialize the root's six tasks;
+        // cancelling on the first progress event leaves later tasks
+        // pending, so they must be skipped.
+        let batch: Vec<Scenario> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|name| tiny(ExperimentKind::Fig8, name))
+            .collect();
+        let pool = WorkPool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let progress: ProgressFn = Box::new(move |done, total| {
+            let _ = tx.send((done, total));
+        });
+        let handle = pool.submit(Scheduler::new(1), &batch, &CacheHub::new(), Some(progress));
+        let (done, total) = rx.recv().expect("first task finishes");
+        assert!(done < total, "first event must leave work pending");
+        handle.cancel();
+        match handle.wait() {
+            Err(BatchAborted::Cancelled) => {}
+            Err(BatchAborted::Panicked(_)) => panic!("batch panicked"),
+            Ok(_) => panic!("cancelled batch returned results"),
+        }
+        // The pool is still serviceable afterwards.
+        let after = pool.submit(Scheduler::new(1), &batch[..1], &CacheHub::new(), None);
+        assert_eq!(after.wait().expect("fresh batch completes").len(), 1);
     }
 }

@@ -34,10 +34,25 @@
 //!   [`StoreStats::since`](chipletqc_store::StoreStats::since)
 //!   rebase them). The transport is invisible in the report: Unix and
 //!   TCP submissions of the same batch answer with identical bytes.
-//! * Submissions run one at a time, in arrival order, on the
-//!   scheduler's own worker pool — one batch already saturates the
-//!   machine, and serial execution keeps the global Monte Carlo
-//!   worker budget race-free.
+//! * Submissions run **concurrently**, each on its own connection
+//!   thread, all against one shared
+//!   [`WorkPool`](crate::scheduler::WorkPool): admission is bounded
+//!   (`max_inflight` batches running, `queue_depth` more waiting in
+//!   FIFO order), a submission past both bounds is answered with a
+//!   terminal `busy` frame instead of stalling, and pool workers pick
+//!   tasks round-robin across in-flight batches so a wide batch
+//!   cannot starve a narrow one. Determinism survives the
+//!   interleaving because the schedule never decides *what* runs —
+//!   shared-cache entries stay compute-once (`OnceLock`) and every
+//!   value is a pure function of the scenario configuration — and the
+//!   hub's counters are monotone under a lock, so per-submission
+//!   deltas stay race-safe.
+//! * A submission streams `progress` frames while it waits (queue
+//!   position) and runs (shard-task counts). The client may retire it
+//!   early with a `cancel` frame — acknowledged terminally — or by
+//!   closing the connection; pending work is dropped, in-flight tasks
+//!   complete into the warm hub, and the daemon keeps serving
+//!   everyone else.
 //! * TCP connections must authenticate with the daemon's shared token
 //!   (a `hello` frame) before any request; the token is a shared
 //!   secret for *trusted networks* — it authenticates, it does not
@@ -51,7 +66,8 @@
 //!   in [`ServiceSummary::dropped_replies`], batch counters already
 //!   retired — never a wedged accept loop.
 //! * Shutdown — a `shutdown` frame or the binary's SIGTERM flag —
-//!   drains the in-flight batch before the listener closes and the
+//!   stops accepting, then drains **every** admitted batch (running
+//!   *and* queued) to a full reply before the listener closes and the
 //!   socket file is removed. A rejected submission (parse error,
 //!   unknown scenario, bad token) answers with an error frame and
 //!   leaves the daemon up.
@@ -71,11 +87,15 @@
 //! (unlinking would reopen the race); the kernel releases the lock
 //! when the daemon exits, however it exits.
 
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 use chipletqc::lab::{CacheHub, FabricationStats};
@@ -85,11 +105,11 @@ use chipletqc_store::{Store, StoreStats};
 
 use crate::mesh;
 use crate::protocol::{
-    read_request, write_request, write_response, Request, Response, Submission,
+    read_request, write_request, write_response, Progress, Request, Response, Submission,
 };
 use crate::report::{batch_timing_summary, RunReport};
-use crate::scenario::Scale;
-use crate::scheduler::{ScenarioResult, Scheduler};
+use crate::scenario::{Scale, Scenario};
+use crate::scheduler::{BatchAborted, ProgressFn, ScenarioResult, Scheduler, WorkPool};
 use crate::suite::resolve_batch;
 use crate::sweep::Sweep;
 
@@ -138,6 +158,17 @@ const REQUEST_DEADLINE: Duration = Duration::from_secs(60);
 /// accept loop promptly. A peer cut off mid-burst transparently
 /// redials: its client side retries once on a fresh connection.
 const STORE_KEEPALIVE: Duration = Duration::from_millis(250);
+
+/// How often a connection thread polls its client (for a disconnect or
+/// a `cancel` frame) and its batch (for progress) while the submission
+/// waits in the admission queue or runs.
+const CLIENT_POLL: Duration = Duration::from_millis(25);
+
+/// Default cap on concurrently running batches.
+pub const DEFAULT_MAX_INFLIGHT: usize = 4;
+
+/// Default cap on submissions waiting for an admission slot.
+pub const DEFAULT_QUEUE_DEPTH: usize = 16;
 
 /// A reader that enforces [`REQUEST_DEADLINE`] across a whole
 /// request: once the deadline passes, every further read fails with
@@ -233,6 +264,11 @@ pub struct ServiceConfig {
     /// interactive submissions should not silently double as mesh
     /// capacity.
     pub mesh_worker: bool,
+    /// How many batches may run concurrently (clamped to at least 1).
+    pub max_inflight: usize,
+    /// How many submissions may wait for an admission slot; one more
+    /// is answered with a `busy` frame. Zero disables queueing.
+    pub queue_depth: usize,
 }
 
 // Manual: the token is the authentication secret, and `{:?}` output
@@ -246,6 +282,8 @@ impl std::fmt::Debug for ServiceConfig {
             .field("default_workers", &self.default_workers)
             .field("default_shards", &self.default_shards)
             .field("mesh_worker", &self.mesh_worker)
+            .field("max_inflight", &self.max_inflight)
+            .field("queue_depth", &self.queue_depth)
             .finish()
     }
 }
@@ -261,6 +299,8 @@ impl ServiceConfig {
             default_workers: None,
             default_shards: 1,
             mesh_worker: false,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         }
     }
 
@@ -286,6 +326,8 @@ impl ServiceConfig {
             default_workers: None,
             default_shards: 1,
             mesh_worker: false,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         }
     }
 
@@ -294,6 +336,16 @@ impl ServiceConfig {
     #[must_use]
     pub fn as_mesh_worker(mut self) -> ServiceConfig {
         self.mesh_worker = true;
+        self
+    }
+
+    /// Sets the admission bounds: at most `max_inflight` batches run
+    /// at once (clamped to at least 1) and at most `queue_depth` more
+    /// wait; past both, submissions get a `busy` frame.
+    #[must_use]
+    pub fn with_admission(mut self, max_inflight: usize, queue_depth: usize) -> ServiceConfig {
+        self.max_inflight = max_inflight.max(1);
+        self.queue_depth = queue_depth;
         self
     }
 }
@@ -319,59 +371,140 @@ pub struct ServiceSummary {
     /// write timeout. The work itself is never lost — batch and hub
     /// counters are retired before the reply is written.
     pub dropped_replies: u64,
+    /// Submissions retired early — an explicit `cancel` frame, or a
+    /// client that disconnected while its batch was queued or
+    /// running. Whatever their tasks already computed stays in the
+    /// warm hub.
+    pub cancelled: u64,
 }
 
 /// One accepted client connection, Unix or TCP — the service handles
-/// both through the same synchronous, frame-at-a-time path.
+/// both through the same synchronous, frame-at-a-time path. Each conn
+/// lives on exactly one handler thread.
 #[derive(Debug)]
-enum Conn {
+struct Conn {
+    stream: Stream,
+    /// One byte read ahead by [`Conn::peek_state`]'s non-blocking
+    /// probe (`UnixStream::peek` is not stable, so the probe consumes
+    /// a byte), handed back to the next `read`.
+    pushback: Cell<Option<u8>>,
+}
+
+#[derive(Debug)]
+enum Stream {
     Unix(UnixStream),
     Tcp(TcpStream),
 }
 
 impl Conn {
+    fn unix(stream: UnixStream) -> Conn {
+        Conn { stream: Stream::Unix(stream), pushback: Cell::new(None) }
+    }
+
+    fn tcp(stream: TcpStream) -> Conn {
+        Conn { stream: Stream::Tcp(stream), pushback: Cell::new(None) }
+    }
+
     /// Remote connections must authenticate; local (Unix) ones are
     /// trusted via filesystem permissions.
     fn is_remote(&self) -> bool {
-        matches!(self, Conn::Tcp(_))
+        matches!(self.stream, Stream::Tcp(_))
     }
 
     fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        match self {
-            Conn::Unix(s) => s.set_read_timeout(timeout),
-            Conn::Tcp(s) => s.set_read_timeout(timeout),
+        match &self.stream {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
         }
     }
 
     fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        match self {
-            Conn::Unix(s) => s.set_write_timeout(timeout),
-            Conn::Tcp(s) => s.set_write_timeout(timeout),
+        match &self.stream {
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match &self.stream {
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// A non-blocking probe: has the client sent more bytes, closed
+    /// the connection, or neither? Used by connection threads to
+    /// notice a mid-batch `cancel` frame or disconnect without
+    /// blocking the poll loop. The probe reads (at most) one byte and
+    /// stashes it in `pushback` for the next real read. Errors degrade
+    /// to [`PeekState::Idle`] — a transient probe failure must not
+    /// cancel a healthy client's batch; a truly dead client surfaces
+    /// on the next reply write instead.
+    fn peek_state(&self) -> PeekState {
+        if self.pushback.get().is_some() {
+            return PeekState::Readable;
+        }
+        if self.set_nonblocking(true).is_err() {
+            return PeekState::Idle;
+        }
+        let mut buf = [0u8; 1];
+        let probed = match &self.stream {
+            Stream::Unix(s) => (&mut &*s).read(&mut buf),
+            Stream::Tcp(s) => (&mut &*s).read(&mut buf),
+        };
+        let _ = self.set_nonblocking(false);
+        match probed {
+            Ok(0) => PeekState::Closed,
+            Ok(_) => {
+                self.pushback.set(Some(buf[0]));
+                PeekState::Readable
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => PeekState::Idle,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => PeekState::Idle,
+            Err(_) => PeekState::Closed,
         }
     }
 }
 
+/// What [`Conn::peek_state`] saw on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeekState {
+    /// No bytes pending; connection open.
+    Idle,
+    /// The client sent bytes (a `cancel` frame, or garbage).
+    Readable,
+    /// The client closed its write side (or the probe hard-failed).
+    Closed,
+}
+
 impl Read for &Conn {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Conn::Unix(s) => (&mut &*s).read(buf),
-            Conn::Tcp(s) => (&mut &*s).read(buf),
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(byte) = self.pushback.take() {
+            buf[0] = byte;
+            return Ok(1);
+        }
+        match &self.stream {
+            Stream::Unix(s) => (&mut &*s).read(buf),
+            Stream::Tcp(s) => (&mut &*s).read(buf),
         }
     }
 }
 
 impl Write for &Conn {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Conn::Unix(s) => (&mut &*s).write(buf),
-            Conn::Tcp(s) => (&mut &*s).write(buf),
+        match &self.stream {
+            Stream::Unix(s) => (&mut &*s).write(buf),
+            Stream::Tcp(s) => (&mut &*s).write(buf),
         }
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Conn::Unix(s) => (&mut &*s).flush(),
-            Conn::Tcp(s) => (&mut &*s).flush(),
+        match &self.stream {
+            Stream::Unix(s) => (&mut &*s).flush(),
+            Stream::Tcp(s) => (&mut &*s).flush(),
         }
     }
 }
@@ -388,7 +521,6 @@ pub struct Service {
     /// it releases the lock however the daemon exits.
     _lock: Option<File>,
     hub: CacheHub,
-    summary: ServiceSummary,
 }
 
 /// The lock file guarding a socket path's probe-remove-bind sequence.
@@ -488,15 +620,7 @@ impl Service {
             Some(store) => CacheHub::new().with_store(store),
             None => CacheHub::new(),
         };
-        Ok(Service {
-            config,
-            unix,
-            tcp,
-            tcp_addr,
-            _lock: lock,
-            hub,
-            summary: ServiceSummary::default(),
-        })
+        Ok(Service { config, unix, tcp, tcp_addr, _lock: lock, hub })
     }
 
     /// The probe-remove-bind sequence for the Unix socket, serialized
@@ -565,42 +689,71 @@ impl Service {
 
     /// Serves submissions until a `shutdown` frame arrives or
     /// `should_stop` returns true (the binary points this at its
-    /// SIGTERM flag; tests pass `|| false` and use the frame). The
-    /// in-flight batch always completes and is answered before the
-    /// loop exits — shutdown drains, it never aborts.
-    pub fn run(mut self, should_stop: impl Fn() -> bool) -> io::Result<ServiceSummary> {
+    /// SIGTERM flag; tests pass `|| false` and use the frame).
+    /// Connections are handled concurrently, one thread each, against
+    /// a shared [`WorkPool`]; shutdown stops accepting and then
+    /// drains **every** admitted batch — running and queued alike —
+    /// to a full reply before the listeners close.
+    pub fn run(self, should_stop: impl Fn() -> bool) -> io::Result<ServiceSummary> {
         if let Some(unix) = &self.unix {
             unix.set_nonblocking(true)?;
         }
         if let Some(tcp) = &self.tcp {
             tcp.set_nonblocking(true)?;
         }
-        let mut shutdown = false;
-        while !shutdown && !should_stop() {
+        let pool_workers = self
+            .config
+            .default_workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let shared = Arc::new(Shared {
+            admission: Admission::new(self.config.max_inflight, self.config.queue_depth),
+            pool: WorkPool::new(pool_workers),
+            reset_gate: RwLock::new(()),
+            config: self.config.clone(),
+            hub: self.hub.clone(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::SeqCst) && !should_stop() {
             let mut idle = true;
             if let Some(unix) = &self.unix {
                 if let Some(stream) = Self::poll_accept(unix.accept(), "unix") {
                     idle = false;
-                    shutdown = self.handle(Conn::Unix(stream));
+                    let shared = Arc::clone(&shared);
+                    handlers
+                        .push(std::thread::spawn(move || shared.handle(Conn::unix(stream))));
                 }
-            }
-            if shutdown {
-                break;
             }
             if let Some(tcp) = &self.tcp {
                 if let Some(stream) = Self::poll_accept(tcp.accept(), "tcp") {
                     idle = false;
-                    shutdown = self.handle(Conn::Tcp(stream));
+                    let shared = Arc::clone(&shared);
+                    handlers.push(std::thread::spawn(move || shared.handle(Conn::tcp(stream))));
                 }
             }
+            // Reap finished connection threads so a long-lived daemon
+            // does not accumulate handles.
+            handlers.retain(|handle| !handle.is_finished());
             if idle {
                 std::thread::sleep(ACCEPT_POLL);
             }
         }
+        // Graceful drain: no new connections are accepted, but every
+        // connection already in flight — including submissions still
+        // waiting in the admission queue — runs to its reply.
+        for handle in handlers {
+            let _ = handle.join();
+        }
         // Outstanding store writes land before the directory is handed
         // back (to a next daemon, or to one-shot runs).
-        self.hub.flush_store();
-        Ok(self.summary)
+        shared.hub.flush_store();
+        let summary = shared.counters.summary();
+        // All handler threads joined, so this is the last Arc; drop it
+        // here so the pool's worker threads exit before the socket
+        // file is removed.
+        drop(shared);
+        Ok(summary)
     }
 
     /// Resolves one non-blocking `accept` attempt, switching an
@@ -636,21 +789,217 @@ impl Service {
             }
         }
     }
+}
 
-    /// Handles one connection. Most requests are one-request,
-    /// one-response; a completed *store* exchange instead keeps the
-    /// connection open for [`STORE_KEEPALIVE`] so a peer's burst of
-    /// requests reuses it (the server side of the store client's
-    /// persistent-connection discipline). Returns true when the
-    /// client asked the daemon to shut down. I/O errors on a single
-    /// connection are logged and dropped — a client that disconnects
-    /// mid-frame must not take the daemon down.
-    fn handle(&mut self, conn: Conn) -> bool {
-        // Bound how long an unresponsive client can monopolize the
-        // synchronous daemon — in both directions. The read timeout
-        // covers a client that never finishes its request; the write
-        // timeout covers one that dies or stalls while a large report
-        // streams back (which used to wedge the daemon forever).
+/// Lifetime counters, shared across connection threads. Plain
+/// monotone tallies — relaxed ordering is enough; [`Service::run`]
+/// reads them after joining every handler.
+#[derive(Debug, Default)]
+struct Counters {
+    batches: AtomicU64,
+    rejected: AtomicU64,
+    scenarios: AtomicU64,
+    store_requests: AtomicU64,
+    work_units: AtomicU64,
+    dropped_replies: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl Counters {
+    fn summary(&self) -> ServiceSummary {
+        ServiceSummary {
+            batches: self.batches.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            scenarios: self.scenarios.load(Ordering::Relaxed),
+            store_requests: self.store_requests.load(Ordering::Relaxed),
+            work_units: self.work_units.load(Ordering::Relaxed),
+            dropped_replies: self.dropped_replies.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The bounded admission gate: at most `max_inflight` batches execute
+/// at once; up to `queue_depth` more wait in a FIFO ticket queue; the
+/// rest are told `busy`. Mesh claims and interactive submissions pass
+/// through the same gate, so a daemon's total concurrent load is
+/// bounded however the work arrives.
+#[derive(Debug)]
+struct Admission {
+    max_inflight: usize,
+    queue_depth: usize,
+    state: Mutex<AdmissionState>,
+    /// Signalled whenever a slot frees or the queue shifts.
+    changed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    inflight: usize,
+    /// Waiting tickets, front = next to admit.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// What [`Admission::enter`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Entry {
+    /// An execution slot is held; pair with [`Admission::leave`].
+    Admitted,
+    /// Waiting at `position` (1 = next in line) under `ticket`; poll
+    /// [`Admission::try_admit`], or [`Admission::abandon`] to give up.
+    Queued { ticket: u64, position: usize },
+    /// Queue full: reject with a `busy` frame.
+    Busy { inflight: usize, queued: usize },
+}
+
+impl Admission {
+    fn new(max_inflight: usize, queue_depth: usize) -> Admission {
+        Admission {
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+            state: Mutex::new(AdmissionState::default()),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn enter(&self) -> Entry {
+        let mut state = self.state.lock().expect("admission poisoned");
+        // FIFO fairness: a free slot goes to the queue front, never to
+        // a newcomer jumping it.
+        if state.queue.is_empty() && state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Entry::Admitted;
+        }
+        if state.queue.len() < self.queue_depth {
+            let ticket = state.next_ticket;
+            state.next_ticket += 1;
+            state.queue.push_back(ticket);
+            return Entry::Queued { ticket, position: state.queue.len() };
+        }
+        Entry::Busy { inflight: state.inflight, queued: state.queue.len() }
+    }
+
+    /// Admits `ticket` iff it is at the queue front and a slot is
+    /// free.
+    fn try_admit(&self, ticket: u64) -> bool {
+        let mut state = self.state.lock().expect("admission poisoned");
+        if state.inflight < self.max_inflight && state.queue.front() == Some(&ticket) {
+            state.queue.pop_front();
+            state.inflight += 1;
+            drop(state);
+            self.changed.notify_all();
+            return true;
+        }
+        false
+    }
+
+    /// Removes a queued ticket (client cancelled or disconnected
+    /// while waiting).
+    fn abandon(&self, ticket: u64) {
+        let mut state = self.state.lock().expect("admission poisoned");
+        if let Some(at) = state.queue.iter().position(|&t| t == ticket) {
+            state.queue.remove(at);
+        }
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Releases an execution slot taken via [`Entry::Admitted`] or
+    /// [`Admission::try_admit`].
+    fn leave(&self) {
+        let mut state = self.state.lock().expect("admission poisoned");
+        state.inflight = state.inflight.saturating_sub(1);
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Blocks until the gate may have changed, at most `timeout` — the
+    /// queue-wait poll interval (bounded so the waiter also polls its
+    /// client for disconnects).
+    fn wait_changed(&self, timeout: Duration) {
+        let state = self.state.lock().expect("admission poisoned");
+        let _ = self.changed.wait_timeout(state, timeout).expect("admission poisoned");
+    }
+}
+
+/// What a connection thread saw when it polled its client mid-wait or
+/// mid-batch.
+enum ClientEvent {
+    /// Nothing new; keep going.
+    Idle,
+    /// The client closed the connection.
+    Gone,
+    /// The client sent an explicit `cancel` frame.
+    Cancel,
+    /// The client sent something else (or a malformed frame).
+    Bad(String),
+}
+
+/// How an admitted batch ended.
+enum RunOutcome {
+    /// Ran to completion; respond with its report or pieces.
+    Completed(BatchExecution),
+    /// Retired early. `acked` = the client sent an explicit `cancel`
+    /// and gets a `cancelled` acknowledgement (a vanished client gets
+    /// nothing).
+    Cancelled { acked: bool },
+    /// A task panicked, or the client broke protocol mid-batch;
+    /// respond with an error frame.
+    Failed(String),
+}
+
+/// A submission parsed and resolved, ready for admission — resolution
+/// happens *before* the admission gate so a malformed submission
+/// never consumes a slot.
+struct Prepared {
+    suite: Vec<Scenario>,
+    scheduler: Scheduler,
+}
+
+/// Best-effort text for a batch task's panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("batch task panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("batch task panicked: {s}")
+    } else {
+        "batch task panicked".into()
+    }
+}
+
+/// The daemon state every connection thread shares: the warm hub, the
+/// work pool, the admission gate, and the lifetime counters.
+struct Shared {
+    config: ServiceConfig,
+    hub: CacheHub,
+    pool: WorkPool,
+    admission: Admission,
+    /// Batches hold this shared while they run; a `reset` holds it
+    /// exclusive, so warm caches never drop mid-batch (a concurrent
+    /// batch's counter deltas would otherwise double-count the
+    /// refabrication).
+    reset_gate: RwLock<()>,
+    counters: Counters,
+    /// Set by a `shutdown` frame; the accept loop drains and exits.
+    shutdown: AtomicBool,
+}
+
+type ConnReader<'c> = BufReader<DeadlineReader<&'c Conn>>;
+
+impl Shared {
+    /// Handles one connection on its own thread. Most requests are
+    /// one-request, one-response (plus progress frames); a completed
+    /// *store* exchange instead keeps the connection open for
+    /// [`STORE_KEEPALIVE`] so a peer's burst of requests reuses it.
+    /// I/O errors on a single connection are logged and dropped — a
+    /// client that disconnects mid-frame must not take the daemon
+    /// down.
+    fn handle(&self, conn: Conn) {
+        // Bound how long an unresponsive client can hold its thread —
+        // in both directions. The read timeout covers a client that
+        // never finishes its request; the write timeout covers one
+        // that dies or stalls while a large report streams back.
         let _ = conn.set_read_timeout(Some(REQUEST_TIMEOUT));
         let _ = conn.set_write_timeout(Some(RESPONSE_TIMEOUT));
         let mut reader = BufReader::new(DeadlineReader::new(&conn));
@@ -662,7 +1011,7 @@ impl Service {
             // `store-put` payload or sweep text.
             match self.read_authenticated_request(&conn, &mut reader) {
                 Some(request) => request,
-                None => return false,
+                None => return,
             }
         } else {
             // Unix: trusted via filesystem permissions; a hello is
@@ -670,19 +1019,18 @@ impl Service {
             // daemon never configured is accepted and ignored).
             let mut request = match self.read_one_request(&conn, &mut reader) {
                 Some(request) => request,
-                None => return false,
+                None => return,
             };
             if let Request::Hello(presented) = &request {
                 if let Some(expected) = &self.config.token {
                     if !token_matches(presented, expected) {
-                        self.summary.rejected += 1;
-                        self.respond(&conn, &Response::Error("bad token".into()));
-                        return false;
+                        self.reject(&conn, "bad token".into());
+                        return;
                     }
                 }
                 request = match self.read_one_request(&conn, &mut reader) {
                     Some(request) => request,
-                    None => return false,
+                    None => return,
                 };
             }
             request
@@ -691,38 +1039,30 @@ impl Service {
         loop {
             match request {
                 Request::Hello(_) => {
-                    self.summary.rejected += 1;
-                    self.respond(&conn, &Response::Error("unexpected second hello".into()));
-                    return false;
+                    self.reject(&conn, "unexpected second hello".into());
+                    return;
+                }
+                Request::Cancel => {
+                    // A cancel only means something on a connection
+                    // with a submission in flight.
+                    self.reject(&conn, "nothing to cancel on this connection".into());
+                    return;
                 }
                 Request::Shutdown => {
                     self.respond(&conn, &Response::ShuttingDown);
-                    return true;
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    return;
                 }
-                Request::Store(request) => {
-                    self.handle_store(&conn, request);
+                Request::Store(store_request) => {
+                    self.handle_store(&conn, store_request);
                 }
                 Request::Submit(submission) => {
-                    let response = match self.run_batch(&submission) {
-                        Ok(response) => response,
-                        Err(message) => {
-                            self.summary.rejected += 1;
-                            Response::Error(message)
-                        }
-                    };
-                    self.respond(&conn, &response);
-                    return false;
+                    self.handle_submit(&conn, &mut reader, &submission);
+                    return;
                 }
                 Request::WorkClaim(submission) => {
-                    let response = match self.run_work_claim(&submission) {
-                        Ok(response) => response,
-                        Err(message) => {
-                            self.summary.rejected += 1;
-                            Response::Error(message)
-                        }
-                    };
-                    self.respond(&conn, &response);
-                    return false;
+                    self.handle_claim(&conn, &mut reader, &submission);
+                    return;
                 }
             }
             // Only store exchanges fall through to here: give the
@@ -746,12 +1086,11 @@ impl Service {
                             | io::ErrorKind::TimedOut
                     ) =>
                 {
-                    return false;
+                    return;
                 }
                 Err(error) => {
-                    self.summary.rejected += 1;
-                    self.respond(&conn, &Response::Error(format!("bad request: {error}")));
-                    return false;
+                    self.reject(&conn, format!("bad request: {error}"));
+                    return;
                 }
             };
         }
@@ -760,11 +1099,7 @@ impl Service {
     /// Reads one request frame, answering malformed ones with an
     /// error frame. `None` means the connection is already dealt with
     /// (a silent probe, or a rejected frame).
-    fn read_one_request(
-        &mut self,
-        conn: &Conn,
-        reader: &mut impl io::BufRead,
-    ) -> Option<Request> {
+    fn read_one_request(&self, conn: &Conn, reader: &mut ConnReader<'_>) -> Option<Request> {
         match read_request(reader) {
             Ok(request) => Some(request),
             // A connection closed before any frame is not a bad
@@ -773,8 +1108,7 @@ impl Service {
             // it silently instead of answering into a dead socket.
             Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => None,
             Err(error) => {
-                self.summary.rejected += 1;
-                self.respond(conn, &Response::Error(format!("bad request: {error}")));
+                self.reject(conn, format!("bad request: {error}"));
                 None
             }
         }
@@ -785,13 +1119,12 @@ impl Service {
     /// allocating — anything else, then read the real request. `None`
     /// means the connection is already answered or dropped.
     fn read_authenticated_request(
-        &mut self,
+        &self,
         conn: &Conn,
-        reader: &mut impl io::BufRead,
+        reader: &mut ConnReader<'_>,
     ) -> Option<Request> {
-        let reject = |service: &mut Service, conn: &Conn, response: &Response| {
-            service.summary.rejected += 1;
-            service.respond(conn, response);
+        let reject_and_drain = |message: String| {
+            self.reject(conn, message);
             // Clients pipeline the hello and the request in one
             // burst; rejecting at the hello leaves the request bytes
             // unread, and closing a TCP socket with unread data sends
@@ -805,33 +1138,29 @@ impl Service {
             Ok(head) => head,
             Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => return None,
             Err(error) => {
-                reject(self, conn, &Response::Error(format!("bad request: {error}")));
+                reject_and_drain(format!("bad request: {error}"));
                 return None;
             }
         };
         if verb != "hello" {
-            reject(
-                self,
-                conn,
-                &Response::Error(
-                    "authentication required: send a `hello` frame with the daemon's \
-                     shared token first"
-                        .into(),
-                ),
+            reject_and_drain(
+                "authentication required: send a `hello` frame with the daemon's \
+                 shared token first"
+                    .into(),
             );
             return None;
         }
         let presented = match remote::parse_hello(&headers, reader) {
             Ok(token) => token,
             Err(error) => {
-                reject(self, conn, &Response::Error(format!("bad request: {error}")));
+                reject_and_drain(format!("bad request: {error}"));
                 return None;
             }
         };
         // `bind` enforces that a TCP listener always has a token.
         let expected = self.config.token.as_deref().unwrap_or_default();
         if !token_matches(&presented, expected) {
-            reject(self, conn, &Response::Error("bad token".into()));
+            reject_and_drain("bad token".into());
             return None;
         }
         self.read_one_request(conn, reader)
@@ -839,8 +1168,8 @@ impl Service {
 
     /// Serves one store peer request from the daemon's local store
     /// tier.
-    fn handle_store(&mut self, conn: &Conn, request: StoreRequest) {
-        self.summary.store_requests += 1;
+    fn handle_store(&self, conn: &Conn, request: StoreRequest) {
+        self.counters.store_requests.fetch_add(1, Ordering::Relaxed);
         let reply = match self.hub.store() {
             None => StoreReply::Error(
                 "daemon has no result store attached (start it with --cache-dir)".into(),
@@ -870,13 +1199,32 @@ impl Service {
         }
     }
 
+    /// Counts a rejection and answers it with an error frame.
+    fn reject(&self, conn: &Conn, message: String) {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        self.respond(conn, &Response::Error(message));
+    }
+
     /// Writes one response, abandoning it — daemon intact, counters
-    /// already retired — if the client is gone or stalled.
-    fn respond(&mut self, conn: &Conn, response: &Response) {
+    /// already retired — if the client is gone or stalled. Returns
+    /// whether the write succeeded.
+    fn respond(&self, conn: &Conn, response: &Response) -> bool {
         let mut writer = BufWriter::new(DeadlineWriter::new(conn));
-        if let Err(error) = write_response(&mut writer, response) {
-            self.note_dropped_reply(&error);
+        match write_response(&mut writer, response) {
+            Ok(()) => true,
+            Err(error) => {
+                self.note_dropped_reply(&error);
+                false
+            }
         }
+    }
+
+    /// Writes one non-terminal progress frame. A failed write is not
+    /// a dropped *reply* (the terminal response was never attempted);
+    /// it just tells the caller the client is gone.
+    fn send_progress(&self, conn: &Conn, progress: Progress) -> bool {
+        let mut writer = BufWriter::new(DeadlineWriter::new(conn));
+        write_response(&mut writer, &Response::Progress(progress)).is_ok()
     }
 
     /// Accounts for a reply the daemon had to abandon. `BrokenPipe`/
@@ -887,8 +1235,8 @@ impl Service {
     /// [`REPLY_DEADLINE`]. All of
     /// them abort only this reply: the submission's work and counters
     /// are already retired, and the daemon keeps serving.
-    fn note_dropped_reply(&mut self, error: &io::Error) {
-        self.summary.dropped_replies += 1;
+    fn note_dropped_reply(&self, error: &io::Error) {
+        self.counters.dropped_replies.fetch_add(1, Ordering::Relaxed);
         let what = match error.kind() {
             io::ErrorKind::BrokenPipe
             | io::ErrorKind::ConnectionReset
@@ -901,11 +1249,10 @@ impl Service {
         eprintln!("chipletqc-engine serve: {what}; dropping reply ({error})");
     }
 
-    /// Runs one submission-shaped batch through the scheduler against
-    /// the lifetime hub — the execution path shared by ordinary
-    /// submissions and mesh work claims, which must never drift on
-    /// batch resolution or counter rebasing.
-    fn execute(&mut self, submission: &Submission) -> Result<BatchExecution, String> {
+    /// Parses and resolves one submission-shaped batch — shared by
+    /// ordinary submissions and mesh work claims, which must never
+    /// drift on batch resolution.
+    fn prepare(&self, submission: &Submission) -> Result<Prepared, String> {
         let sweep = match &submission.sweep_text {
             Some(text) => Some(Sweep::parse(text).map_err(|e| format!("sweep: {e}"))?),
             None => None,
@@ -916,61 +1263,292 @@ impl Service {
             submission.only.as_deref(),
             submission.seed,
         )?;
-        if submission.reset {
-            self.hub.clear();
-        }
         let workers = submission.workers.or(self.config.default_workers);
         let scheduler = workers
             .map_or_else(Scheduler::default, Scheduler::new)
             .with_shards(submission.shards.unwrap_or(self.config.default_shards));
+        Ok(Prepared { suite, scheduler })
+    }
 
-        // Per-submission counters: the hub's totals are monotonic
-        // across batches, so rebase the counter objects on a
-        // snapshot. A warm-hub resubmission then reports zero
-        // fabrications and zero store traffic — the observable for
-        // "no recomputation, and no disk either".
+    /// Checks what the client sent (if anything) while its submission
+    /// waits or runs. Bytes already buffered take precedence over the
+    /// socket peek, so a pipelined `cancel` is not missed.
+    fn poll_client(&self, conn: &Conn, reader: &mut ConnReader<'_>) -> ClientEvent {
+        if reader.buffer().is_empty() {
+            match conn.peek_state() {
+                PeekState::Idle => return ClientEvent::Idle,
+                PeekState::Closed => return ClientEvent::Gone,
+                PeekState::Readable => {}
+            }
+        }
+        // A frame is (or is arriving) on the wire; read it with a
+        // fresh whole-request budget.
+        reader.get_mut().reset();
+        match read_request(reader) {
+            Ok(Request::Cancel) => ClientEvent::Cancel,
+            Ok(_) => ClientEvent::Bad(
+                "only `cancel` may follow a submission on its connection".into(),
+            ),
+            Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => ClientEvent::Gone,
+            Err(error) => ClientEvent::Bad(format!("bad request: {error}")),
+        }
+    }
+
+    /// Takes the submission through the admission gate. Returns true
+    /// once an execution slot is held (pair with `admission.leave()`);
+    /// false means the connection is already answered or abandoned.
+    /// `interactive` submissions get a queue-position progress frame
+    /// and terminal acks; mesh claims wait silently (their coordinator
+    /// reads exactly one response frame).
+    fn admit(&self, conn: &Conn, reader: &mut ConnReader<'_>, interactive: bool) -> bool {
+        match self.admission.enter() {
+            Entry::Admitted => true,
+            Entry::Busy { inflight, queued } => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.respond(
+                    conn,
+                    &Response::Busy { inflight: inflight as u64, queued: queued as u64 },
+                );
+                false
+            }
+            Entry::Queued { ticket, position } => {
+                if interactive
+                    && !self.send_progress(conn, Progress::Queued { position: position as u64 })
+                {
+                    self.admission.abandon(ticket);
+                    self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                loop {
+                    if self.admission.try_admit(ticket) {
+                        return true;
+                    }
+                    match self.poll_client(conn, reader) {
+                        ClientEvent::Idle => {}
+                        ClientEvent::Gone => {
+                            self.admission.abandon(ticket);
+                            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                            return false;
+                        }
+                        ClientEvent::Cancel => {
+                            self.admission.abandon(ticket);
+                            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                            if interactive {
+                                self.respond(conn, &Response::Cancelled);
+                            }
+                            return false;
+                        }
+                        ClientEvent::Bad(message) => {
+                            self.admission.abandon(ticket);
+                            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            if interactive {
+                                self.respond(conn, &Response::Error(message));
+                            }
+                            return false;
+                        }
+                    }
+                    self.admission.wait_changed(CLIENT_POLL);
+                }
+            }
+        }
+    }
+
+    /// Runs an admitted batch on the shared pool, streaming task
+    /// progress and polling the client for a disconnect or `cancel`
+    /// (interactive submissions only — mesh claims run silently).
+    /// Counter deltas are race-safe: snapshots are taken under the
+    /// reset gate, so no concurrent `clear` can shift the baseline
+    /// mid-batch, and the hub's totals are monotone under its own
+    /// lock.
+    fn run_admitted(
+        &self,
+        conn: &Conn,
+        reader: &mut ConnReader<'_>,
+        prepared: &Prepared,
+        reset: bool,
+        interactive: bool,
+    ) -> RunOutcome {
+        if reset {
+            // Exclusive: nobody may be mid-batch while warm caches
+            // drop, or their deltas would double-count refabrication.
+            let _exclusive = self.reset_gate.write().expect("reset gate poisoned");
+            self.hub.clear();
+        }
+        let _running = self.reset_gate.read().expect("reset gate poisoned");
         let fabrication_before = self.hub.fabrication_stats();
         let store_before = self.hub.store_stats();
         let peer_before = self.hub.peer_stats();
-        let results = scheduler.run(&suite, &self.hub);
-        self.hub.flush_store();
-        self.summary.scenarios += results.len() as u64;
-        Ok(BatchExecution {
-            fabrication: self.hub.fabrication_stats().since(fabrication_before),
-            store: self.hub.store_stats().since(store_before),
-            peer: self.hub.peer_stats().since(&peer_before),
-            workers: scheduler.workers(),
-            results,
-        })
-    }
-
-    /// Runs one submitted batch and builds its report frame.
-    fn run_batch(&mut self, submission: &Submission) -> Result<Response, String> {
-        let run = self.execute(submission)?;
-        self.summary.batches += 1;
-        let batch = self.summary.batches;
-        let report =
-            RunReport::from_results(&run.results, run.fabrication, run.store, run.peer);
-        Ok(Response::Report {
-            batch,
-            timing: batch_timing_summary(batch, &run.results, run.workers),
-            report: report.to_json(),
-        })
-    }
-
-    /// Runs one mesh work claim and builds its pieces frame. Refused
-    /// unless the daemon was started as a mesh worker.
-    fn run_work_claim(&mut self, submission: &Submission) -> Result<Response, String> {
-        if !self.config.mesh_worker {
-            return Err(
-                "daemon is not a mesh worker (start it with `serve --mesh-worker`)".into()
-            );
+        let (tx, rx) = mpsc::channel::<(usize, usize)>();
+        let progress: Option<ProgressFn> = interactive.then(|| {
+            Box::new(move |done: usize, total: usize| {
+                // The receiver may stop listening first; that is fine.
+                let _ = tx.send((done, total));
+            }) as ProgressFn
+        });
+        let handle = self.pool.submit(prepared.scheduler, &prepared.suite, &self.hub, progress);
+        let total = handle.total_tasks() as u64;
+        let mut explicit_cancel = false;
+        let mut bad: Option<String> = None;
+        if interactive {
+            // The initial 0/total frame doubles as the admission
+            // notification ("your batch is running now").
+            if self.send_progress(conn, Progress::Tasks { done: 0, total }) {
+                let mut done = 0u64;
+                while done < total {
+                    // Poll the client every iteration — even when
+                    // progress events stream fast — so a cancel or
+                    // disconnect is never starved out.
+                    match self.poll_client(conn, reader) {
+                        ClientEvent::Idle => {}
+                        ClientEvent::Gone => {
+                            handle.cancel();
+                            break;
+                        }
+                        ClientEvent::Cancel => {
+                            explicit_cancel = true;
+                            handle.cancel();
+                            break;
+                        }
+                        ClientEvent::Bad(message) => {
+                            bad = Some(message);
+                            handle.cancel();
+                            break;
+                        }
+                    }
+                    match rx.recv_timeout(CLIENT_POLL) {
+                        Ok((d, t)) => {
+                            done = d as u64;
+                            if !self
+                                .send_progress(conn, Progress::Tasks { done, total: t as u64 })
+                            {
+                                handle.cancel();
+                                break;
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {}
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            } else {
+                handle.cancel();
+            }
         }
-        let run = self.execute(submission)?;
-        self.summary.work_units += 1;
-        let outcome =
-            mesh::outcome_from_results(&run.results, run.fabrication, run.store, run.peer);
-        Ok(Response::WorkResult { pieces: mesh::encode_pieces(&outcome) })
+        let result = handle.wait();
+        self.hub.flush_store();
+        match result {
+            Ok(results) => RunOutcome::Completed(BatchExecution {
+                // Per-submission counters: the hub's totals are
+                // monotonic across batches, so rebase the counter
+                // objects on the snapshot. A warm-hub resubmission
+                // then reports zero fabrications and zero store
+                // traffic — the observable for "no recomputation, and
+                // no disk either".
+                fabrication: self.hub.fabrication_stats().since(fabrication_before),
+                store: self.hub.store_stats().since(store_before),
+                peer: self.hub.peer_stats().since(&peer_before),
+                workers: prepared.scheduler.workers(),
+                results,
+            }),
+            Err(BatchAborted::Panicked(payload)) => {
+                RunOutcome::Failed(panic_message(payload.as_ref()))
+            }
+            Err(BatchAborted::Cancelled) => match bad {
+                Some(message) => RunOutcome::Failed(message),
+                None => RunOutcome::Cancelled { acked: explicit_cancel },
+            },
+        }
+    }
+
+    /// One interactive submission, end to end: prepare, admit, run,
+    /// respond, account.
+    fn handle_submit(&self, conn: &Conn, reader: &mut ConnReader<'_>, submission: &Submission) {
+        let prepared = match self.prepare(submission) {
+            Ok(prepared) => prepared,
+            Err(message) => {
+                self.reject(conn, message);
+                return;
+            }
+        };
+        if !self.admit(conn, reader, true) {
+            return;
+        }
+        let outcome = self.run_admitted(conn, reader, &prepared, submission.reset, true);
+        self.admission.leave();
+        match outcome {
+            RunOutcome::Completed(run) => {
+                let batch = self.counters.batches.fetch_add(1, Ordering::Relaxed) + 1;
+                self.counters.scenarios.fetch_add(run.results.len() as u64, Ordering::Relaxed);
+                let report =
+                    RunReport::from_results(&run.results, run.fabrication, run.store, run.peer);
+                self.respond(
+                    conn,
+                    &Response::Report {
+                        batch,
+                        timing: batch_timing_summary(batch, &run.results, run.workers),
+                        report: report.to_json(),
+                    },
+                );
+            }
+            RunOutcome::Cancelled { acked } => {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                if acked {
+                    self.respond(conn, &Response::Cancelled);
+                }
+            }
+            RunOutcome::Failed(message) => {
+                self.reject(conn, message);
+            }
+        }
+    }
+
+    /// One mesh work claim, end to end. Claims pass through the same
+    /// admission gate as submissions — a mesh coordinator cannot
+    /// overload a worker past its bounds — but wait silently and skip
+    /// progress streaming: the coordinator reads exactly one response
+    /// frame per claim. A queue-full worker answers `busy`, which the
+    /// coordinator's retry discipline already handles.
+    fn handle_claim(&self, conn: &Conn, reader: &mut ConnReader<'_>, submission: &Submission) {
+        if !self.config.mesh_worker {
+            self.reject(
+                conn,
+                "daemon is not a mesh worker (start it with `serve --mesh-worker`)".into(),
+            );
+            return;
+        }
+        let prepared = match self.prepare(submission) {
+            Ok(prepared) => prepared,
+            Err(message) => {
+                self.reject(conn, message);
+                return;
+            }
+        };
+        if !self.admit(conn, reader, false) {
+            return;
+        }
+        let outcome = self.run_admitted(conn, reader, &prepared, submission.reset, false);
+        self.admission.leave();
+        match outcome {
+            RunOutcome::Completed(run) => {
+                self.counters.work_units.fetch_add(1, Ordering::Relaxed);
+                self.counters.scenarios.fetch_add(run.results.len() as u64, Ordering::Relaxed);
+                let outcome = mesh::outcome_from_results(
+                    &run.results,
+                    run.fabrication,
+                    run.store,
+                    run.peer,
+                );
+                self.respond(
+                    conn,
+                    &Response::WorkResult { pieces: mesh::encode_pieces(&outcome) },
+                );
+            }
+            RunOutcome::Cancelled { .. } => {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            RunOutcome::Failed(message) => {
+                self.reject(conn, message);
+            }
+        }
     }
 }
 
@@ -1024,10 +1602,33 @@ impl std::fmt::Debug for Endpoint {
 }
 
 /// Connects to a daemon at `endpoint`, sends one request (preceded by
-/// the authentication preamble on TCP), and returns the response — the
-/// client side of the protocol, shared by the `submit` subcommand and
-/// the tests.
+/// the authentication preamble on TCP), and returns the terminal
+/// response — the client side of the protocol, shared by the `submit`
+/// subcommand and the tests. Non-terminal progress frames are consumed
+/// silently; use [`request_endpoint_observed`] to see them.
 pub fn request_endpoint(endpoint: &Endpoint, request: &Request) -> io::Result<Response> {
+    request_endpoint_observed(endpoint, request, |_| {})
+}
+
+/// [`request_endpoint`], with every non-terminal progress frame handed
+/// to `on_progress` as it arrives (queue position, then task counts).
+pub fn request_endpoint_observed(
+    endpoint: &Endpoint,
+    request: &Request,
+    mut on_progress: impl FnMut(&Progress),
+) -> io::Result<Response> {
+    // Reads one response stream to its terminal frame.
+    fn read_terminal(
+        reader: &mut impl io::BufRead,
+        on_progress: &mut impl FnMut(&Progress),
+    ) -> io::Result<Response> {
+        loop {
+            match crate::protocol::read_response(reader)? {
+                Response::Progress(progress) => on_progress(&progress),
+                terminal => return Ok(terminal),
+            }
+        }
+    }
     match endpoint {
         Endpoint::Unix(socket) => {
             let stream = UnixStream::connect(socket).map_err(|e| {
@@ -1040,15 +1641,16 @@ pub fn request_endpoint(endpoint: &Endpoint, request: &Request) -> io::Result<Re
                 )
             })?;
             write_request(&mut BufWriter::new(&stream), request)?;
-            crate::protocol::read_response(&mut BufReader::new(&stream))
+            read_terminal(&mut BufReader::new(&stream), &mut on_progress)
         }
         Endpoint::Tcp { addr, token } => {
-            // No stream timeouts at all: the daemon runs batches
-            // synchronously and serially, so both the reply *and* a
-            // request write queued behind another client's long batch
-            // legitimately take as long as those batches — a submit
-            // must wait exactly like the Unix path (which sets no
-            // timeouts) does. Only the dial itself is bounded.
+            // No stream timeouts at all: a submission queued behind
+            // other clients legitimately takes as long as their
+            // batches — a submit must wait exactly like the Unix path
+            // (which sets no timeouts) does. Only the dial itself is
+            // bounded. The daemon's progress frames double as
+            // liveness signals for anyone watching with
+            // `request_endpoint_observed`.
             let stream = remote::connect(addr, None, None).map_err(|e| {
                 io::Error::new(
                     e.kind(),
@@ -1061,7 +1663,7 @@ pub fn request_endpoint(endpoint: &Endpoint, request: &Request) -> io::Result<Re
             let mut writer = BufWriter::new(&stream);
             remote::write_hello(&mut writer, token)?;
             write_request(&mut writer, request)?;
-            crate::protocol::read_response(&mut BufReader::new(&stream))
+            read_terminal(&mut BufReader::new(&stream), &mut on_progress)
         }
     }
 }
@@ -1201,7 +1803,8 @@ mod tests {
                 rejected: 2,
                 scenarios: 2,
                 store_requests: 1,
-                dropped_replies: 0
+                dropped_replies: 0,
+                cancelled: 0
             }
         );
         assert!(!socket.exists(), "shutdown removes the socket file");
@@ -1210,14 +1813,16 @@ mod tests {
 
     #[test]
     fn a_client_that_dies_before_its_reply_does_not_take_the_daemon_down() {
-        // The satellite bugfix in miniature: a submission whose client
-        // vanishes before reading the report costs one dropped reply —
-        // with the batch still counted — and the daemon keeps serving.
+        // A submission whose client vanishes immediately is *retired as
+        // cancelled* — the daemon notices the closed connection (its
+        // very first progress write fails), cancels the batch, and
+        // keeps serving. Any tasks already running finish into the warm
+        // hub; nothing leaks.
         let socket = temp_socket("dead-client");
         let service = Service::bind(ServiceConfig::new(&socket), None).unwrap();
         let handle = std::thread::spawn(move || service.run(|| false).unwrap());
 
-        // Send a request, then hang up without reading the response.
+        // Send a request, then hang up without reading any response.
         {
             let stream = loop {
                 match UnixStream::connect(&socket) {
@@ -1231,12 +1836,13 @@ mod tests {
                 ..Submission::default()
             };
             write_request(&mut BufWriter::new(&stream), &Request::Submit(submission)).unwrap();
-            // Drop closes both directions; the daemon's reply write
-            // hits EPIPE (or vanishes into the closed buffer — either
-            // way it must not wedge or kill the daemon).
+            // Drop closes both directions; the daemon's progress write
+            // hits EPIPE (or the poll sees EOF — either way the batch
+            // retires as cancelled without wedging the daemon).
         }
 
-        // The daemon is still alive and serving.
+        // The daemon is still alive and serving; the abandoned batch
+        // was cancelled, not counted, so this one is batch 1.
         let alive = request(
             &socket,
             &Request::Submit(Submission {
@@ -1246,15 +1852,16 @@ mod tests {
             }),
         )
         .unwrap();
-        let Response::Report { batch, report, .. } = alive else {
+        let Response::Report { batch, .. } = alive else {
             panic!("daemon wedged after a dead client: {alive:?}");
         };
-        assert_eq!(batch, 2, "the abandoned batch was still counted");
-        assert!(report.contains("\"chiplet_campaigns\": 0"), "its warm hub survived too");
+        assert_eq!(batch, 1, "the abandoned batch retired as cancelled, not completed");
 
         request(&socket, &Request::Shutdown).unwrap();
         let summary = handle.join().unwrap();
-        assert_eq!(summary.batches, 2, "counters retired despite the dropped reply");
+        assert_eq!(summary.batches, 1, "only the live client's batch completed");
+        assert_eq!(summary.cancelled, 1, "the dead client's batch retired as cancelled");
+        assert_eq!(summary.dropped_replies, 0, "no terminal reply was ever attempted");
         let _ = std::fs::remove_file(socket_lock_path(&socket));
     }
 
@@ -1312,6 +1919,8 @@ mod tests {
             default_workers: None,
             default_shards: 1,
             mesh_worker: false,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         };
         let error = Service::bind(config, None).unwrap_err();
         assert_eq!(error.kind(), io::ErrorKind::InvalidInput);
@@ -1324,6 +1933,8 @@ mod tests {
             default_workers: None,
             default_shards: 1,
             mesh_worker: false,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
         };
         assert_eq!(
             Service::bind(nothing, None).unwrap_err().kind(),

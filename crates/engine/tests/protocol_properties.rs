@@ -11,7 +11,8 @@
 use std::io::{BufReader, Cursor};
 
 use chipletqc_engine::protocol::{
-    read_request, read_response, write_request, write_response, Request, Response, Submission,
+    read_request, read_response, write_request, write_response, Progress, Request, Response,
+    Submission,
 };
 use chipletqc_engine::scenario::Scale;
 use chipletqc_store::envelope::Encoding;
@@ -42,6 +43,7 @@ fn valid_frames() -> Vec<Vec<u8>> {
         }),
         Request::Store(StoreRequest::List),
         Request::Shutdown,
+        Request::Cancel,
     ];
     let responses = [
         Response::Report {
@@ -51,6 +53,10 @@ fn valid_frames() -> Vec<Vec<u8>> {
         },
         Response::ShuttingDown,
         Response::Error("unknown kind `x9`".into()),
+        Response::Progress(Progress::Queued { position: 2 }),
+        Response::Progress(Progress::Tasks { done: 3, total: 16 }),
+        Response::Busy { inflight: 4, queued: 16 },
+        Response::Cancelled,
     ];
     let replies = [
         StoreReply::Found { encoding: Encoding::Json, payload: b"{}".to_vec() },
@@ -86,6 +92,27 @@ fn feed_all_readers(bytes: &[u8]) {
     let _ = read_store_reply(&mut BufReader::new(Cursor::new(bytes)));
 }
 
+#[test]
+fn no_valid_frame_is_a_prefix_of_another() {
+    // Pairwise prefix-freedom across the whole corpus — including the
+    // new progress/busy/cancel/cancelled frames against the existing
+    // set. A streamed response sequence (progress frames followed by a
+    // terminal frame) relies on this: a reader that resynchronizes at
+    // frame boundaries must never confuse one frame for the start of
+    // another.
+    let frames = valid_frames();
+    for (i, a) in frames.iter().enumerate() {
+        for (j, b) in frames.iter().enumerate() {
+            if i != j && a != b {
+                assert!(
+                    !b.starts_with(a.as_slice()),
+                    "frame {i} is a strict prefix of frame {j}"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -98,7 +125,7 @@ proptest! {
 
     #[test]
     fn truncated_valid_frames_never_panic_and_never_misparse(
-        frame_pick in 0usize..15,
+        frame_pick in 0usize..20,
         cut_permille in 0usize..1000,
     ) {
         let frames = valid_frames();
@@ -118,7 +145,7 @@ proptest! {
 
     #[test]
     fn flipped_bytes_never_panic_a_reader(
-        frame_pick in 0usize..15,
+        frame_pick in 0usize..20,
         flip_permille in 0usize..1000,
         xor in 1u8..=255u8,
     ) {
@@ -155,7 +182,7 @@ proptest! {
 
     #[test]
     fn valid_frames_survive_trailing_garbage(
-        frame_pick in 0usize..7,
+        frame_pick in 0usize..8,
         garbage in prop::collection::vec(0u8..=255u8, 0..=64),
     ) {
         // Frames are self-delimiting: whatever follows one must not
@@ -170,6 +197,7 @@ proptest! {
             Request::Store(StoreRequest::Get(EntryKey::new("ck", "tally", "s/0-512"))),
             Request::Store(StoreRequest::List),
             Request::Shutdown,
+            Request::Cancel,
             Request::Store(StoreRequest::Put {
                 key: EntryKey::new("ck", "raw-bin", "s/0-512"),
                 encoding: Encoding::Binary,

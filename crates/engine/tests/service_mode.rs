@@ -14,10 +14,14 @@
 
 #![cfg(unix)]
 
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
 use std::sync::mpsc;
 
 use chipletqc::lab::CacheHub;
-use chipletqc_engine::protocol::{Request, Response, Submission};
+use chipletqc_engine::protocol::{
+    read_response, write_request, Progress, Request, Response, Submission,
+};
 use chipletqc_engine::report::{strip_counter_objects, RunReport};
 use chipletqc_engine::scheduler::Scheduler;
 use chipletqc_engine::service::{self, Service, ServiceConfig, ServiceSummary};
@@ -172,4 +176,108 @@ fn storeless_daemon_still_reuses_its_warm_hub() {
 
     service::request(&socket, &Request::Shutdown).expect("shutdown");
     daemon.join().expect("daemon thread");
+}
+
+/// A heavier single-scenario sweep for the cancellation tests: enough
+/// fabrication work that a pipelined `cancel` (or hang-up) lands while
+/// the batch is demonstrably still in flight.
+const SLOW_SWEEP: &str = "name = slow\n\
+                          kind = fig8\n\
+                          scale = quick\n\
+                          grid = 10q3x3\n\
+                          batch = 2000\n\
+                          seed = 11\n";
+
+#[test]
+fn cancelling_or_disconnecting_mid_batch_leaves_the_daemon_serving() {
+    // The per-client cancellation contract, both flavors: an explicit
+    // `cancel` frame retires an in-flight batch with a `cancelled`
+    // acknowledgement; a client that just hangs up retires its batch
+    // silently. Either way no work leaks — the daemon serves the next
+    // client a complete, correct batch — and the drain summary
+    // accounts the retired submissions as cancelled, not completed.
+    let socket = temp_path("cancel.sock");
+    let service = Service::bind(ServiceConfig::new(&socket), None).expect("bind");
+    let (summary_tx, summary_rx) = mpsc::channel::<ServiceSummary>();
+    let daemon = std::thread::spawn(move || {
+        summary_tx.send(service.run(|| false).expect("serve")).unwrap();
+    });
+    let slow = Submission {
+        sweep_text: Some(SLOW_SWEEP.into()),
+        workers: Some(2),
+        shards: Some(4),
+        ..Submission::default()
+    };
+
+    // Explicit cancel: submit, wait until the daemon confirms the
+    // batch is running (the initial 0/N progress frame), then cancel.
+    {
+        let stream = UnixStream::connect(&socket).expect("connect");
+        write_request(&mut BufWriter::new(&stream), &Request::Submit(slow.clone())).unwrap();
+        let mut reader = BufReader::new(&stream);
+        let first = read_response(&mut reader).expect("first frame");
+        assert!(
+            matches!(first, Response::Progress(Progress::Tasks { done: 0, .. })),
+            "expected the initial progress frame, got {first:?}"
+        );
+        write_request(&mut BufWriter::new(&stream), &Request::Cancel).unwrap();
+        // Progress frames already in flight may still arrive; the
+        // terminal frame must be the cancellation acknowledgement.
+        let terminal = loop {
+            match read_response(&mut reader).expect("response stream") {
+                Response::Progress(_) => continue,
+                other => break other,
+            }
+        };
+        assert_eq!(terminal, Response::Cancelled);
+    }
+
+    // Disconnect: same setup, but hang up instead of cancelling.
+    {
+        let stream = UnixStream::connect(&socket).expect("connect");
+        write_request(&mut BufWriter::new(&stream), &Request::Submit(slow.clone())).unwrap();
+        let mut reader = BufReader::new(&stream);
+        let first = read_response(&mut reader).expect("first frame");
+        assert!(
+            matches!(first, Response::Progress(Progress::Tasks { done: 0, .. })),
+            "{first:?}"
+        );
+        // Drop closes the connection; the daemon's poll (or its next
+        // progress write) notices and retires the batch.
+    }
+
+    // The daemon still serves a complete batch afterwards, and the
+    // cancelled submissions were never counted as completed.
+    let (batch, _, report) = submit(
+        &socket,
+        Submission {
+            sweep_text: Some(SWEEP.into()),
+            workers: Some(2),
+            ..Submission::default()
+        },
+    );
+    assert_eq!(batch, 1, "cancelled batches must not consume batch numbers");
+    let sweep = Sweep::parse(SWEEP).expect("sweep parses");
+    let suite = resolve_batch(Some(&sweep), Default::default(), None, None).expect("batch");
+    let hub = CacheHub::new();
+    let results = Scheduler::new(2).run(&suite, &hub);
+    let one_shot = RunReport::from_results(
+        &results,
+        hub.fabrication_stats(),
+        hub.store_stats(),
+        hub.peer_stats(),
+    )
+    .to_json();
+    assert_eq!(
+        strip_counter_objects(&report),
+        strip_counter_objects(&one_shot),
+        "the batch after two cancellations diverged from a one-shot run"
+    );
+
+    service::request(&socket, &Request::Shutdown).expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let summary = summary_rx.recv().expect("summary");
+    assert_eq!(summary.batches, 1, "only the surviving client's batch completed");
+    assert_eq!(summary.cancelled, 2, "both retired submissions counted as cancelled");
+    assert_eq!(summary.rejected, 0);
 }
