@@ -18,12 +18,15 @@
 //! `--cache` state and for daemon-submitted runs of the same batch;
 //! timings go to stdout (one-shot) or stderr (`submit`) only.
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use chipletqc::lab::CacheHub;
-use chipletqc::report::TextTable;
+use chipletqc::report::{Json, TextTable};
+use chipletqc_collision::checker::is_collision_free;
+use chipletqc_collision::criteria::CollisionParams;
 use chipletqc_engine::mesh::{self, MeshConfig};
 use chipletqc_engine::protocol::{parse_count, Progress, Request, Response, Submission};
 use chipletqc_engine::report::{timing_summary, RunReport};
@@ -34,8 +37,14 @@ use chipletqc_engine::suite::resolve_batch;
 use chipletqc_engine::sweep::Sweep;
 use chipletqc_math::rng::Seed;
 use chipletqc_store::backend::Backend as _;
+use chipletqc_store::envelope::Encoding;
 use chipletqc_store::remote::RemoteBackend;
-use chipletqc_store::{CacheMode, Store};
+use chipletqc_store::{CacheMode, EntryKey, Store};
+use chipletqc_topology::family::MonolithicSpec;
+use chipletqc_yield::fabrication::FabricationParams;
+use chipletqc_yield::monte_carlo::{
+    fabricate_collision_free, simulate_yield_range, TrialRange,
+};
 
 const USAGE: &str = "\
 chipletqc-engine — parallel paper-figure and design-space scenario batches
@@ -51,12 +60,15 @@ USAGE:
                          [--cache-dir DIR] [--cache MODE]
                          [--store-peer HOST:PORT] [--store-push] [--prefetch]
                          [--workers N] [--shards N] [--mesh-worker]
-                         [--max-inflight N] [--queue-depth N]
+                         [--max-inflight N] [--queue-depth N] [--trace-out FILE]
   chipletqc-engine submit (--socket PATH | --connect HOST:PORT --token-file F)
                           [BATCH OPTIONS] [--reset]
   chipletqc-engine submit --mesh W1:P,W2:P[,..] --token-file F --sweep FILE
                           [BATCH OPTIONS] [--mesh-deadline SECS] [--mesh-units N]
   chipletqc-engine submit (--socket PATH | --connect HOST:PORT --token-file F) --shutdown
+  chipletqc-engine status (--socket PATH | --connect HOST:PORT --token-file F)
+  chipletqc-engine bench [--quick] [--out FILE]
+  chipletqc-engine trace summarize FILE
 
 OPTIONS:
   --workers N       scheduler worker threads (default: hardware threads)
@@ -84,6 +96,9 @@ OPTIONS:
                     (trimmed; a shared secret for trusted networks)
   --out DIR         artifact directory (default: target/figures)
   --no-files        skip writing artifacts; print the report to stdout
+  --trace-out FILE  append span events (one JSON object per line) to
+                    FILE as they complete; summarize with
+                    `chipletqc-engine trace summarize FILE`
   --list            list the batch's scenario names and exit
   --help            this message
 
@@ -133,6 +148,19 @@ DISTRIBUTED SWEEPS (see README \"Distributed sweeps\"):
                     reads one address per line instead.
                     --mesh-deadline SECS bounds each work-unit claim
                     (default 600); --mesh-units N overrides the carve
+
+OBSERVABILITY (see README \"Observability\"):
+  status            print a live daemon's JSON status snapshot —
+                    inflight/queued gauges, request counters, and
+                    latency histogram percentiles — served off the
+                    batch path, so it answers even under full load
+  bench             run the fixed micro-benchmark suite (fabrication
+                    campaign, collision check, Monte Carlo chunk,
+                    store round-trip, daemon submit) and print a
+                    stable-schema JSON trajectory; --quick shrinks the
+                    workloads, --out FILE also writes the JSON to FILE
+  trace summarize   aggregate a --trace-out file: per-span counts,
+                    total/mean/max durations
 ";
 
 #[derive(Debug)]
@@ -147,6 +175,7 @@ struct Options {
     token_file: Option<String>,
     out: PathBuf,
     write_files: bool,
+    trace_out: Option<PathBuf>,
     list: bool,
 }
 
@@ -289,6 +318,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         token_file: None,
         out: PathBuf::from("target/figures"),
         write_files: true,
+        trace_out: None,
         list: false,
     };
     // `--sweep` and `--sweep-text` both define the whole batch; a
@@ -357,6 +387,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                 options.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
             "--no-files" => options.write_files = false,
+            "--trace-out" => {
+                options.trace_out =
+                    Some(PathBuf::from(args.next().ok_or("--trace-out needs a value")?));
+            }
             "--list" => options.list = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -558,6 +592,7 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut prefetch = false;
     let mut max_inflight = service::DEFAULT_MAX_INFLIGHT;
     let mut queue_depth = service::DEFAULT_QUEUE_DEPTH;
+    let mut trace_out: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => {
@@ -601,6 +636,10 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                     .parse::<usize>()
                     .map_err(|_| format!("bad --queue-depth {value} (want an integer >= 0)"))?;
             }
+            "--trace-out" => {
+                trace_out =
+                    Some(PathBuf::from(args.next().ok_or("--trace-out needs a value")?));
+            }
             other => return Err(format!("serve: unknown argument {other} (try --help)")),
         }
     }
@@ -635,6 +674,10 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             .into());
     }
     cache.validate()?;
+    if let Some(path) = &trace_out {
+        chipletqc_obs::trace_to(path)
+            .map_err(|e| format!("open trace file {}: {e}", path.display()))?;
+    }
     let token = token_file.as_deref().map(read_token_file).transpose()?;
     let store = cache.open_store(token.as_deref())?;
     if prefetch {
@@ -685,6 +728,7 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         summary.store_requests,
         summary.dropped_replies
     );
+    chipletqc_obs::flush_trace();
     Ok(())
 }
 
@@ -692,7 +736,13 @@ fn serve_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
 /// a running daemon. Timing lines go to stderr; the deterministic
 /// report JSON is the only stdout output, so `submit ... > report.json`
 /// captures exactly what a one-shot `--out` run would have written.
+///
+/// Every stderr line — queue position, task progress, timing — is
+/// written through one locked writer, so lines from the progress
+/// stream can never interleave mid-line with the terminal summary.
 fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let stderr = std::io::stderr();
+    let err = std::sync::Mutex::new(stderr.lock());
     let mut socket: Option<PathBuf> = None;
     let mut connect: Option<String> = None;
     let mut token_file: Option<String> = None;
@@ -841,7 +891,7 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         }
         config.units = mesh_units;
         let run = mesh::run_mesh(&submission, &config)?;
-        eprint!("{}", run.timing);
+        let _ = write!(err.lock().expect("stderr writer poisoned"), "{}", run.timing);
         print!("{}", run.report.to_json());
         return Ok(());
     }
@@ -880,29 +930,38 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     }
     let request = if shutdown { Request::Shutdown } else { Request::Submit(submission) };
     // Progress frames are live status, not part of the deterministic
-    // report: they go to stderr as they arrive.
-    let response =
-        service::request_endpoint_observed(&endpoint, &request, |progress| match progress {
+    // report: they go to stderr as they arrive, through the shared
+    // locked writer.
+    let response = service::request_endpoint_observed(&endpoint, &request, |progress| {
+        let mut err = err.lock().expect("stderr writer poisoned");
+        let _ = match progress {
             Progress::Queued { position } => {
-                eprintln!("queued behind {position} submission(s); waiting for a slot");
+                writeln!(err, "queued behind {position} submission(s); waiting for a slot")
             }
             Progress::Tasks { done, total } => {
-                eprintln!("progress: {done}/{total} task(s)");
+                writeln!(err, "progress: {done}/{total} task(s)")
             }
-        })
-        .map_err(|e| e.to_string())?;
+        };
+    })
+    .map_err(|e| e.to_string())?;
     let described = match &endpoint {
         Endpoint::Unix(path) => path.display().to_string(),
         Endpoint::Tcp { addr, .. } => addr.clone(),
     };
     match response {
         Response::ShuttingDown => {
-            eprintln!("daemon at {described} is shutting down");
+            let _ = writeln!(
+                err.lock().expect("stderr writer poisoned"),
+                "daemon at {described} is shutting down"
+            );
             Ok(())
         }
         Response::Report { batch, timing, report } => {
-            eprint!("{timing}");
-            eprintln!("batch {batch} done.");
+            {
+                let mut err = err.lock().expect("stderr writer poisoned");
+                let _ = write!(err, "{timing}");
+                let _ = writeln!(err, "batch {batch} done.");
+            }
             print!("{report}");
             Ok(())
         }
@@ -920,6 +979,11 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             // protocol-level surprise worth a hard error.
             Err(format!("daemon at {described} reported the submission cancelled"))
         }
+        Response::Status { .. } => {
+            Err("daemon answered a submission with a status snapshot (protocol \
+             confusion — mismatched versions?)"
+                .into())
+        }
         Response::Progress(_) => {
             unreachable!("request_endpoint_observed only returns terminal frames")
         }
@@ -927,10 +991,315 @@ fn submit_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     }
 }
 
+/// The `status` subcommand: ask a running daemon for its live JSON
+/// status snapshot. Served off the batch path, so it answers even
+/// when every admission slot and queue position is taken.
+fn status_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut connect: Option<String> = None;
+    let mut token_file: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(args.next().ok_or("--socket needs a value")?));
+            }
+            "--connect" => {
+                connect = Some(args.next().ok_or("--connect needs a HOST:PORT value")?);
+            }
+            "--token-file" => {
+                token_file = Some(args.next().ok_or("--token-file needs a value")?);
+            }
+            other => return Err(format!("status: unknown argument {other} (try --help)")),
+        }
+    }
+    let endpoint = match (socket, connect) {
+        (Some(_), Some(_)) => {
+            return Err("status: --socket conflicts with --connect (give exactly one \
+                        daemon address)"
+                .into())
+        }
+        (Some(socket), None) => {
+            if token_file.is_some() {
+                return Err("status: --token-file is only used with --connect (Unix \
+                            sockets are trusted via filesystem permissions)"
+                    .into());
+            }
+            Endpoint::Unix(socket)
+        }
+        (None, Some(addr)) => {
+            let token_file = token_file
+                .as_deref()
+                .ok_or("status: --connect requires --token-file (TCP daemons authenticate)")?;
+            Endpoint::Tcp { addr, token: read_token_file(token_file)? }
+        }
+        (None, None) => return Err("status: give --socket PATH or --connect HOST:PORT".into()),
+    };
+    match service::request_endpoint(&endpoint, &Request::Status).map_err(|e| e.to_string())? {
+        Response::Status { json } => {
+            println!("{json}");
+            Ok(())
+        }
+        Response::Error(message) => {
+            Err(format!("daemon refused the status request: {message}"))
+        }
+        other => Err(format!(
+            "daemon answered a status request with {other:?} (protocol confusion — \
+             mismatched versions?)"
+        )),
+    }
+}
+
+/// Times `runs` invocations of `f`; returns `(mean, min, max)` in
+/// microseconds.
+fn time_runs(runs: usize, mut f: impl FnMut()) -> (u64, u64, u64) {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let started = Instant::now();
+        f();
+        samples.push(started.elapsed().as_micros() as u64);
+    }
+    let min = *samples.iter().min().expect("runs >= 1");
+    let max = *samples.iter().max().expect("runs >= 1");
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    (mean, min, max)
+}
+
+/// One entry of the bench trajectory, in the committed
+/// `BENCH_XXXX.json` schema: metric name plus mean/min/max over the
+/// timed runs.
+fn bench_metric(name: &str, runs: usize, timing: (u64, u64, u64)) -> Json {
+    let (mean, min, max) = timing;
+    Json::obj()
+        .field("name", name)
+        .field("runs", runs)
+        .field("mean_us", mean)
+        .field("min_us", min)
+        .field("max_us", max)
+}
+
+/// A one-scenario quick sweep for the daemon-submit metric: small
+/// enough that the timed repeats measure the request round-trip and
+/// report serialization, not fabrication (the warm-up run pays that).
+const BENCH_SWEEP: &str = "name = bench\n\
+                           kind = fig8\n\
+                           scale = quick\n\
+                           grid = 10q2x2\n\
+                           batch = 60\n\
+                           seed = 5\n";
+
+/// The `bench` subcommand: a fixed micro-benchmark suite over the
+/// pipeline's hot paths, reported in a stable JSON schema so commits
+/// can carry a comparable performance trajectory (`BENCH_XXXX.json`).
+/// Metric *names* are the stable surface CI diffs; timings are
+/// machine-dependent and only comparable run-to-run on one host.
+fn bench_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            other => return Err(format!("bench: unknown argument {other} (try --help)")),
+        }
+    }
+    let runs = if quick { 3 } else { 10 };
+    let device = MonolithicSpec::with_qubits(20)
+        .map_err(|e| format!("bench: build device: {e}"))?
+        .build();
+    let fab = FabricationParams::state_of_the_art();
+    let params = CollisionParams::paper();
+    let mut metrics: Vec<Json> = Vec::new();
+
+    // 1. A full fabrication campaign: sample + collision-check a
+    //    batch, collecting the collision-free bin.
+    let batch = if quick { 50 } else { 200 };
+    metrics.push(bench_metric(
+        "fabrication_campaign",
+        runs,
+        time_runs(runs, || {
+            std::hint::black_box(fabricate_collision_free(
+                &device,
+                &fab,
+                &params,
+                batch,
+                Seed(1),
+            ));
+        }),
+    ));
+
+    // 2. The collision checker alone, on one sampled assignment.
+    let freqs = fab.sample(&device, &mut Seed(2).rng());
+    let checks = if quick { 200 } else { 1000 };
+    metrics.push(bench_metric(
+        "collision_check",
+        runs,
+        time_runs(runs, || {
+            for _ in 0..checks {
+                std::hint::black_box(is_collision_free(&device, &freqs, &params));
+            }
+        }),
+    ));
+
+    // 3. One Monte Carlo yield chunk, single-threaded so the number is
+    //    a per-core figure.
+    let trials = if quick { 100 } else { 400 };
+    metrics.push(bench_metric(
+        "monte_carlo_chunk",
+        runs,
+        time_runs(runs, || {
+            std::hint::black_box(simulate_yield_range(
+                &device,
+                &fab,
+                &params,
+                TrialRange::full(trials),
+                Seed(3),
+                Some(1),
+            ));
+        }),
+    ));
+
+    // 4. A store round-trip: put + flush (join the write-behind) +
+    //    get, a fresh key each run so every put hits the disk.
+    let store_dir =
+        std::env::temp_dir().join(format!("chipletqc-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Store::open(&store_dir, CacheMode::ReadWrite)
+        .map_err(|e| format!("bench: open store: {e}"))?;
+    let payload = vec![7u8; 64 * 1024];
+    let mut round = 0u64;
+    metrics.push(bench_metric(
+        "store_round_trip",
+        runs,
+        time_runs(runs, || {
+            round += 1;
+            let key = EntryKey::new("bench-key", "tally", format!("round-{round}"));
+            store.put(&key, Encoding::Binary, payload.clone());
+            store.flush();
+            assert!(store.get(&key).is_some(), "bench store round-trip lost its entry");
+        }),
+    ));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // 5. A daemon submit round-trip against an in-process daemon on a
+    //    temp Unix socket. The warm-up run pays the fabrication; the
+    //    timed repeats measure protocol + warm-hub + report overhead.
+    let socket =
+        std::env::temp_dir().join(format!("chipletqc-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let service = Service::bind(ServiceConfig::new(&socket), None)
+        .map_err(|e| format!("bench: bind daemon: {e}"))?;
+    let daemon = std::thread::spawn(move || service.run(|| false));
+    let submission = Submission {
+        sweep_text: Some(BENCH_SWEEP.into()),
+        workers: Some(1),
+        ..Submission::default()
+    };
+    let submit_once = || -> Result<(), String> {
+        match service::request(&socket, &Request::Submit(submission.clone()))
+            .map_err(|e| format!("bench: submit: {e}"))?
+        {
+            Response::Report { .. } => Ok(()),
+            other => Err(format!("bench: daemon answered a submit with {other:?}")),
+        }
+    };
+    submit_once()?; // warm-up: fabricate once, outside the timing
+    let mut submit_error = None;
+    metrics.push(bench_metric(
+        "daemon_submit",
+        runs,
+        time_runs(runs, || {
+            if let Err(error) = submit_once() {
+                submit_error.get_or_insert(error);
+            }
+        }),
+    ));
+    let _ = service::request(&socket, &Request::Shutdown);
+    let _ = daemon.join();
+    if let Some(error) = submit_error {
+        return Err(error);
+    }
+
+    let report = Json::obj()
+        .field("schema", 1u64)
+        .field("mode", if quick { "quick" } else { "full" })
+        .field("metrics", Json::Arr(metrics));
+    let text = report.to_json_pretty();
+    if let Some(path) = &out {
+        std::fs::write(path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("wrote {} ({} bytes)", path.display(), text.len());
+    }
+    println!("{text}");
+    Ok(())
+}
+
+/// Extracts the raw text after `\"key\": ` in a single-line JSON
+/// object (the shape `--trace-out` writes — one event per line, keys
+/// rendered with exactly this spacing).
+fn trace_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    Some(&line[at..])
+}
+
+/// The `trace summarize` subcommand: aggregate a `--trace-out` file
+/// into per-span counts and durations.
+fn trace_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let action = args.next().ok_or("trace: need an action (summarize)")?;
+    if action != "summarize" {
+        return Err(format!("trace: unknown action {action} (want summarize)"));
+    }
+    let path = args.next().ok_or("trace summarize: need a trace file path")?;
+    if let Some(extra) = args.next() {
+        return Err(format!("trace summarize: unexpected argument {extra}"));
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    // span name -> (count, total µs, max µs). BTreeMap for stable,
+    // diffable output order.
+    let mut spans: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut skipped = 0u64;
+    for line in text.lines().filter(|line| !line.trim().is_empty()) {
+        // Span names are static identifiers (never escaped), so the
+        // first '"' after the field reliably terminates the name.
+        let name = trace_field(line, "name")
+            .and_then(|rest| rest.strip_prefix('"'))
+            .and_then(|rest| rest.split('"').next());
+        let dur = trace_field(line, "dur_us").and_then(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse::<u64>().ok()
+        });
+        match (name, dur) {
+            (Some(name), Some(dur)) => {
+                let entry = spans.entry(name.to_string()).or_insert((0, 0, 0));
+                entry.0 += 1;
+                entry.1 += dur;
+                entry.2 = entry.2.max(dur);
+            }
+            _ => skipped += 1,
+        }
+    }
+    let mut table = TextTable::new(["span", "count", "total_us", "mean_us", "max_us"]);
+    for (name, (count, total, max)) in &spans {
+        table.row([
+            name.clone(),
+            count.to_string(),
+            total.to_string(),
+            (total / count).to_string(),
+            max.to_string(),
+        ]);
+    }
+    print!("{table}");
+    if skipped > 0 {
+        println!("{skipped} line(s) skipped (no span name/duration)");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let subcommand = match args.peek().map(String::as_str) {
-        Some(name @ ("store" | "serve" | "submit")) => {
+        Some(name @ ("store" | "serve" | "submit" | "status" | "bench" | "trace")) => {
             let name = name.to_string();
             args.next();
             Some(name)
@@ -941,6 +1310,9 @@ fn main() -> ExitCode {
         let result = match name.as_str() {
             "store" => store_cli(args),
             "serve" => serve_cli(args),
+            "status" => status_cli(args),
+            "bench" => bench_cli(args),
+            "trace" => trace_cli(args),
             _ => submit_cli(args),
         };
         return match result {
@@ -973,6 +1345,13 @@ fn main() -> ExitCode {
             }
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &options.trace_out {
+        if let Err(error) = chipletqc_obs::trace_to(path) {
+            eprintln!("error: open trace file {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
     }
 
     let suite = match resolve_batch(
@@ -1104,6 +1483,7 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.to_json());
     }
+    chipletqc_obs::flush_trace();
     println!("done.");
     ExitCode::SUCCESS
 }

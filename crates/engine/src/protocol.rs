@@ -138,6 +138,24 @@
 //! <blank line>
 //! ```
 //!
+//! A **status** request asks the daemon for a live JSON snapshot of
+//! its telemetry — admission counters, gauges, per-histogram
+//! percentiles. It is answered directly on the connection thread,
+//! never entering the admission gate or the batch path, so it works
+//! against a fully loaded daemon:
+//!
+//! ```text
+//! chipletqc/1 status
+//! <blank line>
+//! ```
+//!
+//! ```text
+//! chipletqc/1 ok
+//! status-bytes = 1490    # the status snapshot JSON
+//! <blank line>
+//! <1490 bytes of JSON>
+//! ```
+//!
 //! Every frame is self-delimiting. One connection carries one request
 //! and its response stream: zero or more `progress` frames, then
 //! exactly one terminal frame (report, pieces, busy, cancelled,
@@ -204,6 +222,11 @@ pub enum Request {
     /// Sent mid-stream on the submission's own connection; answered
     /// with [`Response::Cancelled`].
     Cancel,
+    /// Ask for a live telemetry snapshot, answered with
+    /// [`Response::Status`] without entering the admission gate — the
+    /// one request guaranteed to be served promptly by a daemon whose
+    /// batch path is saturated.
+    Status,
     /// Finish in-flight work, acknowledge, and exit.
     Shutdown,
 }
@@ -267,6 +290,14 @@ pub enum Response {
     /// Terminal acknowledgement of an explicit [`Request::Cancel`]:
     /// the submission was retired without running to completion.
     Cancelled,
+    /// The daemon's live telemetry snapshot, answering
+    /// [`Request::Status`].
+    Status {
+        /// The snapshot as pretty-printed JSON: admission state and
+        /// counters plus the full observability registry
+        /// (counters/gauges/histograms with p50/p90/max).
+        json: String,
+    },
     /// The submission was rejected (parse error, unknown scenario,
     /// bad option). The daemon stays up.
     Error(String),
@@ -279,6 +310,9 @@ pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
         Request::WorkClaim(s) => write_submission(w, "work-claim", s)?,
         Request::Cancel => {
             write!(w, "{VERSION} cancel\n\n")?;
+        }
+        Request::Status => {
+            write!(w, "{VERSION} status\n\n")?;
         }
         Request::Shutdown => {
             write!(w, "{VERSION} shutdown\n\n")?;
@@ -354,6 +388,11 @@ pub fn write_response(w: &mut impl Write, response: &Response) -> io::Result<()>
         Response::Cancelled => {
             write!(w, "{VERSION} ok\ncancelled = true\n\n")?;
         }
+        Response::Status { json } => {
+            writeln!(w, "{VERSION} ok")?;
+            write!(w, "status-bytes = {}\n\n", json.len())?;
+            w.write_all(json.as_bytes())?;
+        }
         Response::Error(message) => {
             writeln!(w, "{VERSION} error")?;
             write!(w, "message-bytes = {}\n\n", message.len())?;
@@ -374,6 +413,7 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Request> {
         "submit" => Ok(Request::Submit(read_submission(&headers, r)?)),
         "work-claim" => Ok(Request::WorkClaim(read_submission(&headers, r)?)),
         "cancel" => Ok(Request::Cancel),
+        "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!("unknown request verb `{other}`"))),
     }
@@ -442,6 +482,10 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
             if let Some(value) = header(&headers, "pieces-bytes") {
                 let len = parse_len(value)?;
                 return Ok(Response::WorkResult { pieces: read_utf8(r, len, "pieces")? });
+            }
+            if let Some(value) = header(&headers, "status-bytes") {
+                let len = parse_len(value)?;
+                return Ok(Response::Status { json: read_utf8(r, len, "status snapshot")? });
             }
             let batch = header(&headers, "batch")
                 .ok_or_else(|| bad("response is missing `batch`".into()))?
@@ -614,6 +658,37 @@ mod tests {
         // `cancelled = true` and `shutdown = true` share the `ok` verb
         // but must never be mistaken for one another.
         assert_ne!(round_trip_response(&Response::Cancelled), Response::ShuttingDown);
+    }
+
+    #[test]
+    fn status_frames_round_trip() {
+        assert_eq!(round_trip_request(&Request::Status), Request::Status);
+        for json in ["{\n  \"inflight\": 2\n}\n", "{}", ""] {
+            let status = Response::Status { json: json.into() };
+            assert_eq!(round_trip_response(&status), status);
+        }
+        // `status-bytes` shares the `ok` verb with the other payload
+        // carriers; none may be mistaken for another.
+        let status = Response::Status { json: "{}".into() };
+        assert_ne!(round_trip_response(&status), Response::WorkResult { pieces: "{}".into() });
+        assert_ne!(round_trip_response(&status), Response::ShuttingDown);
+    }
+
+    #[test]
+    fn malformed_status_frames_are_errors_not_panics() {
+        for frame in [
+            "chipletqc/1 ok\nstatus-bytes = 99\n\n{}", // truncated payload
+            "chipletqc/1 ok\nstatus-bytes = moose\n\n", // non-numeric length
+            "chipletqc/1 ok\nstatus-bytes = 999999999999999999999\n\n", // absurd length
+        ] {
+            assert!(
+                read_response(&mut io::BufReader::new(frame.as_bytes())).is_err(),
+                "`{frame}` should not parse"
+            );
+        }
+        // A bare status request parses, like `cancel` and `shutdown`.
+        let status = read_request(&mut io::BufReader::new(&b"chipletqc/1 status\n\n"[..]));
+        assert_eq!(status.unwrap(), Request::Status);
     }
 
     #[test]

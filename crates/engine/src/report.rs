@@ -22,8 +22,9 @@ use crate::scheduler::ScenarioResult;
 ///
 /// Version history: 1 — initial; 2 — top-level `store` object
 /// (persistent result-store session counters); 3 — `peer` object
-/// nested in `store` (peer-tier transport counters).
-pub const REPORT_SCHEMA: u64 = 3;
+/// nested in `store` (peer-tier transport counters); 4 — top-level
+/// `telemetry` object (the process-wide observability snapshot).
+pub const REPORT_SCHEMA: u64 = 4;
 
 /// The deterministic report of one scenario batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,6 +194,7 @@ impl RunReport {
                             .field("pushes", peer.pushes),
                     ),
             )
+            .field("telemetry", telemetry_json())
             .field(
                 "artifact_contents",
                 Json::Obj(
@@ -215,6 +217,47 @@ impl RunReport {
     pub fn artifacts(&self) -> &[(String, String)] {
         &self.artifacts
     }
+}
+
+/// Serializes the process-wide observability registry
+/// ([`chipletqc_obs::snapshot`]) as the report's `telemetry` object:
+/// counters and gauges by name, histograms as `{count, sum_us, p50_us,
+/// p90_us, max_us}`. Everything in here is schedule- and
+/// wall-clock-dependent — per-worker pick counts, latency percentiles
+/// — so the object lives alongside `fabrication`/`store` in the set
+/// [`strip_counter_objects`] removes before byte-identity comparisons.
+pub fn telemetry_json() -> Json {
+    let snap = chipletqc_obs::snapshot();
+    Json::obj()
+        .field(
+            "counters",
+            Json::Obj(
+                snap.counters.into_iter().map(|(name, v)| (name, Json::from(v))).collect(),
+            ),
+        )
+        .field(
+            "gauges",
+            Json::Obj(snap.gauges.into_iter().map(|(name, v)| (name, Json::from(v))).collect()),
+        )
+        .field(
+            "histograms",
+            Json::Obj(
+                snap.histograms
+                    .into_iter()
+                    .map(|(name, h)| {
+                        (
+                            name,
+                            Json::obj()
+                                .field("count", h.count)
+                                .field("sum_us", h.sum_us)
+                                .field("p50_us", h.p50_us)
+                                .field("p90_us", h.p90_us)
+                                .field("max_us", h.max_us),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
 }
 
 /// Composes the paper's headline from a batch containing Fig. 8 and
@@ -244,16 +287,18 @@ pub fn batch_timing_summary(batch: u64, results: &[ScenarioResult], workers: usi
     format!("batch {batch}: {}", timing_summary(results, workers))
 }
 
-/// Removes the top-level `fabrication` and `store` counter objects
-/// from a pretty-printed report — exactly the fields cache state (a
-/// cold store, a warm store, no store, or in service mode a warm hub)
-/// is allowed to affect. Two runs of the same batch must agree on the
-/// rest byte-for-byte; the determinism tests and CI jobs compare
-/// reports through this filter.
+/// Removes the top-level `fabrication`, `store`, and `telemetry`
+/// objects from a pretty-printed report — exactly the fields cache
+/// state (a cold store, a warm store, no store, or in service mode a
+/// warm hub) and the live observability registry (latency histograms,
+/// per-worker counters — schedule-dependent by nature) are allowed to
+/// affect. Two runs of the same batch must agree on the rest
+/// byte-for-byte; the determinism tests and CI jobs compare reports
+/// through this filter.
 ///
 /// # Panics
 ///
-/// Panics if the input does not contain both counter objects in
+/// Panics if the input does not contain all three objects in
 /// [`RunReport::to_json`]'s pretty-printed shape — stripping nothing
 /// would silently weaken the comparison.
 pub fn strip_counter_objects(json: &str) -> String {
@@ -261,7 +306,10 @@ pub fn strip_counter_objects(json: &str) -> String {
     let mut stripped = 0;
     let mut skipping = false;
     for line in json.lines() {
-        if line == "  \"fabrication\": {" || line == "  \"store\": {" {
+        if line == "  \"fabrication\": {"
+            || line == "  \"store\": {"
+            || line == "  \"telemetry\": {"
+        {
             skipping = true;
             stripped += 1;
             continue;
@@ -276,7 +324,7 @@ pub fn strip_counter_objects(json: &str) -> String {
         out.push('\n');
     }
     assert!(!skipping, "counter object never closed");
-    assert_eq!(stripped, 2, "expected both counter objects in a report");
+    assert_eq!(stripped, 3, "expected all three counter objects in a report");
     out
 }
 
@@ -334,8 +382,11 @@ mod tests {
             hub.peer_stats(),
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"headline\""));
+        // The telemetry snapshot rides along in every report.
+        assert!(json.contains("\"telemetry\": {"));
+        assert!(json.contains("\"histograms\""));
         assert!(json.contains("\"best_eavg_ratio\""));
         // The store object is present (zeroed) even without a store.
         assert!(json.contains("\"store\""));
@@ -413,6 +464,7 @@ mod tests {
         let stripped = strip_counter_objects(&json);
         assert!(!stripped.contains("\"fabrication\""));
         assert!(!stripped.contains("\"store\""));
+        assert!(!stripped.contains("\"telemetry\""));
         assert!(stripped.contains("\"scenarios\""));
         assert!(stripped.contains("\"artifact_contents\""));
         // Reports that differ only in counters agree after stripping —

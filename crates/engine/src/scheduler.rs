@@ -310,6 +310,10 @@ struct BatchRoot {
     /// At most this many of the root's tasks run at once.
     cap: usize,
     cancelled: AtomicBool,
+    /// When the batch entered the pool (feeds `scheduler.queue_wait`).
+    submitted: Instant,
+    /// Set by the first pick so queue wait is recorded exactly once.
+    picked: AtomicBool,
     progress: Option<ProgressFn>,
     sched: Mutex<RootSched>,
     /// Signalled when the root completes (all tasks finished or
@@ -343,9 +347,9 @@ impl WorkPool {
             work_ready: Condvar::new(),
         });
         let threads = (0..workers.max(1))
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, worker))
             })
             .collect();
         WorkPool { shared, threads }
@@ -406,6 +410,8 @@ impl WorkPool {
             hub: hub.clone(),
             cap: scheduler.workers(),
             cancelled: AtomicBool::new(false),
+            submitted: Instant::now(),
+            picked: AtomicBool::new(false),
             progress,
             done: Condvar::new(),
         });
@@ -535,6 +541,11 @@ fn pick(state: &mut PoolState) -> Option<(Arc<BatchRoot>, usize)> {
                 sched.running += 1;
                 drop(sched);
                 let root = Arc::clone(root);
+                // Queue wait is submission → first pick, once per root.
+                if !root.picked.swap(true, Ordering::Relaxed) {
+                    chipletqc_obs::histogram("scheduler.queue_wait")
+                        .record_micros(root.submitted.elapsed().as_micros() as u64);
+                }
                 state.rotation = (at + 1) % n;
                 return Some((root, index));
             }
@@ -557,7 +568,10 @@ fn run_task(task: &ShardTask, hub: &CacheHub) -> ShardOutput {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    // The counter handle is resolved once per thread; the loop body
+    // only touches atomics.
+    let picks = chipletqc_obs::counter(&format!("scheduler.worker{worker}.picks"));
     loop {
         let (root, index) = {
             let mut state = shared.state.lock().expect("pool poisoned");
@@ -571,19 +585,25 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared.work_ready.wait(state).expect("pool poisoned");
             }
         };
+        picks.inc();
         let started = Instant::now();
         // Tasks never hold a lock while running, so a panic cannot
         // poison pool state; it cancels the rest of its own root and
         // surfaces from `wait` instead.
-        let outcome =
-            catch_unwind(AssertUnwindSafe(|| run_task(&root.tasks[index], &root.hub)));
+        let outcome = {
+            let _task = chipletqc_obs::span("scheduler.task")
+                .label("unit", index)
+                .label("worker", worker);
+            catch_unwind(AssertUnwindSafe(|| run_task(&root.tasks[index], &root.hub)))
+        };
+        let elapsed = started.elapsed();
         {
             let mut sched = root.sched.lock().expect("root poisoned");
             sched.running -= 1;
             match outcome {
                 Ok(output) => {
                     debug_assert!(sched.outputs[index].is_none(), "task executed twice");
-                    sched.outputs[index] = Some((output, started.elapsed()));
+                    sched.outputs[index] = Some((output, elapsed));
                     sched.finished += 1;
                 }
                 Err(payload) => {

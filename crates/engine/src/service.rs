@@ -99,6 +99,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 use chipletqc::lab::{CacheHub, FabricationStats};
+use chipletqc::report::Json;
+use chipletqc_obs::Gauge;
 use chipletqc_store::backend::Lookup;
 use chipletqc_store::remote::{self, PeerStats, StoreReply, StoreRequest};
 use chipletqc_store::{Store, StoreStats};
@@ -831,6 +833,12 @@ struct Admission {
     state: Mutex<AdmissionState>,
     /// Signalled whenever a slot frees or the queue shifts.
     changed: Condvar,
+    /// Observability mirrors of `state.inflight` / `state.queue.len()`,
+    /// updated by delta at every transition. The registry is
+    /// process-wide (parallel tests share it), so the gauges are an
+    /// aggregate; [`Admission::load`] reads this daemon's exact state.
+    inflight_gauge: Gauge,
+    queued_gauge: Gauge,
 }
 
 #[derive(Debug, Default)]
@@ -860,6 +868,8 @@ impl Admission {
             queue_depth,
             state: Mutex::new(AdmissionState::default()),
             changed: Condvar::new(),
+            inflight_gauge: chipletqc_obs::gauge("service.inflight"),
+            queued_gauge: chipletqc_obs::gauge("service.queued"),
         }
     }
 
@@ -869,12 +879,14 @@ impl Admission {
         // a newcomer jumping it.
         if state.queue.is_empty() && state.inflight < self.max_inflight {
             state.inflight += 1;
+            self.inflight_gauge.inc();
             return Entry::Admitted;
         }
         if state.queue.len() < self.queue_depth {
             let ticket = state.next_ticket;
             state.next_ticket += 1;
             state.queue.push_back(ticket);
+            self.queued_gauge.inc();
             return Entry::Queued { ticket, position: state.queue.len() };
         }
         Entry::Busy { inflight: state.inflight, queued: state.queue.len() }
@@ -887,6 +899,8 @@ impl Admission {
         if state.inflight < self.max_inflight && state.queue.front() == Some(&ticket) {
             state.queue.pop_front();
             state.inflight += 1;
+            self.queued_gauge.dec();
+            self.inflight_gauge.inc();
             drop(state);
             self.changed.notify_all();
             return true;
@@ -900,6 +914,7 @@ impl Admission {
         let mut state = self.state.lock().expect("admission poisoned");
         if let Some(at) = state.queue.iter().position(|&t| t == ticket) {
             state.queue.remove(at);
+            self.queued_gauge.dec();
         }
         drop(state);
         self.changed.notify_all();
@@ -909,9 +924,28 @@ impl Admission {
     /// [`Admission::try_admit`].
     fn leave(&self) {
         let mut state = self.state.lock().expect("admission poisoned");
+        if state.inflight > 0 {
+            self.inflight_gauge.dec();
+        }
         state.inflight = state.inflight.saturating_sub(1);
         drop(state);
         self.changed.notify_all();
+    }
+
+    /// This ticket's current queue position (1 = next in line), or
+    /// `None` once it is no longer queued — the source for the
+    /// queue-position refresh progress frames.
+    fn position(&self, ticket: u64) -> Option<usize> {
+        let state = self.state.lock().expect("admission poisoned");
+        state.queue.iter().position(|&t| t == ticket).map(|at| at + 1)
+    }
+
+    /// This daemon's exact, instantaneous `(inflight, queued)` — what
+    /// the `status` frame reports (the process-wide gauges aggregate
+    /// across every `Admission` in the process).
+    fn load(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("admission poisoned");
+        (state.inflight, state.queue.len())
     }
 
     /// Blocks until the gate may have changed, at most `timeout` — the
@@ -955,6 +989,23 @@ enum RunOutcome {
 struct Prepared {
     suite: Vec<Scenario>,
     scheduler: Scheduler,
+}
+
+/// Tallies one request frame by type into the observability registry
+/// (`service.requests.<verb>`), so a `status` snapshot shows what the
+/// daemon has been asked to do. Per-connection, not per-byte — the
+/// registry lookup's mutex is noise next to accepting a connection.
+fn count_request(request: &Request) {
+    let name = match request {
+        Request::Hello(_) => "service.requests.hello",
+        Request::Submit(_) => "service.requests.submit",
+        Request::Store(_) => "service.requests.store",
+        Request::WorkClaim(_) => "service.requests.work_claim",
+        Request::Cancel => "service.requests.cancel",
+        Request::Status => "service.requests.status",
+        Request::Shutdown => "service.requests.shutdown",
+    };
+    chipletqc_obs::counter(name).inc();
 }
 
 /// Best-effort text for a batch task's panic payload.
@@ -1037,6 +1088,7 @@ impl Shared {
         };
         let mut request = request;
         loop {
+            count_request(&request);
             match request {
                 Request::Hello(_) => {
                     self.reject(&conn, "unexpected second hello".into());
@@ -1046,6 +1098,14 @@ impl Shared {
                     // A cancel only means something on a connection
                     // with a submission in flight.
                     self.reject(&conn, "nothing to cancel on this connection".into());
+                    return;
+                }
+                Request::Status => {
+                    // Answered right here on the connection thread —
+                    // never through the admission gate or the batch
+                    // path — so a status probe works against a daemon
+                    // whose every slot and queue position is taken.
+                    self.respond(&conn, &Response::Status { json: self.status_json() });
                     return;
                 }
                 Request::Shutdown => {
@@ -1205,10 +1265,38 @@ impl Shared {
         self.respond(conn, &Response::Error(message));
     }
 
+    /// The live telemetry snapshot the `status` frame answers with:
+    /// this daemon's exact admission state and bounds, its lifetime
+    /// counters, and the process-wide observability registry.
+    fn status_json(&self) -> String {
+        let (inflight, queued) = self.admission.load();
+        let summary = self.counters.summary();
+        Json::obj()
+            .field("inflight", inflight as u64)
+            .field("queued", queued as u64)
+            .field("max_inflight", self.admission.max_inflight as u64)
+            .field("queue_depth", self.admission.queue_depth as u64)
+            .field("mesh_worker", self.config.mesh_worker)
+            .field(
+                "counters",
+                Json::obj()
+                    .field("batches", summary.batches)
+                    .field("rejected", summary.rejected)
+                    .field("scenarios", summary.scenarios)
+                    .field("store_requests", summary.store_requests)
+                    .field("work_units", summary.work_units)
+                    .field("dropped_replies", summary.dropped_replies)
+                    .field("cancelled", summary.cancelled),
+            )
+            .field("telemetry", crate::report::telemetry_json())
+            .to_json_pretty()
+    }
+
     /// Writes one response, abandoning it — daemon intact, counters
     /// already retired — if the client is gone or stalled. Returns
     /// whether the write succeeded.
     fn respond(&self, conn: &Conn, response: &Response) -> bool {
+        let _reply = chipletqc_obs::span("service.reply");
         let mut writer = BufWriter::new(DeadlineWriter::new(conn));
         match write_response(&mut writer, response) {
             Ok(()) => true,
@@ -1297,10 +1385,12 @@ impl Shared {
     /// Takes the submission through the admission gate. Returns true
     /// once an execution slot is held (pair with `admission.leave()`);
     /// false means the connection is already answered or abandoned.
-    /// `interactive` submissions get a queue-position progress frame
-    /// and terminal acks; mesh claims wait silently (their coordinator
-    /// reads exactly one response frame).
+    /// `interactive` submissions get a queue-position progress frame —
+    /// re-sent whenever their position changes — and terminal acks;
+    /// mesh claims wait silently (their coordinator reads exactly one
+    /// response frame).
     fn admit(&self, conn: &Conn, reader: &mut ConnReader<'_>, interactive: bool) -> bool {
+        let _wait = chipletqc_obs::span("service.admission_wait");
         match self.admission.enter() {
             Entry::Admitted => true,
             Entry::Busy { inflight, queued } => {
@@ -1312,8 +1402,9 @@ impl Shared {
                 false
             }
             Entry::Queued { ticket, position } => {
+                let mut last_sent = position as u64;
                 if interactive
-                    && !self.send_progress(conn, Progress::Queued { position: position as u64 })
+                    && !self.send_progress(conn, Progress::Queued { position: last_sent })
                 {
                     self.admission.abandon(ticket);
                     self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -1322,6 +1413,23 @@ impl Shared {
                 loop {
                     if self.admission.try_admit(ticket) {
                         return true;
+                    }
+                    // Queue-position refresh: a waiting client learns
+                    // every time the line in front of it shortens (or
+                    // grows — an abandon ahead, then a re-queue, can
+                    // shift either way), not just once on entry.
+                    if interactive {
+                        if let Some(position) = self.admission.position(ticket) {
+                            let position = position as u64;
+                            if position != last_sent {
+                                if !self.send_progress(conn, Progress::Queued { position }) {
+                                    self.admission.abandon(ticket);
+                                    self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                                    return false;
+                                }
+                                last_sent = position;
+                            }
+                        }
                     }
                     match self.poll_client(conn, reader) {
                         ClientEvent::Idle => {}

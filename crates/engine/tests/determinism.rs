@@ -2,12 +2,14 @@
 //! tests:
 //!
 //! 1. **Worker-count determinism** — a scenario batch serializes to a
-//!    bit-identical `RunReport` at 1, 2, and 8 workers;
+//!    bit-identical `RunReport` at 1, 2, and 8 workers (modulo the
+//!    stripped counter/telemetry objects, which carry wall-clock
+//!    measurements by design);
 //! 2. **Cache sharing** — scenarios with the same chiplet spec
 //!    fabricate it exactly once per hub.
 
 use chipletqc::lab::CacheHub;
-use chipletqc_engine::report::RunReport;
+use chipletqc_engine::report::{strip_counter_objects, RunReport};
 use chipletqc_engine::scenario::{
     ExperimentData, ExperimentKind, Overrides, Scale, Scenario, SystemSpec,
 };
@@ -52,13 +54,16 @@ fn small_batch() -> Vec<Scenario> {
 fn report_at(workers: usize) -> String {
     let hub = CacheHub::new();
     let results = Scheduler::new(workers).run(&small_batch(), &hub);
-    RunReport::from_results(
+    let json = RunReport::from_results(
         &results,
         hub.fabrication_stats(),
         hub.store_stats(),
         hub.peer_stats(),
     )
-    .to_json()
+    .to_json();
+    // The telemetry object holds schedule- and wall-clock-dependent
+    // measurements; everything else must be bit-identical.
+    strip_counter_objects(&json)
 }
 
 #[test]

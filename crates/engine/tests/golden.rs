@@ -1,9 +1,11 @@
 //! Golden-file regression: the canonical `RunReport` JSON of a small
-//! sweep is checked in under `tests/golden/` and every worker *and*
-//! shard configuration must reproduce it byte-for-byte — extending the
-//! determinism smoke test into a fixture that also catches accidental
-//! changes to report contents (schema drift, float formatting,
-//! artifact naming, scenario values).
+//! sweep — in `strip_counter_objects` form, since the
+//! fabrication/store/telemetry objects carry per-run measurements by
+//! design — is checked in under `tests/golden/` and every worker
+//! *and* shard configuration must reproduce it byte-for-byte —
+//! extending the determinism smoke test into a fixture that also
+//! catches accidental changes to report contents (schema drift, float
+//! formatting, artifact naming, scenario values).
 //!
 //! To regenerate after an *intentional* report change:
 //!
@@ -14,7 +16,7 @@
 //! then re-run without the variable and commit the new fixture.
 
 use chipletqc::lab::CacheHub;
-use chipletqc_engine::report::RunReport;
+use chipletqc_engine::report::{strip_counter_objects, RunReport};
 use chipletqc_engine::scheduler::Scheduler;
 use chipletqc_engine::sweep::Sweep;
 
@@ -40,13 +42,16 @@ fn report_at(workers: usize, shards: usize) -> String {
     let hub = CacheHub::new();
     let results =
         Scheduler::new(workers).with_shards(shards).run(&golden_sweep().expand(), &hub);
-    RunReport::from_results(
+    let json = RunReport::from_results(
         &results,
         hub.fabrication_stats(),
         hub.store_stats(),
         hub.peer_stats(),
     )
-    .to_json()
+    .to_json();
+    // The fixture holds the stripped form: the counter/telemetry
+    // objects are per-run measurements, not deterministic content.
+    strip_counter_objects(&json)
 }
 
 #[test]

@@ -44,6 +44,7 @@ fn valid_frames() -> Vec<Vec<u8>> {
         Request::Store(StoreRequest::List),
         Request::Shutdown,
         Request::Cancel,
+        Request::Status,
     ];
     let responses = [
         Response::Report {
@@ -57,6 +58,7 @@ fn valid_frames() -> Vec<Vec<u8>> {
         Response::Progress(Progress::Tasks { done: 3, total: 16 }),
         Response::Busy { inflight: 4, queued: 16 },
         Response::Cancelled,
+        Response::Status { json: "{\n  \"inflight\": 1,\n  \"queued\": 0\n}".into() },
     ];
     let replies = [
         StoreReply::Found { encoding: Encoding::Json, payload: b"{}".to_vec() },
@@ -125,7 +127,7 @@ proptest! {
 
     #[test]
     fn truncated_valid_frames_never_panic_and_never_misparse(
-        frame_pick in 0usize..20,
+        frame_pick in 0usize..24,
         cut_permille in 0usize..1000,
     ) {
         let frames = valid_frames();
@@ -145,7 +147,7 @@ proptest! {
 
     #[test]
     fn flipped_bytes_never_panic_a_reader(
-        frame_pick in 0usize..20,
+        frame_pick in 0usize..24,
         flip_permille in 0usize..1000,
         xor in 1u8..=255u8,
     ) {
@@ -182,7 +184,7 @@ proptest! {
 
     #[test]
     fn valid_frames_survive_trailing_garbage(
-        frame_pick in 0usize..8,
+        frame_pick in 0usize..9,
         garbage in prop::collection::vec(0u8..=255u8, 0..=64),
     ) {
         // Frames are self-delimiting: whatever follows one must not
@@ -198,6 +200,7 @@ proptest! {
             Request::Store(StoreRequest::List),
             Request::Shutdown,
             Request::Cancel,
+            Request::Status,
             Request::Store(StoreRequest::Put {
                 key: EntryKey::new("ck", "raw-bin", "s/0-512"),
                 encoding: Encoding::Binary,

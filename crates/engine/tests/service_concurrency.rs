@@ -51,7 +51,7 @@ const SLOW_SWEEP: &str = "name = ccslow\n\
                           kind = fig8\n\
                           scale = quick\n\
                           grid = 10q3x3\n\
-                          batch = 2000\n\
+                          batch = 20000\n\
                           seed = 11\n";
 
 fn temp_socket(tag: &str) -> std::path::PathBuf {

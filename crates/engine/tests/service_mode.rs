@@ -185,8 +185,65 @@ const SLOW_SWEEP: &str = "name = slow\n\
                           kind = fig8\n\
                           scale = quick\n\
                           grid = 10q3x3\n\
-                          batch = 2000\n\
+                          batch = 20000\n\
                           seed = 11\n";
+
+#[test]
+fn status_answers_mid_batch_with_live_load_and_percentiles() {
+    // The status frame is served off the batch path: while a slow
+    // batch holds an admission slot, a second connection's `status`
+    // must answer immediately with `inflight >= 1` and live latency
+    // percentiles — the whole point of the frame is observing a
+    // daemon that is busy.
+    let socket = temp_path("status.sock");
+    let service = Service::bind(ServiceConfig::new(&socket), None).expect("bind");
+    let daemon = std::thread::spawn(move || service.run(|| false).expect("serve"));
+
+    let slow = Submission {
+        sweep_text: Some(SLOW_SWEEP.into()),
+        workers: Some(2),
+        shards: Some(4),
+        ..Submission::default()
+    };
+    let stream = UnixStream::connect(&socket).expect("connect");
+    write_request(&mut BufWriter::new(&stream), &Request::Submit(slow)).unwrap();
+    let mut reader = BufReader::new(&stream);
+    let first = read_response(&mut reader).expect("first frame");
+    assert!(
+        matches!(first, Response::Progress(Progress::Tasks { done: 0, .. })),
+        "expected the initial progress frame, got {first:?}"
+    );
+
+    // The batch is now demonstrably in flight; ask for status on a
+    // second connection.
+    let status = match service::request(&socket, &Request::Status).expect("status") {
+        Response::Status { json } => json,
+        other => panic!("expected a status snapshot, got {other:?}"),
+    };
+    assert!(counter(&status, "inflight") >= 1, "a running batch must show up:\n{status}");
+    assert!(status.contains("\"mesh_worker\": false"), "not a mesh worker:\n{status}");
+    assert!(
+        counter(&status, "service.requests.status") >= 1,
+        "the status request counts itself:\n{status}"
+    );
+    for key in ["counters", "telemetry", "histograms", "p50_us"] {
+        assert!(status.contains(&format!("\"{key}\"")), "status lacks {key}:\n{status}");
+    }
+
+    // Cancel the slow batch and drain.
+    write_request(&mut BufWriter::new(&stream), &Request::Cancel).unwrap();
+    loop {
+        match read_response(&mut reader).expect("response stream") {
+            Response::Progress(_) => continue,
+            terminal => {
+                assert_eq!(terminal, Response::Cancelled);
+                break;
+            }
+        }
+    }
+    service::request(&socket, &Request::Shutdown).expect("shutdown");
+    daemon.join().expect("daemon thread");
+}
 
 #[test]
 fn cancelling_or_disconnecting_mid_batch_leaves_the_daemon_serving() {

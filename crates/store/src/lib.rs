@@ -413,24 +413,31 @@ impl Store {
     pub fn get(&self, key: &EntryKey) -> Option<Vec<u8>> {
         if !self.mode.reads() {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            chipletqc_obs::counter("store.misses").inc();
             return None;
         }
-        match self.local.get(key) {
+        match chipletqc_obs::histogram("store.get.local").time(|| self.local.get(key)) {
             Lookup::Hit { payload, .. } => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                chipletqc_obs::counter("store.hits").inc();
                 return Some(payload);
             }
             Lookup::Miss => {}
             Lookup::Invalid => {
                 self.invalid.fetch_add(1, Ordering::Relaxed);
+                chipletqc_obs::counter("store.corrupt").inc();
             }
         }
         if let Some(peer) = &self.peer {
             // A peer miss or failure needs no counting here — the
             // backend tracks its own traffic — and falls through to
             // the ordinary miss below.
-            if let Lookup::Hit { encoding, payload } = peer.get(key) {
+            if let Lookup::Hit { encoding, payload } =
+                chipletqc_obs::histogram("store.get.peer").time(|| peer.get(key))
+            {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                chipletqc_obs::counter("store.hits").inc();
+                chipletqc_obs::counter("store.peer_hits").inc();
                 // Read-through populate: the product lands in the
                 // local tier behind the read, so it crosses the
                 // network at most once per host.
@@ -444,6 +451,7 @@ impl Store {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        chipletqc_obs::counter("store.misses").inc();
         None
     }
 
@@ -483,12 +491,14 @@ impl Store {
         let key = key.clone();
         let work = move || -> io::Result<()> {
             let payload = payload();
-            let written = local.put(&key, encoding, &payload);
+            let written = chipletqc_obs::histogram("store.put.local")
+                .time(|| local.put(&key, encoding, &payload));
             if let Some(peer) = peer {
                 // Push replication is as best-effort as the local
                 // write: a rejected or unreachable peer costs the
                 // peer a recomputation, never this run anything.
-                let _ = peer.put(&key, encoding, &payload);
+                let _ = chipletqc_obs::histogram("store.put.peer")
+                    .time(|| peer.put(&key, encoding, &payload));
             }
             written
         };
@@ -586,8 +596,10 @@ impl Store {
     /// this host has computed. Session counters are untouched: peer
     /// traffic is the peer's workload, not this host's.
     pub fn serve_peer_get(&self, key: &EntryKey) -> Lookup {
-        self.flush();
-        self.local.get(key)
+        chipletqc_obs::histogram("store.serve.get").time(|| {
+            self.flush();
+            self.local.get(key)
+        })
     }
 
     /// Serves a peer daemon's `store-put` into the local tier
@@ -605,13 +617,16 @@ impl Store {
                 format!("store mode {} does not accept writes", self.mode.name()),
             ));
         }
-        self.local.put(key, encoding, payload)
+        chipletqc_obs::histogram("store.serve.put")
+            .time(|| self.local.put(key, encoding, payload))
     }
 
     /// Serves a peer daemon's `store-list` from the local tier.
     pub fn serve_peer_list(&self) -> io::Result<Vec<EntryKey>> {
-        self.flush();
-        self.local.list()
+        chipletqc_obs::histogram("store.serve.list").time(|| {
+            self.flush();
+            self.local.list()
+        })
     }
 
     /// Pulls every peer-listed entry this host is missing into the
