@@ -1,0 +1,286 @@
+//! The central frame registry: every wire-protocol frame the engine
+//! service (`crates/engine/src/protocol.rs`) and the store peer
+//! protocol (`crates/store/src/remote.rs`) may emit or accept, as
+//! data. The `frame-registry` rule cross-checks this table against
+//! the sources in both directions (no unregistered frame literal, no
+//! stale registry row) and re-proves the corpus properties that
+//! `crates/engine/tests/protocol_properties.rs` pins dynamically:
+//! pairwise prefix-freedom of rendered frame heads and same-verb
+//! shape discriminability.
+
+/// One frame shape. Frames sharing a verb (the `ok` replies, the two
+/// `progress` forms) are discriminated by which headers are present,
+/// so `headers` lists the headers a reader needs to tell this shape
+/// from its verb-mates; `optional` lists headers that may also appear
+/// but carry no discriminating weight.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameSpec {
+    pub verb: &'static str,
+    pub headers: &'static [&'static str],
+    pub optional: &'static [&'static str],
+    pub doc: &'static str,
+}
+
+/// The full frame corpus, requests then replies, engine protocol then
+/// store peer protocol. Adding a frame to the system means adding a
+/// row here first — the checker fails otherwise.
+pub const FRAMES: &[FrameSpec] = &[
+    // Engine service requests.
+    FrameSpec {
+        verb: "hello",
+        headers: &["token-bytes"],
+        optional: &[],
+        doc: "TCP authentication preamble carrying the shared token",
+    },
+    FrameSpec {
+        verb: "submit",
+        headers: &[],
+        optional: &["workers", "shards", "seed", "scale", "only", "reset", "sweep-bytes"],
+        doc: "run a batch: figure suite or an attached sweep",
+    },
+    FrameSpec {
+        verb: "work-claim",
+        headers: &[],
+        optional: &["workers", "shards", "seed", "scale", "only", "reset", "sweep-bytes"],
+        doc: "mesh worker unit: like submit but returns rendered pieces",
+    },
+    FrameSpec {
+        verb: "cancel",
+        headers: &[],
+        optional: &[],
+        doc: "retire the connection's inflight or queued batch",
+    },
+    FrameSpec {
+        verb: "status",
+        headers: &[],
+        optional: &[],
+        doc: "admission load + telemetry registry snapshot, off the batch path",
+    },
+    FrameSpec {
+        verb: "shutdown",
+        headers: &[],
+        optional: &[],
+        doc: "graceful drain: finish admitted batches, then exit",
+    },
+    // Engine service replies.
+    FrameSpec {
+        verb: "ok",
+        headers: &["batch", "timing-bytes", "report-bytes"],
+        optional: &[],
+        doc: "completed batch: timing summary + run report payloads",
+    },
+    FrameSpec {
+        verb: "ok",
+        headers: &["pieces-bytes"],
+        optional: &[],
+        doc: "completed work-claim: rendered piece payloads",
+    },
+    FrameSpec {
+        verb: "ok",
+        headers: &["shutdown"],
+        optional: &[],
+        doc: "shutdown acknowledged",
+    },
+    FrameSpec {
+        verb: "ok",
+        headers: &["cancelled"],
+        optional: &[],
+        doc: "cancel acknowledged",
+    },
+    FrameSpec {
+        verb: "ok",
+        headers: &["status-bytes"],
+        optional: &[],
+        doc: "status snapshot JSON payload",
+    },
+    FrameSpec {
+        verb: "progress",
+        headers: &["queued"],
+        optional: &[],
+        doc: "queue position refresh while waiting for admission",
+    },
+    FrameSpec {
+        verb: "progress",
+        headers: &["done", "total"],
+        optional: &[],
+        doc: "task completion stream for an admitted batch",
+    },
+    FrameSpec {
+        verb: "busy",
+        headers: &["inflight", "queued"],
+        optional: &[],
+        doc: "admission refused: slots and queue full",
+    },
+    FrameSpec {
+        verb: "error",
+        headers: &["message-bytes"],
+        optional: &[],
+        doc: "request failed; human-readable message payload",
+    },
+    // Store peer protocol (requests beyond the shared hello).
+    FrameSpec {
+        verb: "store-get",
+        headers: &["key-bytes"],
+        optional: &[],
+        doc: "fetch one logical key from the peer store",
+    },
+    FrameSpec {
+        verb: "store-put",
+        headers: &["encoding", "key-bytes", "payload-bytes"],
+        optional: &[],
+        doc: "write-behind replication of one entry to the peer",
+    },
+    FrameSpec {
+        verb: "store-list",
+        headers: &[],
+        optional: &[],
+        doc: "enumerate the peer's logical keys (prefetch driver)",
+    },
+    // Store peer replies.
+    FrameSpec {
+        verb: "found",
+        headers: &["encoding", "payload-bytes"],
+        optional: &[],
+        doc: "store-get hit: envelope payload follows",
+    },
+    FrameSpec { verb: "missing", headers: &[], optional: &[], doc: "store-get miss" },
+    FrameSpec { verb: "stored", headers: &[], optional: &[], doc: "store-put acknowledged" },
+    FrameSpec {
+        verb: "keys",
+        headers: &["keys-bytes"],
+        optional: &[],
+        doc: "store-list reply: newline-joined logical keys payload",
+    },
+];
+
+/// The protocol version prefix every frame head starts with. Must
+/// match `chipletqc_store::wire::VERSION`; the frame-registry rule
+/// verifies that against the source of `wire.rs`.
+pub const VERSION: &str = "chipletqc/1";
+
+/// Renders the minimal head bytes of a frame shape, the way both
+/// writers do: version line, one `key = value` line per required
+/// header, blank separator.
+pub fn render_head(spec: &FrameSpec) -> String {
+    let mut head = format!("{VERSION} {}\n", spec.verb);
+    for h in spec.headers {
+        head.push_str(h);
+        head.push_str(" = 0\n");
+    }
+    head.push('\n');
+    head
+}
+
+/// Structural problems with the registry itself (or the corpus it
+/// describes). Returns human-readable defect descriptions; empty
+/// means the corpus is well-formed and pairwise prefix-free.
+pub fn corpus_defects() -> Vec<String> {
+    let mut defects = Vec::new();
+
+    for spec in FRAMES {
+        if spec.verb.is_empty() {
+            defects.push("registry has a frame with an empty verb".to_string());
+            continue;
+        }
+        if !spec.verb.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        {
+            defects.push(format!(
+                "frame verb `{}` must be lowercase ASCII with `-` separators",
+                spec.verb
+            ));
+        }
+        for h in spec.headers.iter().chain(spec.optional) {
+            if h.is_empty() || !h.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+                defects.push(format!("frame `{}`: malformed header name `{h}`", spec.verb));
+            }
+        }
+    }
+
+    // No duplicate shapes: same verb + same required-header set twice
+    // would make the registry ambiguous about which frame was meant.
+    for (i, a) in FRAMES.iter().enumerate() {
+        for b in &FRAMES[i + 1..] {
+            if a.verb == b.verb && a.headers == b.headers {
+                defects.push(format!(
+                    "duplicate frame shape: verb `{}` with headers {:?} registered twice",
+                    a.verb, a.headers
+                ));
+            }
+        }
+    }
+
+    // Same-verb discriminability: a reader keys on header presence,
+    // so within one verb no shape's required headers may be a subset
+    // of another's — the subset shape would also match the superset's
+    // frames.
+    for (i, a) in FRAMES.iter().enumerate() {
+        for b in &FRAMES[i + 1..] {
+            if a.verb != b.verb || a.headers == b.headers {
+                continue;
+            }
+            let a_sub_b = a.headers.iter().all(|h| b.headers.contains(h));
+            let b_sub_a = b.headers.iter().all(|h| a.headers.contains(h));
+            if a_sub_b || b_sub_a {
+                defects.push(format!(
+                    "verb `{}`: header sets {:?} and {:?} are not discriminable \
+                     (one is a subset of the other)",
+                    a.verb, a.headers, b.headers
+                ));
+            }
+        }
+    }
+
+    // Pairwise prefix-freedom of the rendered heads: no complete
+    // frame head may be a strict prefix of another, so a reader that
+    // stops at the blank line can never consume half of a longer
+    // frame believing it read a shorter one.
+    let heads: Vec<(usize, String)> =
+        FRAMES.iter().enumerate().map(|(i, s)| (i, render_head(s))).collect();
+    for (i, a) in &heads {
+        for (j, b) in &heads {
+            if i != j && b.starts_with(a.as_str()) {
+                defects.push(format!(
+                    "frame head for `{}` {:?} is a prefix of `{}` {:?}",
+                    FRAMES[*i].verb, FRAMES[*i].headers, FRAMES[*j].verb, FRAMES[*j].headers
+                ));
+            }
+        }
+    }
+
+    defects
+}
+
+/// True when `verb` names at least one registered frame shape.
+pub fn is_registered(verb: &str) -> bool {
+    FRAMES.iter().any(|s| s.verb == verb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_corpus_is_clean() {
+        let defects = corpus_defects();
+        assert!(defects.is_empty(), "corpus defects: {defects:?}");
+    }
+
+    #[test]
+    fn subset_shapes_are_rejected() {
+        // A hypothetical `ok` with only `batch` would be a subset of
+        // the report reply's {batch, timing-bytes, report-bytes} —
+        // exactly the defect the rule exists to catch. Simulate by
+        // checking the defect text machinery on a crafted pair.
+        let a = FrameSpec { verb: "ok", headers: &["batch"], optional: &[], doc: "" };
+        let head_a = render_head(&a);
+        let report =
+            FRAMES.iter().find(|s| s.verb == "ok" && s.headers.contains(&"batch")).unwrap();
+        let head_b = render_head(report);
+        // The rendered subset head is NOT a byte prefix (header lines
+        // differ), but presence-based reading is still ambiguous —
+        // which is why corpus_defects checks subsets explicitly
+        // rather than relying on the byte-prefix test alone.
+        assert!(!head_b.starts_with(&head_a));
+        assert!(a.headers.iter().all(|h| report.headers.contains(h)));
+    }
+}

@@ -1,0 +1,330 @@
+//! `chipletqc-check` — a workspace invariant checker. Std-only, zero
+//! deps, consistent with the vendored no-network policy.
+//!
+//! The reproduction's contract — `RunReport` bytes identical at any
+//! worker count, shard count, transport, or mesh shape, served by a
+//! daemon that never dies — is enforced dynamically by tests that
+//! sample a few configurations. This crate enforces the
+//! *preconditions* statically, on every source file, every run:
+//!
+//! * **unordered-iteration** — no `HashMap`/`HashSet` on the
+//!   determinism surface.
+//! * **daemon-panic** — no `.unwrap()` / `.expect()` / `panic!` /
+//!   `unreachable!` (or `todo!` / `unimplemented!`) in long-lived
+//!   daemon paths.
+//! * **clock-discipline** — `Instant::now` / `SystemTime::now` only
+//!   inside `crates/obs` or at annotated timeout sites.
+//! * **frame-registry** — every protocol frame literal appears in the
+//!   central registry ([`frames::FRAMES`]), which is itself statically
+//!   verified well-formed, discriminable, and pairwise prefix-free.
+//! * **nested-lock** — no lock acquired while another guard from the
+//!   same function body is live.
+//!
+//! Rules are deny-by-default. The only escape is an in-place pragma
+//! in a plain line comment — `check:allow(rule) reason` — whose
+//! reason is mandatory and whose presence must be justified: a pragma
+//! that matches no finding is itself a finding. Run it as
+//! `chipletqc-engine check [--format text|json]`.
+
+pub mod frames;
+pub mod lexer;
+mod rules;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::RULES;
+
+/// One source file handed to the engine: a workspace-relative,
+/// `/`-separated path (scoping is path-based) plus its text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+}
+
+/// An unallowlisted rule violation. `rule` is one of [`RULES`] or
+/// `"pragma"` for defects in the pragmas themselves.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// A violation suppressed by a `check:allow` pragma, kept in the
+/// report so the allowlist stays auditable.
+#[derive(Debug, Clone)]
+pub struct Allowed {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// The outcome of one check run. Deterministically ordered: findings
+/// and allows are sorted by (path, line, rule).
+#[derive(Debug)]
+pub struct CheckReport {
+    pub findings: Vec<Finding>,
+    pub allowed: Vec<Allowed>,
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// Deny-by-default: clean means zero unallowlisted findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: one `path:line: [rule] message` per
+    /// finding, the allowlist, and a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        for a in &self.allowed {
+            let _ = writeln!(out, "allowed {}:{}: [{}] {}", a.path, a.line, a.rule, a.reason);
+        }
+        if !self.allowed.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{} files scanned, {} finding(s), {} allowlisted",
+            self.files_scanned,
+            self.findings.len(),
+            self.allowed.len()
+        );
+        out
+    }
+
+    /// Machine-readable rendering (stable schema, sorted entries).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        out.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"allowed\": [");
+        for (i, a) in self.allowed.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(a.rule),
+                json_str(&a.path),
+                a.line,
+                json_str(&a.reason)
+            );
+        }
+        out.push_str(if self.allowed.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs every rule over an explicit file set. Scoping is path-based,
+/// so fixture tests exercise a rule by handing it content under an
+/// in-scope pseudo-path.
+pub fn check_files(files: &[SourceFile]) -> CheckReport {
+    rules::analyze(files)
+}
+
+/// Walks `crates/*/src/**/*.rs` under the workspace root (vendored
+/// stand-ins and build output are out of scope) and runs every rule.
+pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(check_files(&files))
+}
+
+fn collect_rs(dir: &Path, root: &Path, files: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile { path: rel, text: fs::read_to_string(&path)? });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, text: &str) -> SourceFile {
+        SourceFile { path: path.to_string(), text: text.to_string() }
+    }
+
+    #[test]
+    fn json_escapes_are_valid() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn clean_file_reports_clean() {
+        let report = check_files(&[file(
+            "crates/core/src/lab.rs",
+            "use std::collections::BTreeMap;\nfn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n",
+        )]);
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn pragma_suppresses_and_records() {
+        let report = check_files(&[file(
+            "crates/core/src/lab.rs",
+            "// check:allow(unordered-iteration) keyed access only, never iterated\n\
+             use std::collections::HashMap;\n",
+        )]);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.allowed.len(), 1);
+        assert_eq!(report.allowed[0].rule, "unordered-iteration");
+        assert!(report.allowed[0].reason.contains("keyed access"));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_finding() {
+        let report = check_files(&[file(
+            "crates/core/src/lab.rs",
+            "// check:allow(unordered-iteration)\nuse std::collections::HashMap;\n",
+        )]);
+        // The reasonless pragma is rejected, so the HashMap finding
+        // survives alongside the pragma defect.
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings.iter().any(|f| f.rule == "pragma"));
+        assert!(report.findings.iter().any(|f| f.rule == "unordered-iteration"));
+    }
+
+    #[test]
+    fn unused_pragma_is_a_finding() {
+        let report = check_files(&[file(
+            "crates/core/src/lab.rs",
+            "// check:allow(unordered-iteration) nothing here needs this\nfn f() {}\n",
+        )]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "pragma");
+        assert!(report.findings[0].message.contains("matched no finding"));
+    }
+
+    #[test]
+    fn unknown_rule_pragma_is_a_finding() {
+        let report = check_files(&[file(
+            "crates/core/src/lab.rs",
+            "// check:allow(no-such-rule) whatever\nfn f() {}\n",
+        )]);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn suffix_pragma_covers_its_own_line() {
+        let report = check_files(&[file(
+            "crates/store/src/lib.rs",
+            "use std::collections::HashMap; // check:allow(unordered-iteration) keyed only\n",
+        )]);
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn pragma_covers_a_multiline_statement() {
+        let report = check_files(&[file(
+            "crates/engine/src/service.rs",
+            "fn f(x: Result<u8, u8>) -> u8 {\n\
+                 // check:allow(daemon-panic) checked by caller\n\
+                 x\n\
+                     .expect(\"fine\")\n\
+             }\n",
+        )]);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_are_not_pragmas() {
+        let report = check_files(&[file(
+            "crates/core/src/lab.rs",
+            "/// check:allow(unordered-iteration) docs describing the syntax\n\
+             fn f() {}\n",
+        )]);
+        // Neither a pragma (doc comment) nor an unused-pragma finding.
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn output_is_deterministic_and_sorted() {
+        let files = [
+            file("crates/core/src/b.rs", "use std::collections::HashMap;\n"),
+            file("crates/core/src/a.rs", "use std::collections::HashSet;\n"),
+        ];
+        let report = check_files(&files);
+        let paths: Vec<&str> = report.findings.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, ["crates/core/src/a.rs", "crates/core/src/b.rs"]);
+        let again = check_files(&files);
+        assert_eq!(report.to_json(), again.to_json());
+    }
+}

@@ -1,0 +1,631 @@
+//! The rule engine: five named, deny-by-default lints over the lexed
+//! sources, plus the pragma machinery that lets a finding be
+//! explicitly allowlisted in place — `check:allow(rule) reason`, in a
+//! plain `//` comment (doc comments are documentation, never
+//! pragmas), with a mandatory human reason. A pragma covers the
+//! statement it precedes (or shares a line with); an unmatched pragma
+//! is itself a finding, so the allowlist can never rot.
+
+use crate::frames;
+use crate::lexer::{self, Comment, Lexed, Token, TokenKind};
+use crate::{Allowed, CheckReport, Finding, SourceFile};
+
+/// The rule names, as they appear in findings and pragmas.
+pub const RULES: &[&str] = &[
+    "unordered-iteration",
+    "daemon-panic",
+    "clock-discipline",
+    "frame-registry",
+    "nested-lock",
+];
+
+/// Crates whose entire `src` tree sits on the determinism surface:
+/// their iteration order can reach report or wire bytes.
+const DETERMINISM_CRATES: &[&str] = &[
+    "crates/assembly/src/",
+    "crates/benchmarks/src/",
+    "crates/circuit/src/",
+    "crates/collision/src/",
+    "crates/core/src/",
+    "crates/math/src/",
+    "crates/noise/src/",
+    "crates/sim/src/",
+    "crates/store/src/",
+    "crates/topology/src/",
+    "crates/transpile/src/",
+    "crates/yield/src/",
+];
+
+/// Engine files on the determinism surface (the rest of the engine —
+/// CLI, service plumbing — only moves opaque report bytes around).
+const DETERMINISM_ENGINE_FILES: &[&str] = &[
+    "crates/engine/src/mesh.rs",
+    "crates/engine/src/report.rs",
+    "crates/engine/src/scenario.rs",
+    "crates/engine/src/scheduler.rs",
+    "crates/engine/src/suite.rs",
+    "crates/engine/src/sweep.rs",
+];
+
+/// Long-lived daemon paths: a panic here takes down the warm hub and
+/// every queued client, so panicking constructs are denied.
+const DAEMON_FILES: &[&str] = &[
+    "crates/engine/src/mesh.rs",
+    "crates/engine/src/protocol.rs",
+    "crates/engine/src/scheduler.rs",
+    "crates/engine/src/service.rs",
+    "crates/store/src/remote.rs",
+    "crates/store/src/wire.rs",
+];
+
+/// The two files that write or read wire frames.
+const FRAME_FILES: &[&str] = &["crates/engine/src/protocol.rs", "crates/store/src/remote.rs"];
+
+/// Where the registry table itself lives; registry-level defects and
+/// stale-row findings anchor here.
+const REGISTRY_FILE: &str = "crates/check/src/frames.rs";
+
+/// The one crate allowed to read wall clocks without annotation.
+const CLOCK_CRATE: &str = "crates/obs/src/";
+
+fn on_determinism_surface(path: &str) -> bool {
+    DETERMINISM_CRATES.iter().any(|p| path.starts_with(p))
+        || DETERMINISM_ENGINE_FILES.contains(&path)
+}
+
+/// An allow pragma, parsed from a plain `//` comment.
+struct Pragma {
+    rule: String,
+    reason: String,
+    /// Line of the comment itself.
+    line: usize,
+    /// Lines of the statement the pragma covers.
+    covers: (usize, usize),
+    used: bool,
+}
+
+pub fn analyze(files: &[SourceFile]) -> CheckReport {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allowed: Vec<Allowed> = Vec::new();
+
+    let lexed: Vec<(&SourceFile, Lexed)> =
+        files.iter().map(|f| (f, lexer::lex(&f.text))).collect();
+
+    for (file, lex) in &lexed {
+        let mut raw: Vec<Finding> = Vec::new();
+        unordered_iteration(file, lex, &mut raw);
+        daemon_panic(file, lex, &mut raw);
+        clock_discipline(file, lex, &mut raw);
+        nested_lock(file, lex, &mut raw);
+        frame_literals(file, lex, &mut raw);
+
+        let mut pragmas = collect_pragmas(file, lex, &mut raw);
+        for finding in raw {
+            match pragmas.iter_mut().find(|p| {
+                p.rule == finding.rule
+                    && finding.line >= p.covers.0
+                    && finding.line <= p.covers.1
+            }) {
+                Some(pragma) => {
+                    pragma.used = true;
+                    allowed.push(Allowed {
+                        rule: finding.rule,
+                        path: finding.path,
+                        line: finding.line,
+                        reason: pragma.reason.clone(),
+                    });
+                }
+                None => findings.push(finding),
+            }
+        }
+        for pragma in pragmas.iter().filter(|p| !p.used) {
+            findings.push(Finding {
+                rule: "pragma",
+                path: file.path.clone(),
+                line: pragma.line,
+                message: format!(
+                    "allow pragma for `{}` matched no finding — remove it",
+                    pragma.rule
+                ),
+            });
+        }
+    }
+
+    frame_registry_global(&lexed, &mut findings);
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    allowed.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    CheckReport { findings, allowed, files_scanned: files.len() }
+}
+
+/// Parses `check:allow(rule) reason` pragmas out of a file's plain
+/// comments. Malformed pragmas (no closing paren, unknown rule, empty
+/// reason) are findings in their own right — an escape hatch that can
+/// be silently wrong is worse than none.
+fn collect_pragmas(file: &SourceFile, lex: &Lexed, findings: &mut Vec<Finding>) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for comment in lex.comments.iter().filter(|c| !c.doc) {
+        let Some(rest) = comment.text.trim().strip_prefix("check:allow(") else { continue };
+        let Some(close) = rest.find(')') else {
+            push_pragma_finding(findings, file, comment, "missing `)` after the rule name");
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            push_pragma_finding(
+                findings,
+                file,
+                comment,
+                &format!("unknown rule `{rule}` (rules: {})", RULES.join(", ")),
+            );
+            continue;
+        }
+        if reason.is_empty() {
+            push_pragma_finding(
+                findings,
+                file,
+                comment,
+                &format!("allow pragma for `{rule}` requires a reason"),
+            );
+            continue;
+        }
+        let covers = pragma_coverage(lex, comment.line);
+        pragmas.push(Pragma { rule, reason, line: comment.line, covers, used: false });
+    }
+    pragmas
+}
+
+fn push_pragma_finding(findings: &mut Vec<Finding>, file: &SourceFile, c: &Comment, msg: &str) {
+    findings.push(Finding {
+        rule: "pragma",
+        path: file.path.clone(),
+        line: c.line,
+        message: msg.to_string(),
+    });
+}
+
+/// The lines a pragma suppresses: the statement beginning on the
+/// pragma's own line (suffix form) or on the first token line after
+/// it, extended through the statement's terminating `;`, opening
+/// `{`, or closing `}` — capped so a confused parse can never
+/// suppress half a file.
+fn pragma_coverage(lex: &Lexed, comment_line: usize) -> (usize, usize) {
+    const MAX_SPAN: usize = 25;
+    let own_line = lex.tokens.iter().any(|t| t.line == comment_line);
+    let start_line = if own_line {
+        comment_line
+    } else {
+        lex.tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > comment_line)
+            .min()
+            .unwrap_or(comment_line)
+    };
+    let Some(first) = lex.tokens.iter().position(|t| t.line >= start_line) else {
+        return (start_line, start_line);
+    };
+    let mut depth = 0i64;
+    let mut end_line = start_line;
+    for token in &lex.tokens[first..] {
+        if token.line > start_line + MAX_SPAN {
+            break;
+        }
+        end_line = token.line;
+        if token.kind == TokenKind::Punct {
+            match token.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => break,
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+        }
+    }
+    (start_line.min(comment_line), end_line)
+}
+
+/// Rule `unordered-iteration`: no `HashMap`/`HashSet` identifiers on
+/// the determinism surface. Hash iteration order varies run to run
+/// and (for the default hasher) process to process; one stray
+/// `.iter()` can reach report or wire bytes.
+fn unordered_iteration(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
+    if !on_determinism_surface(&file.path) {
+        return;
+    }
+    for token in &lex.tokens {
+        if token.kind == TokenKind::Ident
+            && (token.text == "HashMap" || token.text == "HashSet")
+        {
+            out.push(Finding {
+                rule: "unordered-iteration",
+                path: file.path.clone(),
+                line: token.line,
+                message: format!(
+                    "`{}` on the determinism surface — use BTreeMap/BTreeSet or sort at \
+                     the serialization boundary",
+                    token.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `daemon-panic`: no panicking constructs in the long-lived
+/// daemon paths. A panic in a connection handler or the scheduler
+/// kills the warm hub for every tenant; errors must become error
+/// frames or logged continues.
+fn daemon_panic(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
+    if !DAEMON_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    let t = &lex.tokens;
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t[i].text.as_str();
+        let method_call =
+            i > 0 && t[i - 1].is_punct('.') && t.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let macro_call = t.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let flagged = match name {
+            "unwrap" | "expect" => method_call,
+            "panic" | "unreachable" | "todo" | "unimplemented" => macro_call,
+            _ => false,
+        };
+        if flagged {
+            let form = if method_call { format!(".{name}()") } else { format!("{name}!") };
+            out.push(Finding {
+                rule: "daemon-panic",
+                path: file.path.clone(),
+                line: t[i].line,
+                message: format!(
+                    "`{form}` in daemon code — return an error frame, log and continue, \
+                     or recover (poisoned locks: `unwrap_or_else(PoisonError::into_inner)`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `clock-discipline`: `Instant::now` / `SystemTime::now` only
+/// inside `crates/obs` (the telemetry layer owns time) or at
+/// explicitly annotated timeout sites. Unannotated clock reads are
+/// how nondeterminism leaks into supposedly pure paths.
+fn clock_discipline(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
+    if file.path.starts_with(CLOCK_CRATE) {
+        return;
+    }
+    let t = &lex.tokens;
+    for i in 0..t.len() {
+        let is_clock_type = t[i].is_ident("Instant") || t[i].is_ident("SystemTime");
+        if is_clock_type
+            && t.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && t.get(i + 2).is_some_and(|b| b.is_punct(':'))
+            && t.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(Finding {
+                rule: "clock-discipline",
+                path: file.path.clone(),
+                line: t[i].line,
+                message: format!(
+                    "`{}::now` outside crates/obs — route timing through chipletqc-obs, \
+                     or annotate a genuine timeout/deadline site",
+                    t[i].text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `nested-lock`: a `.lock()`/`.read()`/`.write()` acquired
+/// while another guard from the same function body may still be live
+/// — the lock-order-inversion shape that deadlocks the multi-tenant
+/// service. Tracks let-bound guards until their block closes or an
+/// explicit `drop(name)`, and temporary guards until the end of the
+/// statement. Stdio locks are exempt (reentrant by design).
+fn nested_lock(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
+    struct Guard {
+        name: Option<String>,
+        depth: i64,
+        temp: bool,
+        line: usize,
+    }
+    struct FnFrame {
+        depth_at_entry: i64,
+        guards: Vec<Guard>,
+    }
+
+    let t = &lex.tokens;
+    let mut frames: Vec<FnFrame> = Vec::new();
+    let mut depth = 0i64;
+    let mut pending_fn = false;
+    let mut stmt_start = 0usize;
+
+    for i in 0..t.len() {
+        let token = &t[i];
+        if token.kind == TokenKind::Punct {
+            match token.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    if pending_fn {
+                        frames.push(FnFrame { depth_at_entry: depth, guards: Vec::new() });
+                        pending_fn = false;
+                    }
+                    stmt_start = i + 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    if let Some(frame) = frames.last_mut() {
+                        frame.guards.retain(|g| g.depth <= depth);
+                    }
+                    while frames.last().is_some_and(|f| depth < f.depth_at_entry) {
+                        frames.pop();
+                    }
+                    stmt_start = i + 1;
+                }
+                ";" => {
+                    if let Some(frame) = frames.last_mut() {
+                        frame.guards.retain(|g| !(g.temp && g.depth >= depth));
+                    }
+                    stmt_start = i + 1;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if token.is_ident("fn") {
+            pending_fn = true;
+            continue;
+        }
+        // `drop(name)` releases a named guard early.
+        if token.is_ident("drop")
+            && t.get(i + 1).is_some_and(|a| a.is_punct('('))
+            && t.get(i + 3).is_some_and(|b| b.is_punct(')'))
+        {
+            if let Some(name) = t.get(i + 2).filter(|n| n.kind == TokenKind::Ident) {
+                if let Some(frame) = frames.last_mut() {
+                    if let Some(pos) =
+                        frame.guards.iter().rposition(|g| g.name.as_deref() == Some(&name.text))
+                    {
+                        frame.guards.remove(pos);
+                    }
+                }
+            }
+            continue;
+        }
+        // A guard acquisition: `.lock()` / `.read()` / `.write()`
+        // with empty parens (argument-taking io::Read::read etc.
+        // never match).
+        let acquires = token.kind == TokenKind::Ident
+            && matches!(token.text.as_str(), "lock" | "read" | "write")
+            && i > 0
+            && t[i - 1].is_punct('.')
+            && t.get(i + 1).is_some_and(|a| a.is_punct('('))
+            && t.get(i + 2).is_some_and(|b| b.is_punct(')'));
+        if !acquires {
+            continue;
+        }
+        // Stdio handles use a reentrant mutex; `stdout().lock()` (or
+        // `.lock()` on a binding conventionally named after the
+        // handle) cannot participate in lock-order inversion.
+        let stdio = (i >= 4
+            && t[i - 2].is_punct(')')
+            && t[i - 3].is_punct('(')
+            && matches!(t[i - 4].text.as_str(), "stdout" | "stderr" | "stdin"))
+            || (i >= 2
+                && t[i - 2].kind == TokenKind::Ident
+                && matches!(t[i - 2].text.as_str(), "stdout" | "stderr" | "stdin"));
+        if stdio {
+            continue;
+        }
+        let Some(frame) = frames.last_mut() else { continue };
+        if let Some(held) = frame.guards.first() {
+            let held_desc = match &held.name {
+                Some(name) => format!("`{name}` (line {})", held.line),
+                None => format!("a temporary guard (line {})", held.line),
+            };
+            out.push(Finding {
+                rule: "nested-lock",
+                path: file.path.clone(),
+                line: token.line,
+                message: format!(
+                    "`.{}()` while {held_desc} may still be held — drop the first guard \
+                     first, or annotate why the order is deadlock-free",
+                    token.text
+                ),
+            });
+        }
+        // The binding is the guard only when the chain ends at the
+        // acquisition (plus unwrap/expect adapters): in
+        // `let v = m.lock().unwrap().get(k).cloned();` the guard is a
+        // temporary that dies at the `;`, whatever `v` is named.
+        let name = let_binding_name(t, stmt_start, i).filter(|_| chain_yields_guard(t, i + 2));
+        frame.guards.push(Guard { temp: name.is_none(), name, depth, line: token.line });
+    }
+}
+
+/// Whether the method chain continuing after the acquisition's `)`
+/// (at `close`) still evaluates to the guard when the statement ends:
+/// only result adapters (`unwrap`, `expect`, `unwrap_or_else`) may
+/// follow before the `;`. Any other continuation consumes the guard
+/// as a temporary.
+fn chain_yields_guard(t: &[Token], close: usize) -> bool {
+    let mut j = close + 1;
+    loop {
+        match t.get(j) {
+            Some(tok) if tok.is_punct(';') => return true,
+            Some(tok) if tok.is_punct('.') => {
+                let adapter = t.get(j + 1).is_some_and(|a| {
+                    matches!(a.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                });
+                if !adapter || !t.get(j + 2).is_some_and(|p| p.is_punct('(')) {
+                    return false;
+                }
+                // Skip the adapter's balanced argument list.
+                let mut depth = 0i64;
+                j += 2;
+                loop {
+                    match t.get(j) {
+                        Some(tok) if tok.is_punct('(') => depth += 1,
+                        Some(tok) if tok.is_punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => return false,
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// If the statement starting at `stmt_start` is `let [mut] name = …`,
+/// returns the bound name — the guard lives until its block closes.
+/// Anything else (match scrutinees, field assignments, expression
+/// statements) is treated as a temporary guard.
+fn let_binding_name(t: &[Token], stmt_start: usize, before: usize) -> Option<String> {
+    let mut j = stmt_start;
+    if !t.get(j)?.is_ident("let") {
+        return None;
+    }
+    j += 1;
+    if t.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    let name = t.get(j)?;
+    if name.kind != TokenKind::Ident || j >= before {
+        return None;
+    }
+    if !t.get(j + 1)?.is_punct('=') {
+        return None;
+    }
+    // `let v = *m.lock()…;` copies the value out through the deref;
+    // the guard itself is a temporary dying at the `;`.
+    if t.get(j + 2)?.is_punct('*') {
+        return None;
+    }
+    Some(name.text.clone())
+}
+
+/// Per-file half of rule `frame-registry`: every string literal of
+/// the form `{VERSION} <verb>` in a frame file must name a registered
+/// frame. The dynamic-writer form (`"{VERSION} {verb}"`) carries no
+/// literal verb and is covered by the reverse check instead.
+fn frame_literals(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
+    if !FRAME_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    for token in lex.tokens.iter().filter(|t| t.kind == TokenKind::Str) {
+        let Some(verb) = frame_verb(&token.text) else { continue };
+        if !frames::is_registered(verb) {
+            out.push(Finding {
+                rule: "frame-registry",
+                path: file.path.clone(),
+                line: token.line,
+                message: format!(
+                    "frame verb `{verb}` is not in the registry — add a FrameSpec row to \
+                     {REGISTRY_FILE} (and prove prefix-freedom) before emitting it"
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts the literal verb from a `{VERSION} …` format string, or
+/// None when the string is not a frame head or the verb is itself an
+/// interpolation.
+fn frame_verb(content: &str) -> Option<&str> {
+    let rest = content.strip_prefix("{VERSION} ")?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some(&rest[..end])
+}
+
+/// Workspace half of rule `frame-registry`, run only when both frame
+/// files are in the scanned set (fixture runs see a partial corpus):
+/// registry self-consistency (verb/header well-formedness, shape
+/// discriminability, pairwise prefix-freedom of rendered heads), no
+/// stale registry rows, and VERSION agreement with `wire.rs`.
+fn frame_registry_global(lexed: &[(&SourceFile, Lexed)], out: &mut Vec<Finding>) {
+    let frame_files: Vec<&(&SourceFile, Lexed)> =
+        lexed.iter().filter(|(f, _)| FRAME_FILES.contains(&f.path.as_str())).collect();
+    if frame_files.len() < FRAME_FILES.len() {
+        return;
+    }
+
+    for defect in frames::corpus_defects() {
+        out.push(Finding {
+            rule: "frame-registry",
+            path: REGISTRY_FILE.to_string(),
+            line: 1,
+            message: defect,
+        });
+    }
+
+    // Reverse check: every registered verb must be reachable from the
+    // sources — either as a `{VERSION} verb` head literal or as a
+    // bare verb literal (reader match arms, dynamic-writer callers).
+    let mut literals: Vec<&str> = Vec::new();
+    for (_, lex) in &frame_files {
+        for token in lex.tokens.iter().filter(|t| t.kind == TokenKind::Str) {
+            literals.push(&token.text);
+        }
+    }
+    for spec in frames::FRAMES {
+        let seen = literals
+            .iter()
+            .any(|text| frame_verb(text) == Some(spec.verb) || *text == spec.verb);
+        if !seen {
+            out.push(Finding {
+                rule: "frame-registry",
+                path: REGISTRY_FILE.to_string(),
+                line: 1,
+                message: format!(
+                    "registry row `{}` {:?} matches no literal in {} — stale row?",
+                    spec.verb,
+                    spec.headers,
+                    FRAME_FILES.join(" / ")
+                ),
+            });
+        }
+    }
+
+    // The registry's VERSION constant must track the wire module's.
+    if let Some((_, wire)) = lexed.iter().find(|(f, _)| f.path == "crates/store/src/wire.rs") {
+        let declared = wire
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str && t.text.starts_with("chipletqc/"))
+            .map(|t| t.text.as_str());
+        if declared != Some(frames::VERSION) {
+            out.push(Finding {
+                rule: "frame-registry",
+                path: REGISTRY_FILE.to_string(),
+                line: 1,
+                message: format!(
+                    "registry VERSION `{}` does not match wire.rs ({declared:?})",
+                    frames::VERSION
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixture corpus: one known-bad and one known-good file per rule.
+//! Each fixture is checked under a pseudo-path inside the rule's
+//! scope, so the test exercises exactly the scoping a real workspace
+//! file would get.
+
+use std::fs;
+use std::path::Path;
+
+use chipletqc_check::{check_files, CheckReport, SourceFile};
+
+/// Loads a fixture and assigns it the given workspace pseudo-path.
+fn fixture(name: &str, pseudo_path: &str) -> SourceFile {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let text = fs::read_to_string(&disk)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", disk.display()));
+    SourceFile { path: pseudo_path.to_string(), text }
+}
+
+fn run(name: &str, pseudo_path: &str) -> CheckReport {
+    check_files(&[fixture(name, pseudo_path)])
+}
+
+/// The bad fixture must produce at least one finding under the target
+/// rule; the good fixture must be fully clean (which also proves its
+/// pragmas, if any, all matched — an unused pragma is a finding).
+fn assert_pair(rule: &str, bad: &str, good: &str, pseudo_path: &str) {
+    let bad_report = run(bad, pseudo_path);
+    assert!(
+        bad_report.findings.iter().any(|f| f.rule == rule),
+        "{bad} under {pseudo_path}: expected a `{rule}` finding, got {:?}",
+        bad_report.findings
+    );
+    let good_report = run(good, pseudo_path);
+    assert!(
+        good_report.is_clean(),
+        "{good} under {pseudo_path}: expected clean, got {:?}",
+        good_report.findings
+    );
+}
+
+#[test]
+fn unordered_iteration_fixtures() {
+    assert_pair(
+        "unordered-iteration",
+        "unordered_iteration_bad.rs",
+        "unordered_iteration_good.rs",
+        "crates/math/src/fixture.rs",
+    );
+}
+
+#[test]
+fn unordered_iteration_is_scoped_to_the_determinism_surface() {
+    // The same hash-heavy content is fine in a file that never feeds
+    // report or wire bytes.
+    let report = run("unordered_iteration_bad.rs", "crates/engine/src/main.rs");
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn daemon_panic_fixtures() {
+    assert_pair(
+        "daemon-panic",
+        "daemon_panic_bad.rs",
+        "daemon_panic_good.rs",
+        "crates/engine/src/service.rs",
+    );
+}
+
+#[test]
+fn daemon_panic_bad_flags_every_construct() {
+    let report = run("daemon_panic_bad.rs", "crates/engine/src/service.rs");
+    let lines: Vec<usize> =
+        report.findings.iter().filter(|f| f.rule == "daemon-panic").map(|f| f.line).collect();
+    // unwrap, expect, panic!, unreachable! — and nothing from the
+    // #[cfg(test)] module at the bottom of the fixture.
+    assert_eq!(lines.len(), 4, "{:?}", report.findings);
+    assert!(lines.iter().all(|&l| l < 16), "test-module code was flagged: {lines:?}");
+}
+
+#[test]
+fn daemon_panic_is_scoped_to_daemon_files() {
+    let report = run("daemon_panic_bad.rs", "crates/engine/src/main.rs");
+    assert!(!report.findings.iter().any(|f| f.rule == "daemon-panic"), "{:?}", report.findings);
+}
+
+#[test]
+fn clock_discipline_fixtures() {
+    assert_pair(
+        "clock-discipline",
+        "clock_discipline_bad.rs",
+        "clock_discipline_good.rs",
+        "crates/circuit/src/timing.rs",
+    );
+}
+
+#[test]
+fn clock_discipline_exempts_obs() {
+    let report = run("clock_discipline_bad.rs", "crates/obs/src/telemetry.rs");
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn frame_registry_fixtures() {
+    assert_pair(
+        "frame-registry",
+        "frame_registry_bad.rs",
+        "frame_registry_good.rs",
+        "crates/engine/src/protocol.rs",
+    );
+}
+
+#[test]
+fn frame_registry_is_scoped_to_frame_files() {
+    // Outside the two frame files a `{VERSION} …` string is just a
+    // string.
+    let report = run("frame_registry_bad.rs", "crates/engine/src/main.rs");
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn nested_lock_fixtures() {
+    assert_pair(
+        "nested-lock",
+        "nested_lock_bad.rs",
+        "nested_lock_good.rs",
+        "crates/math/src/pair.rs",
+    );
+}
+
+#[test]
+fn nested_lock_good_records_the_deliberate_overlap() {
+    let report = run("nested_lock_good.rs", "crates/math/src/pair.rs");
+    assert_eq!(report.allowed.len(), 1, "{:?}", report.allowed);
+    assert_eq!(report.allowed[0].rule, "nested-lock");
+    assert!(report.allowed[0].reason.contains("left then right"));
+}

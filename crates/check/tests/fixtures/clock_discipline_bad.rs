@@ -1,0 +1,13 @@
+// Known-bad: ambient clock reads outside crates/obs with no
+// annotation. Wall-clock deltas leaking into results break
+// run-to-run byte identity.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let started = Instant::now();
+    let _ = started.elapsed();
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,10 @@
+// Known-good: clock reads are either absent from result-bearing code
+// or annotated as timeout/measurement sites that never reach bytes.
+use std::time::{Duration, Instant};
+
+pub fn wait_budget(budget: Duration) -> bool {
+    // check:allow(clock-discipline) timeout arming only; the deadline gates retries and never reaches report bytes
+    let deadline = Instant::now() + budget;
+    // check:allow(clock-discipline) timeout probe paired with the arming site above
+    Instant::now() < deadline
+}

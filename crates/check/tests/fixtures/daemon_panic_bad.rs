@@ -1,0 +1,25 @@
+// Known-bad: panicking constructs in daemon code. Any one of these
+// takes the warm daemon down for every connected tenant.
+use std::sync::Mutex;
+
+pub fn handle(state: &Mutex<u32>, input: Option<u32>) -> u32 {
+    let value = input.unwrap();
+    let guard = state.lock().expect("poisoned");
+    if value > 100 {
+        panic!("value {value} out of range");
+    }
+    match *guard {
+        0 => value,
+        _ => unreachable!("state is always reset to zero"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps in test code are exempt; this must produce no finding.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

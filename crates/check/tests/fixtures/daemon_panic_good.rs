@@ -1,0 +1,20 @@
+// Known-good: daemon code that degrades instead of panicking. Errors
+// become values, poisoned locks recover, and the one invariant panic
+// that remains is allowlisted with a reason.
+use std::sync::{Mutex, PoisonError};
+
+pub fn handle(state: &Mutex<u32>, input: Option<u32>) -> Result<u32, String> {
+    let value = match input {
+        Some(v) => v,
+        None => return Err("missing input".to_string()),
+    };
+    let guard = state.lock().unwrap_or_else(PoisonError::into_inner);
+    if value > 100 {
+        return Err(format!("value {value} out of range"));
+    }
+    if *guard != 0 {
+        // check:allow(daemon-panic) reset() runs before every handle(); a nonzero slot is memory corruption, not a tenant error
+        panic!("state slot was not reset");
+    }
+    Ok(value)
+}

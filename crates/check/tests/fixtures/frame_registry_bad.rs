@@ -1,0 +1,8 @@
+// Known-bad: emits a frame head whose verb has no registry row, so
+// its prefix-freedom against the rest of the protocol was never
+// proven.
+pub const VERSION: &str = "chipletqc/1";
+
+pub fn celebrate_line() -> String {
+    format!("{VERSION} celebrate\n\n")
+}

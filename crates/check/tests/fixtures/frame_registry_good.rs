@@ -1,0 +1,11 @@
+// Known-good: every emitted frame head uses a verb with a registry
+// row, so the corpus-wide prefix-freedom proof covers it.
+pub const VERSION: &str = "chipletqc/1";
+
+pub fn cancel_line() -> String {
+    format!("{VERSION} cancel\n\n")
+}
+
+pub fn shutdown_line() -> String {
+    format!("{VERSION} shutdown\n\n")
+}

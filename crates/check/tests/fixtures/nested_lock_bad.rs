@@ -1,0 +1,16 @@
+// Known-bad: a second lock acquired while the first guard is still
+// live. Two call sites taking these in opposite orders deadlock.
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn total(&self) -> u64 {
+        let left = self.left.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let right = self.right.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *left + *right
+    }
+}

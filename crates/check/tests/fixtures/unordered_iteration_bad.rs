@@ -1,0 +1,13 @@
+// Known-bad: hash collections on the determinism surface. Iterating
+// either one can reorder report bytes run to run.
+use std::collections::{HashMap, HashSet};
+
+pub fn histogram(names: &[String]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut seen = HashSet::new();
+    for name in names {
+        seen.insert(name.clone());
+        *counts.entry(name.clone()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,13 @@
+// Known-good: ordered collections everywhere iteration can happen,
+// plus one allowlisted hash import whose pragma carries a reason.
+use std::collections::BTreeMap;
+// check:allow(unordered-iteration) re-exported for callers off the determinism surface
+pub use std::collections::HashSet;
+
+pub fn histogram(names: &[String]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for name in names {
+        *counts.entry(name.clone()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,45 @@
+//! The real workspace must be clean: zero unallowlisted findings,
+//! and every allowlist entry must carry a substantive reason. This is
+//! the same sweep `chipletqc-engine check` (and the CI
+//! `static-analysis` job) runs — keeping it in the tier-1 test suite
+//! means a regression is caught even before CI.
+
+use std::path::Path;
+
+use chipletqc_check::check_workspace;
+
+fn workspace_root() -> &'static Path {
+    // crates/check -> crates -> workspace root.
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("crates dir");
+    crates.parent().expect("workspace root")
+}
+
+#[test]
+fn workspace_has_zero_unallowlisted_findings() {
+    let report = check_workspace(workspace_root()).expect("workspace scan failed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan ({} files) — wrong root?",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "workspace findings:\n{}", report.to_text());
+}
+
+#[test]
+fn every_allowlist_entry_has_a_substantive_reason() {
+    let report = check_workspace(workspace_root()).expect("workspace scan failed");
+    assert!(
+        !report.allowed.is_empty(),
+        "the tree has deliberate allowlists; zero is a scan bug"
+    );
+    for entry in &report.allowed {
+        assert!(
+            entry.reason.split_whitespace().count() >= 3,
+            "{}:{} [{}] reason too thin: {:?}",
+            entry.path,
+            entry.line,
+            entry.rule,
+            entry.reason
+        );
+    }
+}

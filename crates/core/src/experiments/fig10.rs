@@ -10,7 +10,7 @@
 //! monolithic counterpart had zero collision-free yield are the
 //! paper's red-X points: the MCM is the only way to run the workload.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use chipletqc_benchmarks::suite::Benchmark;
 use chipletqc_math::logspace::{ln_to_log10, mean_ln};
@@ -223,7 +223,7 @@ pub fn run(config: &Fig10Config) -> Fig10Data {
 pub fn run_in(config: &Fig10Config, hub: &CacheHub) -> Fig10Data {
     let lab = Lab::new_in(config.lab, hub);
     // Monolithic compiles are shared across systems of equal size.
-    let mut mono_usage: HashMap<(usize, Benchmark), Vec<u32>> = HashMap::new();
+    let mut mono_usage: BTreeMap<(usize, Benchmark), Vec<u32>> = BTreeMap::new();
 
     let mut rows: Vec<Fig10Row> = config
         .benchmarks

@@ -35,7 +35,7 @@
 //! meaningful. [`ComparisonMode::AllAssembled`] is the ablation that
 //! averages over every assembled module.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -231,10 +231,7 @@ impl Codec for MonoPopulation {
 /// the map lock is held only to find the slot, never while computing.
 type Slot<T> = Arc<OnceLock<Arc<T>>>;
 
-fn slot<K: std::hash::Hash + Eq + Clone, T>(
-    map: &Mutex<HashMap<K, Slot<T>>>,
-    key: &K,
-) -> Slot<T> {
+fn slot<K: Ord + Clone, T>(map: &Mutex<BTreeMap<K, Slot<T>>>, key: &K) -> Slot<T> {
     Arc::clone(map.lock().expect("cache poisoned").entry(key.clone()).or_default())
 }
 
@@ -250,8 +247,8 @@ fn slot<K: std::hash::Hash + Eq + Clone, T>(
 /// a cold store, a warm store, or no store at all.
 #[derive(Debug, Default)]
 struct SharedCaches {
-    chiplet_bins: Mutex<HashMap<usize, Slot<KgdBin>>>,
-    mono_pops: Mutex<HashMap<usize, Slot<MonoPopulation>>>,
+    chiplet_bins: Mutex<BTreeMap<usize, Slot<KgdBin>>>,
+    mono_pops: Mutex<BTreeMap<usize, Slot<MonoPopulation>>>,
     chiplet_fabrications: AtomicUsize,
     mono_fabrications: AtomicUsize,
     store: Option<Arc<Store>>,
@@ -297,7 +294,7 @@ impl FabricationStats {
 /// the same caches.
 #[derive(Debug, Clone, Default)]
 pub struct CacheHub {
-    inner: Arc<Mutex<HashMap<String, Arc<SharedCaches>>>>,
+    inner: Arc<Mutex<BTreeMap<String, Arc<SharedCaches>>>>,
     store: Option<Arc<Store>>,
     /// Campaign counts carried over from caches dropped by
     /// [`CacheHub::clear`], so [`CacheHub::fabrication_stats`] stays
@@ -368,6 +365,7 @@ impl CacheHub {
     /// dropped — the counters only ever grow.
     pub fn fabrication_stats(&self) -> FabricationStats {
         let inner = self.inner.lock().expect("hub poisoned");
+        // check:allow(nested-lock) fixed inner-then-retired order in every CacheHub method; both locks are private to the hub
         let mut stats = *self.retired.lock().expect("retired counters poisoned");
         for caches in inner.values() {
             stats.chiplet_fabrications += caches.chiplet_fabrications.load(Ordering::Relaxed);
@@ -388,6 +386,7 @@ impl CacheHub {
     /// Call it between batches, not while a scheduler is running.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("hub poisoned");
+        // check:allow(nested-lock) fixed inner-then-retired order in every CacheHub method; both locks are private to the hub
         let mut retired = self.retired.lock().expect("retired counters poisoned");
         for caches in inner.values() {
             retired.chiplet_fabrications += caches.chiplet_fabrications.load(Ordering::Relaxed);
@@ -406,7 +405,7 @@ pub struct Lab {
     config: LabConfig,
     noise: NoiseModel,
     shared: Arc<SharedCaches>,
-    assemblies: Mutex<HashMap<(usize, usize, usize), Slot<AssemblyOutcome>>>,
+    assemblies: Mutex<BTreeMap<(usize, usize, usize), Slot<AssemblyOutcome>>>,
 }
 
 impl Lab {
@@ -427,7 +426,7 @@ impl Lab {
             None => NoiseModel::paper(calib_seed),
             Some(ratio) => NoiseModel::with_link_ratio(calib_seed, ratio),
         };
-        Lab { config, noise, shared, assemblies: Mutex::new(HashMap::new()) }
+        Lab { config, noise, shared, assemblies: Mutex::new(BTreeMap::new()) }
     }
 
     /// A sibling lab with a different `e_link/e_chip` ratio, sharing
@@ -440,7 +439,7 @@ impl Lab {
             config,
             noise,
             shared: Arc::clone(&self.shared),
-            assemblies: Mutex::new(HashMap::new()),
+            assemblies: Mutex::new(BTreeMap::new()),
         }
     }
 

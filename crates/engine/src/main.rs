@@ -19,7 +19,7 @@
 //! timings go to stdout (one-shot) or stderr (`submit`) only.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -69,6 +69,7 @@ USAGE:
   chipletqc-engine status (--socket PATH | --connect HOST:PORT --token-file F)
   chipletqc-engine bench [--quick] [--out FILE]
   chipletqc-engine trace summarize FILE
+  chipletqc-engine check [--format text|json] [--root DIR]
 
 OPTIONS:
   --workers N       scheduler worker threads (default: hardware threads)
@@ -161,6 +162,16 @@ OBSERVABILITY (see README \"Observability\"):
                     workloads, --out FILE also writes the JSON to FILE
   trace summarize   aggregate a --trace-out file: per-span counts,
                     total/mean/max durations
+
+STATIC ANALYSIS (see README \"Static analysis\"):
+  check             run the workspace invariant checker over
+                    crates/*/src: unordered-iteration, daemon-panic,
+                    clock-discipline, frame-registry, nested-lock.
+                    Deny-by-default — exits non-zero on any finding
+                    not allowlisted in place by a
+                    `check:allow(rule) reason` comment pragma.
+                    --format json emits machine-readable findings;
+                    --root DIR overrides workspace-root discovery
 ";
 
 #[derive(Debug)]
@@ -1054,6 +1065,7 @@ fn status_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
 fn time_runs(runs: usize, mut f: impl FnMut()) -> (u64, u64, u64) {
     let mut samples = Vec::with_capacity(runs);
     for _ in 0..runs {
+        // check:allow(clock-discipline) bench harness measurement; timings go to the bench JSON only
         let started = Instant::now();
         f();
         samples.push(started.elapsed().as_micros() as u64);
@@ -1296,10 +1308,85 @@ fn trace_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
+fn check_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = args.next().ok_or("check: --format needs text|json")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("check: unknown format {format} (want text|json)"));
+                }
+            }
+            "--root" => {
+                root = Some(PathBuf::from(args.next().ok_or("check: --root needs a path")?));
+            }
+            other => return Err(format!("check: unexpected argument {other}")),
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => workspace_root()?,
+    };
+    let report = {
+        let _span = chipletqc_obs::span("check.run");
+        chipletqc_check::check_workspace(&root)
+            .map_err(|e| format!("check: scan {}: {e}", root.display()))?
+    };
+    // Analysis health rides the same registry as runtime telemetry,
+    // so a report or status snapshot taken from this process shows it.
+    chipletqc_obs::counter("check.files_scanned").add(report.files_scanned as u64);
+    chipletqc_obs::counter("check.findings").add(report.findings.len() as u64);
+    chipletqc_obs::counter("check.allowed").add(report.allowed.len() as u64);
+    match format.as_str() {
+        "json" => print!("{}", report.to_json()),
+        _ => print!("{}", report.to_text()),
+    }
+    chipletqc_obs::flush_trace();
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "check: {} finding(s) — fix or allowlist with a reason",
+            report.findings.len()
+        ))
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory (or of this binary's manifest at build time, as a
+/// fallback for `cargo run` from elsewhere) holding the workspace
+/// `Cargo.toml`.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("check: current dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("check: read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    // Built from source: the engine crate sits at <root>/crates/engine.
+    let fallback = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if fallback.join("Cargo.toml").is_file() {
+        return Ok(fallback);
+    }
+    Err("check: no workspace Cargo.toml above the current directory (use --root)".to_string())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let subcommand = match args.peek().map(String::as_str) {
-        Some(name @ ("store" | "serve" | "submit" | "status" | "bench" | "trace")) => {
+        Some(
+            name @ ("store" | "serve" | "submit" | "status" | "bench" | "trace" | "check"),
+        ) => {
             let name = name.to_string();
             args.next();
             Some(name)
@@ -1313,6 +1400,7 @@ fn main() -> ExitCode {
             "status" => status_cli(args),
             "bench" => bench_cli(args),
             "trace" => trace_cli(args),
+            "check" => check_cli(args),
             _ => submit_cli(args),
         };
         return match result {
@@ -1405,6 +1493,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // check:allow(clock-discipline) batch wall-time for the stderr/stdout timing lines only
     let started = Instant::now();
     let results = scheduler.run(&suite, &hub);
     let batch_wall = started.elapsed();

@@ -40,10 +40,10 @@
 //! unknown scenario) fails the whole run immediately: every worker
 //! would reject the same unit the same way, so retrying is noise.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, BufWriter};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use chipletqc::lab::FabricationStats;
@@ -298,7 +298,7 @@ pub fn merge_report(
     let mut fabrication = FabricationStats::default();
     let mut store = StoreStats::default();
     let mut peer = PeerStats::default();
-    let mut pieces: HashMap<String, Piece> = HashMap::new();
+    let mut pieces: BTreeMap<String, Piece> = BTreeMap::new();
     for outcome in outcomes {
         fabrication.chiplet_fabrications += outcome.fabrication.chiplet_fabrications;
         fabrication.mono_fabrications += outcome.fabrication.mono_fabrications;
@@ -476,6 +476,7 @@ pub fn run_mesh(submission: &Submission, config: &MeshConfig) -> Result<MeshRun,
         })
         .collect();
 
+    // check:allow(clock-discipline) coordinator wall-time for the stderr timing block only
     let started = Instant::now();
     let state = Mutex::new(MeshState {
         pending: (0..units.len()).collect(),
@@ -500,10 +501,13 @@ pub fn run_mesh(submission: &Submission, config: &MeshConfig) -> Result<MeshRun,
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("dispatch thread panicked")).collect()
+        // A panicked dispatch thread attributes zero units; the
+        // unfinished-unit accounting below turns that into a clean
+        // coordinator error instead of a crash.
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).collect()
     });
 
-    let state = state.into_inner().expect("mesh state poisoned");
+    let state = state.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(message) = state.poison {
         return Err(format!("a worker rejected its unit: {message}"));
     }
@@ -515,6 +519,7 @@ pub fn run_mesh(submission: &Submission, config: &MeshConfig) -> Result<MeshRun,
         ));
     }
     let outcomes: Vec<WorkOutcome> =
+        // check:allow(daemon-panic) done == len means every slot was filled by a dispatcher
         state.outcomes.into_iter().map(|slot| slot.expect("done implies filled")).collect();
 
     let mut timing = format!(
@@ -556,12 +561,12 @@ fn dispatch_for_worker(
     units: &[Submission],
     state: &Mutex<MeshState>,
 ) -> u64 {
-    let mut attempted: HashSet<usize> = HashSet::new();
+    let mut attempted: BTreeSet<usize> = BTreeSet::new();
     let mut consecutive_failures = 0u32;
     let mut completed = 0u64;
     loop {
         let picked = {
-            let mut st = state.lock().expect("mesh state poisoned");
+            let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
             if st.poison.is_some() || st.done == units.len() {
                 return completed;
             }
@@ -582,13 +587,14 @@ fn dispatch_for_worker(
             continue;
         };
         attempted.insert(unit);
+        // check:allow(clock-discipline) per-unit latency for the obs histogram and retry accounting
         let claim_started = Instant::now();
         let failure = match claim(addr, token, &units[unit], deadline) {
             Ok(Response::WorkResult { pieces }) => match decode_pieces(&pieces) {
                 Ok(outcome) => {
                     chipletqc_obs::histogram("mesh.unit")
                         .record_micros(claim_started.elapsed().as_micros() as u64);
-                    let mut st = state.lock().expect("mesh state poisoned");
+                    let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
                     consecutive_failures = 0;
                     if st.outcomes[unit].is_none() {
                         st.outcomes[unit] = Some(outcome);
@@ -607,7 +613,7 @@ fn dispatch_for_worker(
             // A deterministic rejection: every worker would refuse the
             // same unit the same way. Poison the run.
             Ok(Response::Error(message)) => {
-                let mut st = state.lock().expect("mesh state poisoned");
+                let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
                 st.poison.get_or_insert(message);
                 return completed;
             }
@@ -617,7 +623,7 @@ fn dispatch_for_worker(
         // Transport-shaped failure: requeue for the survivors and
         // count it against this worker.
         eprintln!("chipletqc-engine mesh: {failure}; requeueing unit {unit}");
-        let mut st = state.lock().expect("mesh state poisoned");
+        let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.outcomes[unit].is_none() && !st.pending.contains(&unit) {
             st.pending.push_back(unit);
             st.retries += 1;

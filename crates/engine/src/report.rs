@@ -107,7 +107,7 @@ impl RunReport {
         peer: PeerStats,
     ) -> RunReport {
         let mut artifacts: Vec<(String, String)> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut scenarios = Vec::new();
         for entry in entries {
             // Scenarios keep the historical bare file names only when

@@ -51,7 +51,11 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+// Lock poisoning policy: batch tasks run under `catch_unwind` and
+// never hold a pool lock, so a poisoned guard means an internal
+// bookkeeping thread died mid-update; the long-lived pool recovers
+// the guard rather than cascading the poison into every batch.
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use chipletqc::experiments::output_gain::{self, OutputGainConfig, OutputGainShard};
@@ -141,6 +145,7 @@ impl Scheduler {
         }
         match scenario.kind {
             ExperimentKind::Fig8 | ExperimentKind::Fig9 | ExperimentKind::Fig10 => {
+                // check:allow(daemon-panic) fig8/9/10 scenarios always carry systems; guarded by kind
                 let systems = scenario.resolved_systems().expect("lab kinds have systems");
                 if systems.len() <= 1 {
                     return vec![ShardTask::Run(scenario.clone())];
@@ -152,6 +157,7 @@ impl Scheduler {
                     .collect()
             }
             ExperimentKind::OutputGain => {
+                // check:allow(daemon-panic) guarded by the OutputGain match arm
                 let config = scenario.output_gain_config().expect("kind is OutputGain");
                 // Both batches must split into the same shard count.
                 let n = self.shards.min(config.batch.max(1)).min(config.chiplet_batch().max(1));
@@ -185,6 +191,7 @@ impl Scheduler {
             Ok(results) => results,
             Err(BatchAborted::Panicked(payload)) => resume_unwind(payload),
             Err(BatchAborted::Cancelled) => {
+                // check:allow(daemon-panic) one-shot CLI path, not the daemon; nothing holds a cancel handle
                 unreachable!("one-shot batches are never cancelled")
             }
         }
@@ -207,37 +214,44 @@ fn merge_shards(scenario: &Scenario, outputs: Vec<ShardOutput>) -> ExperimentDat
         if let Some(ShardOutput::Data(data)) = outputs.into_iter().next() {
             return data;
         }
+        // check:allow(daemon-panic) plan() emits exactly one ShardTask::Run for single-task plans
         unreachable!("single-task plans always produce ShardOutput::Data");
     }
     match scenario.kind {
         ExperimentKind::Fig8 => {
             ExperimentData::Fig8(fig8::Fig8Data::merge(outputs.into_iter().map(|o| match o {
                 ShardOutput::Data(ExperimentData::Fig8(d)) => d,
+                // check:allow(daemon-panic) shard outputs are typed by plan(); runs under the task catch_unwind
                 other => panic!("fig8 shard produced {other:?}"),
             })))
         }
         ExperimentKind::Fig9 => {
             ExperimentData::Fig9(fig9::Fig9Data::merge(outputs.into_iter().map(|o| match o {
                 ShardOutput::Data(ExperimentData::Fig9(d)) => d,
+                // check:allow(daemon-panic) shard outputs are typed by plan(); runs under the task catch_unwind
                 other => panic!("fig9 shard produced {other:?}"),
             })))
         }
         ExperimentKind::Fig10 => ExperimentData::Fig10(fig10::Fig10Data::merge(
             outputs.into_iter().map(|o| match o {
                 ShardOutput::Data(ExperimentData::Fig10(d)) => d,
+                // check:allow(daemon-panic) shard outputs are typed by plan(); runs under the task catch_unwind
                 other => panic!("fig10 shard produced {other:?}"),
             }),
         )),
         ExperimentKind::OutputGain => {
+            // check:allow(daemon-panic) guarded by the OutputGain match arm
             let config = scenario.output_gain_config().expect("kind is OutputGain");
             ExperimentData::OutputGain(output_gain::from_shards(
                 &config,
                 outputs.into_iter().map(|o| match o {
                     ShardOutput::OutputGainPartial(shard) => shard,
+                    // check:allow(daemon-panic) shard outputs are typed by plan(); runs under the task catch_unwind
                     other => panic!("output-gain shard produced {other:?}"),
                 }),
             ))
         }
+        // check:allow(daemon-panic) every sharded kind is matched above; runs under the task catch_unwind
         other => panic!("kind {other:?} cannot be sharded"),
     }
 }
@@ -410,13 +424,14 @@ impl WorkPool {
             hub: hub.clone(),
             cap: scheduler.workers(),
             cancelled: AtomicBool::new(false),
+            // check:allow(clock-discipline) queue-wait telemetry origin; feeds the obs histograms only
             submitted: Instant::now(),
             picked: AtomicBool::new(false),
             progress,
             done: Condvar::new(),
         });
         {
-            let mut state = self.shared.state.lock().expect("pool poisoned");
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.roots.push(Arc::clone(&root));
         }
         self.shared.work_ready.notify_all();
@@ -432,7 +447,7 @@ impl WorkPool {
 impl Drop for WorkPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool poisoned");
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
@@ -463,7 +478,7 @@ impl BatchHandle {
     pub fn cancel(&self) {
         self.root.cancelled.store(true, Ordering::SeqCst);
         {
-            let mut sched = self.root.sched.lock().expect("root poisoned");
+            let mut sched = self.root.sched.lock().unwrap_or_else(PoisonError::into_inner);
             sched.skipped += sched.pending.len();
             sched.pending.clear();
         }
@@ -473,9 +488,9 @@ impl BatchHandle {
     /// Blocks until every task has finished or been skipped, then
     /// returns results in submission order (or why there are none).
     pub fn wait(self) -> Result<Vec<ScenarioResult>, BatchAborted> {
-        let mut sched = self.root.sched.lock().expect("root poisoned");
+        let mut sched = self.root.sched.lock().unwrap_or_else(PoisonError::into_inner);
         while !sched.complete(self.root.tasks.len()) {
-            sched = self.root.done.wait(sched).expect("root poisoned");
+            sched = self.root.done.wait(sched).unwrap_or_else(PoisonError::into_inner);
         }
         if let Some(payload) = sched.panic.take() {
             return Err(BatchAborted::Panicked(payload));
@@ -495,6 +510,7 @@ impl BatchHandle {
                 let mut shard_outputs = Vec::with_capacity(span.len());
                 let mut wall = Duration::ZERO;
                 for slot in &mut outputs[span.clone()] {
+                    // check:allow(daemon-panic) spans partition the outputs; each slot is taken exactly once
                     let (output, elapsed) = slot.take().expect("span taken once");
                     shard_outputs.push(output);
                     wall += elapsed;
@@ -510,7 +526,7 @@ impl BatchHandle {
 /// removes it from the pool's root list, and wakes waiters.
 fn settle(shared: &PoolShared, root: &Arc<BatchRoot>) {
     let complete = {
-        let mut sched = root.sched.lock().expect("root poisoned");
+        let mut sched = root.sched.lock().unwrap_or_else(PoisonError::into_inner);
         let complete = sched.complete(root.tasks.len());
         if complete && !sched.budget_released {
             sched.budget_released = true;
@@ -520,7 +536,7 @@ fn settle(shared: &PoolShared, root: &Arc<BatchRoot>) {
     };
     if complete {
         root.done.notify_all();
-        let mut state = shared.state.lock().expect("pool poisoned");
+        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.roots.retain(|r| !Arc::ptr_eq(r, root));
         drop(state);
         shared.work_ready.notify_all();
@@ -535,7 +551,7 @@ fn pick(state: &mut PoolState) -> Option<(Arc<BatchRoot>, usize)> {
     for i in 0..n {
         let at = (state.rotation + i) % n;
         let root = &state.roots[at];
-        let mut sched = root.sched.lock().expect("root poisoned");
+        let mut sched = root.sched.lock().unwrap_or_else(PoisonError::into_inner);
         if sched.running < root.cap {
             if let Some(index) = sched.pending.pop_front() {
                 sched.running += 1;
@@ -574,7 +590,7 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
     let picks = chipletqc_obs::counter(&format!("scheduler.worker{worker}.picks"));
     loop {
         let (root, index) = {
-            let mut state = shared.state.lock().expect("pool poisoned");
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if state.shutdown && state.roots.is_empty() {
                     return;
@@ -582,10 +598,11 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
                 if let Some(job) = pick(&mut state) {
                     break job;
                 }
-                state = shared.work_ready.wait(state).expect("pool poisoned");
+                state = shared.work_ready.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         };
         picks.inc();
+        // check:allow(clock-discipline) task wall-time for stderr timing summaries; never reaches report bytes
         let started = Instant::now();
         // Tasks never hold a lock while running, so a panic cannot
         // poison pool state; it cancels the rest of its own root and
@@ -598,7 +615,7 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
         };
         let elapsed = started.elapsed();
         {
-            let mut sched = root.sched.lock().expect("root poisoned");
+            let mut sched = root.sched.lock().unwrap_or_else(PoisonError::into_inner);
             sched.running -= 1;
             match outcome {
                 Ok(output) => {

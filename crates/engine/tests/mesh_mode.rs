@@ -15,6 +15,8 @@
 //! processes; this test pins it in-process where failures bisect
 //! better.
 
+// Test code panics on harness failures by design.
+#![allow(clippy::unwrap_used)]
 #![cfg(unix)]
 
 use std::sync::mpsc;

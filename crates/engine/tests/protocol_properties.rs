@@ -8,6 +8,9 @@
 //! never a panic, and never unbounded allocation. Valid frames, and
 //! valid frames with trailing garbage, must keep parsing.
 
+// Test code panics on harness failures by design.
+#![allow(clippy::unwrap_used)]
+
 use std::io::{BufReader, Cursor};
 
 use chipletqc_engine::protocol::{

@@ -12,6 +12,8 @@
 //! 4. **Drain under load completes every admitted batch** — running
 //!    *and* queued — before the daemon exits.
 
+// Test code panics on harness failures by design.
+#![allow(clippy::unwrap_used)]
 #![cfg(unix)]
 
 use std::io::{BufReader, BufWriter};

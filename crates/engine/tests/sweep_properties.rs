@@ -10,6 +10,9 @@
 //! * the canonical formatting round-trips through the parser into a
 //!   sweep with the identical expansion.
 
+// Test code panics on harness failures by design.
+#![allow(clippy::unwrap_used)]
+
 use chipletqc_engine::scenario::{ExperimentKind, Scale, SystemSpec};
 use chipletqc_engine::sweep::Sweep;
 use proptest::prelude::*;

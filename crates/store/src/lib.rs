@@ -80,7 +80,7 @@ pub mod products;
 pub mod remote;
 pub mod wire;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -325,7 +325,7 @@ pub struct Store {
     /// lifetime — the same retention policy as the in-process lab
     /// caches; a long-lived service process should bound both
     /// (ROADMAP: service mode).
-    ranged_memo: Mutex<HashMap<String, MemoSlot>>,
+    ranged_memo: Mutex<BTreeMap<String, MemoSlot>>,
 }
 
 impl Store {
@@ -341,7 +341,7 @@ impl Store {
             writes: AtomicU64::new(0),
             invalid: AtomicU64::new(0),
             writers: Mutex::new(Vec::new()),
-            ranged_memo: Mutex::new(HashMap::new()),
+            ranged_memo: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -705,7 +705,7 @@ impl Store {
     /// Scans the directory and summarizes its contents by kind.
     pub fn disk_stats(&self) -> io::Result<DiskStats> {
         let mut stats = DiskStats::default();
-        let mut kinds: HashMap<String, (u64, u64)> = HashMap::new();
+        let mut kinds: BTreeMap<String, (u64, u64)> = BTreeMap::new();
         for file in self.scan()? {
             if is_tmp(&file.path) {
                 continue;
@@ -736,6 +736,7 @@ impl Store {
     /// any entry is safe to delete at any time.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
         self.flush();
+        // check:allow(clock-discipline) gc recency cutoff against file mtimes; never reaches entry bytes
         let plan = plan_gc(self.scan()?, max_bytes, std::time::SystemTime::now());
         for path in &plan.reap_tmp {
             let _ = std::fs::remove_file(path);
@@ -1042,7 +1043,7 @@ mod tests {
     /// read-through tier without sockets.
     #[derive(Debug, Default)]
     struct MemBackend {
-        entries: Mutex<HashMap<String, (Encoding, Vec<u8>)>>,
+        entries: Mutex<BTreeMap<String, (Encoding, Vec<u8>)>>,
         puts: AtomicU64,
     }
 
