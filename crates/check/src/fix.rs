@@ -1,0 +1,201 @@
+//! `check --fix`: mechanical triage scaffolds. For every fixable
+//! finding, insert a
+//! `// check:allow(rule) TODO(triage): <finding summary>` pragma line
+//! directly above the finding, matching its indentation, so rolling a
+//! new rule over a large tree is one command followed by a review of
+//! the `TODO(triage)` markers — each becomes either a real fix or a
+//! real reason. Files are rewritten atomically (temp-then-rename in
+//! the same directory, the store's discipline); `--dry-run` renders
+//! the patch and writes nothing.
+//!
+//! Unfixable findings (`pragma` defects, registry-level
+//! `frame-registry` findings) are counted and left alone: a scaffold
+//! cannot suppress them, so inserting one would just add a second
+//! finding.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{CheckReport, SourceFile};
+
+/// One pragma line to insert above `line` (1-based) of `path`.
+#[derive(Debug)]
+pub struct Insertion {
+    pub path: String,
+    pub line: usize,
+    pub text: String,
+}
+
+/// The planned rewrite: deterministic (sorted by path then line, one
+/// insertion per finding site and rule) and side-effect free until
+/// [`apply`].
+#[derive(Debug)]
+pub struct FixPlan {
+    pub insertions: Vec<Insertion>,
+    /// Findings no scaffold can suppress.
+    pub unfixable: usize,
+}
+
+impl FixPlan {
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty()
+    }
+
+    /// Paths touched, deduped, in order.
+    pub fn files(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for ins in &self.insertions {
+            if out.last() != Some(&ins.path.as_str()) {
+                out.push(&ins.path);
+            }
+        }
+        out
+    }
+}
+
+/// Plans one insertion per fixable `(path, line, rule)` finding site.
+pub fn plan(report: &CheckReport, files: &[SourceFile]) -> FixPlan {
+    let mut seen: BTreeSet<(&str, usize, &str)> = BTreeSet::new();
+    let mut insertions = Vec::new();
+    let mut unfixable = 0usize;
+    for finding in &report.findings {
+        if !finding.fix_available {
+            unfixable += 1;
+            continue;
+        }
+        if !seen.insert((&finding.path, finding.line, finding.rule)) {
+            continue;
+        }
+        let Some(src) = files.iter().find(|f| f.path == finding.path) else {
+            unfixable += 1;
+            continue;
+        };
+        let indent = indent_of(&src.text, finding.line);
+        insertions.push(Insertion {
+            path: finding.path.clone(),
+            line: finding.line,
+            text: format!(
+                "{indent}// check:allow({}) TODO(triage): {}",
+                finding.rule,
+                summarize(&finding.message)
+            ),
+        });
+    }
+    insertions.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    FixPlan { insertions, unfixable }
+}
+
+/// The file's text with this plan's insertions applied (insertions
+/// for other paths are ignored).
+pub fn patched(path: &str, text: &str, plan: &FixPlan) -> String {
+    let ends_with_newline = text.ends_with('\n');
+    let mut lines: Vec<&str> = text.lines().collect();
+    // Splice bottom-up so earlier insertions keep their line numbers.
+    for ins in plan.insertions.iter().rev().filter(|i| i.path == path) {
+        let at = ins.line.saturating_sub(1).min(lines.len());
+        lines.insert(at, &ins.text);
+    }
+    let mut out = lines.join("\n");
+    if ends_with_newline {
+        out.push('\n');
+    }
+    out
+}
+
+/// A unified-diff-shaped rendering of the plan, for `--fix
+/// --dry-run`: one hunk per insertion, with the finding line as
+/// trailing context.
+pub fn render_patch(plan: &FixPlan, files: &[SourceFile]) -> String {
+    let mut out = String::new();
+    let mut current: Option<&str> = None;
+    for ins in &plan.insertions {
+        if current != Some(ins.path.as_str()) {
+            let _ = writeln!(out, "--- a/{}", ins.path);
+            let _ = writeln!(out, "+++ b/{}", ins.path);
+            current = Some(&ins.path);
+        }
+        let _ = writeln!(out, "@@ line {} @@", ins.line);
+        let _ = writeln!(out, "+{}", ins.text);
+        if let Some(src) = files.iter().find(|f| f.path == ins.path) {
+            if let Some(line) = src.text.lines().nth(ins.line.saturating_sub(1)) {
+                let _ = writeln!(out, " {line}");
+            }
+        }
+    }
+    out
+}
+
+/// Rewrites every planned file under `root`, atomically: the new text
+/// goes to a temp file in the target's directory, then a rename
+/// replaces the original. Returns the number of files rewritten.
+pub fn apply(root: &Path, files: &[SourceFile], plan: &FixPlan) -> io::Result<usize> {
+    let mut rewritten = 0usize;
+    for path in plan.files() {
+        let Some(src) = files.iter().find(|f| f.path == path) else { continue };
+        let new_text = patched(path, &src.text, plan);
+        let disk = root.join(path);
+        let tmp = disk.with_extension("rs.check-fix-tmp");
+        fs::write(&tmp, &new_text)?;
+        fs::rename(&tmp, &disk)?;
+        rewritten += 1;
+    }
+    Ok(rewritten)
+}
+
+/// The leading whitespace of `line` (1-based) in `text`.
+fn indent_of(text: &str, line: usize) -> String {
+    text.lines()
+        .nth(line.saturating_sub(1))
+        .map(|l| l.chars().take_while(|c| c.is_whitespace()).collect())
+        .unwrap_or_default()
+}
+
+/// A finding message flattened to one pragma-reason line.
+fn summarize(message: &str) -> String {
+    let flat: String = message.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.chars().count() <= 120 {
+        return flat;
+    }
+    let mut out: String = flat.chars().take(120).collect();
+    out.push('…');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_files;
+
+    #[test]
+    fn patch_inserts_above_the_finding_with_matching_indent() {
+        let file = SourceFile {
+            path: "crates/math/src/f.rs".to_string(),
+            text: "fn f() {\n    use std::collections::HashMap;\n}\n".to_string(),
+        };
+        let report = check_files(std::slice::from_ref(&file));
+        assert_eq!(report.findings.len(), 1);
+        let plan = plan(&report, std::slice::from_ref(&file));
+        assert_eq!(plan.insertions.len(), 1);
+        let new_text = patched(&file.path, &file.text, &plan);
+        let fixed = SourceFile { path: file.path.clone(), text: new_text.clone() };
+        let again = check_files(std::slice::from_ref(&fixed));
+        assert!(again.is_clean(), "{:?}", again.findings);
+        assert!(new_text.contains("    // check:allow(unordered-iteration) TODO(triage):"));
+    }
+
+    #[test]
+    fn pragma_defects_are_not_scaffolded() {
+        let file = SourceFile {
+            path: "crates/math/src/f.rs".to_string(),
+            text: "// check:allow(unordered-iteration) nothing here\nfn f() {}\n".to_string(),
+        };
+        let report = check_files(std::slice::from_ref(&file));
+        assert_eq!(report.findings.len(), 1);
+        let plan = plan(&report, std::slice::from_ref(&file));
+        assert!(plan.is_empty());
+        assert_eq!(plan.unfixable, 1);
+    }
+}

@@ -1,0 +1,323 @@
+//! Pass 2 of the two-pass analyzer: the graph rules. Everything here
+//! reads the [`SymbolIndex`] — no re-tokenization, no per-file
+//! heuristics.
+//!
+//! * **lock-order** — build the global lock-order graph over the
+//!   classed locks ([`crate::symbols::LOCK_CLASSES`]): an edge A → B
+//!   for every acquisition of class B while class A is held, and for
+//!   every call made while A is held into a function whose transitive
+//!   lock summary (a fixpoint over the workspace call graph) contains
+//!   B. Only *cycles* are findings — a consistent global order needs
+//!   no annotation at all, which is what retires the old per-fn
+//!   `nested-lock` pragmas on classed pairs. A lock held across a
+//!   call into a function that takes another lock is found even when
+//!   the two acquisitions live in different files.
+//! * **chunk-size-discipline** — the store's merge-on-read contract:
+//!   the only value that may reach a `chunk_cover` call site is the
+//!   `CHUNK_TRIALS` constant itself. A literal `512` is today's right
+//!   answer and tomorrow's torn chunk.
+//! * **axis-exhaustiveness** — every `Vec` axis field of
+//!   `struct Sweep` must be referenced in every axis handler
+//!   (`expanded_len`, `validate`, `expand`, `to_text`, `parse`): a
+//!   new axis that expands but does not validate (or prints but does
+//!   not parse) fails `check`, not a 3 AM sweep.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{Token, TokenKind};
+use crate::symbols::{SymbolIndex, SWEEP_FILE};
+use crate::{Finding, SourceFile};
+
+/// The chunking primitive and the one constant allowed to reach it.
+const CHUNK_FN: &str = "chunk_cover";
+const CHUNK_CONST: &str = "CHUNK_TRIALS";
+
+/// Functions that must each handle every sweep axis.
+const AXIS_HANDLERS: &[&str] = &["expanded_len", "validate", "expand", "to_text", "parse"];
+
+/// One contribution to a lock-order edge, anchored where a pragma
+/// could suppress it.
+struct EdgeSite {
+    path: String,
+    line: usize,
+    detail: String,
+}
+
+pub(crate) fn lock_order(files: &[SourceFile], index: &SymbolIndex, out: &mut Vec<Finding>) {
+    // Per-fn lock summaries: every class the function may acquire,
+    // directly or through any call chain, computed by fixpoint (the
+    // call graph has cycles; the summary lattice is finite).
+    let mut summaries: Vec<BTreeSet<&'static str>> = vec![BTreeSet::new(); index.fns.len()];
+    for site in &index.lock_sites {
+        if let (Some(caller), Some(class)) = (site.caller, site.class) {
+            summaries[caller].insert(class);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for call in &index.call_sites {
+            let Some(caller) = call.caller else { continue };
+            for &callee in &call.callees {
+                if callee == caller {
+                    continue;
+                }
+                let add: Vec<&'static str> = summaries[callee].iter().copied().collect();
+                for class in add {
+                    changed |= summaries[caller].insert(class);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // The edge set. Direct edges: class B acquired while A held.
+    // Propagated edges: a call made while A is held, into a function
+    // whose summary contains B.
+    let mut edges: BTreeMap<(&'static str, &'static str), Vec<EdgeSite>> = BTreeMap::new();
+    for site in &index.lock_sites {
+        let Some(to) = site.class else { continue };
+        for held in &site.held_classes {
+            edges.entry((held.class, to)).or_default().push(EdgeSite {
+                path: files[site.file].path.clone(),
+                line: site.line,
+                detail: format!(
+                    "`.{}()` acquires `{to}` while `{}` (line {}) is held",
+                    site.method, held.class, held.line
+                ),
+            });
+        }
+    }
+    for call in &index.call_sites {
+        if call.held.is_empty() {
+            continue;
+        }
+        let mut may_acquire: BTreeSet<&'static str> = BTreeSet::new();
+        for &callee in &call.callees {
+            may_acquire.extend(summaries[callee].iter().copied());
+        }
+        for to in may_acquire {
+            for held in &call.held {
+                edges.entry((held.class, to)).or_default().push(EdgeSite {
+                    path: files[call.file].path.clone(),
+                    line: call.line,
+                    detail: format!(
+                        "call into `{}` may acquire `{to}` while `{}` (line {}) is held",
+                        call.name, held.class, held.line
+                    ),
+                });
+            }
+        }
+    }
+
+    // Reachability closure over the class graph; an edge A → B is a
+    // finding iff B reaches back to A (B == A is the self-loop case:
+    // these mutexes are not reentrant).
+    let succ: BTreeMap<&'static str, BTreeSet<&'static str>> = {
+        let mut s: BTreeMap<&'static str, BTreeSet<&'static str>> = BTreeMap::new();
+        for (from, to) in edges.keys() {
+            s.entry(from).or_default().insert(to);
+        }
+        s
+    };
+    let reaches = |from: &'static str, to: &'static str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(node) = queue.pop_front() {
+            if node == to {
+                return true;
+            }
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(next) = succ.get(node) {
+                queue.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+
+    for ((from, to), sites) in &edges {
+        if !(from == to || reaches(to, from)) {
+            continue;
+        }
+        let cycle = cycle_path(&succ, from, to);
+        let mut seen_lines: BTreeSet<(&str, usize)> = BTreeSet::new();
+        for site in sites {
+            if !seen_lines.insert((&site.path, site.line)) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "lock-order",
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "{} — closes the lock-order cycle {cycle}; reorder the acquisitions, \
+                     drop the guard before the call, or annotate why this cannot deadlock",
+                    site.detail
+                ),
+                fix_available: true,
+            });
+        }
+    }
+}
+
+/// A cycle witness through the edge `from → to`: the shortest path
+/// from `to` back to `from`, rendered `from -> to -> … -> from`.
+fn cycle_path(
+    succ: &BTreeMap<&'static str, BTreeSet<&'static str>>,
+    from: &'static str,
+    to: &'static str,
+) -> String {
+    if from == to {
+        return format!("{from} -> {to}");
+    }
+    let mut prev: BTreeMap<&'static str, &'static str> = BTreeMap::new();
+    let mut queue = VecDeque::from([to]);
+    while let Some(node) = queue.pop_front() {
+        if node == from {
+            break;
+        }
+        for &next in succ.get(node).into_iter().flatten() {
+            if next != to && !prev.contains_key(next) {
+                prev.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut back = vec![from];
+    while let Some(&p) = prev.get(back.last().copied().unwrap_or(from)) {
+        back.push(p);
+        if p == to {
+            break;
+        }
+    }
+    // back is [from, …, to]; the cycle reads from -> to -> … -> from.
+    let mut names: Vec<&str> = vec![from];
+    names.extend(back.iter().rev().copied());
+    names.join(" -> ")
+}
+
+pub(crate) fn chunk_size_discipline(
+    files: &[SourceFile],
+    index: &SymbolIndex,
+    out: &mut Vec<Finding>,
+) {
+    for (fi, lex) in index.lexed.iter().enumerate() {
+        let t = &lex.tokens;
+        for i in 0..t.len() {
+            if !t[i].is_ident(CHUNK_FN)
+                || !t.get(i + 1).is_some_and(|p| p.is_punct('('))
+                || (i > 0 && t[i - 1].is_ident("fn"))
+            {
+                continue;
+            }
+            let Some(arg) = second_arg(t, i + 1) else { continue };
+            if arg.len() == 1 && arg[0].is_ident(CHUNK_CONST) {
+                continue;
+            }
+            let shown: String =
+                arg.iter().map(|tok| tok.text.as_str()).collect::<Vec<_>>().join(" ");
+            out.push(Finding {
+                rule: "chunk-size-discipline",
+                path: files[fi].path.clone(),
+                line: t[i].line,
+                message: format!(
+                    "`{CHUNK_FN}` called with chunk `{}` — only the `{CHUNK_CONST}` constant \
+                     may reach a chunking site, or merged reads see torn chunk boundaries",
+                    truncate(&shown, 40)
+                ),
+                fix_available: true,
+            });
+        }
+    }
+}
+
+/// The tokens of the second top-level argument of the call whose `(`
+/// is at `open`, or None when the call has fewer than two arguments.
+fn second_arg(t: &[Token], open: usize) -> Option<&[Token]> {
+    let mut depth = 0i64;
+    let mut first_comma: Option<usize> = None;
+    let mut j = open;
+    loop {
+        let tok = t.get(j)?;
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return first_comma.map(|c| &t[c + 1..j]).filter(|a| !a.is_empty());
+                    }
+                }
+                "," if depth == 1 => match first_comma {
+                    None => first_comma = Some(j),
+                    Some(c) => return Some(&t[c + 1..j]),
+                },
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_string();
+    }
+    let mut out: String = s.chars().take(max).collect();
+    out.push('…');
+    out
+}
+
+pub(crate) fn axis_exhaustiveness(
+    files: &[SourceFile],
+    index: &SymbolIndex,
+    out: &mut Vec<Finding>,
+) {
+    if index.axis_fields.is_empty() {
+        return;
+    }
+    let file = index.axis_fields[0].file;
+    let first_line = index.axis_fields[0].line;
+    let t = &index.lexed[file].tokens;
+    for handler in AXIS_HANDLERS {
+        let defs = index.fns_named(file, handler);
+        if defs.is_empty() {
+            out.push(Finding {
+                rule: "axis-exhaustiveness",
+                path: files[file].path.clone(),
+                line: first_line,
+                message: format!(
+                    "axis handler fn `{handler}` not found in {SWEEP_FILE} — every sweep \
+                     axis must be counted, validated, expanded, printed, and parsed"
+                ),
+                fix_available: true,
+            });
+            continue;
+        }
+        for axis in &index.axis_fields {
+            let mentioned = defs.iter().any(|&id| {
+                let def = &index.fns[id];
+                t[def.start..def.end.min(t.len())]
+                    .iter()
+                    .any(|tok| tok.kind == TokenKind::Ident && tok.text == axis.name)
+            });
+            if !mentioned {
+                out.push(Finding {
+                    rule: "axis-exhaustiveness",
+                    path: files[file].path.clone(),
+                    line: axis.line,
+                    message: format!(
+                        "sweep axis `{}` is not handled in `{handler}` — a `Vec` axis on \
+                         `Sweep` must appear in every axis handler ({})",
+                        axis.name,
+                        AXIS_HANDLERS.join(", ")
+                    ),
+                    fix_available: true,
+                });
+            }
+        }
+    }
+}

@@ -5,7 +5,13 @@
 //! worker count, shard count, transport, or mesh shape, served by a
 //! daemon that never dies — is enforced dynamically by tests that
 //! sample a few configurations. This crate enforces the
-//! *preconditions* statically, on every source file, every run:
+//! *preconditions* statically, on every source file, every run.
+//!
+//! Analysis is two-pass: pass 1 builds a whole-workspace
+//! [`symbols::SymbolIndex`] (fn definitions, classed lock sites,
+//! name-resolved call edges, sweep axes) from the lexer output; pass 2
+//! runs five local rules per file and three graph rules over the
+//! index:
 //!
 //! * **unordered-iteration** — no `HashMap`/`HashSet` on the
 //!   determinism surface.
@@ -18,17 +24,32 @@
 //!   central registry ([`frames::FRAMES`]), which is itself statically
 //!   verified well-formed, discriminable, and pairwise prefix-free.
 //! * **nested-lock** — no lock acquired while another guard from the
-//!   same function body is live.
+//!   same function body is live (unclassed guards; classed pairs
+//!   belong to `lock-order`).
+//! * **lock-order** — the global lock-order graph over the workspace
+//!   lock classes must be acyclic, with lock summaries propagated
+//!   along call edges so a guard held across a call into a function
+//!   that locks elsewhere is found across files.
+//! * **chunk-size-discipline** — only the `CHUNK_TRIALS` constant may
+//!   reach a `chunk_cover` chunking site.
+//! * **axis-exhaustiveness** — every `Vec` axis of `struct Sweep` is
+//!   handled in every axis handler fn.
 //!
 //! Rules are deny-by-default. The only escape is an in-place pragma
 //! in a plain line comment — `check:allow(rule) reason` — whose
 //! reason is mandatory and whose presence must be justified: a pragma
 //! that matches no finding is itself a finding. Run it as
-//! `chipletqc-engine check [--format text|json]`.
+//! `chipletqc-engine check [--format text|json]`; `check --fix`
+//! inserts `TODO(triage)` pragma scaffolds for the findings that
+//! support it ([`fix`]), and `--fix --dry-run` prints the patch
+//! without writing.
 
+pub mod fix;
 pub mod frames;
+mod graph;
 pub mod lexer;
 mod rules;
+pub mod symbols;
 
 use std::fmt::Write as _;
 use std::fs;
@@ -36,6 +57,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use rules::RULES;
+pub use symbols::SymbolIndex;
 
 /// One source file handed to the engine: a workspace-relative,
 /// `/`-separated path (scoping is path-based) plus its text.
@@ -53,6 +75,10 @@ pub struct Finding {
     pub path: String,
     pub line: usize,
     pub message: String,
+    /// Whether `check --fix` can scaffold an allow pragma for this
+    /// finding. False for pragma defects and registry-level
+    /// `frame-registry` findings, which no pragma can suppress.
+    pub fix_available: bool,
 }
 
 /// A violation suppressed by a `check:allow` pragma, kept in the
@@ -106,9 +132,13 @@ impl CheckReport {
         out
     }
 
-    /// Machine-readable rendering (stable schema, sorted entries).
+    /// Machine-readable rendering. Schema 2 is pinned by a
+    /// golden-shape test: top-level `schema` / `files_scanned` /
+    /// `clean` / `findings` / `allowed`; findings carry `rule` /
+    /// `file` / `line` / `message` / `fix_available`, allows carry
+    /// `rule` / `file` / `line` / `reason`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 1,\n");
+        let mut out = String::from("{\n  \"schema\": 2,\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
         out.push_str("  \"findings\": [");
@@ -116,11 +146,13 @@ impl CheckReport {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(
                 out,
-                "{sep}    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                "{sep}    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \
+                 \"fix_available\": {}}}",
                 json_str(f.rule),
                 json_str(&f.path),
                 f.line,
-                json_str(&f.message)
+                json_str(&f.message),
+                f.fix_available
             );
         }
         out.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
@@ -129,7 +161,7 @@ impl CheckReport {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(
                 out,
-                "{sep}    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                "{sep}    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
                 json_str(a.rule),
                 json_str(&a.path),
                 a.line,
@@ -169,9 +201,21 @@ pub fn check_files(files: &[SourceFile]) -> CheckReport {
     rules::analyze(files)
 }
 
-/// Walks `crates/*/src/**/*.rs` under the workspace root (vendored
-/// stand-ins and build output are out of scope) and runs every rule.
-pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
+/// Pass 1 alone: the workspace symbol index for `files`. Callers that
+/// want per-pass timing build the index themselves and hand it to
+/// [`check_files_indexed`].
+pub fn build_index(files: &[SourceFile]) -> SymbolIndex {
+    SymbolIndex::build(files)
+}
+
+/// Pass 2 alone: every rule over a prebuilt index.
+pub fn check_files_indexed(files: &[SourceFile], index: &SymbolIndex) -> CheckReport {
+    rules::analyze_indexed(files, index)
+}
+
+/// Reads `crates/*/src/**/*.rs` under the workspace root (vendored
+/// stand-ins and build output are out of scope), sorted by path.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
@@ -187,7 +231,12 @@ pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
         }
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
-    Ok(check_files(&files))
+    Ok(files)
+}
+
+/// Loads the workspace and runs every rule.
+pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
+    Ok(check_files(&load_workspace(root)?))
 }
 
 fn collect_rs(dir: &Path, root: &Path, files: &mut Vec<SourceFile>) -> io::Result<()> {

@@ -1,13 +1,23 @@
-//! The rule engine: five named, deny-by-default lints over the lexed
-//! sources, plus the pragma machinery that lets a finding be
-//! explicitly allowlisted in place — `check:allow(rule) reason`, in a
-//! plain `//` comment (doc comments are documentation, never
-//! pragmas), with a mandatory human reason. A pragma covers the
-//! statement it precedes (or shares a line with); an unmatched pragma
-//! is itself a finding, so the allowlist can never rot.
+//! The rule engine: eight named, deny-by-default lints, plus the
+//! pragma machinery that lets a finding be explicitly allowlisted in
+//! place — `check:allow(rule) reason`, in a plain `//` comment (doc
+//! comments are documentation, never pragmas), with a mandatory human
+//! reason. A pragma covers the statement it precedes (or shares a
+//! line with); an unmatched pragma is itself a finding, so the
+//! allowlist can never rot.
+//!
+//! Analysis runs in two passes: pass 1 builds the workspace
+//! [`symbols::SymbolIndex`] (fn spans, classed lock sites, resolved
+//! call sites, sweep axes), pass 2 runs the five local rules over
+//! each file and the three graph rules ([`crate::graph`]) over the
+//! index, and only then matches *all* findings — local and
+//! cross-file alike — against the pragmas of the file each finding
+//! anchors in.
 
 use crate::frames;
-use crate::lexer::{self, Comment, Lexed, Token, TokenKind};
+use crate::graph;
+use crate::lexer::{Comment, Lexed, TokenKind};
+use crate::symbols::SymbolIndex;
 use crate::{Allowed, CheckReport, Finding, SourceFile};
 
 /// The rule names, as they appear in findings and pragmas.
@@ -17,6 +27,9 @@ pub const RULES: &[&str] = &[
     "clock-discipline",
     "frame-registry",
     "nested-lock",
+    "lock-order",
+    "chunk-size-discipline",
+    "axis-exhaustiveness",
 ];
 
 /// Crates whose entire `src` tree sits on the determinism surface:
@@ -85,53 +98,78 @@ struct Pragma {
 }
 
 pub fn analyze(files: &[SourceFile]) -> CheckReport {
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut allowed: Vec<Allowed> = Vec::new();
+    let index = SymbolIndex::build(files);
+    analyze_indexed(files, &index)
+}
 
-    let lexed: Vec<(&SourceFile, Lexed)> =
-        files.iter().map(|f| (f, lexer::lex(&f.text))).collect();
-
-    for (file, lex) in &lexed {
-        let mut raw: Vec<Finding> = Vec::new();
+/// Pass 2 over a prebuilt index (the CLI builds the index under its
+/// own obs span, then calls this).
+pub fn analyze_indexed(files: &[SourceFile], index: &SymbolIndex) -> CheckReport {
+    // Raw findings: the five local rules, then the three graph rules.
+    let mut raw: Vec<Finding> = Vec::new();
+    for (i, file) in files.iter().enumerate() {
+        let lex = &index.lexed[i];
         unordered_iteration(file, lex, &mut raw);
         daemon_panic(file, lex, &mut raw);
         clock_discipline(file, lex, &mut raw);
-        nested_lock(file, lex, &mut raw);
         frame_literals(file, lex, &mut raw);
+    }
+    nested_lock(files, index, &mut raw);
+    graph::lock_order(files, index, &mut raw);
+    graph::chunk_size_discipline(files, index, &mut raw);
+    graph::axis_exhaustiveness(files, index, &mut raw);
 
-        let mut pragmas = collect_pragmas(file, lex, &mut raw);
-        for finding in raw {
-            match pragmas.iter_mut().find(|p| {
-                p.rule == finding.rule
-                    && finding.line >= p.covers.0
-                    && finding.line <= p.covers.1
-            }) {
-                Some(pragma) => {
-                    pragma.used = true;
-                    allowed.push(Allowed {
-                        rule: finding.rule,
-                        path: finding.path,
-                        line: finding.line,
-                        reason: pragma.reason.clone(),
-                    });
-                }
-                None => findings.push(finding),
+    // Pragma matching runs after every anchored rule, so a cross-file
+    // lock-order finding is suppressible at its own site like any
+    // local finding.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allowed: Vec<Allowed> = Vec::new();
+    let mut pragmas: Vec<(usize, Vec<Pragma>)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, file)| (i, collect_pragmas(file, &index.lexed[i], &mut findings)))
+        .collect();
+    for finding in raw {
+        let hit = files
+            .iter()
+            .position(|f| f.path == finding.path)
+            .and_then(|fi| pragmas.iter_mut().find(|(i, _)| *i == fi))
+            .and_then(|(_, ps)| {
+                ps.iter_mut().find(|p| {
+                    p.rule == finding.rule
+                        && finding.line >= p.covers.0
+                        && finding.line <= p.covers.1
+                })
+            });
+        match hit {
+            Some(pragma) => {
+                pragma.used = true;
+                allowed.push(Allowed {
+                    rule: finding.rule,
+                    path: finding.path,
+                    line: finding.line,
+                    reason: pragma.reason.clone(),
+                });
             }
+            None => findings.push(finding),
         }
-        for pragma in pragmas.iter().filter(|p| !p.used) {
+    }
+    for (fi, ps) in &pragmas {
+        for pragma in ps.iter().filter(|p| !p.used) {
             findings.push(Finding {
                 rule: "pragma",
-                path: file.path.clone(),
+                path: files[*fi].path.clone(),
                 line: pragma.line,
                 message: format!(
                     "allow pragma for `{}` matched no finding — remove it",
                     pragma.rule
                 ),
+                fix_available: false,
             });
         }
     }
 
-    frame_registry_global(&lexed, &mut findings);
+    frame_registry_global(files, index, &mut findings);
 
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     allowed.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
@@ -182,6 +220,7 @@ fn push_pragma_finding(findings: &mut Vec<Finding>, file: &SourceFile, c: &Comme
         path: file.path.clone(),
         line: c.line,
         message: msg.to_string(),
+        fix_available: false,
     });
 }
 
@@ -254,6 +293,7 @@ fn unordered_iteration(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
                      the serialization boundary",
                     token.text
                 ),
+                fix_available: true,
             });
         }
     }
@@ -291,6 +331,7 @@ fn daemon_panic(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
                     "`{form}` in daemon code — return an error frame, log and continue, \
                      or recover (poisoned locks: `unwrap_or_else(PoisonError::into_inner)`)"
                 ),
+                fix_available: true,
             });
         }
     }
@@ -321,6 +362,7 @@ fn clock_discipline(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
                      or annotate a genuine timeout/deadline site",
                     t[i].text
                 ),
+                fix_available: true,
             });
         }
     }
@@ -329,197 +371,36 @@ fn clock_discipline(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
 /// Rule `nested-lock`: a `.lock()`/`.read()`/`.write()` acquired
 /// while another guard from the same function body may still be live
 /// — the lock-order-inversion shape that deadlocks the multi-tenant
-/// service. Tracks let-bound guards until their block closes or an
-/// explicit `drop(name)`, and temporary guards until the end of the
-/// statement. Stdio locks are exempt (reentrant by design).
-fn nested_lock(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
-    struct Guard {
-        name: Option<String>,
-        depth: i64,
-        temp: bool,
-        line: usize,
-    }
-    struct FnFrame {
-        depth_at_entry: i64,
-        guards: Vec<Guard>,
-    }
-
-    let t = &lex.tokens;
-    let mut frames: Vec<FnFrame> = Vec::new();
-    let mut depth = 0i64;
-    let mut pending_fn = false;
-    let mut stmt_start = 0usize;
-
-    for i in 0..t.len() {
-        let token = &t[i];
-        if token.kind == TokenKind::Punct {
-            match token.text.as_str() {
-                "{" => {
-                    depth += 1;
-                    if pending_fn {
-                        frames.push(FnFrame { depth_at_entry: depth, guards: Vec::new() });
-                        pending_fn = false;
-                    }
-                    stmt_start = i + 1;
-                }
-                "}" => {
-                    depth -= 1;
-                    if let Some(frame) = frames.last_mut() {
-                        frame.guards.retain(|g| g.depth <= depth);
-                    }
-                    while frames.last().is_some_and(|f| depth < f.depth_at_entry) {
-                        frames.pop();
-                    }
-                    stmt_start = i + 1;
-                }
-                ";" => {
-                    if let Some(frame) = frames.last_mut() {
-                        frame.guards.retain(|g| !(g.temp && g.depth >= depth));
-                    }
-                    stmt_start = i + 1;
-                }
-                _ => {}
-            }
+/// service. Liveness comes from the symbol index (let-bound guards
+/// until block close or `drop(name)`, temporaries until the `;`;
+/// stdio locks exempt). When both the held guard and the new
+/// acquisition belong to workspace lock classes, the site is the
+/// whole-workspace `lock-order` graph's responsibility instead: a
+/// consistent classed order needs no per-site annotation, and an
+/// inconsistent one is a `lock-order` cycle finding even when the
+/// acquisitions live in different functions or files.
+fn nested_lock(files: &[SourceFile], index: &SymbolIndex, out: &mut Vec<Finding>) {
+    for site in &index.lock_sites {
+        let Some(held) = &site.held_first else { continue };
+        if held.class.is_some() && site.class.is_some() {
             continue;
         }
-        if token.is_ident("fn") {
-            pending_fn = true;
-            continue;
-        }
-        // `drop(name)` releases a named guard early.
-        if token.is_ident("drop")
-            && t.get(i + 1).is_some_and(|a| a.is_punct('('))
-            && t.get(i + 3).is_some_and(|b| b.is_punct(')'))
-        {
-            if let Some(name) = t.get(i + 2).filter(|n| n.kind == TokenKind::Ident) {
-                if let Some(frame) = frames.last_mut() {
-                    if let Some(pos) =
-                        frame.guards.iter().rposition(|g| g.name.as_deref() == Some(&name.text))
-                    {
-                        frame.guards.remove(pos);
-                    }
-                }
-            }
-            continue;
-        }
-        // A guard acquisition: `.lock()` / `.read()` / `.write()`
-        // with empty parens (argument-taking io::Read::read etc.
-        // never match).
-        let acquires = token.kind == TokenKind::Ident
-            && matches!(token.text.as_str(), "lock" | "read" | "write")
-            && i > 0
-            && t[i - 1].is_punct('.')
-            && t.get(i + 1).is_some_and(|a| a.is_punct('('))
-            && t.get(i + 2).is_some_and(|b| b.is_punct(')'));
-        if !acquires {
-            continue;
-        }
-        // Stdio handles use a reentrant mutex; `stdout().lock()` (or
-        // `.lock()` on a binding conventionally named after the
-        // handle) cannot participate in lock-order inversion.
-        let stdio = (i >= 4
-            && t[i - 2].is_punct(')')
-            && t[i - 3].is_punct('(')
-            && matches!(t[i - 4].text.as_str(), "stdout" | "stderr" | "stdin"))
-            || (i >= 2
-                && t[i - 2].kind == TokenKind::Ident
-                && matches!(t[i - 2].text.as_str(), "stdout" | "stderr" | "stdin"));
-        if stdio {
-            continue;
-        }
-        let Some(frame) = frames.last_mut() else { continue };
-        if let Some(held) = frame.guards.first() {
-            let held_desc = match &held.name {
-                Some(name) => format!("`{name}` (line {})", held.line),
-                None => format!("a temporary guard (line {})", held.line),
-            };
-            out.push(Finding {
-                rule: "nested-lock",
-                path: file.path.clone(),
-                line: token.line,
-                message: format!(
-                    "`.{}()` while {held_desc} may still be held — drop the first guard \
-                     first, or annotate why the order is deadlock-free",
-                    token.text
-                ),
-            });
-        }
-        // The binding is the guard only when the chain ends at the
-        // acquisition (plus unwrap/expect adapters): in
-        // `let v = m.lock().unwrap().get(k).cloned();` the guard is a
-        // temporary that dies at the `;`, whatever `v` is named.
-        let name = let_binding_name(t, stmt_start, i).filter(|_| chain_yields_guard(t, i + 2));
-        frame.guards.push(Guard { temp: name.is_none(), name, depth, line: token.line });
+        let held_desc = match &held.name {
+            Some(name) => format!("`{name}` (line {})", held.line),
+            None => format!("a temporary guard (line {})", held.line),
+        };
+        out.push(Finding {
+            rule: "nested-lock",
+            path: files[site.file].path.clone(),
+            line: site.line,
+            message: format!(
+                "`.{}()` while {held_desc} may still be held — drop the first guard \
+                 first, or annotate why the order is deadlock-free",
+                site.method
+            ),
+            fix_available: true,
+        });
     }
-}
-
-/// Whether the method chain continuing after the acquisition's `)`
-/// (at `close`) still evaluates to the guard when the statement ends:
-/// only result adapters (`unwrap`, `expect`, `unwrap_or_else`) may
-/// follow before the `;`. Any other continuation consumes the guard
-/// as a temporary.
-fn chain_yields_guard(t: &[Token], close: usize) -> bool {
-    let mut j = close + 1;
-    loop {
-        match t.get(j) {
-            Some(tok) if tok.is_punct(';') => return true,
-            Some(tok) if tok.is_punct('.') => {
-                let adapter = t.get(j + 1).is_some_and(|a| {
-                    matches!(a.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
-                });
-                if !adapter || !t.get(j + 2).is_some_and(|p| p.is_punct('(')) {
-                    return false;
-                }
-                // Skip the adapter's balanced argument list.
-                let mut depth = 0i64;
-                j += 2;
-                loop {
-                    match t.get(j) {
-                        Some(tok) if tok.is_punct('(') => depth += 1,
-                        Some(tok) if tok.is_punct(')') => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        Some(_) => {}
-                        None => return false,
-                    }
-                    j += 1;
-                }
-                j += 1;
-            }
-            _ => return false,
-        }
-    }
-}
-
-/// If the statement starting at `stmt_start` is `let [mut] name = …`,
-/// returns the bound name — the guard lives until its block closes.
-/// Anything else (match scrutinees, field assignments, expression
-/// statements) is treated as a temporary guard.
-fn let_binding_name(t: &[Token], stmt_start: usize, before: usize) -> Option<String> {
-    let mut j = stmt_start;
-    if !t.get(j)?.is_ident("let") {
-        return None;
-    }
-    j += 1;
-    if t.get(j)?.is_ident("mut") {
-        j += 1;
-    }
-    let name = t.get(j)?;
-    if name.kind != TokenKind::Ident || j >= before {
-        return None;
-    }
-    if !t.get(j + 1)?.is_punct('=') {
-        return None;
-    }
-    // `let v = *m.lock()…;` copies the value out through the deref;
-    // the guard itself is a temporary dying at the `;`.
-    if t.get(j + 2)?.is_punct('*') {
-        return None;
-    }
-    Some(name.text.clone())
 }
 
 /// Per-file half of rule `frame-registry`: every string literal of
@@ -541,6 +422,7 @@ fn frame_literals(file: &SourceFile, lex: &Lexed, out: &mut Vec<Finding>) {
                     "frame verb `{verb}` is not in the registry — add a FrameSpec row to \
                      {REGISTRY_FILE} (and prove prefix-freedom) before emitting it"
                 ),
+                fix_available: true,
             });
         }
     }
@@ -564,10 +446,16 @@ fn frame_verb(content: &str) -> Option<&str> {
 /// files are in the scanned set (fixture runs see a partial corpus):
 /// registry self-consistency (verb/header well-formedness, shape
 /// discriminability, pairwise prefix-freedom of rendered heads), no
-/// stale registry rows, and VERSION agreement with `wire.rs`.
-fn frame_registry_global(lexed: &[(&SourceFile, Lexed)], out: &mut Vec<Finding>) {
-    let frame_files: Vec<&(&SourceFile, Lexed)> =
-        lexed.iter().filter(|(f, _)| FRAME_FILES.contains(&f.path.as_str())).collect();
+/// stale registry rows, and VERSION agreement with `wire.rs`. These
+/// findings anchor on the registry, not a source site, so no pragma
+/// (and no `--fix` scaffold) can suppress them.
+fn frame_registry_global(files: &[SourceFile], index: &SymbolIndex, out: &mut Vec<Finding>) {
+    let frame_files: Vec<usize> = files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| FRAME_FILES.contains(&f.path.as_str()))
+        .map(|(i, _)| i)
+        .collect();
     if frame_files.len() < FRAME_FILES.len() {
         return;
     }
@@ -578,6 +466,7 @@ fn frame_registry_global(lexed: &[(&SourceFile, Lexed)], out: &mut Vec<Finding>)
             path: REGISTRY_FILE.to_string(),
             line: 1,
             message: defect,
+            fix_available: false,
         });
     }
 
@@ -585,8 +474,8 @@ fn frame_registry_global(lexed: &[(&SourceFile, Lexed)], out: &mut Vec<Finding>)
     // sources — either as a `{VERSION} verb` head literal or as a
     // bare verb literal (reader match arms, dynamic-writer callers).
     let mut literals: Vec<&str> = Vec::new();
-    for (_, lex) in &frame_files {
-        for token in lex.tokens.iter().filter(|t| t.kind == TokenKind::Str) {
+    for &fi in &frame_files {
+        for token in index.lexed[fi].tokens.iter().filter(|t| t.kind == TokenKind::Str) {
             literals.push(&token.text);
         }
     }
@@ -605,13 +494,14 @@ fn frame_registry_global(lexed: &[(&SourceFile, Lexed)], out: &mut Vec<Finding>)
                     spec.headers,
                     FRAME_FILES.join(" / ")
                 ),
+                fix_available: false,
             });
         }
     }
 
     // The registry's VERSION constant must track the wire module's.
-    if let Some((_, wire)) = lexed.iter().find(|(f, _)| f.path == "crates/store/src/wire.rs") {
-        let declared = wire
+    if let Some(wire) = files.iter().position(|f| f.path == "crates/store/src/wire.rs") {
+        let declared = index.lexed[wire]
             .tokens
             .iter()
             .find(|t| t.kind == TokenKind::Str && t.text.starts_with("chipletqc/"))
@@ -625,6 +515,7 @@ fn frame_registry_global(lexed: &[(&SourceFile, Lexed)], out: &mut Vec<Finding>)
                     "registry VERSION `{}` does not match wire.rs ({declared:?})",
                     frames::VERSION
                 ),
+                fix_available: false,
             });
         }
     }

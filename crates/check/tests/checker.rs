@@ -134,3 +134,74 @@ fn nested_lock_good_records_the_deliberate_overlap() {
     assert_eq!(report.allowed[0].rule, "nested-lock");
     assert!(report.allowed[0].reason.contains("left then right"));
 }
+
+#[test]
+fn lock_order_fixtures() {
+    assert_pair(
+        "lock-order",
+        "lock_order_bad.rs",
+        "lock_order_good.rs",
+        "crates/engine/src/scheduler.rs",
+    );
+}
+
+#[test]
+fn lock_order_cycle_across_call_edges_is_invisible_to_nested_lock() {
+    // Each function in the bad fixture acquires exactly one lock in
+    // its own body — the old per-fn rule has nothing to report — yet
+    // the call-edge-propagated graph closes the cycle.
+    let report = run("lock_order_bad.rs", "crates/engine/src/scheduler.rs");
+    assert!(
+        !report.findings.iter().any(|f| f.rule == "nested-lock"),
+        "nested-lock fired where it provably cannot see: {:?}",
+        report.findings
+    );
+    let cycles: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(cycles.len() >= 2, "expected both half-cycles, got {cycles:?}");
+    assert!(cycles.iter().all(|m| m.contains("lock-order cycle")), "{cycles:?}");
+}
+
+#[test]
+fn chunk_size_discipline_fixtures() {
+    assert_pair(
+        "chunk-size-discipline",
+        "chunk_size_bad.rs",
+        "chunk_size_good.rs",
+        "crates/store/src/products.rs",
+    );
+}
+
+#[test]
+fn chunk_size_bad_flags_both_drifting_sites() {
+    let report = run("chunk_size_bad.rs", "crates/store/src/products.rs");
+    let n = report.findings.iter().filter(|f| f.rule == "chunk-size-discipline").count();
+    // The literal 512 and the derived local — the definition of
+    // `chunk_cover` itself is not a call site.
+    assert_eq!(n, 2, "{:?}", report.findings);
+}
+
+#[test]
+fn axis_exhaustiveness_fixtures() {
+    assert_pair(
+        "axis-exhaustiveness",
+        "axis_exhaustiveness_bad.rs",
+        "axis_exhaustiveness_good.rs",
+        "crates/engine/src/sweep.rs",
+    );
+}
+
+#[test]
+fn axis_exhaustiveness_is_scoped_to_the_sweep_file() {
+    // `struct Sweep` anywhere else is just a struct.
+    let report = run("axis_exhaustiveness_bad.rs", "crates/engine/src/scenario.rs");
+    assert!(
+        !report.findings.iter().any(|f| f.rule == "axis-exhaustiveness"),
+        "{:?}",
+        report.findings
+    );
+}

@@ -1,0 +1,47 @@
+//! Bad fixture: the `seeds` axis never appears in `expand`, so a
+//! sweep description carrying seeds would count, validate, print, and
+//! parse them — and then silently expand to nothing.
+
+pub struct Sweep {
+    pub grids: Vec<u32>,
+    pub seeds: Vec<u64>,
+}
+
+impl Sweep {
+    pub fn expanded_len(&self) -> usize {
+        self.grids.len().max(1) * self.seeds.len().max(1)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grids.is_empty() && self.seeds.is_empty() {
+            return Err("empty sweep".to_string());
+        }
+        Ok(())
+    }
+
+    pub fn expand(&self) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        for &grid in &self.grids {
+            out.push((grid, 0));
+        }
+        out
+    }
+
+    pub fn to_text(&self) -> String {
+        format!("grids={:?} seeds={:?}", self.grids, self.seeds)
+    }
+
+    pub fn parse(text: &str) -> Option<Sweep> {
+        let mut grids = Vec::new();
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("grids=") {
+                grids.push(rest.len() as u32);
+            }
+            if let Some(rest) = line.strip_prefix("seeds=") {
+                seeds.push(rest.len() as u64);
+            }
+        }
+        Some(Sweep { grids, seeds })
+    }
+}

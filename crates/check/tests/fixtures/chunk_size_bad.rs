@@ -1,0 +1,19 @@
+//! Bad fixture: chunk sites fed by a bare literal and by a derived
+//! local — both drift from the store-wide chunk size the
+//! merge-on-read contract assumes, so a reader merging ranges sees
+//! torn chunk boundaries.
+
+pub const CHUNK_TRIALS: usize = 512;
+
+fn chunk_cover(total: usize, chunk: usize) -> usize {
+    total.div_ceil(chunk)
+}
+
+pub fn chunks_for(total: usize) -> usize {
+    chunk_cover(total, 512)
+}
+
+pub fn chunks_custom(total: usize, budget: usize) -> usize {
+    let chunk = budget.max(1);
+    chunk_cover(total, chunk)
+}

@@ -1,0 +1,13 @@
+//! Good fixture: every chunking site is fed the `CHUNK_TRIALS`
+//! constant itself, so every producer chunks identically and merged
+//! reads line up.
+
+pub const CHUNK_TRIALS: usize = 512;
+
+fn chunk_cover(total: usize, chunk: usize) -> usize {
+    total.div_ceil(chunk)
+}
+
+pub fn chunks_for(total: usize) -> usize {
+    chunk_cover(total, CHUNK_TRIALS)
+}

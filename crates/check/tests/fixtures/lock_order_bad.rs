@@ -1,0 +1,39 @@
+//! Bad fixture: a two-function lock-order cycle across call edges.
+//! `enqueue` holds the pool state while calling into a function that
+//! takes the sched lock; `drain` holds the sched lock while calling
+//! into a function that takes the pool state. Neither function
+//! acquires two locks in its own body, so the per-fn nested-lock rule
+//! provably cannot see the inversion — only the whole-workspace
+//! lock-order graph can.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Pool {
+    state: Mutex<Vec<u64>>,
+    sched: Mutex<Vec<u64>>,
+}
+
+impl Pool {
+    pub fn enqueue(&self, task: u64) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.push(task);
+        self.note_sched(task);
+    }
+
+    fn note_sched(&self, task: u64) {
+        let mut sched = self.sched.lock().unwrap_or_else(PoisonError::into_inner);
+        sched.push(task);
+    }
+
+    pub fn drain(&self) -> u64 {
+        let mut sched = self.sched.lock().unwrap_or_else(PoisonError::into_inner);
+        let task = sched.pop().unwrap_or_default();
+        self.note_state(task);
+        task
+    }
+
+    fn note_state(&self, task: u64) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.retain(|&t| t != task);
+    }
+}

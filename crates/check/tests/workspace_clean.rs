@@ -26,6 +26,16 @@ fn workspace_has_zero_unallowlisted_findings() {
 }
 
 #[test]
+fn all_eight_rules_are_registered() {
+    // The clean sweep above only means something if the full rule set
+    // ran: five local rules plus the three graph rules.
+    assert_eq!(chipletqc_check::RULES.len(), 8, "{:?}", chipletqc_check::RULES);
+    for rule in ["lock-order", "chunk-size-discipline", "axis-exhaustiveness"] {
+        assert!(chipletqc_check::RULES.contains(&rule), "missing {rule}");
+    }
+}
+
+#[test]
 fn every_allowlist_entry_has_a_substantive_reason() {
     let report = check_workspace(workspace_root()).expect("workspace scan failed");
     assert!(

@@ -365,7 +365,6 @@ impl CacheHub {
     /// dropped — the counters only ever grow.
     pub fn fabrication_stats(&self) -> FabricationStats {
         let inner = self.inner.lock().expect("hub poisoned");
-        // check:allow(nested-lock) fixed inner-then-retired order in every CacheHub method; both locks are private to the hub
         let mut stats = *self.retired.lock().expect("retired counters poisoned");
         for caches in inner.values() {
             stats.chiplet_fabrications += caches.chiplet_fabrications.load(Ordering::Relaxed);
@@ -386,7 +385,6 @@ impl CacheHub {
     /// Call it between batches, not while a scheduler is running.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("hub poisoned");
-        // check:allow(nested-lock) fixed inner-then-retired order in every CacheHub method; both locks are private to the hub
         let mut retired = self.retired.lock().expect("retired counters poisoned");
         for caches in inner.values() {
             retired.chiplet_fabrications += caches.chiplet_fabrications.load(Ordering::Relaxed);

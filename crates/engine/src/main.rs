@@ -69,7 +69,7 @@ USAGE:
   chipletqc-engine status (--socket PATH | --connect HOST:PORT --token-file F)
   chipletqc-engine bench [--quick] [--out FILE]
   chipletqc-engine trace summarize FILE
-  chipletqc-engine check [--format text|json] [--root DIR]
+  chipletqc-engine check [--format text|json] [--root DIR] [--fix [--dry-run]]
 
 OPTIONS:
   --workers N       scheduler worker threads (default: hardware threads)
@@ -1311,6 +1311,8 @@ fn trace_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
 fn check_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
+    let mut fix = false;
+    let mut dry_run = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
@@ -1322,23 +1324,72 @@ fn check_cli(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--root" => {
                 root = Some(PathBuf::from(args.next().ok_or("check: --root needs a path")?));
             }
+            "--fix" => fix = true,
+            "--dry-run" => dry_run = true,
             other => return Err(format!("check: unexpected argument {other}")),
         }
+    }
+    if dry_run && !fix {
+        return Err("check: --dry-run only makes sense with --fix".to_string());
     }
     let root = match root {
         Some(root) => root,
         None => workspace_root()?,
     };
-    let report = {
+    let (files, report) = {
         let _span = chipletqc_obs::span("check.run");
-        chipletqc_check::check_workspace(&root)
-            .map_err(|e| format!("check: scan {}: {e}", root.display()))?
+        let files = chipletqc_check::load_workspace(&root)
+            .map_err(|e| format!("check: scan {}: {e}", root.display()))?;
+        let index = {
+            let _span = chipletqc_obs::span("check.pass.index");
+            chipletqc_check::build_index(&files)
+        };
+        let report = {
+            let _span = chipletqc_obs::span("check.pass.rules");
+            chipletqc_check::check_files_indexed(&files, &index)
+        };
+        (files, report)
     };
     // Analysis health rides the same registry as runtime telemetry,
     // so a report or status snapshot taken from this process shows it.
     chipletqc_obs::counter("check.files_scanned").add(report.files_scanned as u64);
     chipletqc_obs::counter("check.findings").add(report.findings.len() as u64);
     chipletqc_obs::counter("check.allowed").add(report.allowed.len() as u64);
+    for rule in chipletqc_check::RULES {
+        let n = report.findings.iter().filter(|f| f.rule == *rule).count();
+        if n > 0 {
+            chipletqc_obs::counter(&format!("check.rule.{rule}.findings")).add(n as u64);
+        }
+    }
+    if fix {
+        let plan = chipletqc_check::fix::plan(&report, &files);
+        chipletqc_obs::flush_trace();
+        if plan.is_empty() {
+            println!("fix: nothing to scaffold ({} unfixable finding(s))", plan.unfixable);
+            return if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!("check: {} unfixable finding(s)", report.findings.len()))
+            };
+        }
+        if dry_run {
+            print!("{}", chipletqc_check::fix::render_patch(&plan, &files));
+            println!(
+                "fix: dry run — {} pragma(s) across {} file(s), nothing written",
+                plan.insertions.len(),
+                plan.files().len()
+            );
+            return Ok(());
+        }
+        let rewritten = chipletqc_check::fix::apply(&root, &files, &plan)
+            .map_err(|e| format!("check: fix rewrite: {e}"))?;
+        println!(
+            "fix: {} pragma(s) inserted across {rewritten} file(s) — review the \
+             TODO(triage) markers",
+            plan.insertions.len()
+        );
+        return Ok(());
+    }
     match format.as_str() {
         "json" => print!("{}", report.to_json()),
         _ => print!("{}", report.to_text()),

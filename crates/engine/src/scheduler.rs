@@ -546,6 +546,11 @@ fn settle(shared: &PoolShared, root: &Arc<BatchRoot>) {
 /// Picks the next runnable task: scan roots round-robin from the
 /// rotation cursor, take the front pending task of the first root
 /// under its cap, and advance the cursor past it.
+///
+/// The caller holds the pool lock, so this nests `pool-state` →
+/// `batch-sched` across a call edge. That direction is the workspace
+/// lock order (the `lock-order` check rule walks it); nothing may
+/// acquire the pool lock while a per-root `sched` guard is held.
 fn pick(state: &mut PoolState) -> Option<(Arc<BatchRoot>, usize)> {
     let n = state.roots.len();
     for i in 0..n {

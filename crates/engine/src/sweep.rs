@@ -59,6 +59,13 @@ use crate::scenario::{ExperimentKind, Overrides, Scale, Scenario, SystemSpec};
 
 /// A sweep: one experiment kind plus axes over the chiplet design
 /// space, expanding into the Cartesian-product scenario batch.
+///
+/// Every `Vec` field below is an axis, and the `axis-exhaustiveness`
+/// check rule holds each one to the full handler contract: it must
+/// appear in [`Sweep::expanded_len`], [`Sweep::validate`],
+/// [`Sweep::expand`], [`Sweep::to_text`], and [`Sweep::parse`].
+/// Adding an axis without wiring all five fails `check`, not a
+/// production sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sweep {
     /// Scenario-name prefix (defaults to the kind's name).

@@ -51,6 +51,12 @@ use crate::envelope::Encoding;
 use crate::{EntryKey, Store};
 
 /// Trials per canonical chunk of a ranged product.
+///
+/// This constant is the *only* value allowed to reach a
+/// [`chunk_cover`] call site — the `chunk-size-discipline` check rule
+/// enforces it. Merge-on-read assumes every producer chunked
+/// identically; a site fed any other literal or derived size writes
+/// chunks that tear against the rest of the store.
 pub const CHUNK_TRIALS: usize = 512;
 
 /// Entry kind: a whole characterized KGD chiplet bin.

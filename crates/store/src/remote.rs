@@ -533,7 +533,6 @@ impl RemoteBackend {
         }
         match result {
             Ok(reply) => {
-                // check:allow(nested-lock) order is always conn then circuit; circuit is never held across a conn acquisition
                 let mut circuit =
                     self.circuit.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 circuit.consecutive_failures = 0;
@@ -542,7 +541,6 @@ impl RemoteBackend {
             }
             Err(error) => {
                 *conn = None;
-                // check:allow(nested-lock) order is always conn then circuit; circuit is never held across a conn acquisition
                 let mut circuit =
                     self.circuit.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 circuit.consecutive_failures += 1;
